@@ -1,0 +1,83 @@
+//! Design-choice ablations flagged in DESIGN.md:
+//!
+//! * greedy vs exact minimum hitting set (quality is checked in tests; the
+//!   bench shows why the paper uses the greedy — exact search cost grows
+//!   exponentially with instance size);
+//! * the ND-edge scoring weights `(a, b)` — cost of the sweep the paper
+//!   fixes at `a = b = 1`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use netdiag_bench::Fixture;
+use netdiag_experiments::bridge::{observations, TruthIpToAs};
+use netdiag_netsim::probe_mesh;
+use netdiagnoser::{nd_edge, EdgeId, HittingSetInstance, Weights};
+
+fn small_instance(n_sets: usize, universe: u32, seed: u64) -> HittingSetInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failure_sets = Vec::new();
+    let mut candidates = BTreeSet::new();
+    for _ in 0..n_sets {
+        let set: BTreeSet<EdgeId> = (0..4).map(|_| EdgeId(rng.gen_range(0..universe))).collect();
+        candidates.extend(set.iter().copied());
+        failure_sets.push(set);
+    }
+    HittingSetInstance {
+        failure_sets,
+        reroute_sets: Vec::new(),
+        candidates,
+        clusters: BTreeMap::new(),
+    }
+}
+
+fn bench_greedy_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_vs_exact");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+    for n_sets in [4usize, 8, 12] {
+        let inst = small_instance(n_sets, 24, 3);
+        group.bench_function(format!("greedy_{n_sets}sets"), |b| {
+            b.iter(|| inst.greedy(Weights::default()))
+        });
+        group.bench_function(format!("exact_{n_sets}sets"), |b| {
+            b.iter(|| inst.exact(black_box(n_sets)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_weight_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ndedge_weights");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+    let fx = Fixture::paper_scale();
+    let topology = fx.sim.topology_arc();
+    // A two-link failure producing both failed and rerouted paths.
+    let links: Vec<_> = fx.mesh.traceroutes[0].links();
+    let mut broken = fx.sim.clone();
+    broken.fail_links(&links[..2.min(links.len())]);
+    let after = probe_mesh(&broken, &fx.sensors, &BTreeSet::new());
+    let obs = observations(&fx.sensors, &fx.mesh, &after);
+    let ip2as = TruthIpToAs {
+        topology: &topology,
+    };
+    for (a, b_w) in [(1u32, 0u32), (1, 1), (1, 2), (2, 1)] {
+        group.bench_function(format!("a{a}_b{b_w}"), |bch| {
+            bch.iter(|| nd_edge(black_box(&obs), &ip2as, Weights { a, b: b_w }))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy_vs_exact, bench_weight_sweep);
+criterion_main!(benches);

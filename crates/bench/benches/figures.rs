@@ -1,0 +1,46 @@
+//! One benchmark group per paper figure: each measures the time to
+//! regenerate the figure's data at a reduced trial count (the shapes are
+//! produced at full scale by the `figures` binary; these benches prove the
+//! pipelines run and show their cost).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netdiag_experiments::figures::{self, FigureConfig};
+
+/// Tiny-but-complete config: every scenario still runs end to end.
+fn bench_config() -> FigureConfig {
+    FigureConfig {
+        placements: 1,
+        failures_per_placement: 3,
+        ..FigureConfig::default()
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let fc = bench_config();
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("fig05_diagnosability", |b| {
+        b.iter(|| figures::fig5::run(&fc))
+    });
+    group.bench_function("fig06_tomo", |b| b.iter(|| figures::fig6::run(&fc)));
+    group.bench_function("fig07_ndedge_sensitivity", |b| {
+        b.iter(|| figures::fig7::run(&fc))
+    });
+    group.bench_function("fig08_ndedge_specificity", |b| {
+        b.iter(|| figures::fig8::run(&fc))
+    });
+    group.bench_function("fig09_diag_vs_spec", |b| b.iter(|| figures::fig9::run(&fc)));
+    group.bench_function("fig10_ndbgpigp", |b| b.iter(|| figures::fig10::run(&fc)));
+    group.bench_function("fig11_blocked", |b| b.iter(|| figures::fig11::run(&fc)));
+    group.bench_function("fig12_lg_fraction", |b| b.iter(|| figures::fig12::run(&fc)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

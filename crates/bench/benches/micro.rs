@@ -1,0 +1,157 @@
+//! Micro-benchmarks of the substrates: topology generation, IGP SPF, BGP
+//! convergence and reconvergence, the traceroute mesh, the diagnosis
+//! algorithms, and the greedy hitting-set core.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use netdiag_bench::Fixture;
+use netdiag_experiments::bridge::{observations, TruthIpToAs};
+use netdiag_igp::{Igp, LinkState};
+use netdiag_netsim::probe_mesh;
+use netdiag_topology::builders::{build_internet, InternetConfig};
+use netdiagnoser::{nd_edge, tomo, EdgeId, HittingSetInstance, Weights};
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("topology_generate_165as", |b| {
+        b.iter(|| build_internet(black_box(&InternetConfig::default())))
+    });
+
+    let fx = Fixture::paper_scale();
+    let topology = fx.sim.topology_arc();
+    let links = LinkState::all_up(&topology);
+    group.bench_function("igp_full_spf_all_ases", |b| {
+        b.iter(|| Igp::compute(black_box(&topology), black_box(&links)))
+    });
+
+    group.bench_function("bgp_converge_10_prefixes", |b| {
+        b.iter(|| {
+            let mut sim = netdiag_netsim::Sim::new(topology.clone());
+            sim.converge_for(&fx.sensors.as_ids());
+            sim
+        })
+    });
+
+    // Reconvergence after a failing inter-domain link (the per-trial cost).
+    let failing = fx.mesh.traceroutes[0].links()[1];
+    group.bench_function("bgp_reconverge_one_link", |b| {
+        b.iter(|| {
+            let mut broken = fx.sim.clone();
+            broken.fail_link(black_box(failing));
+            broken
+        })
+    });
+
+    group.bench_function("traceroute_full_mesh_90", |b| {
+        b.iter(|| probe_mesh(&fx.sim, &fx.sensors, &BTreeSet::new()))
+    });
+    group.finish();
+}
+
+fn bench_diagnosis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diagnosis");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+    let fx = Fixture::paper_scale();
+    let topology = fx.sim.topology_arc();
+
+    // A broken mesh for realistic diagnosis input.
+    let victim = fx.sensors.sensors()[0];
+    let uplink = topology.router(victim.router).links[0];
+    let mut broken = fx.sim.clone();
+    broken.fail_link(uplink);
+    let after = probe_mesh(&broken, &fx.sensors, &BTreeSet::new());
+    let obs = observations(&fx.sensors, &fx.mesh, &after);
+    let ip2as = TruthIpToAs {
+        topology: &topology,
+    };
+
+    group.bench_function("tomo", |b| b.iter(|| tomo(black_box(&obs), &ip2as)));
+    group.bench_function("nd_edge", |b| {
+        b.iter(|| nd_edge(black_box(&obs), &ip2as, Weights::default()))
+    });
+    group.finish();
+}
+
+/// A synthetic hitting-set instance with many overlapping sets.
+fn synthetic_instance(n_sets: usize, set_size: usize, universe: u32) -> HittingSetInstance {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut failure_sets = Vec::new();
+    let mut candidates = BTreeSet::new();
+    for _ in 0..n_sets {
+        let set: BTreeSet<EdgeId> = (0..set_size)
+            .map(|_| EdgeId(rng.gen_range(0..universe)))
+            .collect();
+        candidates.extend(set.iter().copied());
+        failure_sets.push(set);
+    }
+    HittingSetInstance {
+        failure_sets,
+        reroute_sets: Vec::new(),
+        candidates,
+        clusters: BTreeMap::new(),
+    }
+}
+
+fn bench_hitting_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hitting_set");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+    for (sets, size) in [(30usize, 10usize), (100, 20), (300, 30)] {
+        let inst = synthetic_instance(sets, size, 500);
+        group.bench_function(format!("greedy_{sets}sets_{size}links"), |b| {
+            b.iter(|| inst.greedy(Weights::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates, bench_diagnosis, bench_hitting_set, bench_scaling);
+criterion_main!(benches);
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+    // Whole-pipeline cost (generate + converge 10 prefixes) as the
+    // internet grows.
+    for n_stub in [35usize, 70, 140] {
+        group.bench_function(format!("generate_and_converge_{n_stub}stubs"), |b| {
+            b.iter(|| {
+                let net = build_internet(&InternetConfig {
+                    n_tier2: (n_stub / 7).max(2),
+                    n_stub,
+                    ..InternetConfig::default()
+                });
+                let topology = std::sync::Arc::new(net.topology.clone());
+                let spec: Vec<_> = net.stubs[..10.min(n_stub)]
+                    .iter()
+                    .map(|s| (s.as_id, s.routers[0]))
+                    .collect();
+                let sensors = netdiag_netsim::SensorSet::place(&topology, &spec);
+                let mut sim = netdiag_netsim::Sim::new(topology);
+                sensors.register(&mut sim);
+                sim.converge_for(&sensors.as_ids());
+                sim.bgp_messages()
+            })
+        });
+    }
+    group.finish();
+}

@@ -1,0 +1,647 @@
+//! The message-driven BGP convergence engine.
+//!
+//! Routers exchange `Update`/`Withdraw` messages over the session table;
+//! messages are processed strictly FIFO, so every run is deterministic.
+//! The engine supports incremental reconvergence after link failures and
+//! export-filter (misconfiguration) changes, and can record every eBGP
+//! message *received by one designated observer AS* — the control-plane feed
+//! the paper's ND-bgpigp algorithm consumes.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+use netdiag_igp::{Igp, LinkState};
+use netdiag_topology::{AsId, LinkId, LinkKind, Prefix, RouterId, Topology};
+
+use crate::policy::{ExportDeny, ExportFilters};
+use crate::route::{local_pref_for, Route, RouteSource};
+use crate::session::{SessionId, SessionKind, SessionTable};
+
+/// Read-only routing context threaded through engine operations.
+#[derive(Clone, Copy)]
+pub struct Ctx<'a> {
+    /// The static topology.
+    pub topology: &'a Topology,
+    /// Converged IGP state (must reflect `links`).
+    pub igp: &'a Igp,
+    /// Current link up/down state.
+    pub links: &'a LinkState,
+}
+
+/// Route attributes carried in an `Update`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteMsg {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// AS path (already prepended by the sender on eBGP sessions).
+    pub as_path: Vec<AsId>,
+    /// iBGP-only: sender-assigned local preference.
+    pub local_pref: u32,
+    /// iBGP-only: the egress border router.
+    pub egress: RouterId,
+    /// iBGP-only: how the route entered the AS.
+    pub source: RouteSource,
+}
+
+/// Message payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// Announce (or implicitly replace) a route.
+    Update(RouteMsg),
+    /// Withdraw the route for a prefix.
+    Withdraw(Prefix),
+}
+
+/// A queued BGP message.
+#[derive(Clone, Debug)]
+pub struct Msg {
+    /// Session the message rides on.
+    pub session: SessionId,
+    /// Sending router.
+    pub from: RouterId,
+    /// Receiving router.
+    pub to: RouterId,
+    /// Update or withdraw.
+    pub payload: Payload,
+}
+
+/// Kind of an observed message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObservedKind {
+    /// Route announcement (including implicit replacement).
+    Update,
+    /// Route withdrawal.
+    Withdraw,
+}
+
+/// An eBGP message received by a router of the observer AS.
+#[derive(Clone, Debug)]
+pub struct ObservedMsg {
+    /// Receiving router (inside the observer AS).
+    pub at: RouterId,
+    /// External neighbor router that sent the message.
+    pub from: RouterId,
+    /// AS of the sender.
+    pub from_as: AsId,
+    /// Destination prefix the message concerns.
+    pub prefix: Prefix,
+    /// Update or withdraw.
+    pub kind: ObservedKind,
+    /// Monotonic sequence number (delivery order).
+    pub seq: u64,
+}
+
+/// Per-router BGP state.
+#[derive(Clone, Debug, Default)]
+struct RouterState {
+    /// Routes received per prefix, per session.
+    adj_in: HashMap<Prefix, BTreeMap<SessionId, Route>>,
+    /// Prefixes this router originates.
+    originated: BTreeSet<Prefix>,
+    /// Best route per prefix.
+    loc_rib: BTreeMap<Prefix, Route>,
+    /// Prefixes currently advertised per session.
+    adj_out: HashMap<SessionId, BTreeSet<Prefix>>,
+}
+
+/// Statistics from a convergence run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Messages processed.
+    pub messages: u64,
+}
+
+/// Safety cap on processed messages per `run` (a correct configuration
+/// converges far below this; hitting it indicates a policy dispute loop).
+const MAX_MESSAGES_PER_RUN: u64 = 200_000_000;
+
+/// The BGP simulator for a whole topology.
+#[derive(Clone, Debug)]
+pub struct Bgp {
+    /// The session table (public for inspection).
+    pub sessions: SessionTable,
+    routers: Vec<RouterState>,
+    filters: ExportFilters,
+    queue: VecDeque<Msg>,
+    observer: Option<AsId>,
+    observed: Vec<ObservedMsg>,
+    seq: u64,
+}
+
+impl Bgp {
+    /// Creates the engine with empty RIBs and no routes originated.
+    pub fn new(topology: &Topology) -> Self {
+        Bgp {
+            sessions: SessionTable::build(topology),
+            routers: vec![RouterState::default(); topology.router_count()],
+            filters: ExportFilters::new(),
+            queue: VecDeque::new(),
+            observer: None,
+            observed: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Designates the AS whose received eBGP messages are recorded.
+    pub fn set_observer(&mut self, as_id: AsId) {
+        self.observer = Some(as_id);
+    }
+
+    /// Drains the recorded observer messages.
+    pub fn take_observed(&mut self) -> Vec<ObservedMsg> {
+        std::mem::take(&mut self.observed)
+    }
+
+    /// Currently installed export filters.
+    pub fn filters(&self) -> &ExportFilters {
+        &self.filters
+    }
+
+    /// Originates `as_id`'s prefix at every border router of the AS (every
+    /// router for single-router ASes). Queues the initial announcements;
+    /// call [`Bgp::run`] afterwards.
+    pub fn originate_as(&mut self, ctx: Ctx<'_>, as_id: AsId) {
+        let asn = ctx.topology.as_node(as_id);
+        let prefix = asn.prefix;
+        let originators: Vec<RouterId> = asn
+            .routers
+            .iter()
+            .copied()
+            .filter(|&r| asn.routers.len() == 1 || ctx.topology.is_border_router(r))
+            .collect();
+        for r in originators {
+            self.routers[r.index()].originated.insert(prefix);
+            if self.decide(ctx, r, prefix) {
+                self.propagate(ctx, r, prefix);
+            }
+        }
+    }
+
+    /// Originates every AS's prefix.
+    pub fn originate_all(&mut self, ctx: Ctx<'_>) {
+        for a in 0..ctx.topology.as_count() {
+            self.originate_as(ctx, AsId(a as u32));
+        }
+    }
+
+    /// Processes queued messages to quiescence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the safety cap is exceeded (policy dispute — cannot happen
+    /// with the Gao-Rexford policies this workspace generates).
+    pub fn run(&mut self, ctx: Ctx<'_>) -> RunStats {
+        let mut stats = RunStats::default();
+        while let Some(msg) = self.queue.pop_front() {
+            stats.messages += 1;
+            assert!(
+                stats.messages <= MAX_MESSAGES_PER_RUN,
+                "BGP did not converge: policy dispute?"
+            );
+            self.deliver(ctx, msg);
+        }
+        stats
+    }
+
+    /// The best route of `r` for exactly `prefix`.
+    pub fn best_route(&self, r: RouterId, prefix: &Prefix) -> Option<&Route> {
+        self.routers[r.index()].loc_rib.get(prefix)
+    }
+
+    /// Longest-prefix-match lookup in `r`'s Loc-RIB.
+    pub fn lookup(&self, r: RouterId, dst: Ipv4Addr) -> Option<&Route> {
+        self.routers[r.index()]
+            .loc_rib
+            .iter()
+            .filter(|(p, _)| p.contains(dst))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(_, route)| route)
+    }
+
+    /// Iterates over `r`'s Loc-RIB (prefix-ordered).
+    pub fn loc_rib(&self, r: RouterId) -> impl Iterator<Item = (&Prefix, &Route)> {
+        self.routers[r.index()].loc_rib.iter()
+    }
+
+    /// Reacts to a link going down (the [`LinkState`] must already reflect
+    /// it, and for intra-domain links the IGP must already be recomputed).
+    ///
+    /// * inter-domain link: tears down its eBGP session and flushes routes;
+    /// * intra-domain link: revalidates the owning AS via
+    ///   [`Bgp::refresh_as`].
+    ///
+    /// Queues reconvergence messages; call [`Bgp::run`] afterwards.
+    pub fn handle_link_down(&mut self, ctx: Ctx<'_>, link: LinkId) {
+        let l = ctx.topology.link(link);
+        match l.kind {
+            LinkKind::Inter => {
+                if let Some(sid) = self.sessions.ebgp_on_link(link) {
+                    self.flush_session(ctx, sid);
+                }
+            }
+            LinkKind::Intra => {
+                let as_id = ctx.topology.as_of_router(l.a);
+                self.refresh_as(ctx, as_id);
+            }
+        }
+    }
+
+    /// Revalidates an AS after its IGP state changed: tears down
+    /// newly-unreachable iBGP sessions and re-runs the decision process on
+    /// every router of the AS (IGP distances participate in route choice).
+    pub fn refresh_as(&mut self, ctx: Ctx<'_>, as_id: AsId) {
+        // Tear down dead iBGP sessions.
+        let dead: Vec<SessionId> = ctx
+            .topology
+            .as_node(as_id)
+            .routers
+            .iter()
+            .flat_map(|&r| self.sessions.of_router(r).iter().copied())
+            .filter(|&sid| {
+                let s = self.sessions.get(sid);
+                s.kind == SessionKind::Ibgp
+                    && ctx.topology.as_of_router(s.a) == as_id
+                    && !self.sessions.is_up(sid, ctx.topology, ctx.igp, ctx.links)
+            })
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for sid in dead {
+            self.flush_session(ctx, sid);
+        }
+        // Re-decide everything in the AS: IGP distance changes can flip the
+        // best route even when all sessions stay up.
+        for &r in &ctx.topology.as_node(as_id).routers {
+            let prefixes: BTreeSet<Prefix> = self.routers[r.index()]
+                .adj_in
+                .keys()
+                .chain(self.routers[r.index()].loc_rib.keys())
+                .copied()
+                .collect();
+            for prefix in prefixes {
+                if self.decide(ctx, r, prefix) {
+                    self.propagate(ctx, r, prefix);
+                }
+            }
+        }
+    }
+
+    /// Reacts to a link coming back up (the [`LinkState`] must already
+    /// reflect it, and for intra-domain links the IGP must already be
+    /// recomputed). Re-advertises current routes over the re-established
+    /// session(s); call [`Bgp::run`] afterwards.
+    pub fn handle_link_up(&mut self, ctx: Ctx<'_>, link: LinkId) {
+        let l = ctx.topology.link(link);
+        match l.kind {
+            LinkKind::Inter => {
+                // The eBGP session is back: both ends resend their best
+                // routes (a session reset triggers a full refresh).
+                for r in [l.a, l.b] {
+                    self.readvertise_all(ctx, r);
+                }
+            }
+            LinkKind::Intra => {
+                // Healed partition: IGP distances changed and previously-
+                // dead iBGP sessions are back; re-decide and resync every
+                // router of the AS.
+                let as_id = ctx.topology.as_of_router(l.a);
+                self.refresh_as(ctx, as_id);
+                for &r in &ctx.topology.as_node(as_id).routers {
+                    self.readvertise_all(ctx, r);
+                }
+            }
+        }
+    }
+
+    /// Resyncs every session's Adj-RIB-Out of `r` with its current best
+    /// routes (sends updates over sessions that missed them).
+    fn readvertise_all(&mut self, ctx: Ctx<'_>, r: RouterId) {
+        let prefixes: Vec<Prefix> = self.routers[r.index()].loc_rib.keys().copied().collect();
+        for prefix in prefixes {
+            self.propagate(ctx, r, prefix);
+        }
+    }
+
+    /// Installs an export deny rule (a router misconfiguration) and queues
+    /// the resulting withdrawal. Call [`Bgp::run`] afterwards.
+    pub fn install_filter(&mut self, ctx: Ctx<'_>, rule: ExportDeny) {
+        self.filters.deny(rule);
+        self.propagate(ctx, rule.at, rule.prefix);
+    }
+
+    /// Removes an export deny rule (the operator fixes the
+    /// misconfiguration) and re-announces the suppressed route. Call
+    /// [`Bgp::run`] afterwards. Returns false if the rule was not
+    /// installed.
+    pub fn remove_filter(&mut self, ctx: Ctx<'_>, rule: &ExportDeny) -> bool {
+        if !self.filters.allow(rule) {
+            return false;
+        }
+        self.propagate(ctx, rule.at, rule.prefix);
+        true
+    }
+
+    /// Removes all adj-in/adj-out state of a dead session and reconverges
+    /// the affected prefixes at both endpoints.
+    fn flush_session(&mut self, ctx: Ctx<'_>, sid: SessionId) {
+        let s = self.sessions.get(sid).clone();
+        // Drop in-flight messages on the session (they would be discarded at
+        // delivery anyway because the session is down).
+        for r in [s.a, s.b] {
+            let state = &mut self.routers[r.index()];
+            state.adj_out.remove(&sid);
+            let affected: Vec<Prefix> = state
+                .adj_in
+                .iter_mut()
+                .filter_map(|(p, by_session)| by_session.remove(&sid).map(|_| *p))
+                .collect();
+            for prefix in affected {
+                if self.decide(ctx, r, prefix) {
+                    self.propagate(ctx, r, prefix);
+                }
+            }
+        }
+    }
+
+    /// Delivers one message.
+    fn deliver(&mut self, ctx: Ctx<'_>, msg: Msg) {
+        if !self
+            .sessions
+            .is_up(msg.session, ctx.topology, ctx.igp, ctx.links)
+        {
+            return; // lost with the session
+        }
+        let kind = self.sessions.get(msg.session).kind;
+        // Observer tap: record eBGP messages arriving in the observer AS.
+        if let (Some(obs), SessionKind::Ebgp { .. }) = (self.observer, kind) {
+            if ctx.topology.as_of_router(msg.to) == obs {
+                let prefix = match &msg.payload {
+                    Payload::Update(rm) => rm.prefix,
+                    Payload::Withdraw(p) => *p,
+                };
+                self.observed.push(ObservedMsg {
+                    at: msg.to,
+                    from: msg.from,
+                    from_as: ctx.topology.as_of_router(msg.from),
+                    prefix,
+                    kind: match msg.payload {
+                        Payload::Update(_) => ObservedKind::Update,
+                        Payload::Withdraw(_) => ObservedKind::Withdraw,
+                    },
+                    seq: self.seq,
+                });
+                self.seq += 1;
+            }
+        }
+
+        let Msg {
+            session,
+            from,
+            to,
+            payload,
+        } = msg;
+        let prefix = match payload {
+            Payload::Update(rm) => {
+                let prefix = rm.prefix;
+                match self.import(ctx, to, from, session, rm, kind) {
+                    Some(route) => {
+                        self.routers[to.index()]
+                            .adj_in
+                            .entry(prefix)
+                            .or_default()
+                            .insert(session, route);
+                    }
+                    None => {
+                        // Loop-rejected update acts as a withdraw of any
+                        // previous route on the session.
+                        if let Some(by_session) =
+                            self.routers[to.index()].adj_in.get_mut(&prefix)
+                        {
+                            by_session.remove(&session);
+                        }
+                    }
+                }
+                prefix
+            }
+            Payload::Withdraw(prefix) => {
+                if let Some(by_session) = self.routers[to.index()].adj_in.get_mut(&prefix) {
+                    by_session.remove(&session);
+                }
+                prefix
+            }
+        };
+        if self.decide(ctx, to, prefix) {
+            self.propagate(ctx, to, prefix);
+        }
+    }
+
+    /// Converts an incoming update into a stored route (import policy).
+    /// Returns `None` when the route is loop-rejected.
+    fn import(
+        &self,
+        ctx: Ctx<'_>,
+        to: RouterId,
+        from: RouterId,
+        session: SessionId,
+        rm: RouteMsg,
+        kind: SessionKind,
+    ) -> Option<Route> {
+        match kind {
+            SessionKind::Ebgp { link } => {
+                let my_as = ctx.topology.as_of_router(to);
+                if rm.as_path.contains(&my_as) {
+                    return None;
+                }
+                let from_as = ctx.topology.as_of_router(from);
+                let rel = ctx
+                    .topology
+                    .relationship(my_as, from_as)
+                    .expect("eBGP neighbors must have a relationship");
+                Some(Route {
+                    prefix: rm.prefix,
+                    as_path: rm.as_path,
+                    egress: to,
+                    ebgp_link: Some(link),
+                    local_pref: local_pref_for(rel),
+                    source: RouteSource::External(rel),
+                    learned_from: Some((session, from)),
+                    ebgp_learned: true,
+                })
+            }
+            SessionKind::Ibgp => Some(Route {
+                prefix: rm.prefix,
+                as_path: rm.as_path,
+                egress: rm.egress,
+                ebgp_link: None,
+                local_pref: rm.local_pref,
+                source: rm.source,
+                learned_from: Some((session, from)),
+                ebgp_learned: false,
+            }),
+        }
+    }
+
+    /// Recomputes the best route of `r` for `prefix`. Returns true when the
+    /// Loc-RIB entry changed.
+    fn decide(&mut self, ctx: Ctx<'_>, r: RouterId, prefix: Prefix) -> bool {
+        let state = &self.routers[r.index()];
+        let as_id = ctx.topology.as_of_router(r);
+        let best: Option<Route> = if state.originated.contains(&prefix) {
+            Some(Route::originated(prefix, r))
+        } else {
+            state
+                .adj_in
+                .get(&prefix)
+                .into_iter()
+                .flatten()
+                .filter(|(sid, route)| {
+                    self.sessions.is_up(**sid, ctx.topology, ctx.igp, ctx.links)
+                        && (route.ebgp_learned
+                            || ctx.igp.of(as_id).reachable(r, route.egress))
+                })
+                .max_by_key(|(sid, route)| {
+                    let igp_dist = if route.egress == r {
+                        0
+                    } else {
+                        ctx.igp
+                            .of(as_id)
+                            .dist(r, route.egress)
+                            .expect("filtered reachable")
+                    };
+                    let neighbor = route.learned_from.map(|(_, n)| n.0).unwrap_or(0);
+                    (
+                        route.local_pref,
+                        std::cmp::Reverse(route.as_path.len()),
+                        route.ebgp_learned,
+                        std::cmp::Reverse(igp_dist),
+                        std::cmp::Reverse(neighbor),
+                        std::cmp::Reverse(sid.0),
+                    )
+                })
+                .map(|(_, route)| route.clone())
+        };
+
+        let state = &mut self.routers[r.index()];
+        let changed = state.loc_rib.get(&prefix) != best.as_ref();
+        if changed {
+            match best {
+                Some(route) => {
+                    state.loc_rib.insert(prefix, route);
+                }
+                None => {
+                    state.loc_rib.remove(&prefix);
+                }
+            }
+        }
+        changed
+    }
+
+    /// Synchronizes every session's Adj-RIB-Out with the current best route
+    /// of `r` for `prefix`, queueing updates/withdraws.
+    fn propagate(&mut self, ctx: Ctx<'_>, r: RouterId, prefix: Prefix) {
+        let best = self.routers[r.index()].loc_rib.get(&prefix).cloned();
+        let session_ids: Vec<SessionId> = self.sessions.of_router(r).to_vec();
+        for sid in session_ids {
+            if !self.sessions.is_up(sid, ctx.topology, ctx.igp, ctx.links) {
+                continue;
+            }
+            let session = self.sessions.get(sid).clone();
+            let peer = session.other(r);
+            let advertise: Option<RouteMsg> = best.as_ref().and_then(|b| {
+                self.export(ctx, r, peer, sid, session.kind, b)
+            });
+            let had = self.routers[r.index()]
+                .adj_out
+                .get(&sid)
+                .is_some_and(|s| s.contains(&prefix));
+            match advertise {
+                Some(rm) => {
+                    self.routers[r.index()]
+                        .adj_out
+                        .entry(sid)
+                        .or_default()
+                        .insert(prefix);
+                    self.queue.push_back(Msg {
+                        session: sid,
+                        from: r,
+                        to: peer,
+                        payload: Payload::Update(rm),
+                    });
+                }
+                None if had => {
+                    self.routers[r.index()]
+                        .adj_out
+                        .get_mut(&sid)
+                        .expect("had implies entry")
+                        .remove(&prefix);
+                    self.queue.push_back(Msg {
+                        session: sid,
+                        from: r,
+                        to: peer,
+                        payload: Payload::Withdraw(prefix),
+                    });
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Export policy: what (if anything) `r` advertises for its best route
+    /// `b` to `peer` over the given session.
+    fn export(
+        &self,
+        ctx: Ctx<'_>,
+        r: RouterId,
+        peer: RouterId,
+        sid: SessionId,
+        kind: SessionKind,
+        b: &Route,
+    ) -> Option<RouteMsg> {
+        match kind {
+            SessionKind::Ibgp => {
+                // Standard iBGP: only eBGP-learned and originated routes are
+                // re-advertised internally (no reflection of iBGP routes).
+                if !(b.ebgp_learned || b.source == RouteSource::Originated) {
+                    return None;
+                }
+                Some(RouteMsg {
+                    prefix: b.prefix,
+                    as_path: b.as_path.clone(),
+                    local_pref: b.local_pref,
+                    egress: r,
+                    source: b.source,
+                })
+            }
+            SessionKind::Ebgp { .. } => {
+                let my_as = ctx.topology.as_of_router(r);
+                let peer_as = ctx.topology.as_of_router(peer);
+                let rel = ctx
+                    .topology
+                    .relationship(my_as, peer_as)
+                    .expect("eBGP neighbors must have a relationship");
+                if !b.source.exportable_to(rel) {
+                    return None;
+                }
+                if b.as_path.contains(&peer_as) {
+                    return None; // AS-level split horizon
+                }
+                if b.learned_from.is_some_and(|(s, _)| s == sid) {
+                    return None; // never echo a route back on its session
+                }
+                if self.filters.is_denied(r, peer, b.prefix) {
+                    return None; // misconfiguration
+                }
+                let mut as_path = Vec::with_capacity(b.as_path.len() + 1);
+                as_path.push(my_as);
+                as_path.extend_from_slice(&b.as_path);
+                Some(RouteMsg {
+                    prefix: b.prefix,
+                    as_path,
+                    local_pref: 0,
+                    egress: r,
+                    source: b.source,
+                })
+            }
+        }
+    }
+}

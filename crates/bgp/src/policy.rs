@@ -1,0 +1,105 @@
+//! Export filters — the mechanism behind the paper's "router
+//! misconfiguration" failure mode.
+//!
+//! A BGP policy misconfiguration in the paper (§4, "Failure scenarios") is an
+//! outbound route filter at one router that stops announcing selected
+//! prefixes to one specific neighbor, while the link otherwise keeps working.
+
+use std::collections::HashSet;
+
+use netdiag_topology::{Prefix, RouterId};
+
+/// A single outbound deny rule: `at` stops announcing `prefix` to `peer`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ExportDeny {
+    /// The misconfigured router.
+    pub at: RouterId,
+    /// The eBGP neighbor that no longer receives the announcement.
+    pub peer: RouterId,
+    /// The suppressed prefix.
+    pub prefix: Prefix,
+}
+
+/// Set of active outbound deny rules.
+#[derive(Clone, Debug, Default)]
+pub struct ExportFilters {
+    denies: HashSet<ExportDeny>,
+}
+
+impl ExportFilters {
+    /// No filters (the healthy network).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a deny rule. Returns false if it was already present.
+    pub fn deny(&mut self, rule: ExportDeny) -> bool {
+        self.denies.insert(rule)
+    }
+
+    /// Removes a deny rule. Returns true if it was present.
+    pub fn allow(&mut self, rule: &ExportDeny) -> bool {
+        self.denies.remove(rule)
+    }
+
+    /// Is announcing `prefix` from `at` to `peer` suppressed?
+    pub fn is_denied(&self, at: RouterId, peer: RouterId, prefix: Prefix) -> bool {
+        self.denies.contains(&ExportDeny { at, peer, prefix })
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.denies.is_empty()
+    }
+
+    /// Number of active rules.
+    pub fn len(&self) -> usize {
+        self.denies.len()
+    }
+
+    /// Iterates over active rules.
+    pub fn iter(&self) -> impl Iterator<Item = &ExportDeny> {
+        self.denies.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn p(i: u8) -> Prefix {
+        Prefix::new(Ipv4Addr::new(10, i, 0, 0), 16)
+    }
+
+    #[test]
+    fn deny_is_directional_and_specific() {
+        let mut f = ExportFilters::new();
+        let rule = ExportDeny {
+            at: RouterId(1),
+            peer: RouterId(2),
+            prefix: p(5),
+        };
+        assert!(f.deny(rule));
+        assert!(!f.deny(rule), "duplicate insert reports false");
+        assert!(f.is_denied(RouterId(1), RouterId(2), p(5)));
+        // Other direction, other peer, other prefix: all unaffected.
+        assert!(!f.is_denied(RouterId(2), RouterId(1), p(5)));
+        assert!(!f.is_denied(RouterId(1), RouterId(3), p(5)));
+        assert!(!f.is_denied(RouterId(1), RouterId(2), p(6)));
+    }
+
+    #[test]
+    fn allow_restores() {
+        let mut f = ExportFilters::new();
+        let rule = ExportDeny {
+            at: RouterId(1),
+            peer: RouterId(2),
+            prefix: p(5),
+        };
+        f.deny(rule);
+        assert!(f.allow(&rule));
+        assert!(f.is_empty());
+        assert!(!f.is_denied(RouterId(1), RouterId(2), p(5)));
+    }
+}

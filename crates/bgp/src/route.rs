@@ -1,0 +1,137 @@
+//! BGP route representation.
+
+use netdiag_topology::{AsId, LinkId, PeerKind, Prefix, RouterId};
+
+use crate::session::SessionId;
+
+/// How a route entered the local AS.
+///
+/// This class travels with the route over iBGP so that border routers can
+/// apply Gao-Rexford export rules ("was this learned from a customer?").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteSource {
+    /// The local AS originates the prefix.
+    Originated,
+    /// Learned over eBGP from a neighbor with the given relationship
+    /// (from the local AS's perspective).
+    External(PeerKind),
+}
+
+impl RouteSource {
+    /// May a route from this source be exported to a neighbor of kind
+    /// `to`? (Gao-Rexford: customer routes and own prefixes go to everyone;
+    /// peer/provider routes go only to customers.)
+    pub fn exportable_to(self, to: PeerKind) -> bool {
+        match self {
+            RouteSource::Originated | RouteSource::External(PeerKind::Customer) => true,
+            RouteSource::External(PeerKind::Peer) | RouteSource::External(PeerKind::Provider) => {
+                to == PeerKind::Customer
+            }
+        }
+    }
+}
+
+/// Local preference values assigned on eBGP import, by relationship.
+pub fn local_pref_for(rel: PeerKind) -> u32 {
+    match rel {
+        PeerKind::Customer => 100,
+        PeerKind::Peer => 90,
+        PeerKind::Provider => 80,
+    }
+}
+
+/// Local preference of an originated route (always wins).
+pub const LOCAL_PREF_ORIGINATED: u32 = u32::MAX;
+
+/// A BGP route as stored in a router's RIBs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// AS path; front = nearest neighbor AS, back = origin AS. Empty for
+    /// routes originated by the local AS.
+    pub as_path: Vec<AsId>,
+    /// Border router of the local AS where traffic exits. Equal to the
+    /// storing router for eBGP-learned and originated routes.
+    pub egress: RouterId,
+    /// The inter-domain link traffic exits on (set only at the egress router
+    /// itself, for eBGP-learned routes).
+    pub ebgp_link: Option<LinkId>,
+    /// Local preference (relationship-derived, or max for originated).
+    pub local_pref: u32,
+    /// How the route entered the local AS.
+    pub source: RouteSource,
+    /// Session and peer router this route was learned from (`None` for
+    /// originated routes).
+    pub learned_from: Option<(SessionId, RouterId)>,
+    /// True when learned over eBGP at this router.
+    pub ebgp_learned: bool,
+}
+
+impl Route {
+    /// Creates a locally-originated route at border router `at`.
+    pub fn originated(prefix: Prefix, at: RouterId) -> Self {
+        Route {
+            prefix,
+            as_path: Vec::new(),
+            egress: at,
+            ebgp_link: None,
+            local_pref: LOCAL_PREF_ORIGINATED,
+            source: RouteSource::Originated,
+            learned_from: None,
+            ebgp_learned: false,
+        }
+    }
+
+    /// True if `as_id` appears in the AS path (loop detection).
+    pub fn path_contains(&self, as_id: AsId) -> bool {
+        self.as_path.contains(&as_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn gao_rexford_export_matrix() {
+        use PeerKind::*;
+        use RouteSource::*;
+        // (source, to, allowed)
+        let cases = [
+            (Originated, Customer, true),
+            (Originated, Peer, true),
+            (Originated, Provider, true),
+            (External(Customer), Customer, true),
+            (External(Customer), Peer, true),
+            (External(Customer), Provider, true),
+            (External(Peer), Customer, true),
+            (External(Peer), Peer, false),
+            (External(Peer), Provider, false),
+            (External(Provider), Customer, true),
+            (External(Provider), Peer, false),
+            (External(Provider), Provider, false),
+        ];
+        for (src, to, want) in cases {
+            assert_eq!(src.exportable_to(to), want, "{src:?} -> {to:?}");
+        }
+    }
+
+    #[test]
+    fn local_pref_ordering_prefers_customers() {
+        assert!(local_pref_for(PeerKind::Customer) > local_pref_for(PeerKind::Peer));
+        assert!(local_pref_for(PeerKind::Peer) > local_pref_for(PeerKind::Provider));
+        assert!(LOCAL_PREF_ORIGINATED > local_pref_for(PeerKind::Customer));
+    }
+
+    #[test]
+    fn originated_route_shape() {
+        let p = Prefix::new(Ipv4Addr::new(10, 1, 0, 0), 16);
+        let r = Route::originated(p, RouterId(3));
+        assert!(r.as_path.is_empty());
+        assert_eq!(r.egress, RouterId(3));
+        assert!(!r.ebgp_learned);
+        assert!(!r.path_contains(AsId(0)));
+    }
+}

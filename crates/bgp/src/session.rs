@@ -1,0 +1,231 @@
+//! BGP session table: one eBGP session per inter-domain link, iBGP full mesh
+//! inside every AS.
+
+use std::fmt;
+
+use netdiag_igp::{Igp, LinkState};
+use netdiag_topology::{LinkId, LinkKind, RouterId, Topology};
+
+/// Identifier of a BGP session (dense index into the session table).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u32);
+
+impl SessionId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sess{}", self.0)
+    }
+}
+
+/// Session flavor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionKind {
+    /// External session riding a specific inter-domain link.
+    Ebgp {
+        /// The inter-domain link carrying the session.
+        link: LinkId,
+    },
+    /// Internal session between two routers of the same AS (full mesh).
+    Ibgp,
+}
+
+/// A BGP session between two routers.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// Identifier.
+    pub id: SessionId,
+    /// One endpoint.
+    pub a: RouterId,
+    /// The other endpoint.
+    pub b: RouterId,
+    /// eBGP or iBGP.
+    pub kind: SessionKind,
+}
+
+impl Session {
+    /// The endpoint opposite `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not an endpoint.
+    pub fn other(&self, r: RouterId) -> RouterId {
+        if r == self.a {
+            self.b
+        } else if r == self.b {
+            self.a
+        } else {
+            panic!("{r} is not an endpoint of {:?}", self.id)
+        }
+    }
+}
+
+/// The full session table for a topology.
+#[derive(Clone, Debug)]
+pub struct SessionTable {
+    sessions: Vec<Session>,
+    /// Sessions incident to each router, indexed by router id.
+    by_router: Vec<Vec<SessionId>>,
+}
+
+impl SessionTable {
+    /// Builds the session table: one eBGP session per inter-domain link and
+    /// an iBGP full mesh inside every AS.
+    pub fn build(topology: &Topology) -> Self {
+        let mut sessions = Vec::new();
+        let mut by_router = vec![Vec::new(); topology.router_count()];
+        let mut push = |sessions: &mut Vec<Session>, a: RouterId, b: RouterId, kind| {
+            let id = SessionId(sessions.len() as u32);
+            sessions.push(Session { id, a, b, kind });
+            by_router[a.index()].push(id);
+            by_router[b.index()].push(id);
+        };
+        for link in topology.links() {
+            if link.kind == LinkKind::Inter {
+                push(
+                    &mut sessions,
+                    link.a,
+                    link.b,
+                    SessionKind::Ebgp { link: link.id },
+                );
+            }
+        }
+        for asn in topology.ases() {
+            for (i, &a) in asn.routers.iter().enumerate() {
+                for &b in &asn.routers[i + 1..] {
+                    push(&mut sessions, a, b, SessionKind::Ibgp);
+                }
+            }
+        }
+        SessionTable {
+            sessions,
+            by_router,
+        }
+    }
+
+    /// All sessions.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Looks up a session.
+    pub fn get(&self, id: SessionId) -> &Session {
+        &self.sessions[id.index()]
+    }
+
+    /// Sessions incident to a router.
+    pub fn of_router(&self, r: RouterId) -> &[SessionId] {
+        &self.by_router[r.index()]
+    }
+
+    /// Is the session currently usable?
+    ///
+    /// eBGP sessions require their link up; iBGP sessions require IGP
+    /// reachability between the endpoints.
+    pub fn is_up(&self, id: SessionId, topology: &Topology, igp: &Igp, links: &LinkState) -> bool {
+        let s = self.get(id);
+        match s.kind {
+            SessionKind::Ebgp { link } => links.is_up(link),
+            SessionKind::Ibgp => {
+                let as_id = topology.as_of_router(s.a);
+                igp.of(as_id).reachable(s.a, s.b)
+            }
+        }
+    }
+
+    /// The eBGP session riding `link`, if any.
+    pub fn ebgp_on_link(&self, link: LinkId) -> Option<SessionId> {
+        // eBGP sessions are created first, in link order; scan is fine.
+        self.sessions
+            .iter()
+            .find(|s| matches!(s.kind, SessionKind::Ebgp { link: l } if l == link))
+            .map(|s| s.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdiag_topology::{AsKind, LinkRelationship, TopologyBuilder};
+
+    fn sample() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_as(AsKind::Core, "A");
+        let c = b.add_as(AsKind::Stub, "C");
+        let a1 = b.add_router(a, "a1");
+        let a2 = b.add_router(a, "a2");
+        let a3 = b.add_router(a, "a3");
+        b.add_intra_link(a1, a2, 1);
+        b.add_intra_link(a2, a3, 1);
+        let c1 = b.add_router(c, "c1");
+        b.add_inter_link(a3, c1, LinkRelationship::ProviderCustomer);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_full_mesh_plus_ebgp() {
+        let t = sample();
+        let st = SessionTable::build(&t);
+        // 1 eBGP + C(3,2)=3 iBGP in AS-A + 0 in single-router AS-C.
+        assert_eq!(st.sessions().len(), 4);
+        let ebgp = st
+            .sessions()
+            .iter()
+            .filter(|s| matches!(s.kind, SessionKind::Ebgp { .. }))
+            .count();
+        assert_eq!(ebgp, 1);
+        assert_eq!(st.of_router(RouterId(1)).len(), 2); // a2: mesh to a1, a3
+        assert_eq!(st.of_router(RouterId(3)).len(), 1); // c1: one eBGP
+    }
+
+    #[test]
+    fn ebgp_liveness_follows_link() {
+        let t = sample();
+        let st = SessionTable::build(&t);
+        let mut links = LinkState::all_up(&t);
+        let igp = Igp::compute(&t, &links);
+        let inter = t.inter_links().next().unwrap().id;
+        let sid = st.ebgp_on_link(inter).unwrap();
+        assert!(st.is_up(sid, &t, &igp, &links));
+        links.set_down(inter);
+        assert!(!st.is_up(sid, &t, &igp, &links));
+    }
+
+    #[test]
+    fn ibgp_liveness_follows_igp_partition() {
+        let t = sample();
+        let st = SessionTable::build(&t);
+        let mut links = LinkState::all_up(&t);
+        // Find the a1-a2 iBGP session.
+        let sid = st
+            .sessions()
+            .iter()
+            .find(|s| {
+                s.kind == SessionKind::Ibgp
+                    && s.a == RouterId(0)
+                    && s.b == RouterId(1)
+            })
+            .unwrap()
+            .id;
+        let igp = Igp::compute(&t, &links);
+        assert!(st.is_up(sid, &t, &igp, &links));
+        // Cut a1-a2; a1 is now partitioned from the rest of AS-A.
+        links.set_down(t.link_between(RouterId(0), RouterId(1)).unwrap());
+        let igp = Igp::compute(&t, &links);
+        assert!(!st.is_up(sid, &t, &igp, &links));
+    }
+
+    #[test]
+    fn session_other_endpoint() {
+        let t = sample();
+        let st = SessionTable::build(&t);
+        let s = st.get(SessionId(0));
+        assert_eq!(s.other(s.a), s.b);
+        assert_eq!(s.other(s.b), s.a);
+    }
+}

@@ -1,0 +1,274 @@
+//! The four diagnosis algorithms of the paper: Tomo, ND-edge, ND-bgpigp
+//! and ND-LG.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use netdiag_topology::AsId;
+
+use crate::diagnosis::Diagnosis;
+use crate::graph::{EdgeId, Epoch, HopNode, PathRef};
+use crate::hitting_set::Weights;
+use crate::observation::{Hop, IpToAs, LookingGlass, Observations, ProbePath, RoutingFeed};
+use crate::problem::{BuildOptions, Problem};
+
+/// **Tomo** (§2.4): multi-source multi-destination Boolean tomography on
+/// the pre-failure graph — the greedy minimum-hitting-set heuristic of
+/// Algorithm 1. Uses only the pre-failure paths plus the post-failure
+/// reachability matrix; no logical links, no reroute information.
+pub fn tomo(obs: &Observations, ip2as: &dyn IpToAs) -> Diagnosis {
+    let problem = Problem::build(obs, ip2as, BuildOptions::tomo());
+    let greedy = problem.instance().greedy(Weights { a: 1, b: 0 });
+    Diagnosis::new(problem, greedy)
+}
+
+/// **ND-edge** (§3.1–§3.2): Tomo plus logical links (per-neighbor
+/// inter-domain link splitting, catching router misconfigurations) and
+/// reroute sets mined from the post-failure paths.
+pub fn nd_edge(obs: &Observations, ip2as: &dyn IpToAs, weights: Weights) -> Diagnosis {
+    let problem = Problem::build(obs, ip2as, BuildOptions::nd_edge());
+    let greedy = problem.instance().greedy(weights);
+    Diagnosis::new(problem, greedy)
+}
+
+/// **ND-bgpigp** (§3.3): ND-edge refined with AS-X's control plane — IGP
+/// link-down events force edges into the hypothesis; BGP withdrawals
+/// exonerate upstream links on failed paths.
+pub fn nd_bgpigp(
+    obs: &Observations,
+    ip2as: &dyn IpToAs,
+    feed: &RoutingFeed,
+    weights: Weights,
+) -> Diagnosis {
+    let mut problem = Problem::build(obs, ip2as, BuildOptions::nd_edge());
+    problem.apply_feed(obs, feed);
+    let greedy = problem.instance().greedy(weights);
+    Diagnosis::new(problem, greedy)
+}
+
+/// **ND-LG** (§3.4): ND-bgpigp extended to handle blocked traceroutes.
+/// Unidentified hops are mapped to candidate ASes via Looking Glass
+/// AS-path queries; unidentified links that may be the same physical link
+/// are clustered so one pick explains all of their path failures.
+pub fn nd_lg(
+    obs: &Observations,
+    ip2as: &dyn IpToAs,
+    feed: &RoutingFeed,
+    lg: &dyn LookingGlass,
+    weights: Weights,
+) -> Diagnosis {
+    let mut problem = Problem::build(obs, ip2as, BuildOptions::nd_lg());
+    tag_unidentified_hops(&mut problem, obs, ip2as, lg);
+    problem.apply_feed(obs, feed);
+    let mut instance = problem.instance();
+    instance.clusters = build_clusters(&problem);
+    let greedy = instance.greedy(weights);
+    Diagnosis::new(problem, greedy)
+}
+
+/// Maps every unidentified hop to a candidate-AS tag using Looking Glass
+/// AS paths (first step of ND-LG).
+fn tag_unidentified_hops(
+    problem: &mut Problem,
+    obs: &Observations,
+    ip2as: &dyn IpToAs,
+    lg: &dyn LookingGlass,
+) {
+    let epochs: [(Epoch, &[ProbePath]); 2] = [
+        (Epoch::Before, &obs.before.paths),
+        (Epoch::After, &obs.after.paths),
+    ];
+    for (epoch, paths) in epochs {
+        if epoch == Epoch::After && problem.after_edges.is_empty() {
+            continue; // after-snapshot not part of the graph
+        }
+        for (index, path) in paths.iter().enumerate() {
+            if !path.hops.iter().any(|h| matches!(h, Hop::Star)) {
+                continue;
+            }
+            let path_ref = PathRef { epoch, index };
+            tag_path(problem, obs, ip2as, lg, path, path_ref);
+        }
+    }
+}
+
+/// Tags the star runs of one path.
+fn tag_path(
+    problem: &mut Problem,
+    obs: &Observations,
+    ip2as: &dyn IpToAs,
+    lg: &dyn LookingGlass,
+    path: &ProbePath,
+    path_ref: PathRef,
+) {
+    let src_as = obs.sensor(path.src).as_id;
+    let dst_addr = obs.sensor(path.dst).addr;
+    let hop_as: Vec<Option<AsId>> = path
+        .hops
+        .iter()
+        .map(|h| match h {
+            Hop::Addr(a) => ip2as.as_of(*a),
+            Hop::Star => None,
+        })
+        .collect();
+
+    // Query the source AS's Looking Glass, else the first available one
+    // along the path (§3.4).
+    let mut lg_path = lg.as_path(src_as, dst_addr);
+    if lg_path.is_none() {
+        let mut tried = BTreeSet::from([src_as]);
+        for a in hop_as.iter().flatten() {
+            if tried.insert(*a) {
+                lg_path = lg.as_path(*a, dst_addr);
+                if lg_path.is_some() {
+                    break;
+                }
+            }
+        }
+    }
+    // Without any Looking Glass the unidentified hops cannot be mapped at
+    // all — they could belong to any AS between the flanks.
+    if lg_path.is_none() {
+        return;
+    }
+
+    // Walk maximal star runs.
+    let mut i = 0;
+    while i < path.hops.len() {
+        if !matches!(path.hops[i], Hop::Star) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < path.hops.len() && matches!(path.hops[i], Hop::Star) {
+            i += 1;
+        }
+        let end = i; // run = [start, end)
+        let a_prev = hop_as[..start]
+            .iter()
+            .rev()
+            .flatten()
+            .next()
+            .copied()
+            .unwrap_or(src_as);
+        let a_next = hop_as[end..].iter().flatten().next().copied();
+        let tag = derive_tag(lg_path.as_deref(), a_prev, a_next);
+        if tag.is_empty() {
+            continue;
+        }
+        for pos in start..end {
+            if let Some(node) = problem.graph.node_id(&HopNode::Uh(path_ref, pos)) {
+                problem.graph.set_tag(node, tag.clone());
+            }
+        }
+    }
+}
+
+/// Derives the candidate-AS tag of a star run flanked by known ASes,
+/// given the Looking Glass AS path (§3.4: a single AS between the flanks
+/// gives an exact tag; several give a combined tag like `{B, D}`).
+fn derive_tag(lg_path: Option<&[AsId]>, a_prev: AsId, a_next: Option<AsId>) -> BTreeSet<AsId> {
+    if let Some(lgp) = lg_path {
+        if let Some(pa) = lgp.iter().position(|&a| a == a_prev) {
+            match a_next {
+                Some(next) => {
+                    if let Some(rel) = lgp[pa + 1..].iter().position(|&a| a == next) {
+                        let segment = &lgp[pa + 1..pa + 1 + rel];
+                        if !segment.is_empty() {
+                            return segment.iter().copied().collect();
+                        }
+                    }
+                }
+                None => {
+                    let suffix = &lgp[pa + 1..];
+                    if !suffix.is_empty() {
+                        return suffix.iter().copied().collect();
+                    }
+                }
+            }
+        }
+    }
+    // Fallback: the flanking ASes themselves.
+    let mut tag = BTreeSet::from([a_prev]);
+    tag.extend(a_next);
+    tag
+}
+
+/// Builds the link clusters of §3.4 among unidentified candidate edges:
+/// two unidentified links may be the same physical link when (i) their
+/// endpoint AS tags match, (ii) they lie on different paths, and (iii)
+/// they appear in the same number of failure sets.
+fn build_clusters(problem: &Problem) -> BTreeMap<EdgeId, Vec<EdgeId>> {
+    struct Info {
+        edge: EdgeId,
+        tag_from: Option<BTreeSet<AsId>>,
+        tag_to: Option<BTreeSet<AsId>>,
+        path: PathRef,
+        failures: usize,
+    }
+    let infos: Vec<Info> = problem
+        .candidates
+        .iter()
+        .copied()
+        .filter(|&e| problem.graph.is_unidentified(e))
+        .filter_map(|e| {
+            let d = problem.graph.edge(e);
+            let (from_key, to_key) = problem.graph.endpoints(e);
+            // The path identity comes from the Uh endpoint.
+            let path = match (from_key, to_key) {
+                (HopNode::Uh(p, _), _) | (_, HopNode::Uh(p, _)) => p,
+                _ => return None,
+            };
+            let failures = problem
+                .failure_sets
+                .iter()
+                .filter(|s| s.edges.contains(&e))
+                .count();
+            Some(Info {
+                edge: e,
+                tag_from: problem.graph.node(d.from).tag.clone(),
+                tag_to: problem.graph.node(d.to).tag.clone(),
+                path,
+                failures,
+            })
+        })
+        .collect();
+
+    let matches = |a: &Info, b: &Info| -> bool {
+        a.path != b.path
+            && a.failures == b.failures
+            && a.tag_from.is_some()
+            && a.tag_to.is_some()
+            && a.tag_from == b.tag_from
+            && a.tag_to == b.tag_to
+    };
+
+    // Greedy grouping in deterministic (EdgeId) order.
+    let mut group_of: BTreeMap<EdgeId, usize> = BTreeMap::new();
+    let mut groups: Vec<Vec<EdgeId>> = Vec::new();
+    for (i, info) in infos.iter().enumerate() {
+        if group_of.contains_key(&info.edge) {
+            continue;
+        }
+        let gid = groups.len();
+        let mut members = vec![info.edge];
+        group_of.insert(info.edge, gid);
+        for other in &infos[i + 1..] {
+            if !group_of.contains_key(&other.edge) && matches(info, other) {
+                group_of.insert(other.edge, gid);
+                members.push(other.edge);
+            }
+        }
+        groups.push(members);
+    }
+
+    let mut clusters = BTreeMap::new();
+    for members in groups.iter().filter(|g| g.len() > 1) {
+        for &e in members {
+            clusters.insert(
+                e,
+                members.iter().copied().filter(|&m| m != e).collect::<Vec<_>>(),
+            );
+        }
+    }
+    clusters
+}

@@ -1,0 +1,165 @@
+//! Robust failure detection (§6 of the paper): transient events such as
+//! link flaps must not trigger troubleshooting. The troubleshooter "raises
+//! an alarm only if the failure manifests itself in several successive
+//! measurements".
+
+use std::collections::{BTreeSet, VecDeque};
+
+use netdiag_topology::SensorId;
+
+use crate::observation::Snapshot;
+
+/// Sliding-window persistence filter over measurement rounds.
+///
+/// Feed each periodic full-mesh [`Snapshot`] to [`PersistenceFilter::observe`];
+/// an [`Alarm`] is raised only for sensor pairs unreachable in `k`
+/// consecutive rounds — the paper's §6 robustness recipe.
+///
+/// ```
+/// use netdiagnoser::{PersistenceFilter, Snapshot};
+///
+/// let mut filter = PersistenceFilter::new(2);
+/// let healthy = Snapshot::default();
+/// assert!(filter.observe(&healthy).is_none());
+/// assert!(filter.observe(&healthy).is_none()); // nothing failing
+/// ```
+#[derive(Clone, Debug)]
+pub struct PersistenceFilter {
+    k: usize,
+    history: VecDeque<BTreeSet<(SensorId, SensorId)>>,
+}
+
+/// The pairs whose unreachability persisted through the whole window.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alarm {
+    /// Sensor pairs broken in every one of the last `k` rounds.
+    pub persistent_pairs: BTreeSet<(SensorId, SensorId)>,
+}
+
+impl PersistenceFilter {
+    /// A filter requiring `k` consecutive broken measurements
+    /// (`k >= 1`; `k = 1` alarms immediately, the naive behavior).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "window must hold at least one round");
+        PersistenceFilter {
+            k,
+            history: VecDeque::new(),
+        }
+    }
+
+    /// Records one measurement round. Returns an alarm when some pair has
+    /// been unreachable in each of the last `k` rounds (including this
+    /// one).
+    pub fn observe(&mut self, snapshot: &Snapshot) -> Option<Alarm> {
+        let failed: BTreeSet<(SensorId, SensorId)> = snapshot
+            .paths
+            .iter()
+            .filter(|p| !p.reached)
+            .map(|p| (p.src, p.dst))
+            .collect();
+        self.history.push_back(failed);
+        if self.history.len() > self.k {
+            self.history.pop_front();
+        }
+        if self.history.len() < self.k {
+            return None;
+        }
+        let mut persistent = self.history[0].clone();
+        for round in self.history.iter().skip(1) {
+            persistent = persistent.intersection(round).copied().collect();
+        }
+        (!persistent.is_empty()).then_some(Alarm {
+            persistent_pairs: persistent,
+        })
+    }
+
+    /// Clears the measurement history (e.g. after a diagnosis round).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::ProbePath;
+
+    fn snap(broken: &[(u32, u32)]) -> Snapshot {
+        // Two sensors, both directions; mark the listed pairs broken.
+        let mut paths = Vec::new();
+        for (s, d) in [(0u32, 1u32), (1, 0)] {
+            paths.push(ProbePath {
+                src: SensorId(s),
+                dst: SensorId(d),
+                hops: vec![],
+                reached: !broken.contains(&(s, d)),
+            });
+        }
+        Snapshot { paths }
+    }
+
+    #[test]
+    fn transient_flap_is_suppressed() {
+        let mut f = PersistenceFilter::new(3);
+        assert_eq!(f.observe(&snap(&[(0, 1)])), None); // blip
+        assert_eq!(f.observe(&snap(&[])), None); // recovered
+        assert_eq!(f.observe(&snap(&[(0, 1)])), None); // blip again
+        assert_eq!(f.observe(&snap(&[])), None);
+        assert_eq!(f.observe(&snap(&[])), None);
+    }
+
+    #[test]
+    fn persistent_failure_alarms_after_k_rounds() {
+        let mut f = PersistenceFilter::new(3);
+        assert_eq!(f.observe(&snap(&[(0, 1)])), None);
+        assert_eq!(f.observe(&snap(&[(0, 1)])), None);
+        let alarm = f.observe(&snap(&[(0, 1)])).expect("third round alarms");
+        assert_eq!(
+            alarm.persistent_pairs,
+            BTreeSet::from([(SensorId(0), SensorId(1))])
+        );
+        // Still alarming while it persists.
+        assert!(f.observe(&snap(&[(0, 1)])).is_some());
+    }
+
+    #[test]
+    fn only_the_persistent_pair_is_reported() {
+        let mut f = PersistenceFilter::new(2);
+        f.observe(&snap(&[(0, 1), (1, 0)]));
+        let alarm = f.observe(&snap(&[(0, 1)])).expect("pair 0->1 persists");
+        assert_eq!(
+            alarm.persistent_pairs,
+            BTreeSet::from([(SensorId(0), SensorId(1))])
+        );
+    }
+
+    #[test]
+    fn k_equals_one_is_naive() {
+        let mut f = PersistenceFilter::new(1);
+        assert!(f.observe(&snap(&[(1, 0)])).is_some());
+        assert!(f.observe(&snap(&[])).is_none());
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut f = PersistenceFilter::new(2);
+        f.observe(&snap(&[(0, 1)]));
+        f.reset();
+        assert_eq!(f.observe(&snap(&[(0, 1)])), None, "window restarts");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_window_rejected() {
+        PersistenceFilter::new(0);
+    }
+}

@@ -1,0 +1,72 @@
+//! The output of a diagnosis run.
+
+use std::collections::BTreeSet;
+
+use netdiag_topology::AsId;
+
+use crate::graph::{DiagGraph, EdgeId, HopNode};
+use crate::hitting_set::GreedyResult;
+use crate::problem::Problem;
+
+/// Result of running one of the diagnosis algorithms.
+#[derive(Clone, Debug)]
+pub struct Diagnosis {
+    /// The constructed problem (graph, sets, constraints).
+    pub problem: Problem,
+    /// Raw greedy output (selection order, unexplained sets).
+    pub greedy: GreedyResult,
+    /// The full hypothesis set: IGP-forced edges first, then the greedy
+    /// selection.
+    pub hypothesis: Vec<EdgeId>,
+}
+
+impl Diagnosis {
+    /// Assembles a diagnosis from a solved problem.
+    pub fn new(problem: Problem, greedy: GreedyResult) -> Self {
+        let mut hypothesis = problem.forced.clone();
+        hypothesis.extend(greedy.hypothesis.iter().copied());
+        Diagnosis {
+            problem,
+            greedy,
+            hypothesis,
+        }
+    }
+
+    /// The inferred graph.
+    pub fn graph(&self) -> &DiagGraph {
+        &self.problem.graph
+    }
+
+    /// The hypothesis as observed endpoint pairs.
+    pub fn hypothesis_endpoints(&self) -> Vec<(HopNode, HopNode)> {
+        self.hypothesis
+            .iter()
+            .map(|&e| self.problem.graph.endpoints(e))
+            .collect()
+    }
+
+    /// AS-level hypothesis: the union of the AS attributions of every
+    /// hypothesis edge (endpoint tags; for LG-mapped unidentified hops
+    /// these are the candidate-AS sets).
+    pub fn as_hypothesis(&self) -> BTreeSet<AsId> {
+        self.hypothesis
+            .iter()
+            .flat_map(|&e| self.problem.graph.edge_as_set(e))
+            .collect()
+    }
+
+    /// Number of failure sets the algorithm could not explain.
+    pub fn unexplained_failures(&self) -> usize {
+        self.greedy.unexplained_failures.len()
+    }
+
+    /// Size of the hypothesis set.
+    pub fn len(&self) -> usize {
+        self.hypothesis.len()
+    }
+
+    /// True when the hypothesis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hypothesis.is_empty()
+    }
+}

@@ -1,0 +1,175 @@
+//! A one-stop configuration facade over the four algorithms — convenient
+//! for downstream users who pick the variant at runtime (the CLI and the
+//! experiment harness use the explicit functions).
+
+use crate::algorithms::{nd_bgpigp, nd_edge, nd_lg, tomo};
+use crate::diagnosis::Diagnosis;
+use crate::hitting_set::Weights;
+use crate::observation::{IpToAs, LookingGlass, Observations, RoutingFeed};
+
+/// Which diagnosis algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Plain multi-AS Boolean tomography (§2).
+    Tomo,
+    /// Logical links + reroute sets (§3.1–3.2) — the best choice without
+    /// ISP cooperation.
+    #[default]
+    NdEdge,
+    /// ND-edge + AS-X's control plane (§3.3) — requires a routing feed.
+    NdBgpIgp,
+    /// ND-bgpigp + Looking Glass mapping of unidentified hops (§3.4).
+    NdLg,
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tomo" => Ok(Algorithm::Tomo),
+            "nd-edge" | "nd_edge" => Ok(Algorithm::NdEdge),
+            "nd-bgpigp" | "nd_bgpigp" => Ok(Algorithm::NdBgpIgp),
+            "nd-lg" | "nd_lg" => Ok(Algorithm::NdLg),
+            other => Err(format!("unknown algorithm {other:?}")),
+        }
+    }
+}
+
+/// A configured troubleshooter.
+///
+/// ```
+/// use netdiagnoser::{Algorithm, NetDiagnoser};
+/// let nd = NetDiagnoser::new(Algorithm::NdEdge);
+/// assert_eq!(nd.algorithm, Algorithm::NdEdge);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetDiagnoser {
+    /// The algorithm variant.
+    pub algorithm: Algorithm,
+    /// Greedy scoring weights (§3.2; the paper's default is `a = b = 1`).
+    pub weights: Weights,
+}
+
+impl NetDiagnoser {
+    /// A troubleshooter with the paper's default weights.
+    pub fn new(algorithm: Algorithm) -> Self {
+        NetDiagnoser {
+            algorithm,
+            weights: Weights::default(),
+        }
+    }
+
+    /// Runs the configured diagnosis.
+    ///
+    /// `feed` is required by [`Algorithm::NdBgpIgp`] and [`Algorithm::NdLg`]
+    /// (an empty default is substituted if absent — equivalent to an ISP
+    /// that observed nothing); `lg` is required by [`Algorithm::NdLg`]
+    /// (without it, unidentified hops simply stay unmapped).
+    pub fn diagnose(
+        &self,
+        obs: &Observations,
+        ip2as: &dyn IpToAs,
+        feed: Option<&RoutingFeed>,
+        lg: Option<&dyn LookingGlass>,
+    ) -> Diagnosis {
+        let empty_feed = RoutingFeed::default();
+        let feed = feed.unwrap_or(&empty_feed);
+        match self.algorithm {
+            Algorithm::Tomo => tomo(obs, ip2as),
+            Algorithm::NdEdge => nd_edge(obs, ip2as, self.weights),
+            Algorithm::NdBgpIgp => nd_bgpigp(obs, ip2as, feed, self.weights),
+            Algorithm::NdLg => {
+                /// A Looking Glass with no servers at all.
+                struct NoLg;
+                impl LookingGlass for NoLg {
+                    fn as_path(
+                        &self,
+                        _: netdiag_topology::AsId,
+                        _: std::net::Ipv4Addr,
+                    ) -> Option<Vec<netdiag_topology::AsId>> {
+                        None
+                    }
+                }
+                match lg {
+                    Some(lg) => nd_lg(obs, ip2as, feed, lg, self.weights),
+                    None => nd_lg(obs, ip2as, feed, &NoLg, self.weights),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::{Hop, IpToAsFn, ProbePath, SensorMeta, Snapshot};
+    use netdiag_topology::{AsId, SensorId};
+    use std::net::Ipv4Addr;
+
+    fn obs() -> Observations {
+        let r = Ipv4Addr::new(10, 0, 1, 1);
+        let dst = Ipv4Addr::new(10, 2, 0, 200);
+        Observations {
+            sensors: vec![
+                SensorMeta {
+                    id: SensorId(0),
+                    addr: Ipv4Addr::new(10, 1, 0, 200),
+                    as_id: AsId(1),
+                },
+                SensorMeta {
+                    id: SensorId(1),
+                    addr: dst,
+                    as_id: AsId(2),
+                },
+            ],
+            before: Snapshot {
+                paths: vec![ProbePath {
+                    src: SensorId(0),
+                    dst: SensorId(1),
+                    hops: vec![Hop::Addr(r), Hop::Addr(dst)],
+                    reached: true,
+                }],
+            },
+            after: Snapshot {
+                paths: vec![ProbePath {
+                    src: SensorId(0),
+                    dst: SensorId(1),
+                    hops: vec![Hop::Addr(r)],
+                    reached: false,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn parses_algorithm_names() {
+        assert_eq!("tomo".parse(), Ok(Algorithm::Tomo));
+        assert_eq!("nd-edge".parse(), Ok(Algorithm::NdEdge));
+        assert_eq!("nd_bgpigp".parse(), Ok(Algorithm::NdBgpIgp));
+        assert_eq!("nd-lg".parse(), Ok(Algorithm::NdLg));
+        assert!("nd-???".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn every_variant_runs_without_optional_inputs() {
+        let ip2as = IpToAsFn(|a: Ipv4Addr| Some(AsId(u32::from(a.octets()[1]))));
+        let o = obs();
+        for algorithm in [
+            Algorithm::Tomo,
+            Algorithm::NdEdge,
+            Algorithm::NdBgpIgp,
+            Algorithm::NdLg,
+        ] {
+            let d = NetDiagnoser::new(algorithm).diagnose(&o, &ip2as, None, None);
+            assert!(!d.is_empty(), "{algorithm:?} finds the only suspect link");
+        }
+    }
+
+    #[test]
+    fn default_is_ndedge_with_paper_weights() {
+        let nd = NetDiagnoser::default();
+        assert_eq!(nd.algorithm, Algorithm::NdEdge);
+        assert_eq!(nd.weights, Weights { a: 1, b: 1 });
+    }
+}

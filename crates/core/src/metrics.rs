@@ -1,0 +1,164 @@
+//! Evaluation metrics: sensitivity, specificity (link- and AS-level), and
+//! the diagnosability of an inferred graph (§4 of the paper).
+
+use std::collections::BTreeSet;
+
+use netdiag_topology::AsId;
+
+/// `sensitivity = |F ∩ H| / |F|` — the fraction of actually-failed items
+/// the hypothesis recovered (1.0 when nothing failed).
+pub fn sensitivity<T: Ord>(failed: &BTreeSet<T>, hypothesis: &BTreeSet<T>) -> f64 {
+    if failed.is_empty() {
+        return 1.0;
+    }
+    let tp = failed.intersection(hypothesis).count();
+    tp as f64 / failed.len() as f64
+}
+
+/// `specificity = |(E\F) ∩ (E\H)| / |E\F|` — the fraction of non-failed
+/// items correctly left out of the hypothesis (1.0 when everything failed).
+pub fn specificity<T: Ord>(
+    universe: &BTreeSet<T>,
+    failed: &BTreeSet<T>,
+    hypothesis: &BTreeSet<T>,
+) -> f64 {
+    let non_failed: Vec<&T> = universe.difference(failed).collect();
+    if non_failed.is_empty() {
+        return 1.0;
+    }
+    let tn = non_failed
+        .iter()
+        .filter(|t| !hypothesis.contains(**t))
+        .count();
+    tn as f64 / non_failed.len() as f64
+}
+
+/// AS-level sensitivity: the fraction of failed links for which at least
+/// one of the link's owning ASes appears in the hypothesized AS set.
+/// (An inter-domain link belongs to both of its endpoint ASes; naming
+/// either counts as locating the failure.)
+pub fn as_sensitivity(failed_link_ases: &[BTreeSet<AsId>], hypothesis_ases: &BTreeSet<AsId>) -> f64 {
+    if failed_link_ases.is_empty() {
+        return 1.0;
+    }
+    let found = failed_link_ases
+        .iter()
+        .filter(|ases| ases.iter().any(|a| hypothesis_ases.contains(a)))
+        .count();
+    found as f64 / failed_link_ases.len() as f64
+}
+
+/// AS-level specificity over the ASes covered by probes: the fraction of
+/// probed, non-failed ASes correctly absent from the hypothesized AS set.
+pub fn as_specificity(
+    probed_ases: &BTreeSet<AsId>,
+    failed_ases: &BTreeSet<AsId>,
+    hypothesis_ases: &BTreeSet<AsId>,
+) -> f64 {
+    let non_failed: Vec<&AsId> = probed_ases.difference(failed_ases).collect();
+    if non_failed.is_empty() {
+        return 1.0;
+    }
+    let tn = non_failed
+        .iter()
+        .filter(|a| !hypothesis_ases.contains(**a))
+        .count();
+    tn as f64 / non_failed.len() as f64
+}
+
+/// Diagnosability `D(G) = |HS(G)| / |E|` (§4): the number of distinct
+/// hitting sets `h(ℓ)` (sets of paths traversing a link) over the number of
+/// probed links. `D = 1` means any single-link failure is exactly
+/// identifiable; input is the per-path link list.
+pub fn diagnosability<T: Ord + Clone>(paths: &[Vec<T>]) -> f64 {
+    use std::collections::BTreeMap;
+    let mut hit: BTreeMap<&T, BTreeSet<usize>> = BTreeMap::new();
+    for (i, path) in paths.iter().enumerate() {
+        for link in path {
+            hit.entry(link).or_default().insert(i);
+        }
+    }
+    if hit.is_empty() {
+        return 0.0;
+    }
+    let links = hit.len();
+    let distinct: BTreeSet<&BTreeSet<usize>> = hit.values().collect();
+    distinct.len() as f64 / links as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[u32]) -> BTreeSet<u32> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn sensitivity_basics() {
+        assert_eq!(sensitivity(&s(&[1, 2]), &s(&[1, 2, 3])), 1.0);
+        assert_eq!(sensitivity(&s(&[1, 2]), &s(&[1])), 0.5);
+        assert_eq!(sensitivity(&s(&[1, 2]), &s(&[9])), 0.0);
+        assert_eq!(sensitivity(&s(&[]), &s(&[9])), 1.0);
+    }
+
+    #[test]
+    fn specificity_basics() {
+        let universe = s(&[1, 2, 3, 4, 5]);
+        // F={1}, H={1,2}: non-failed {2,3,4,5}, of which {3,4,5} excluded.
+        assert_eq!(specificity(&universe, &s(&[1]), &s(&[1, 2])), 0.75);
+        // Perfect hypothesis: specificity 1.
+        assert_eq!(specificity(&universe, &s(&[1]), &s(&[1])), 1.0);
+        // Everything hypothesized: specificity 0.
+        assert_eq!(specificity(&universe, &s(&[1]), &universe), 0.0);
+    }
+
+    #[test]
+    fn specificity_paper_example() {
+        // §4: |E|=150, |F|=1, |H|=10 -> 140/149 ≈ 0.9396.
+        let universe: BTreeSet<u32> = (0..150).collect();
+        let failed = s(&[0]);
+        let hypothesis: BTreeSet<u32> = (0..10).collect();
+        let got = specificity(&universe, &failed, &hypothesis);
+        assert!((got - 140.0 / 149.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn as_level_metrics() {
+        let failed = vec![
+            BTreeSet::from([AsId(1), AsId(2)]),
+            BTreeSet::from([AsId(5)]),
+        ];
+        let hyp = BTreeSet::from([AsId(2), AsId(9)]);
+        assert_eq!(as_sensitivity(&failed, &hyp), 0.5);
+        assert_eq!(as_sensitivity(&[], &hyp), 1.0);
+
+        let probed = BTreeSet::from([AsId(1), AsId(2), AsId(5), AsId(9), AsId(10)]);
+        let failed_union = BTreeSet::from([AsId(1), AsId(2), AsId(5)]);
+        // Non-failed probed: {9, 10}; hypothesis wrongly names 9.
+        assert_eq!(as_specificity(&probed, &failed_union, &hyp), 0.5);
+    }
+
+    #[test]
+    fn diagnosability_extremes() {
+        // Two paths over disjoint single links: every link has a unique
+        // hitting set -> D = 1.
+        assert_eq!(diagnosability(&[vec![1], vec![2]]), 1.0);
+        // Two links always traversed together -> 1 distinct set over 2
+        // links -> D = 0.5.
+        assert_eq!(diagnosability(&[vec![1, 2], vec![1, 2]]), 0.5);
+        // No paths -> 0.
+        assert_eq!(diagnosability::<u32>(&[]), 0.0);
+    }
+
+    #[test]
+    fn diagnosability_mixed() {
+        // Links: 1 in paths {0,1}; 2 in {0}; 3 in {1}: three distinct sets
+        // over three links.
+        let d = diagnosability(&[vec![1, 2], vec![1, 3]]);
+        assert_eq!(d, 1.0);
+        // Add link 4 shadowing link 2 (same paths): 3 distinct / 4 links.
+        let d = diagnosability(&[vec![1, 2, 4], vec![1, 3]]);
+        assert_eq!(d, 0.75);
+    }
+}

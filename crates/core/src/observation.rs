@@ -1,0 +1,191 @@
+//! Input types for the diagnoser: what the troubleshooter at AS-X actually
+//! sees. Everything here is observable in a real deployment — addresses,
+//! stars, reachability, routing messages — never simulator ground truth.
+
+use std::net::Ipv4Addr;
+
+use netdiag_topology::{AsId, Prefix, SensorId};
+
+/// One observed traceroute hop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Hop {
+    /// A router answered with this address.
+    Addr(Ipv4Addr),
+    /// No answer (the hop's AS blocks traceroute) — an *unidentified hop*.
+    Star,
+}
+
+/// A measured path between two sensors at one point in time.
+#[derive(Clone, Debug)]
+pub struct ProbePath {
+    /// Probing sensor.
+    pub src: SensorId,
+    /// Target sensor.
+    pub dst: SensorId,
+    /// Observed hops, source first. When `reached`, the last entry is the
+    /// destination host address.
+    pub hops: Vec<Hop>,
+    /// Did the probe reach the destination?
+    pub reached: bool,
+}
+
+/// A full-mesh measurement snapshot at one time instant.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// All measured paths (one per ordered sensor pair).
+    pub paths: Vec<ProbePath>,
+}
+
+impl Snapshot {
+    /// The path between an ordered pair, if measured.
+    pub fn between(&self, src: SensorId, dst: SensorId) -> Option<&ProbePath> {
+        self.paths.iter().find(|p| p.src == src && p.dst == dst)
+    }
+
+    /// Number of failed (unreached) paths.
+    pub fn failed_count(&self) -> usize {
+        self.paths.iter().filter(|p| !p.reached).count()
+    }
+}
+
+/// What the troubleshooter knows about a sensor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SensorMeta {
+    /// Identifier.
+    pub id: SensorId,
+    /// The sensor's host address.
+    pub addr: Ipv4Addr,
+    /// The AS hosting the sensor (known: the troubleshooter deployed it).
+    pub as_id: AsId,
+}
+
+/// The end-to-end probing inputs: the mesh before (`T-`) and after (`T+`)
+/// the failure event.
+#[derive(Clone, Debug)]
+pub struct Observations {
+    /// Sensor directory.
+    pub sensors: Vec<SensorMeta>,
+    /// Snapshot taken before the failure (all paths healthy).
+    pub before: Snapshot,
+    /// Snapshot taken after the failure.
+    pub after: Snapshot,
+}
+
+impl Observations {
+    /// Metadata for one sensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sensor is unknown.
+    pub fn sensor(&self, id: SensorId) -> &SensorMeta {
+        self.sensors
+            .iter()
+            .find(|s| s.id == id)
+            .expect("unknown sensor")
+    }
+}
+
+/// A BGP withdrawal observed at a border router of AS-X.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WithdrawalObs {
+    /// Interface address of the external neighbor that sent the withdrawal
+    /// (its address on the shared inter-domain link — the same address the
+    /// neighbor answers traceroutes with on paths through AS-X).
+    pub from_addr: Ipv4Addr,
+    /// The withdrawn prefix.
+    pub prefix: Prefix,
+}
+
+/// An IGP "link down" notification for a link inside AS-X.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IgpLinkDownObs {
+    /// One interface address of the failed link.
+    pub addr_a: Ipv4Addr,
+    /// The other interface address.
+    pub addr_b: Ipv4Addr,
+}
+
+/// Control-plane feed from AS-X (consumed by ND-bgpigp and ND-LG).
+#[derive(Clone, Debug, Default)]
+pub struct RoutingFeed {
+    /// BGP withdrawals received from external neighbors after the event.
+    pub withdrawals: Vec<WithdrawalObs>,
+    /// IGP link-down events inside AS-X.
+    pub igp_link_down: Vec<IgpLinkDownObs>,
+}
+
+/// IP-to-AS mapping service (the paper assumes an accurate one, citing
+/// Mao et al.; the evaluation implements it from ground truth).
+pub trait IpToAs {
+    /// The AS owning `addr`, if known.
+    fn as_of(&self, addr: Ipv4Addr) -> Option<AsId>;
+}
+
+/// Looking Glass query service: AS paths as seen from a given AS.
+pub trait LookingGlass {
+    /// The AS path from `from_as` toward `dst` (including `from_as` itself
+    /// at the front), or `None` when that AS provides no Looking Glass or
+    /// has no route.
+    fn as_path(&self, from_as: AsId, dst: Ipv4Addr) -> Option<Vec<AsId>>;
+}
+
+/// A trivial [`IpToAs`] backed by a closure (handy for tests).
+pub struct IpToAsFn<F: Fn(Ipv4Addr) -> Option<AsId>>(pub F);
+
+impl<F: Fn(Ipv4Addr) -> Option<AsId>> IpToAs for IpToAsFn<F> {
+    fn as_of(&self, addr: Ipv4Addr) -> Option<AsId> {
+        (self.0)(addr)
+    }
+}
+
+/// A trivial [`LookingGlass`] backed by a closure (handy for tests).
+pub struct LookingGlassFn<F: Fn(AsId, Ipv4Addr) -> Option<Vec<AsId>>>(pub F);
+
+impl<F: Fn(AsId, Ipv4Addr) -> Option<Vec<AsId>>> LookingGlass for LookingGlassFn<F> {
+    fn as_path(&self, from_as: AsId, dst: Ipv4Addr) -> Option<Vec<AsId>> {
+        (self.0)(from_as, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_lookup_and_counts() {
+        let snap = Snapshot {
+            paths: vec![
+                ProbePath {
+                    src: SensorId(0),
+                    dst: SensorId(1),
+                    hops: vec![Hop::Addr(Ipv4Addr::new(10, 0, 0, 1))],
+                    reached: true,
+                },
+                ProbePath {
+                    src: SensorId(1),
+                    dst: SensorId(0),
+                    hops: vec![Hop::Star],
+                    reached: false,
+                },
+            ],
+        };
+        assert!(snap.between(SensorId(0), SensorId(1)).unwrap().reached);
+        assert!(snap.between(SensorId(0), SensorId(2)).is_none());
+        assert_eq!(snap.failed_count(), 1);
+    }
+
+    #[test]
+    fn closure_adapters() {
+        let ip2as = IpToAsFn(|addr: Ipv4Addr| {
+            (addr.octets()[0] == 10).then_some(AsId(u32::from(addr.octets()[1])))
+        });
+        assert_eq!(ip2as.as_of(Ipv4Addr::new(10, 3, 0, 1)), Some(AsId(3)));
+        assert_eq!(ip2as.as_of(Ipv4Addr::new(172, 16, 0, 1)), None);
+
+        let lg = LookingGlassFn(|from, _| Some(vec![from, AsId(9)]));
+        assert_eq!(
+            lg.as_path(AsId(1), Ipv4Addr::new(10, 9, 0, 1)),
+            Some(vec![AsId(1), AsId(9)])
+        );
+    }
+}

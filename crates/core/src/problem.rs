@@ -1,0 +1,359 @@
+//! Building the Boolean-tomography problem from probe observations.
+//!
+//! A [`Problem`] holds the inferred graph plus the failure sets, reroute
+//! sets, working-path constraints and candidate set defined in §2.3–§3.2 of
+//! the paper, and can be refined with AS-X's control-plane feed (§3.3).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use netdiag_topology::SensorId;
+
+use crate::graph::{DiagGraph, Epoch, HopNode, PathRef, PhysId};
+use crate::hitting_set::HittingSetInstance;
+use crate::observation::{Hop, IpToAs, Observations, RoutingFeed};
+
+/// A failure or reroute set attached to its sensor pair.
+#[derive(Clone, Debug)]
+pub struct PathSet {
+    /// Probing sensor.
+    pub src: SensorId,
+    /// Target sensor.
+    pub dst: SensorId,
+    /// Index of the underlying path in the *before* snapshot.
+    pub before_index: usize,
+    /// The edges of the set.
+    pub edges: BTreeSet<crate::graph::EdgeId>,
+}
+
+/// How to construct the problem (which paper features to enable).
+#[derive(Clone, Copy, Debug)]
+pub struct BuildOptions {
+    /// Expand inter-domain links into logical half-links (§3.1).
+    pub logical: bool,
+    /// Use the post-failure snapshot: working constraints from `T+` paths
+    /// and reroute sets (§3.2). Plain Tomo leaves this off.
+    pub use_after: bool,
+    /// Drop unidentified (star-adjacent) links from the candidate set —
+    /// what the paper's ND-bgpigp does when ASes block traceroute (§5.4).
+    /// ND-LG keeps them and maps them to ASes instead.
+    pub ignore_unidentified: bool,
+}
+
+impl BuildOptions {
+    /// Plain multi-AS Boolean tomography (the paper's Tomo).
+    pub fn tomo() -> Self {
+        BuildOptions {
+            logical: false,
+            use_after: false,
+            ignore_unidentified: true,
+        }
+    }
+
+    /// Logical links + reroute information (the paper's ND-edge).
+    pub fn nd_edge() -> Self {
+        BuildOptions {
+            logical: true,
+            use_after: true,
+            ignore_unidentified: true,
+        }
+    }
+
+    /// ND-edge, but keeping unidentified links as candidates (ND-LG).
+    pub fn nd_lg() -> Self {
+        BuildOptions {
+            ignore_unidentified: false,
+            ..Self::nd_edge()
+        }
+    }
+}
+
+/// A fully-constructed tomography problem.
+#[derive(Clone, Debug)]
+pub struct Problem {
+    /// The inferred graph (union of observed paths).
+    pub graph: DiagGraph,
+    /// One set per failed sensor pair: the edges of its pre-failure path.
+    pub failure_sets: Vec<PathSet>,
+    /// One set per rerouted-but-working pair: old-path edges absent from
+    /// the new path.
+    pub reroute_sets: Vec<PathSet>,
+    /// Edges proven up by working paths.
+    pub working_edges: BTreeSet<crate::graph::EdgeId>,
+    /// Candidate edges for the hypothesis.
+    pub candidates: BTreeSet<crate::graph::EdgeId>,
+    /// Edge sequence of every before-snapshot path (aligned with
+    /// `Observations::before.paths`).
+    pub before_edges: Vec<Vec<crate::graph::EdgeId>>,
+    /// Edge sequence of every after-snapshot path (empty unless
+    /// `use_after`).
+    pub after_edges: Vec<Vec<crate::graph::EdgeId>>,
+    /// Edges forced into the hypothesis by IGP link-down events (§3.3).
+    pub forced: Vec<crate::graph::EdgeId>,
+}
+
+impl Problem {
+    /// Builds the problem from observations.
+    pub fn build(obs: &Observations, ip2as: &dyn IpToAs, opts: BuildOptions) -> Problem {
+        let mut graph = DiagGraph::new();
+
+        // Expand the before-snapshot paths.
+        let before_edges: Vec<Vec<crate::graph::EdgeId>> = obs
+            .before
+            .paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let dst_as = obs.sensor(p.dst).as_id;
+                graph.expand_path(
+                    p,
+                    PathRef {
+                        epoch: Epoch::Before,
+                        index: i,
+                    },
+                    dst_as,
+                    ip2as,
+                    opts.logical,
+                )
+            })
+            .collect();
+
+        // Expand the after-snapshot paths when requested.
+        let after_edges: Vec<Vec<crate::graph::EdgeId>> = if opts.use_after {
+            obs.after
+                .paths
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let dst_as = obs.sensor(p.dst).as_id;
+                    graph.expand_path(
+                        p,
+                        PathRef {
+                            epoch: Epoch::After,
+                            index: i,
+                        },
+                        dst_as,
+                        ip2as,
+                        opts.logical,
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Post-failure reachability per pair.
+        let reached_after: HashMap<(SensorId, SensorId), bool> = obs
+            .after
+            .paths
+            .iter()
+            .map(|p| ((p.src, p.dst), p.reached))
+            .collect();
+
+        // Failure sets: pairs healthy at T- and broken at T+; the set is
+        // the pre-failure path's edges.
+        let mut failure_sets = Vec::new();
+        for (i, p) in obs.before.paths.iter().enumerate() {
+            if !p.reached {
+                continue; // the pair was already broken before the event
+            }
+            if reached_after.get(&(p.src, p.dst)) == Some(&false) {
+                failure_sets.push(PathSet {
+                    src: p.src,
+                    dst: p.dst,
+                    before_index: i,
+                    edges: before_edges[i].iter().copied().collect(),
+                });
+            }
+        }
+
+        // Working constraints.
+        let mut working_edges = BTreeSet::new();
+        if opts.use_after {
+            // Post-failure working paths prove their (new) edges up.
+            for (j, p) in obs.after.paths.iter().enumerate() {
+                if p.reached {
+                    working_edges.extend(after_edges[j].iter().copied());
+                }
+            }
+        } else {
+            // Plain Tomo never re-probes: it treats the *stale* pre-failure
+            // paths of still-reachable pairs as proof their links are up —
+            // exactly the limitation §2.5(2) describes.
+            for (i, p) in obs.before.paths.iter().enumerate() {
+                if p.reached && reached_after.get(&(p.src, p.dst)) == Some(&true) {
+                    working_edges.extend(before_edges[i].iter().copied());
+                }
+            }
+        }
+
+        // Reroute sets: pairs working at both instants whose path changed;
+        // the set is the old edges whose physical identity vanished from
+        // the new path.
+        let mut reroute_sets = Vec::new();
+        if opts.use_after {
+            for (j, p) in obs.after.paths.iter().enumerate() {
+                if !p.reached {
+                    continue;
+                }
+                let Some(i) = obs
+                    .before
+                    .paths
+                    .iter()
+                    .position(|bp| bp.src == p.src && bp.dst == p.dst && bp.reached)
+                else {
+                    continue;
+                };
+                // Compare *identified* edges only: an unidentified hop is
+                // a fresh node on every path, so including UH edges would
+                // make every unchanged path through a blocked AS look
+                // rerouted.
+                let new_phys: BTreeSet<PhysId> = after_edges[j]
+                    .iter()
+                    .map(|&e| graph.edge(e).phys())
+                    .collect();
+                let removed: BTreeSet<crate::graph::EdgeId> = before_edges[i]
+                    .iter()
+                    .copied()
+                    .filter(|&e| {
+                        !graph.is_unidentified(e) && !new_phys.contains(&graph.edge(e).phys())
+                    })
+                    .collect();
+                if !removed.is_empty() {
+                    reroute_sets.push(PathSet {
+                        src: p.src,
+                        dst: p.dst,
+                        before_index: i,
+                        edges: removed,
+                    });
+                }
+            }
+        }
+
+        // Candidate set: everything implicated, minus proven-up edges,
+        // minus (optionally) unidentified links.
+        let mut candidates: BTreeSet<crate::graph::EdgeId> = failure_sets
+            .iter()
+            .flat_map(|s| s.edges.iter().copied())
+            .chain(reroute_sets.iter().flat_map(|s| s.edges.iter().copied()))
+            .collect();
+        candidates.retain(|e| !working_edges.contains(e));
+        if opts.ignore_unidentified {
+            candidates.retain(|&e| !graph.is_unidentified(e));
+        }
+
+        Problem {
+            graph,
+            failure_sets,
+            reroute_sets,
+            working_edges,
+            candidates,
+            before_edges,
+            after_edges,
+            forced: Vec::new(),
+        }
+    }
+
+    /// Applies AS-X's control-plane feed (§3.3):
+    ///
+    /// * every IGP link-down event whose interfaces appear in the graph
+    ///   forces the matching edges straight into the hypothesis and marks
+    ///   the sets they hit as explained;
+    /// * every BGP withdrawal received from neighbor `n` for the prefix of
+    ///   a failed destination exonerates, on that destination's failed
+    ///   path, every edge up to and including the hop where `n` answered —
+    ///   the failure must lie strictly downstream of `n`.
+    pub fn apply_feed(&mut self, obs: &Observations, feed: &RoutingFeed) {
+        // IGP link-down: edges terminating at either interface of the
+        // failed link are that link.
+        for ev in &feed.igp_link_down {
+            let mut hit: Vec<crate::graph::EdgeId> = self
+                .graph
+                .edges()
+                .filter(|(_, d)| {
+                    matches!(self.graph.node(d.to).key,
+                        HopNode::Ip(a) if a == ev.addr_a || a == ev.addr_b)
+                })
+                .map(|(id, _)| id)
+                .collect();
+            hit.retain(|e| !self.forced.contains(e));
+            for e in hit {
+                self.forced.push(e);
+            }
+        }
+        if !self.forced.is_empty() {
+            let forced = self.forced.clone();
+            self.failure_sets
+                .retain(|s| !forced.iter().any(|e| s.edges.contains(e)));
+            self.reroute_sets
+                .retain(|s| !forced.iter().any(|e| s.edges.contains(e)));
+            for e in &forced {
+                self.candidates.remove(e);
+            }
+        }
+
+        // BGP withdrawals: prune upstream edges from each matching failure
+        // set.
+        for set in &mut self.failure_sets {
+            let dst_addr = obs.sensor(set.dst).addr;
+            let path = &obs.before.paths[set.before_index];
+            let edges = &self.before_edges[set.before_index];
+            for w in &feed.withdrawals {
+                if !w.prefix.contains(dst_addr) {
+                    continue;
+                }
+                // Find the hop where the withdrawing neighbor answered.
+                let hit = path
+                    .hops
+                    .iter()
+                    .any(|h| matches!(h, Hop::Addr(a) if *a == w.from_addr));
+                if !hit {
+                    continue;
+                }
+                // Prune every edge up to and including the last edge into
+                // that address (logical halves share the target node).
+                let last = edges.iter().rposition(|&e| {
+                    let d = self.graph.edge(e);
+                    matches!(self.graph.node(d.to).key,
+                        HopNode::Ip(a) if a == w.from_addr)
+                });
+                if let Some(last) = last {
+                    for &e in &edges[..=last] {
+                        // The withdrawal itself arrived over the link into
+                        // the neighbor, so that link is physically up — but
+                        // a *logical* (per-neighbor) variant of it may be
+                        // the very misconfigured announcement that caused
+                        // this withdrawal. Keep logical variants of the
+                        // into-neighbor edge as candidates.
+                        let d = self.graph.edge(e);
+                        let into_neighbor = matches!(
+                            self.graph.node(d.to).key,
+                            HopNode::Ip(a) if a == w.from_addr
+                        );
+                        if into_neighbor && d.logical.is_some() {
+                            continue;
+                        }
+                        set.edges.remove(&e);
+                    }
+                }
+            }
+        }
+        // Candidates implicated by nothing anymore can be dropped.
+        let still_implicated: BTreeSet<crate::graph::EdgeId> = self
+            .failure_sets
+            .iter()
+            .flat_map(|s| s.edges.iter().copied())
+            .chain(self.reroute_sets.iter().flat_map(|s| s.edges.iter().copied()))
+            .collect();
+        self.candidates.retain(|e| still_implicated.contains(e));
+    }
+
+    /// Converts to a hitting-set instance (clusters empty; ND-LG adds them).
+    pub fn instance(&self) -> HittingSetInstance {
+        HittingSetInstance {
+            failure_sets: self.failure_sets.iter().map(|s| s.edges.clone()).collect(),
+            reroute_sets: self.reroute_sets.iter().map(|s| s.edges.clone()).collect(),
+            candidates: self.candidates.clone(),
+            clusters: BTreeMap::new(),
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Ranking hypothesis links by evidence strength.
+//!
+//! The paper's output is an unordered hypothesis set; an operator checking
+//! suspects one by one benefits from an ordering. The ranking is purely
+//! derived from the evidence the algorithms already collected: IGP
+//! confirmation first, then coverage (how many failed/rerouted paths the
+//! link explains).
+
+use crate::diagnosis::Diagnosis;
+use crate::graph::EdgeId;
+
+/// One ranked suspect link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankedSuspect {
+    /// The hypothesis edge.
+    pub edge: EdgeId,
+    /// Confirmed by an IGP link-down message (always ranked first).
+    pub forced_by_igp: bool,
+    /// Number of failure sets containing this edge.
+    pub failure_sets_hit: usize,
+    /// Number of reroute sets containing this edge.
+    pub reroute_sets_hit: usize,
+    /// True for logical (per-neighbor) half-links — evidence of a
+    /// misconfiguration rather than a physical fault.
+    pub is_logical: bool,
+}
+
+/// Ranks the hypothesis: IGP-confirmed links first, then by how much of
+/// the observed damage each link explains (failure coverage, then reroute
+/// coverage), with edge id as the deterministic tie-break.
+pub fn rank(diagnosis: &Diagnosis) -> Vec<RankedSuspect> {
+    let mut out: Vec<RankedSuspect> = diagnosis
+        .hypothesis
+        .iter()
+        .map(|&edge| RankedSuspect {
+            edge,
+            forced_by_igp: diagnosis.problem.forced.contains(&edge),
+            failure_sets_hit: diagnosis
+                .problem
+                .failure_sets
+                .iter()
+                .filter(|s| s.edges.contains(&edge))
+                .count(),
+            reroute_sets_hit: diagnosis
+                .problem
+                .reroute_sets
+                .iter()
+                .filter(|s| s.edges.contains(&edge))
+                .count(),
+            is_logical: diagnosis.graph().edge(edge).logical.is_some(),
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.forced_by_igp
+            .cmp(&a.forced_by_igp)
+            .then(b.failure_sets_hit.cmp(&a.failure_sets_hit))
+            .then(b.reroute_sets_hit.cmp(&a.reroute_sets_hit))
+            .then(a.edge.cmp(&b.edge))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::{Hop, IpToAsFn, Observations, ProbePath, SensorMeta, Snapshot};
+    use netdiag_topology::{AsId, SensorId};
+    use std::net::Ipv4Addr;
+
+    /// Two failed paths sharing one edge: the shared edge must rank first.
+    #[test]
+    fn shared_edge_ranks_first() {
+        let a = |x: u8, y: u8| Ipv4Addr::new(10, x, 0, y);
+        let sensors = vec![
+            SensorMeta {
+                id: SensorId(0),
+                addr: a(1, 200),
+                as_id: AsId(1),
+            },
+            SensorMeta {
+                id: SensorId(1),
+                addr: a(2, 200),
+                as_id: AsId(2),
+            },
+            SensorMeta {
+                id: SensorId(2),
+                addr: a(3, 200),
+                as_id: AsId(3),
+            },
+        ];
+        // Both paths cross the shared *intra-domain* hop 10.1.0.5 (same AS
+        // as the source router, so the edge has no per-destination logical
+        // annotation and is one shared candidate), then diverge.
+        let p = |dst: u32, tail: u8| ProbePath {
+            src: SensorId(0),
+            dst: SensorId(dst),
+            hops: vec![
+                Hop::Addr(a(1, 1)),
+                Hop::Addr(Ipv4Addr::new(10, 1, 0, 5)),
+                Hop::Addr(Ipv4Addr::new(10, 9, 0, tail)),
+                Hop::Addr(a(dst as u8 + 1, 200)),
+            ],
+            reached: true,
+        };
+        let broken = |dst: u32| ProbePath {
+            src: SensorId(0),
+            dst: SensorId(dst),
+            hops: vec![Hop::Addr(a(1, 1))],
+            reached: false,
+        };
+        let obs = Observations {
+            sensors,
+            before: Snapshot {
+                paths: vec![p(1, 11), p(2, 22)],
+            },
+            after: Snapshot {
+                paths: vec![broken(1), broken(2)],
+            },
+        };
+        let ip2as = IpToAsFn(|addr: Ipv4Addr| Some(AsId(u32::from(addr.octets()[1]))));
+        let d = crate::algorithms::nd_edge(&obs, &ip2as, crate::Weights::default());
+        let ranked = rank(&d);
+        assert!(!ranked.is_empty());
+        // Top suspect covers both failure sets; any divergent-tail edge
+        // covers one.
+        assert_eq!(ranked[0].failure_sets_hit, 2);
+        assert!(ranked.iter().all(|r| r.failure_sets_hit <= 2));
+        assert!(
+            ranked.windows(2).all(|w| w[0].failure_sets_hit >= w[1].failure_sets_hit),
+            "non-increasing coverage"
+        );
+        // Deterministic.
+        assert_eq!(rank(&d), ranked);
+    }
+}

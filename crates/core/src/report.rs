@@ -1,0 +1,166 @@
+//! Human-readable diagnosis reports — what the troubleshooter shows the
+//! operator.
+
+use std::fmt::Write as _;
+
+use crate::diagnosis::Diagnosis;
+use crate::graph::{HopNode, LogicalPart};
+
+/// Renders a diagnosis as an operator-facing text report: the suspect
+/// links (with logical annotations explained), the suspect ASes, and the
+/// algorithm's confidence caveats (unexplained failures).
+pub fn render(diagnosis: &Diagnosis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== NetDiagnoser report ===");
+    let _ = writeln!(
+        out,
+        "observed: {} failed path(s), {} rerouted path(s), {} probed link(s)",
+        diagnosis.problem.failure_sets.len(),
+        diagnosis.problem.reroute_sets.len(),
+        diagnosis.problem.graph.edge_count(),
+    );
+    if diagnosis.is_empty() {
+        let _ = writeln!(out, "no suspect links (nothing to explain)");
+        return out;
+    }
+
+    // Identified links are listed individually, strongest evidence first;
+    // unidentified ones (stars) are grouped by candidate-AS attribution.
+    let ranked = crate::ranking::rank(diagnosis);
+    let (identified, unidentified): (Vec<_>, Vec<_>) = ranked
+        .iter()
+        .partition(|r| !diagnosis.graph().is_unidentified(r.edge));
+
+    let _ = writeln!(out, "\nsuspect links ({}):", diagnosis.len());
+    for r in identified {
+        let data = diagnosis.graph().edge(r.edge);
+        let (from, to) = diagnosis.graph().endpoints(r.edge);
+        let mut line = format!(
+            "  {} -> {}  [explains {} failed / {} rerouted path(s)]",
+            fmt_node(&from),
+            fmt_node(&to),
+            r.failure_sets_hit,
+            r.reroute_sets_hit
+        );
+        match data.logical {
+            Some(LogicalPart::First(a)) | Some(LogicalPart::Second(a)) => {
+                let _ = write!(line, "  (only for routes toward {a}: likely a BGP export misconfiguration)");
+            }
+            None => {}
+        }
+        if r.forced_by_igp {
+            let _ = write!(line, "  [confirmed by IGP link-down]");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    if !unidentified.is_empty() {
+        // Group by AS attribution.
+        let mut groups: std::collections::BTreeMap<Vec<String>, usize> = Default::default();
+        for r in unidentified {
+            let ases: Vec<String> = diagnosis
+                .problem
+                .graph
+                .edge_as_set(r.edge)
+                .iter()
+                .map(|a| a.to_string())
+                .collect();
+            *groups.entry(ases).or_default() += 1;
+        }
+        for (ases, count) in groups {
+            let place = if ases.is_empty() {
+                "unmapped ASes (no Looking Glass coverage)".to_string()
+            } else {
+                format!("AS candidates {{{}}}", ases.join(", "))
+            };
+            let _ = writeln!(
+                out,
+                "  {count} unidentified link(s) behind traceroute-blocking hops — {place}"
+            );
+        }
+    }
+
+    let ases = diagnosis.as_hypothesis();
+    if !ases.is_empty() {
+        let names: Vec<String> = ases.iter().map(|a| a.to_string()).collect();
+        let _ = writeln!(out, "\nsuspect ASes: {}", names.join(", "));
+    }
+
+    let unexplained = diagnosis.unexplained_failures();
+    if unexplained > 0 {
+        let _ = writeln!(
+            out,
+            "\nwarning: {unexplained} failed path(s) could not be explained by any \
+             candidate link (evidence exonerates every link on them)"
+        );
+    }
+    out
+}
+
+fn fmt_node(node: &HopNode) -> String {
+    match node {
+        HopNode::Ip(a) => a.to_string(),
+        HopNode::Uh(path, pos) => format!("unidentified-hop({:?}#{} pos {pos})", path.epoch, path.index),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::{Hop, IpToAsFn, Observations, ProbePath, SensorMeta, Snapshot};
+    use netdiag_topology::{AsId, SensorId};
+    use std::net::Ipv4Addr;
+
+    fn obs() -> Observations {
+        let a = |x: u8, y: u8| Ipv4Addr::new(10, x, 0, y);
+        Observations {
+            sensors: vec![
+                SensorMeta {
+                    id: SensorId(0),
+                    addr: a(1, 200),
+                    as_id: AsId(1),
+                },
+                SensorMeta {
+                    id: SensorId(1),
+                    addr: a(2, 200),
+                    as_id: AsId(2),
+                },
+            ],
+            before: Snapshot {
+                paths: vec![ProbePath {
+                    src: SensorId(0),
+                    dst: SensorId(1),
+                    hops: vec![Hop::Addr(a(1, 1)), Hop::Addr(a(2, 1)), Hop::Addr(a(2, 200))],
+                    reached: true,
+                }],
+            },
+            after: Snapshot {
+                paths: vec![ProbePath {
+                    src: SensorId(0),
+                    dst: SensorId(1),
+                    hops: vec![Hop::Addr(a(1, 1))],
+                    reached: false,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn report_lists_suspects_and_ases() {
+        let ip2as = IpToAsFn(|addr: Ipv4Addr| Some(AsId(u32::from(addr.octets()[1]))));
+        let d = crate::algorithms::tomo(&obs(), &ip2as);
+        let text = render(&d);
+        assert!(text.contains("suspect links"));
+        assert!(text.contains("suspect ASes"));
+        assert!(text.contains("10.2.0.1"));
+    }
+
+    #[test]
+    fn empty_diagnosis_reports_nothing_to_explain() {
+        let mut o = obs();
+        o.after = o.before.clone(); // nothing failed
+        let ip2as = IpToAsFn(|addr: Ipv4Addr| Some(AsId(u32::from(addr.octets()[1]))));
+        let d = crate::algorithms::tomo(&o, &ip2as);
+        let text = render(&d);
+        assert!(text.contains("no suspect links"));
+    }
+}

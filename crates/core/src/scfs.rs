@@ -1,0 +1,165 @@
+//! SCFS — Duffield's "Smallest Common Failure Set" algorithm for tree
+//! topologies (the single-source baseline the paper starts from, §2.1).
+//!
+//! Given the paths from one source to several destinations (which form a
+//! tree) and each destination's good/bad status, SCFS marks as failed the
+//! links *nearest the source* consistent with the observations: an edge
+//! `(u, v)` is in the failure set iff every destination below `v` is bad
+//! while the subtree of `u` still contains a good destination (or `u` is
+//! the source itself).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs SCFS.
+///
+/// ```
+/// use netdiagnoser::scfs;
+///
+/// // s -> a -> d1 (broken), s -> a -> e (working): blame edge a->d1.
+/// let failed = scfs(&"s", &[
+///     (vec!["s", "a", "d1"], false),
+///     (vec!["s", "a", "e"], true),
+/// ]);
+/// assert!(failed.contains(&("a", "d1")));
+/// ```
+///
+/// `paths` are node sequences starting at `source`; the final node of each
+/// path is a destination with the given status (`true` = good). The path
+/// union must form a tree rooted at `source`.
+///
+/// # Panics
+///
+/// Panics if a node has two different parents (the input is not a tree) or
+/// a path does not start at `source`.
+pub fn scfs<T: Ord + Clone>(source: &T, paths: &[(Vec<T>, bool)]) -> BTreeSet<(T, T)> {
+    let mut parent: BTreeMap<T, T> = BTreeMap::new();
+    let mut children: BTreeMap<T, Vec<T>> = BTreeMap::new();
+    let mut dest_status: BTreeMap<T, bool> = BTreeMap::new();
+
+    for (path, good) in paths {
+        assert!(
+            path.first() == Some(source),
+            "every path must start at the source"
+        );
+        for w in path.windows(2) {
+            let (u, v) = (&w[0], &w[1]);
+            match parent.get(v) {
+                Some(p) => assert!(p == u, "node has two parents: not a tree"),
+                None => {
+                    parent.insert(v.clone(), u.clone());
+                    children.entry(u.clone()).or_default().push(v.clone());
+                }
+            }
+        }
+        if let Some(last) = path.last() {
+            // A destination probed by several paths keeps the AND of its
+            // statuses (it should be consistent anyway).
+            let e = dest_status.entry(last.clone()).or_insert(true);
+            *e &= *good;
+        }
+    }
+
+    // all_bad(v): every destination in v's subtree is bad.
+    fn all_bad<T: Ord + Clone>(
+        v: &T,
+        children: &BTreeMap<T, Vec<T>>,
+        dest_status: &BTreeMap<T, bool>,
+        memo: &mut BTreeMap<T, bool>,
+    ) -> bool {
+        if let Some(&m) = memo.get(v) {
+            return m;
+        }
+        let own = dest_status.get(v).map(|&good| !good).unwrap_or(true);
+        let kids = children.get(v).cloned().unwrap_or_default();
+        let result = own
+            && kids
+                .iter()
+                .all(|c| all_bad(c, children, dest_status, memo));
+        memo.insert(v.clone(), result);
+        result
+    }
+
+    let mut memo = BTreeMap::new();
+    let mut failed = BTreeSet::new();
+    for (v, u) in parent.iter() {
+        if all_bad(v, &children, &dest_status, &mut memo)
+            && (u == source || !all_bad(u, &children, &dest_status, &mut memo))
+        {
+            failed.insert((u.clone(), v.clone()));
+        }
+    }
+    failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tree:   s - a - b - d1
+    ///                \
+    ///                 c - d2
+    fn paths(d1_good: bool, d2_good: bool) -> Vec<(Vec<&'static str>, bool)> {
+        vec![
+            (vec!["s", "a", "b", "d1"], d1_good),
+            (vec!["s", "a", "c", "d2"], d2_good),
+        ]
+    }
+
+    #[test]
+    fn nothing_failed_when_all_good() {
+        assert!(scfs(&"s", &paths(true, true)).is_empty());
+    }
+
+    #[test]
+    fn single_bad_branch_marked_at_divergence() {
+        // d1 bad, d2 good: the highest all-bad subtree is b.
+        let failed = scfs(&"s", &paths(false, true));
+        assert_eq!(failed, BTreeSet::from([("a", "b")]));
+    }
+
+    #[test]
+    fn all_bad_marks_link_nearest_source() {
+        let failed = scfs(&"s", &paths(false, false));
+        assert_eq!(failed, BTreeSet::from([("s", "a")]));
+    }
+
+    #[test]
+    fn deep_chain_marks_highest_consistent_link() {
+        // s - a - b - c - d (bad); s - a - e (good).
+        let paths = vec![
+            (vec!["s", "a", "b", "c", "d"], false),
+            (vec!["s", "a", "e"], true),
+        ];
+        let failed = scfs(&"s", &paths);
+        assert_eq!(failed, BTreeSet::from([("a", "b")]));
+    }
+
+    #[test]
+    fn two_independent_failures() {
+        // Three branches from a: d1 bad, d2 bad, d3 good -> both bad
+        // branches marked at their divergence edges.
+        let paths = vec![
+            (vec!["s", "a", "b", "d1"], false),
+            (vec!["s", "a", "c", "d2"], false),
+            (vec!["s", "a", "e", "d3"], true),
+        ];
+        let failed = scfs(&"s", &paths);
+        assert_eq!(failed, BTreeSet::from([("a", "b"), ("a", "c")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a tree")]
+    fn rejects_non_tree_input() {
+        let paths = vec![
+            (vec!["s", "a", "b"], true),
+            (vec!["s", "c", "b"], true), // b gains a second parent
+        ];
+        scfs(&"s", &paths);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at the source")]
+    fn rejects_wrong_source() {
+        scfs(&"s", &[(vec!["x", "a"], true)]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Edge cases of the tomography-problem builder: degenerate observations
+//! must produce sane problems, never panics.
+
+use std::net::Ipv4Addr;
+
+use netdiag_topology::{AsId, SensorId};
+use netdiagnoser::{
+    nd_edge, tomo, BuildOptions, Hop, IpToAsFn, Observations, ProbePath, Problem, SensorMeta,
+    Snapshot, Weights,
+};
+
+fn ip2as() -> IpToAsFn<impl Fn(Ipv4Addr) -> Option<AsId>> {
+    IpToAsFn(|a: Ipv4Addr| Some(AsId(u32::from(a.octets()[1]))))
+}
+
+fn sensors(n: u32) -> Vec<SensorMeta> {
+    (0..n)
+        .map(|i| SensorMeta {
+            id: SensorId(i),
+            addr: Ipv4Addr::new(10, (i + 1) as u8, 0, 200),
+            as_id: AsId(i + 1),
+        })
+        .collect()
+}
+
+fn path(src: u32, dst: u32, hops: Vec<Hop>, reached: bool) -> ProbePath {
+    ProbePath {
+        src: SensorId(src),
+        dst: SensorId(dst),
+        hops,
+        reached,
+    }
+}
+
+#[test]
+fn empty_observations_build_empty_problem() {
+    let obs = Observations {
+        sensors: sensors(2),
+        before: Snapshot::default(),
+        after: Snapshot::default(),
+    };
+    for opts in [BuildOptions::tomo(), BuildOptions::nd_edge(), BuildOptions::nd_lg()] {
+        let p = Problem::build(&obs, &ip2as(), opts);
+        assert_eq!(p.graph.edge_count(), 0);
+        assert!(p.failure_sets.is_empty());
+        assert!(p.candidates.is_empty());
+    }
+    let d = tomo(&obs, &ip2as());
+    assert!(d.is_empty());
+}
+
+#[test]
+fn nothing_failed_means_empty_hypothesis() {
+    let hops = vec![
+        Hop::Addr(Ipv4Addr::new(10, 1, 1, 1)),
+        Hop::Addr(Ipv4Addr::new(10, 2, 1, 1)),
+        Hop::Addr(Ipv4Addr::new(10, 2, 0, 200)),
+    ];
+    let obs = Observations {
+        sensors: sensors(2),
+        before: Snapshot {
+            paths: vec![path(0, 1, hops.clone(), true)],
+        },
+        after: Snapshot {
+            paths: vec![path(0, 1, hops, true)],
+        },
+    };
+    let d = nd_edge(&obs, &ip2as(), Weights::default());
+    assert!(d.is_empty());
+    assert!(d.problem.reroute_sets.is_empty());
+}
+
+#[test]
+fn pair_broken_before_the_event_is_not_diagnosed() {
+    // The pair was already failed at T-: its breakage predates the event
+    // and must not contribute a failure set.
+    let broken_before = path(0, 1, vec![Hop::Addr(Ipv4Addr::new(10, 1, 1, 1))], false);
+    let broken_after = path(0, 1, vec![Hop::Addr(Ipv4Addr::new(10, 1, 1, 1))], false);
+    let obs = Observations {
+        sensors: sensors(2),
+        before: Snapshot {
+            paths: vec![broken_before],
+        },
+        after: Snapshot {
+            paths: vec![broken_after],
+        },
+    };
+    let p = Problem::build(&obs, &ip2as(), BuildOptions::nd_edge());
+    assert!(p.failure_sets.is_empty());
+}
+
+#[test]
+fn pair_missing_from_after_snapshot_is_skipped() {
+    // No T+ measurement for the pair (sensor offline): neither a failure
+    // set nor a working constraint.
+    let obs = Observations {
+        sensors: sensors(2),
+        before: Snapshot {
+            paths: vec![path(
+                0,
+                1,
+                vec![
+                    Hop::Addr(Ipv4Addr::new(10, 1, 1, 1)),
+                    Hop::Addr(Ipv4Addr::new(10, 2, 0, 200)),
+                ],
+                true,
+            )],
+        },
+        after: Snapshot::default(),
+    };
+    let p = Problem::build(&obs, &ip2as(), BuildOptions::nd_edge());
+    assert!(p.failure_sets.is_empty());
+    assert!(p.working_edges.is_empty());
+    assert!(p.candidates.is_empty());
+}
+
+#[test]
+fn single_hop_paths_are_handled() {
+    // Source attach router only (destination adjacent or measurement
+    // truncated immediately): zero edges, no panic.
+    let obs = Observations {
+        sensors: sensors(2),
+        before: Snapshot {
+            paths: vec![path(0, 1, vec![Hop::Addr(Ipv4Addr::new(10, 1, 1, 1))], true)],
+        },
+        after: Snapshot {
+            paths: vec![path(0, 1, vec![Hop::Addr(Ipv4Addr::new(10, 1, 1, 1))], false)],
+        },
+    };
+    let d = nd_edge(&obs, &ip2as(), Weights::default());
+    // The failure set is empty (no observed links): unexplainable.
+    assert_eq!(d.unexplained_failures(), 1);
+    assert!(d.is_empty());
+}
+
+#[test]
+fn unmapped_addresses_fall_back_to_plain_edges() {
+    // ip2as knows nothing: logical expansion must degrade gracefully to
+    // physical edges.
+    let unknown = IpToAsFn(|_| None);
+    let obs = Observations {
+        sensors: sensors(2),
+        before: Snapshot {
+            paths: vec![path(
+                0,
+                1,
+                vec![
+                    Hop::Addr(Ipv4Addr::new(10, 1, 1, 1)),
+                    Hop::Addr(Ipv4Addr::new(10, 9, 1, 1)),
+                    Hop::Addr(Ipv4Addr::new(10, 2, 0, 200)),
+                ],
+                true,
+            )],
+        },
+        after: Snapshot {
+            paths: vec![path(0, 1, vec![Hop::Addr(Ipv4Addr::new(10, 1, 1, 1))], false)],
+        },
+    };
+    let p = Problem::build(&obs, &unknown, BuildOptions::nd_edge());
+    for (_, e) in p.graph.edges() {
+        assert!(e.logical.is_none(), "no logical links without AS mapping");
+    }
+    let d = nd_edge(&obs, &unknown, Weights::default());
+    assert!(!d.is_empty());
+}
+
+#[test]
+fn asymmetric_mesh_directions_are_independent() {
+    // 0->1 fails while 1->0 keeps working: only one failure set, and the
+    // reverse-direction edges are working constraints, not candidates.
+    let fwd = |reached| {
+        path(
+            0,
+            1,
+            vec![
+                Hop::Addr(Ipv4Addr::new(10, 1, 1, 1)),
+                Hop::Addr(Ipv4Addr::new(10, 3, 1, 1)),
+                Hop::Addr(Ipv4Addr::new(10, 2, 0, 200)),
+            ],
+            reached,
+        )
+    };
+    let rev = path(
+        1,
+        0,
+        vec![
+            Hop::Addr(Ipv4Addr::new(10, 2, 1, 1)),
+            Hop::Addr(Ipv4Addr::new(10, 3, 2, 1)),
+            Hop::Addr(Ipv4Addr::new(10, 1, 0, 200)),
+        ],
+        true,
+    );
+    let obs = Observations {
+        sensors: sensors(2),
+        before: Snapshot {
+            paths: vec![fwd(true), rev.clone()],
+        },
+        after: Snapshot {
+            paths: vec![
+                path(0, 1, vec![Hop::Addr(Ipv4Addr::new(10, 1, 1, 1))], false),
+                rev,
+            ],
+        },
+    };
+    let p = Problem::build(&obs, &ip2as(), BuildOptions::nd_edge());
+    assert_eq!(p.failure_sets.len(), 1);
+    let d = nd_edge(&obs, &ip2as(), Weights::default());
+    assert!(!d.is_empty());
+}

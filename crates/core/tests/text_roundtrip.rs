@@ -1,0 +1,122 @@
+//! Property-based roundtrip tests for the text interchange format: any
+//! observations/feed/LG dump must survive write -> parse unchanged.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use netdiag_topology::{AsId, Prefix, SensorId};
+use netdiagnoser::text::{
+    parse_feed, parse_observations, write_feed, write_observations, RecordedLookingGlass,
+};
+use netdiagnoser::{
+    Hop, IgpLinkDownObs, LookingGlass, Observations, ProbePath, RoutingFeed, SensorMeta,
+    Snapshot, WithdrawalObs,
+};
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_hop() -> impl Strategy<Value = Hop> {
+    prop_oneof![arb_addr().prop_map(Hop::Addr), Just(Hop::Star)]
+}
+
+fn arb_path(n_sensors: u32) -> impl Strategy<Value = ProbePath> {
+    (
+        0..n_sensors,
+        0..n_sensors,
+        proptest::collection::vec(arb_hop(), 0..8),
+        any::<bool>(),
+    )
+        .prop_map(|(s, d, hops, reached)| ProbePath {
+            src: SensorId(s),
+            dst: SensorId(d),
+            hops,
+            reached,
+        })
+}
+
+fn arb_observations() -> impl Strategy<Value = Observations> {
+    let sensors = proptest::collection::vec((arb_addr(), 0u32..200), 1..5).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (addr, a))| SensorMeta {
+                id: SensorId(i as u32),
+                addr,
+                as_id: AsId(a),
+            })
+            .collect::<Vec<_>>()
+    });
+    (
+        sensors,
+        proptest::collection::vec(arb_path(4), 0..6),
+        proptest::collection::vec(arb_path(4), 0..6),
+    )
+        .prop_map(|(sensors, before, after)| Observations {
+            sensors,
+            before: Snapshot { paths: before },
+            after: Snapshot { paths: after },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn observations_roundtrip(obs in arb_observations()) {
+        let (s, b, a) = write_observations(&obs);
+        let parsed = parse_observations(&s, &b, &a).unwrap();
+        prop_assert_eq!(parsed.sensors, obs.sensors);
+        prop_assert_eq!(parsed.before.paths.len(), obs.before.paths.len());
+        for (p, q) in parsed.before.paths.iter().zip(&obs.before.paths) {
+            prop_assert_eq!(p.src, q.src);
+            prop_assert_eq!(p.dst, q.dst);
+            prop_assert_eq!(&p.hops, &q.hops);
+            prop_assert_eq!(p.reached, q.reached);
+        }
+        prop_assert_eq!(parsed.after.paths.len(), obs.after.paths.len());
+    }
+
+    #[test]
+    fn feed_roundtrip(
+        withdrawals in proptest::collection::vec((arb_addr(), any::<u32>(), 0u8..=32), 0..6),
+        downs in proptest::collection::vec((arb_addr(), arb_addr()), 0..6),
+    ) {
+        let feed = RoutingFeed {
+            withdrawals: withdrawals
+                .into_iter()
+                .map(|(a, p, len)| WithdrawalObs {
+                    from_addr: a,
+                    prefix: Prefix::new(Ipv4Addr::from(p), len),
+                })
+                .collect(),
+            igp_link_down: downs
+                .into_iter()
+                .map(|(a, b)| IgpLinkDownObs { addr_a: a, addr_b: b })
+                .collect(),
+        };
+        let parsed = parse_feed(&write_feed(&feed)).unwrap();
+        prop_assert_eq!(parsed.withdrawals, feed.withdrawals);
+        prop_assert_eq!(parsed.igp_link_down, feed.igp_link_down);
+    }
+
+    #[test]
+    fn lg_roundtrip(
+        answers in proptest::collection::vec(
+            (0u32..50, arb_addr(), proptest::collection::vec(0u32..50, 0..5)),
+            0..8,
+        )
+    ) {
+        let mut lg = RecordedLookingGlass::new();
+        for (from, dst, path) in &answers {
+            lg.record(AsId(*from), *dst, path.iter().map(|&a| AsId(a)).collect());
+        }
+        let parsed = RecordedLookingGlass::parse(&lg.write()).unwrap();
+        prop_assert_eq!(parsed.len(), lg.len());
+        for (from, dst, path) in &answers {
+            let expect: Vec<AsId> = path.iter().map(|&a| AsId(a)).collect();
+            prop_assert_eq!(parsed.as_path(AsId(*from), *dst), Some(expect));
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! `netdiag` — command-line front end to the NetDiagnoser reproduction.
+//!
+//! ```text
+//! netdiag simulate --out DIR [--seed N] [--sensors N] [--failure SPEC]
+//!                  [--blocked FRAC] [--lg FRAC] [--topology FILE]
+//!     SPEC: links:<x> | router | misconfig | misconfig+link
+//!     Generates the 165-AS topology — or loads one from FILE in the
+//!     plain-text format (`netdiag_topology::text`) — injects a failure,
+//!     and writes the
+//!     troubleshooter's view to DIR: sensors.txt, before.txt, after.txt,
+//!     feed.txt, lg.txt, ip2as.txt — plus truth.txt (ground truth, for
+//!     checking answers).
+//!
+//! netdiag diagnose --dir DIR [--algo tomo|nd-edge|nd-bgpigp|nd-lg]
+//!     Reads a scenario directory and prints the diagnosis report.
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::fs;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netdiag_experiments::bridge::{observations, routing_feed};
+use netdiag_experiments::runner::{prepare, RunConfig};
+use netdiag_experiments::sampling::{sample_failure, FailureSpec};
+use netdiag_netsim::{apply_failure, looking_glass_query, probe_mesh};
+use netdiag_topology::AsId;
+use netdiagnoser::text::{
+    parse_feed, parse_observations, RecordedLookingGlass,
+};
+use netdiagnoser::{report, Algorithm, IpToAs, NetDiagnoser};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  netdiag simulate --out DIR [--seed N] [--sensors N] \
+         [--failure links:<x>|router|misconfig|misconfig+link] [--blocked FRAC] [--lg FRAC] \
+         [--topology FILE]\n  \
+         netdiag diagnose --dir DIR [--algo tomo|nd-edge|nd-bgpigp|nd-lg]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("simulate") => simulate(args.collect()),
+        Some("diagnose") => diagnose(args.collect()),
+        _ => usage(),
+    }
+}
+
+fn get_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn simulate(args: Vec<String>) -> ExitCode {
+    let out = PathBuf::from(get_flag(&args, "--out").unwrap_or_else(|| usage()));
+    let seed: u64 = get_flag(&args, "--seed").map_or(1, |v| v.parse().unwrap_or_else(|_| usage()));
+    let sensors_n: usize =
+        get_flag(&args, "--sensors").map_or(10, |v| v.parse().unwrap_or_else(|_| usage()));
+    let blocked: f64 =
+        get_flag(&args, "--blocked").map_or(0.0, |v| v.parse().unwrap_or_else(|_| usage()));
+    let lg_frac: f64 = get_flag(&args, "--lg").map_or(1.0, |v| v.parse().unwrap_or_else(|_| usage()));
+    let failure_spec = match get_flag(&args, "--failure").as_deref() {
+        None => FailureSpec::Links(1),
+        Some("router") => FailureSpec::Router,
+        Some("misconfig") => FailureSpec::Misconfig,
+        Some("misconfig+link") => FailureSpec::MisconfigPlusLink,
+        Some(s) => match s.strip_prefix("links:").and_then(|x| x.parse().ok()) {
+            Some(x) => FailureSpec::Links(x),
+            None => usage(),
+        },
+    };
+
+    let net = match get_flag(&args, "--topology") {
+        None => netdiag_topology::builders::build_internet(
+            &netdiag_topology::builders::InternetConfig {
+                seed,
+                ..Default::default()
+            },
+        ),
+        Some(file) => {
+            let text = match fs::read_to_string(&file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let topology = match netdiag_topology::text::parse_topology(&text) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("topology parse error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let net = netdiag_topology::builders::Internet::from_topology(topology);
+            if net.cores.is_empty() || net.stubs.len() < 2 {
+                eprintln!(
+                    "custom topology needs at least one core AS (the troubleshooter)                      and two stub ASes (sensor hosts)"
+                );
+                return ExitCode::FAILURE;
+            }
+            net
+        }
+    };
+    let sensors_n = sensors_n.min(net.stubs.len());
+    let cfg = RunConfig {
+        n_sensors: sensors_n,
+        failure: failure_spec,
+        blocked_frac: blocked,
+        lg_frac,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let ctx = prepare(&net, &cfg, &mut rng);
+    let topology = ctx.sim.topology();
+
+    // Draw failures until one causes unreachability.
+    let mut frng = StdRng::seed_from_u64(seed ^ 0xF00D);
+    let (failure, broken, after) = loop {
+        let Some(failure) =
+            sample_failure(&ctx.sim, &ctx.mesh_before, &ctx.sensors, cfg.failure, &mut frng)
+        else {
+            eprintln!("no failure of that class is sampleable here");
+            return ExitCode::FAILURE;
+        };
+        let mut broken = ctx.sim.clone();
+        apply_failure(&mut broken, &failure);
+        let after = probe_mesh(&broken, &ctx.sensors, &ctx.blocked);
+        if after.failed_count() > 0 {
+            break (failure, broken, after);
+        }
+    };
+
+    let mut broken = broken;
+    let observed = broken.take_observed();
+    let igp_events = broken.take_igp_events();
+    let obs = observations(&ctx.sensors, &ctx.mesh_before, &after);
+    let feed = routing_feed(topology, ctx.observer, &observed, &igp_events);
+
+    // Record pre-failure Looking Glass answers for every (available AS,
+    // destination) pair.
+    let mut lg = RecordedLookingGlass::new();
+    for &a in &ctx.lg_available {
+        for s in ctx.sensors.sensors() {
+            if let Some(path) = looking_glass_query(&ctx.sim, a, s.addr) {
+                lg.record(a, s.addr, path);
+            }
+        }
+    }
+
+    // IP-to-AS mapping restricted to observed addresses.
+    let mut ip2as_text = String::from("# ip2as <addr> <as>\n");
+    let mut seen: BTreeSet<Ipv4Addr> = BTreeSet::new();
+    for snap in [&obs.before, &obs.after] {
+        for p in &snap.paths {
+            for h in &p.hops {
+                if let netdiagnoser::Hop::Addr(a) = h {
+                    if seen.insert(*a) {
+                        if let Some(asn) = topology.as_of_ip(*a) {
+                            let _ = writeln!(ip2as_text, "ip2as {a} {}", asn.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Ground truth for checking answers.
+    let mut truth = String::from("# failed links as interface address pairs\n");
+    for l in failure.all_failure_sites(&ctx.sim) {
+        let link = topology.link(l);
+        let _ = writeln!(truth, "failed {} {}", link.addr_a, link.addr_b);
+    }
+
+    // A Graphviz rendering with the failure sites highlighted.
+    let dot = netdiag_topology::export::to_dot(
+        topology,
+        &netdiag_topology::export::DotOptions {
+            highlight: failure.all_failure_sites(&ctx.sim).into_iter().collect(),
+            hide_stubs: true,
+        },
+    );
+
+    if let Err(e) = fs::create_dir_all(&out) {
+        eprintln!("cannot create {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    let (sensors_txt, before_txt, after_txt) = netdiagnoser::text::write_observations(&obs);
+    let files = [
+        ("sensors.txt", sensors_txt),
+        ("before.txt", before_txt),
+        ("after.txt", after_txt),
+        ("feed.txt", netdiagnoser::text::write_feed(&feed)),
+        ("lg.txt", lg.write()),
+        ("ip2as.txt", ip2as_text),
+        ("truth.txt", truth),
+        ("topology.dot", dot),
+    ];
+    for (name, contents) in files {
+        if let Err(e) = fs::write(out.join(name), contents) {
+            eprintln!("cannot write {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "scenario written to {} ({} failed paths, {} observed messages)",
+        out.display(),
+        after.failed_count(),
+        observed.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// IP-to-AS service parsed from `ip2as.txt`.
+struct FileIpToAs {
+    map: BTreeMap<Ipv4Addr, AsId>,
+}
+
+impl FileIpToAs {
+    fn parse(text: &str) -> Self {
+        let mut map = BTreeMap::new();
+        for line in text.lines() {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if let ["ip2as", addr, asn] = parts.as_slice() {
+                if let (Ok(a), Ok(n)) = (addr.parse(), asn.parse()) {
+                    map.insert(a, AsId(n));
+                }
+            }
+        }
+        FileIpToAs { map }
+    }
+}
+
+impl IpToAs for FileIpToAs {
+    fn as_of(&self, addr: Ipv4Addr) -> Option<AsId> {
+        self.map.get(&addr).copied()
+    }
+}
+
+fn read(dir: &Path, name: &str) -> Result<String, ExitCode> {
+    fs::read_to_string(dir.join(name)).map_err(|e| {
+        eprintln!("cannot read {}: {e}", dir.join(name).display());
+        ExitCode::FAILURE
+    })
+}
+
+fn diagnose(args: Vec<String>) -> ExitCode {
+    let dir = PathBuf::from(get_flag(&args, "--dir").unwrap_or_else(|| usage()));
+    let algo = get_flag(&args, "--algo").unwrap_or_else(|| "nd-edge".into());
+
+    let (sensors, before, after, feed_txt, lg_txt, ip2as_txt) = match (
+        read(&dir, "sensors.txt"),
+        read(&dir, "before.txt"),
+        read(&dir, "after.txt"),
+        read(&dir, "feed.txt"),
+        read(&dir, "lg.txt"),
+        read(&dir, "ip2as.txt"),
+    ) {
+        (Ok(a), Ok(b), Ok(c), Ok(d), Ok(e), Ok(f)) => (a, b, c, d, e, f),
+        _ => return ExitCode::FAILURE,
+    };
+    let obs = match parse_observations(&sensors, &before, &after) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let feed = match parse_feed(&feed_txt) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("feed parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lg = match RecordedLookingGlass::parse(&lg_txt) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("lg parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ip2as = FileIpToAs::parse(&ip2as_txt);
+
+    let Ok(algorithm) = algo.parse::<Algorithm>() else {
+        usage()
+    };
+    let diagnosis =
+        NetDiagnoser::new(algorithm).diagnose(&obs, &ip2as, Some(&feed), Some(&lg));
+    // Write through a fallible sink: a closed pipe (e.g. `| head`) must
+    // end the program quietly, not panic.
+    let mut out = String::new();
+    out.push_str(&report::render(&diagnosis));
+    if let Ok(truth) = read(&dir, "truth.txt") {
+        out.push_str("--- ground truth (truth.txt) ---\n");
+        for line in truth.lines().filter(|l| l.starts_with("failed")) {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(out.as_bytes());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,139 @@
+//! Conversions from simulator outputs to diagnoser inputs, plus the two
+//! oracles (IP-to-AS, Looking Glass) implemented from simulation state.
+//!
+//! This is the only place where simulator types meet diagnoser types; the
+//! diagnoser itself never sees ground truth.
+
+use std::net::Ipv4Addr;
+
+use netdiag_netsim::{looking_glass_query, ProbeHop, ProbeMesh, Sim, SensorSet, Traceroute};
+use netdiag_topology::{AsId, Topology};
+use netdiagnoser::{
+    Hop, IgpLinkDownObs, IpToAs, LookingGlass, Observations, ProbePath, RoutingFeed, SensorMeta,
+    Snapshot, WithdrawalObs,
+};
+use std::collections::BTreeSet;
+
+/// Converts a simulated traceroute to the diagnoser's view (addresses and
+/// stars only; ground truth stripped).
+pub fn to_probe_path(tr: &Traceroute) -> ProbePath {
+    ProbePath {
+        src: tr.src,
+        dst: tr.dst,
+        hops: tr
+            .hops
+            .iter()
+            .map(|h| match h {
+                ProbeHop::Addr { addr, .. } | ProbeHop::Dest { addr } => Hop::Addr(*addr),
+                ProbeHop::Star { .. } => Hop::Star,
+            })
+            .collect(),
+        reached: tr.reached,
+    }
+}
+
+/// Converts a full probe mesh to a snapshot.
+pub fn to_snapshot(mesh: &ProbeMesh) -> Snapshot {
+    Snapshot {
+        paths: mesh.traceroutes.iter().map(to_probe_path).collect(),
+    }
+}
+
+/// Builds the sensor directory the troubleshooter knows.
+pub fn sensor_metas(sensors: &SensorSet) -> Vec<SensorMeta> {
+    sensors
+        .sensors()
+        .iter()
+        .map(|s| SensorMeta {
+            id: s.id,
+            addr: s.addr,
+            as_id: s.as_id,
+        })
+        .collect()
+}
+
+/// Assembles the probe observations from two meshes.
+pub fn observations(
+    sensors: &SensorSet,
+    before: &ProbeMesh,
+    after: &ProbeMesh,
+) -> Observations {
+    Observations {
+        sensors: sensor_metas(sensors),
+        before: to_snapshot(before),
+        after: to_snapshot(after),
+    }
+}
+
+/// Builds AS-X's control-plane feed from what the simulator recorded during
+/// reconvergence.
+///
+/// * eBGP withdrawals received by AS-X routers become [`WithdrawalObs`]
+///   carrying the sending neighbor's interface address on the shared link
+///   (which is how the operator identifies the neighbor);
+/// * IGP link-down events inside AS-X become [`IgpLinkDownObs`] with the
+///   failed link's two interface addresses.
+pub fn routing_feed(
+    topology: &Topology,
+    observer: AsId,
+    observed: &[netdiag_bgp::ObservedMsg],
+    igp_events: &[netdiag_netsim::IgpLinkDown],
+) -> RoutingFeed {
+    let withdrawals = observed
+        .iter()
+        .filter(|m| m.kind == netdiag_bgp::ObservedKind::Withdraw)
+        .filter_map(|m| {
+            let link = topology.link_between(m.at, m.from)?;
+            Some(WithdrawalObs {
+                from_addr: topology.link(link).addr_of(m.from),
+                prefix: m.prefix,
+            })
+        })
+        .collect();
+    let igp_link_down = igp_events
+        .iter()
+        .filter(|e| e.as_id == observer)
+        .map(|e| {
+            let l = topology.link(e.link);
+            IgpLinkDownObs {
+                addr_a: l.addr_a,
+                addr_b: l.addr_b,
+            }
+        })
+        .collect();
+    RoutingFeed {
+        withdrawals,
+        igp_link_down,
+    }
+}
+
+/// Ground-truth IP-to-AS mapping (the paper assumes an accurate mapping
+/// service; this models exactly that assumption).
+pub struct TruthIpToAs<'a> {
+    /// The topology providing ground truth.
+    pub topology: &'a Topology,
+}
+
+impl IpToAs for TruthIpToAs<'_> {
+    fn as_of(&self, addr: Ipv4Addr) -> Option<AsId> {
+        self.topology.as_of_ip(addr)
+    }
+}
+
+/// Looking Glass service backed by the post-failure simulator state, with a
+/// configurable set of ASes that actually provide a Looking Glass.
+pub struct SimLookingGlass<'a> {
+    /// The (post-failure) simulator whose BGP state answers queries.
+    pub sim: &'a Sim,
+    /// ASes offering a Looking Glass server.
+    pub available: BTreeSet<AsId>,
+}
+
+impl LookingGlass for SimLookingGlass<'_> {
+    fn as_path(&self, from_as: AsId, dst: Ipv4Addr) -> Option<Vec<AsId>> {
+        if !self.available.contains(&from_as) {
+            return None;
+        }
+        looking_glass_query(self.sim, from_as, dst)
+    }
+}

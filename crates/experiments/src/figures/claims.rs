@@ -1,0 +1,157 @@
+//! In-text numeric claims of the paper's evaluation, checked against this
+//! reproduction (the data behind EXPERIMENTS.md's claims table).
+
+use crate::figures::{cdf_of, collect_trials, FigureConfig, FigureOutput};
+use crate::output::{f4, Table};
+use crate::runner::RunConfig;
+use crate::sampling::FailureSpec;
+
+/// Checks every in-text claim and reports paper-vs-measured.
+pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
+    let net = fc.internet();
+    let mut table = Table::new(&["claim", "paper", "measured"]);
+
+    // §5.1: Tomo sensitivity ~1 for single link failures.
+    let links1 = collect_trials(
+        &net,
+        &RunConfig {
+            failure: FailureSpec::Links(1),
+            ..Default::default()
+        },
+        fc,
+    );
+    let tomo1 = cdf_of(&links1, |t| t.tomo.sensitivity);
+    table.row(&[
+        "tomo sensitivity=1 fraction, 1 link failure".into(),
+        "~1.0".into(),
+        f4(tomo1.fraction_perfect()),
+    ]);
+
+    // §5.1: Tomo sensitivity is zero in ~90% of misconfiguration runs.
+    let misconfig = collect_trials(
+        &net,
+        &RunConfig {
+            failure: FailureSpec::Misconfig,
+            ..Default::default()
+        },
+        fc,
+    );
+    let tomo_mc = cdf_of(&misconfig, |t| t.tomo.sensitivity);
+    table.row(&[
+        "tomo sensitivity=0 fraction, misconfiguration".into(),
+        "~0.9".into(),
+        f4(tomo_mc.fraction_zero()),
+    ]);
+
+    // §5.2: ND-edge sensitivity ~1 for 3 link failures.
+    let links3 = collect_trials(
+        &net,
+        &RunConfig {
+            failure: FailureSpec::Links(3),
+            ..Default::default()
+        },
+        fc,
+    );
+    table.row(&[
+        "nd-edge mean sensitivity, 3 link failures".into(),
+        "~1.0".into(),
+        f4(cdf_of(&links3, |t| t.nd_edge.sensitivity).mean()),
+    ]);
+
+    // §5.2: ND-edge specificity > 0.9 for single link failures.
+    table.row(&[
+        "nd-edge mean specificity, 1 link failure".into(),
+        ">0.9".into(),
+        f4(cdf_of(&links1, |t| t.nd_edge.specificity).mean()),
+    ]);
+
+    // §5.2: misconfiguration specificity is higher than link-failure
+    // specificity.
+    table.row(&[
+        "nd-edge mean specificity, misconfiguration".into(),
+        ">1-link value".into(),
+        f4(cdf_of(&misconfig, |t| t.nd_edge.specificity).mean()),
+    ]);
+
+    // §5.2: hypothesis set up to ~12 links for single link failures.
+    let max_hyp = links1
+        .iter()
+        .map(|t| t.nd_edge.hypothesis_size)
+        .max()
+        .unwrap_or(0);
+    table.row(&[
+        "nd-edge max hypothesis size, 1 link failure".into(),
+        "~12".into(),
+        max_hyp.to_string(),
+    ]);
+
+    // §5.2: router failures detected in every run.
+    let routers = collect_trials(
+        &net,
+        &RunConfig {
+            failure: FailureSpec::Router,
+            ..Default::default()
+        },
+        fc,
+    );
+    let detected = routers
+        .iter()
+        .filter(|t| t.router_detected == Some(true))
+        .count();
+    table.row(&[
+        "nd-edge router failures detected".into(),
+        "all".into(),
+        format!("{detected}/{}", routers.len()),
+    ]);
+
+    // §5.2: AS-level diagnosis of ND-edge — no AS false negatives in >90%
+    // of cases (AS-sensitivity = 1).
+    let as_perfect = links1
+        .iter()
+        .filter(|t| t.nd_edge.as_sensitivity >= 1.0 - 1e-9)
+        .count() as f64
+        / links1.len().max(1) as f64;
+    table.row(&[
+        "nd-edge AS-sensitivity=1 fraction, 1 link failure".into(),
+        ">0.9".into(),
+        f4(as_perfect),
+    ]);
+
+    // §5.3: ND-bgpigp specificity >= ND-edge's.
+    table.row(&[
+        "nd-bgpigp mean specificity minus nd-edge, 3 link failures".into(),
+        ">=0".into(),
+        f4(cdf_of(&links3, |t| t.nd_bgpigp.specificity).mean()
+            - cdf_of(&links3, |t| t.nd_edge.specificity).mean()),
+    ]);
+
+    // §5.4: with f_b = 0.8 and LGs everywhere, ND-LG AS-sensitivity ~0.8
+    // while ND-bgpigp's is ~1 - f_b = 0.2.
+    let blocked = collect_trials(
+        &net,
+        &RunConfig {
+            failure: FailureSpec::Links(1),
+            blocked_frac: 0.8,
+            lg_frac: 1.0,
+            ..Default::default()
+        },
+        fc,
+    );
+    let n = blocked.len().max(1) as f64;
+    table.row(&[
+        "nd-lg mean AS-sensitivity, f_b=0.8".into(),
+        "~0.8".into(),
+        f4(blocked
+            .iter()
+            .map(|t| t.nd_lg.map_or(t.nd_bgpigp.as_sensitivity, |e| e.as_sensitivity))
+            .sum::<f64>()
+            / n),
+    ]);
+    table.row(&[
+        "nd-bgpigp mean AS-sensitivity, f_b=0.8".into(),
+        "~0.2 (1-f_b)".into(),
+        f4(blocked.iter().map(|t| t.nd_bgpigp.as_sensitivity).sum::<f64>() / n),
+    ]);
+
+    vec![FigureOutput::new("claims", table)]
+}

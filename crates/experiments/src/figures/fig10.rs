@@ -1,0 +1,34 @@
+//! **Figure 10** — ND-edge vs ND-bgpigp under three link failures.
+//!
+//! Two CDFs: sensitivity and specificity. Expected shape: identical
+//! sensitivity; ND-bgpigp's specificity curve at or right of ND-edge's
+//! (control-plane data only ever removes non-failed links).
+
+use crate::figures::{cdf_of, cdf_table, collect_trials, FigureConfig, FigureOutput};
+use crate::runner::RunConfig;
+use crate::sampling::FailureSpec;
+
+/// Regenerates Figure 10.
+pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
+    let net = fc.internet();
+    let trials = collect_trials(
+        &net,
+        &RunConfig {
+            failure: FailureSpec::Links(3),
+            ..Default::default()
+        },
+        fc,
+    );
+    let sensitivity = cdf_table(&[
+        ("nd_edge", &cdf_of(&trials, |t| t.nd_edge.sensitivity)),
+        ("nd_bgpigp", &cdf_of(&trials, |t| t.nd_bgpigp.sensitivity)),
+    ]);
+    let specificity = cdf_table(&[
+        ("nd_edge", &cdf_of(&trials, |t| t.nd_edge.specificity)),
+        ("nd_bgpigp", &cdf_of(&trials, |t| t.nd_bgpigp.specificity)),
+    ]);
+    vec![
+        FigureOutput::new("fig10_sensitivity_3link", sensitivity),
+        FigureOutput::new("fig10_specificity_3link", specificity),
+    ]
+}

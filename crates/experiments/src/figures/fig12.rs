@@ -1,0 +1,71 @@
+//! **Figure 12** — the effect of Looking Glass availability.
+//!
+//! Mean AS-sensitivity of ND-LG as the fraction of ASes providing Looking
+//! Glass servers grows from 5% to 100%, for `f_b` ∈ {0.25, 0.5, 0.75};
+//! ND-bgpigp's (LG-independent) sensitivity drawn as horizontal baselines.
+//! Expected shape: large gains from even a few LGs, diminishing returns
+//! past ~50% coverage.
+
+use crate::figures::{collect_trials, FigureConfig, FigureOutput};
+use crate::output::{f4, Table};
+use crate::runner::RunConfig;
+use crate::sampling::FailureSpec;
+
+/// The Looking-Glass availability grid.
+pub const LG_FRACTIONS: [f64; 8] = [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0];
+
+/// The blocking fractions of the three curves.
+pub const BLOCKED_FRACTIONS: [f64; 3] = [0.25, 0.5, 0.75];
+
+/// Regenerates Figure 12.
+pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
+    let net = fc.internet();
+    let mut table = Table::new(&[
+        "lg_fraction",
+        "nd_lg_fb25",
+        "nd_lg_fb50",
+        "nd_lg_fb75",
+        "nd_bgpigp_fb25",
+        "nd_bgpigp_fb50",
+        "nd_bgpigp_fb75",
+    ]);
+    // ND-bgpigp baselines do not depend on LG availability; compute once
+    // per f_b (at full LG coverage, which it ignores).
+    let mut baselines = Vec::new();
+    let mut lg_curves: Vec<Vec<f64>> = vec![Vec::new(); BLOCKED_FRACTIONS.len()];
+    for (bi, &f_b) in BLOCKED_FRACTIONS.iter().enumerate() {
+        for &lg_frac in &LG_FRACTIONS {
+            let cfg = RunConfig {
+                failure: FailureSpec::Links(1),
+                blocked_frac: f_b,
+                lg_frac,
+                ..Default::default()
+            };
+            let trials = collect_trials(&net, &cfg, fc);
+            let n = trials.len().max(1) as f64;
+            let lg = trials
+                .iter()
+                .map(|t| t.nd_lg.map_or(t.nd_bgpigp.as_sensitivity, |e| e.as_sensitivity))
+                .sum::<f64>()
+                / n;
+            lg_curves[bi].push(lg);
+            if lg_frac == 1.0 {
+                baselines.push(
+                    trials.iter().map(|t| t.nd_bgpigp.as_sensitivity).sum::<f64>() / n,
+                );
+            }
+        }
+    }
+    for (i, &lg_frac) in LG_FRACTIONS.iter().enumerate() {
+        table.row(&[
+            f4(lg_frac),
+            f4(lg_curves[0][i]),
+            f4(lg_curves[1][i]),
+            f4(lg_curves[2][i]),
+            f4(baselines[0]),
+            f4(baselines[1]),
+            f4(baselines[2]),
+        ]);
+    }
+    vec![FigureOutput::new("fig12_looking_glass_fraction", table)]
+}

@@ -1,0 +1,51 @@
+//! **Figure 6** — sensitivity of plain Tomo under different failure
+//! scenarios.
+//!
+//! Top graph: CDF of Tomo's sensitivity for 1, 2 and 3 simultaneous link
+//! failures. Bottom graph: CDF for one router misconfiguration and for a
+//! misconfiguration combined with a link failure. Expected shape: near-
+//! perfect for single failures, sharply degraded for multiple failures,
+//! near-zero for misconfigurations.
+
+use crate::figures::{cdf_of, cdf_table, collect_trials, FigureConfig, FigureOutput};
+use crate::runner::RunConfig;
+use crate::sampling::FailureSpec;
+
+/// Regenerates Figure 6 (two tables: the top and bottom graphs).
+pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
+    let net = fc.internet();
+    let trials_for = |spec| {
+        collect_trials(
+            &net,
+            &RunConfig {
+                failure: spec,
+                ..Default::default()
+            },
+            fc,
+        )
+    };
+
+    let links1 = trials_for(FailureSpec::Links(1));
+    let links2 = trials_for(FailureSpec::Links(2));
+    let links3 = trials_for(FailureSpec::Links(3));
+    let top = cdf_table(&[
+        ("tomo_1link", &cdf_of(&links1, |t| t.tomo.sensitivity)),
+        ("tomo_2link", &cdf_of(&links2, |t| t.tomo.sensitivity)),
+        ("tomo_3link", &cdf_of(&links3, |t| t.tomo.sensitivity)),
+    ]);
+
+    let misconfig = trials_for(FailureSpec::Misconfig);
+    let combined = trials_for(FailureSpec::MisconfigPlusLink);
+    let bottom = cdf_table(&[
+        ("tomo_misconfig", &cdf_of(&misconfig, |t| t.tomo.sensitivity)),
+        (
+            "tomo_misconfig_plus_link",
+            &cdf_of(&combined, |t| t.tomo.sensitivity),
+        ),
+    ]);
+
+    vec![
+        FigureOutput::new("fig6_tomo_sensitivity_links", top),
+        FigureOutput::new("fig6_tomo_sensitivity_misconfig", bottom),
+    ]
+}

@@ -1,0 +1,51 @@
+//! **Figure 7** — sensitivity of Tomo vs ND-edge.
+//!
+//! Top graph: three simultaneous link failures. Bottom graph: one
+//! misconfiguration plus one link failure. Expected shape: ND-edge's CDF
+//! hugs sensitivity = 1 while Tomo's mass sits well below.
+
+use crate::figures::{cdf_of, cdf_table, collect_trials, FigureConfig, FigureOutput};
+use crate::runner::RunConfig;
+use crate::sampling::FailureSpec;
+
+/// Regenerates Figure 7.
+pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
+    let net = fc.internet();
+
+    let links3 = collect_trials(
+        &net,
+        &RunConfig {
+            failure: FailureSpec::Links(3),
+            ..Default::default()
+        },
+        fc,
+    );
+    let top = cdf_table(&[
+        ("tomo_3link", &cdf_of(&links3, |t| t.tomo.sensitivity)),
+        ("nd_edge_3link", &cdf_of(&links3, |t| t.nd_edge.sensitivity)),
+    ]);
+
+    let combined = collect_trials(
+        &net,
+        &RunConfig {
+            failure: FailureSpec::MisconfigPlusLink,
+            ..Default::default()
+        },
+        fc,
+    );
+    let bottom = cdf_table(&[
+        (
+            "tomo_misconfig_plus_link",
+            &cdf_of(&combined, |t| t.tomo.sensitivity),
+        ),
+        (
+            "nd_edge_misconfig_plus_link",
+            &cdf_of(&combined, |t| t.nd_edge.sensitivity),
+        ),
+    ]);
+
+    vec![
+        FigureOutput::new("fig7_sensitivity_3link", top),
+        FigureOutput::new("fig7_sensitivity_misconfig_link", bottom),
+    ]
+}

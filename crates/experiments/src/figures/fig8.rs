@@ -1,0 +1,39 @@
+//! **Figure 8** — specificity of ND-edge.
+//!
+//! CDF of ND-edge's specificity for a single link failure and for a single
+//! router misconfiguration. Expected shape: specificity > 0.9 throughout,
+//! with the misconfiguration curve strictly better (logical links let the
+//! working paths exonerate physical links).
+
+use crate::figures::{cdf_of, cdf_table, collect_trials, FigureConfig, FigureOutput};
+use crate::runner::RunConfig;
+use crate::sampling::FailureSpec;
+
+/// Regenerates Figure 8.
+pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
+    let net = fc.internet();
+    let link = collect_trials(
+        &net,
+        &RunConfig {
+            failure: FailureSpec::Links(1),
+            ..Default::default()
+        },
+        fc,
+    );
+    let misconfig = collect_trials(
+        &net,
+        &RunConfig {
+            failure: FailureSpec::Misconfig,
+            ..Default::default()
+        },
+        fc,
+    );
+    let table = cdf_table(&[
+        ("nd_edge_1link", &cdf_of(&link, |t| t.nd_edge.specificity)),
+        (
+            "nd_edge_misconfig",
+            &cdf_of(&misconfig, |t| t.nd_edge.specificity),
+        ),
+    ]);
+    vec![FigureOutput::new("fig8_ndedge_specificity", table)]
+}

@@ -1,0 +1,146 @@
+//! Figure regenerators: one module per results figure of the paper
+//! (Figures 5–12), plus [`claims`], which checks the paper's in-text
+//! numeric claims. Each regenerator returns named [`Table`]s with exactly
+//! the rows/series the paper plots.
+
+pub mod ablations;
+pub mod claims;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod robustness;
+pub mod scalability;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netdiag_topology::builders::{build_internet, Internet, InternetConfig};
+
+use crate::output::{Cdf, Table};
+use crate::runner::{prepare, run_trial, RunConfig, TrialResult};
+
+/// How much work a figure regeneration does.
+#[derive(Clone, Copy, Debug)]
+pub struct FigureConfig {
+    /// Sensor placements per scenario (paper: 10).
+    pub placements: usize,
+    /// Failure trials per placement (paper: 100).
+    pub failures_per_placement: usize,
+    /// Seed of the generated topology.
+    pub topology_seed: u64,
+    /// Base seed for placements and failures.
+    pub base_seed: u64,
+}
+
+impl Default for FigureConfig {
+    fn default() -> Self {
+        FigureConfig {
+            placements: 10,
+            failures_per_placement: 100,
+            topology_seed: 1,
+            base_seed: 7,
+        }
+    }
+}
+
+impl FigureConfig {
+    /// A fast configuration for tests and benches (3 x 5 trials).
+    pub fn quick() -> Self {
+        FigureConfig {
+            placements: 3,
+            failures_per_placement: 5,
+            ..Default::default()
+        }
+    }
+
+    /// The evaluation topology.
+    pub fn internet(&self) -> Internet {
+        build_internet(&InternetConfig {
+            seed: self.topology_seed,
+            ..InternetConfig::default()
+        })
+    }
+}
+
+/// A named output table (written as `<name>.csv`).
+#[derive(Clone, Debug)]
+pub struct FigureOutput {
+    /// File stem, e.g. `fig6_tomo_sensitivity`.
+    pub name: String,
+    /// The data.
+    pub table: Table,
+}
+
+impl FigureOutput {
+    /// Creates a named output.
+    pub fn new(name: impl Into<String>, table: Table) -> Self {
+        FigureOutput {
+            name: name.into(),
+            table,
+        }
+    }
+}
+
+/// Runs the paper's standard experiment loop for one scenario: `placements`
+/// sensor placements, `failures_per_placement` unreachability-causing
+/// failures each.
+///
+/// Placements are independent (each has its own seeds), so they run on
+/// separate threads; results are concatenated in placement order, keeping
+/// the output deterministic.
+pub fn collect_trials(net: &Internet, cfg: &RunConfig, fc: &FigureConfig) -> Vec<TrialResult> {
+    let one_placement = |p: usize| -> Vec<TrialResult> {
+        let mut prng = StdRng::seed_from_u64(fc.base_seed ^ (p as u64).wrapping_mul(0x9E37_79B9));
+        let ctx = prepare(net, cfg, &mut prng);
+        let mut frng =
+            StdRng::seed_from_u64(fc.base_seed ^ 0xABCD ^ (p as u64).wrapping_mul(0x85EB_CA6B));
+        (0..fc.failures_per_placement)
+            .filter_map(|_| run_trial(&ctx, cfg, &mut frng))
+            .collect()
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(fc.placements.max(1));
+    if threads <= 1 || fc.placements <= 1 {
+        return (0..fc.placements).flat_map(one_placement).collect();
+    }
+    let mut per_placement: Vec<Vec<TrialResult>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..fc.placements)
+            .map(|p| scope.spawn(move || one_placement(p)))
+            .collect();
+        per_placement = handles
+            .into_iter()
+            .map(|h| h.join().expect("placement worker panicked"))
+            .collect();
+    });
+    per_placement.into_iter().flatten().collect()
+}
+
+/// Collects a metric from trials into a CDF.
+pub fn cdf_of(trials: &[TrialResult], f: impl Fn(&TrialResult) -> f64) -> Cdf {
+    Cdf::new(trials.iter().map(f).collect())
+}
+
+/// Grid resolution for CDF tables.
+pub const CDF_STEPS: usize = 20;
+
+/// Builds a CDF table with one `x` column and one column per named series.
+pub fn cdf_table(series: &[(&str, &Cdf)]) -> Table {
+    let mut header = vec!["x"];
+    header.extend(series.iter().map(|(n, _)| *n));
+    let mut table = Table::new(&header);
+    for i in 0..=CDF_STEPS {
+        let x = i as f64 / CDF_STEPS as f64;
+        let mut row = vec![crate::output::f4(x)];
+        row.extend(series.iter().map(|(_, c)| crate::output::f4(c.at(x))));
+        table.row(&row);
+    }
+    table
+}

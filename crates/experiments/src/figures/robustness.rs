@@ -1,0 +1,115 @@
+//! Robustness studies the paper summarizes without plots:
+//!
+//! * §4: "experiments with N ranging from 5 to 100 show similar trends" —
+//!   the sensor-count sweep;
+//! * §5.3: "the position of AS-X makes no difference to the sensitivity
+//!   of ND-bgpigp. However, the specificity is either the same or higher
+//!   when AS-X is at the core" — the observer-position study;
+//! * §4's footnote that the algorithms are driven by the *inferred graph*
+//!   rather than the raw topology — the tier-2 intradomain-style study
+//!   (hub-and-spoke vs ring vs ladder).
+
+use netdiag_topology::builders::{build_internet, InternetConfig, Tier2Style};
+
+use crate::figures::{collect_trials, FigureConfig, FigureOutput};
+use crate::output::{f4, Table};
+use crate::runner::{ObserverPosition, RunConfig};
+use crate::sampling::FailureSpec;
+
+/// Sensor counts swept.
+pub const SENSOR_COUNTS: [usize; 4] = [5, 10, 20, 50];
+
+/// Regenerates the robustness tables.
+pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
+    vec![sensor_sweep(fc), observer_position(fc), tier2_style(fc)]
+}
+
+/// Tomo vs ND-edge trends as the sensor count grows (2 link failures).
+fn sensor_sweep(fc: &FigureConfig) -> FigureOutput {
+    let net = fc.internet();
+    let mut table = Table::new(&[
+        "sensors",
+        "tomo_sensitivity",
+        "nd_edge_sensitivity",
+        "nd_edge_specificity",
+    ]);
+    for &n in &SENSOR_COUNTS {
+        let cfg = RunConfig {
+            n_sensors: n,
+            failure: FailureSpec::Links(2),
+            ..Default::default()
+        };
+        let trials = collect_trials(&net, &cfg, fc);
+        let count = trials.len().max(1) as f64;
+        table.row(&[
+            n.to_string(),
+            f4(trials.iter().map(|t| t.tomo.sensitivity).sum::<f64>() / count),
+            f4(trials.iter().map(|t| t.nd_edge.sensitivity).sum::<f64>() / count),
+            f4(trials.iter().map(|t| t.nd_edge.specificity).sum::<f64>() / count),
+        ]);
+    }
+    FigureOutput::new("robustness_sensor_sweep", table)
+}
+
+/// ND-bgpigp metrics per AS-X position (3 link failures).
+fn observer_position(fc: &FigureConfig) -> FigureOutput {
+    let net = fc.internet();
+    let mut table = Table::new(&[
+        "as_x_position",
+        "nd_bgpigp_sensitivity",
+        "nd_bgpigp_specificity",
+    ]);
+    for (label, observer) in [
+        ("core", ObserverPosition::Core),
+        ("tier2", ObserverPosition::Tier2),
+        ("sensor_stub", ObserverPosition::SensorStub),
+    ] {
+        let cfg = RunConfig {
+            observer,
+            failure: FailureSpec::Links(3),
+            ..Default::default()
+        };
+        let trials = collect_trials(&net, &cfg, fc);
+        let count = trials.len().max(1) as f64;
+        table.row(&[
+            label.to_string(),
+            f4(trials.iter().map(|t| t.nd_bgpigp.sensitivity).sum::<f64>() / count),
+            f4(trials.iter().map(|t| t.nd_bgpigp.specificity).sum::<f64>() / count),
+        ]);
+    }
+    FigureOutput::new("robustness_observer_position", table)
+}
+
+/// Tomo/ND-edge means per tier-2 intradomain style (2 link failures).
+fn tier2_style(fc: &FigureConfig) -> FigureOutput {
+    let mut table = Table::new(&[
+        "tier2_style",
+        "tomo_sensitivity",
+        "nd_edge_sensitivity",
+        "nd_edge_specificity",
+    ]);
+    for (label, style) in [
+        ("hub_spoke", Tier2Style::HubSpoke),
+        ("ring", Tier2Style::Ring),
+        ("ladder", Tier2Style::Ladder),
+    ] {
+        let net = build_internet(&InternetConfig {
+            tier2_style: style,
+            seed: fc.topology_seed,
+            ..InternetConfig::default()
+        });
+        let cfg = RunConfig {
+            failure: FailureSpec::Links(2),
+            ..Default::default()
+        };
+        let trials = collect_trials(&net, &cfg, fc);
+        let count = trials.len().max(1) as f64;
+        table.row(&[
+            label.to_string(),
+            f4(trials.iter().map(|t| t.tomo.sensitivity).sum::<f64>() / count),
+            f4(trials.iter().map(|t| t.nd_edge.sensitivity).sum::<f64>() / count),
+            f4(trials.iter().map(|t| t.nd_edge.specificity).sum::<f64>() / count),
+        ]);
+    }
+    FigureOutput::new("robustness_tier2_style", table)
+}

@@ -1,0 +1,19 @@
+//! Evaluation harness reproducing the NetDiagnoser paper's experiments.
+//!
+//! The pipeline: generate the 165-AS research-Internet topology, place
+//! sensors ([`placement`]), converge routing, probe the full mesh, inject a
+//! failure ([`sampling`]), re-probe, feed the diagnoser, and score against
+//! ground truth ([`truth`]). [`runner`] wires it together; [`figures`] has
+//! one regenerator per paper figure; the `figures` binary drives them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod figures;
+pub mod output;
+pub mod placement;
+pub mod runner;
+pub mod sampling;
+pub mod summary;
+pub mod truth;

@@ -1,0 +1,202 @@
+//! Sensor placement strategies (§4 of the paper, "Sensor placement and
+//! diagnosability").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use netdiag_topology::builders::Internet;
+use netdiag_topology::{AsId, RouterId};
+
+/// The four placements of Figure 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// All sensors attached to (distinct, where possible) routers of one
+    /// tier-2 AS.
+    SameAs,
+    /// Half the sensors at routers of one tier-2 AS, half at routers of
+    /// another homed to a different core — every inter-AS path crosses the
+    /// same sequence of links.
+    DistantAs,
+    /// DistantAs plus a few sensors at intermediate ASes on the path
+    /// between the two (the cores above them), splitting the shared chain.
+    DistantAsSplit,
+    /// Each sensor in a randomly chosen stub AS (the paper's default —
+    /// and worst case).
+    Random,
+}
+
+/// Produces the (AS, attach router) list for a placement.
+///
+/// # Panics
+///
+/// Panics if the topology has too few stub/tier-2 ASes for the strategy.
+pub fn place_sensors(
+    net: &Internet,
+    placement: Placement,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<(AsId, RouterId)> {
+    match placement {
+        Placement::Random => {
+            assert!(net.stubs.len() >= n, "need at least {n} stub ASes");
+            let mut stubs: Vec<usize> = (0..net.stubs.len()).collect();
+            stubs.shuffle(rng);
+            stubs[..n]
+                .iter()
+                .map(|&i| (net.stubs[i].as_id, net.stubs[i].routers[0]))
+                .collect()
+        }
+        Placement::SameAs => {
+            assert!(!net.tier2.is_empty(), "need a tier-2 AS");
+            let t2 = &net.tier2[rng.gen_range(0..net.tier2.len())];
+            (0..n)
+                .map(|_| {
+                    let r = t2.routers[rng.gen_range(0..t2.routers.len())];
+                    (t2.as_id, r)
+                })
+                .collect()
+        }
+        Placement::DistantAs => {
+            let (a, b) = distant_tier2_pair(net, rng);
+            let mut spec = Vec::with_capacity(n);
+            for i in 0..n {
+                let t2 = if i % 2 == 0 { a } else { b };
+                let r = t2.routers[rng.gen_range(0..t2.routers.len())];
+                spec.push((t2.as_id, r));
+            }
+            spec
+        }
+        Placement::DistantAsSplit => {
+            let (a, b) = distant_tier2_pair(net, rng);
+            // Intermediate sensors at the cores above both tier-2 ASes —
+            // on the inter-AS path by construction.
+            let n_mid = n.saturating_sub(2).min(4);
+            let mut spec = Vec::with_capacity(n);
+            let mids = cores_above(net, a, b);
+            for i in 0..n_mid {
+                let built = mids[i % mids.len()];
+                let r = built.routers[rng.gen_range(0..built.routers.len())];
+                spec.push((built.as_id, r));
+            }
+            for i in 0..n - n_mid {
+                let t2 = if i % 2 == 0 { a } else { b };
+                let r = t2.routers[rng.gen_range(0..t2.routers.len())];
+                spec.push((t2.as_id, r));
+            }
+            spec
+        }
+    }
+}
+
+/// The core provider of a tier-2 AS (its first one when multihomed).
+fn core_of_tier2<'a>(
+    net: &'a Internet,
+    t2: &netdiag_topology::builders::BuiltAs,
+) -> Option<&'a netdiag_topology::builders::BuiltAs> {
+    net.cores.iter().find(|c| {
+        net.topology.relationship(t2.as_id, c.as_id) == Some(netdiag_topology::PeerKind::Provider)
+    })
+}
+
+/// Picks two tier-2 ASes homed to *different* cores where possible
+/// (maximizing the shared inter-AS chain), else any two distinct ones.
+fn distant_tier2_pair<'a>(
+    net: &'a Internet,
+    rng: &mut StdRng,
+) -> (
+    &'a netdiag_topology::builders::BuiltAs,
+    &'a netdiag_topology::builders::BuiltAs,
+) {
+    assert!(net.tier2.len() >= 2, "need at least two tier-2 ASes");
+    let a = rng.gen_range(0..net.tier2.len());
+    let core_a = core_of_tier2(net, &net.tier2[a]).map(|c| c.as_id);
+    let candidates: Vec<usize> = (0..net.tier2.len())
+        .filter(|&i| i != a && core_of_tier2(net, &net.tier2[i]).map(|c| c.as_id) != core_a)
+        .collect();
+    let b = if candidates.is_empty() {
+        (a + 1) % net.tier2.len()
+    } else {
+        candidates[rng.gen_range(0..candidates.len())]
+    };
+    (&net.tier2[a], &net.tier2[b])
+}
+
+/// The core ASes above the two tier-2 ASes (the split points of the
+/// inter-AS chain).
+fn cores_above<'a>(
+    net: &'a Internet,
+    a: &netdiag_topology::builders::BuiltAs,
+    b: &netdiag_topology::builders::BuiltAs,
+) -> Vec<&'a netdiag_topology::builders::BuiltAs> {
+    let mut mids: Vec<_> = [a, b]
+        .iter()
+        .filter_map(|t2| core_of_tier2(net, t2))
+        .collect();
+    mids.dedup_by_key(|c| c.as_id);
+    if mids.is_empty() {
+        mids.push(&net.cores[0]);
+    }
+    mids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdiag_topology::builders::{build_internet, InternetConfig};
+    use rand::SeedableRng;
+
+    fn net() -> Internet {
+        build_internet(&InternetConfig::small(11))
+    }
+
+    #[test]
+    fn random_uses_distinct_stubs() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = place_sensors(&net, Placement::Random, 5, &mut rng);
+        assert_eq!(spec.len(), 5);
+        let ases: std::collections::BTreeSet<_> = spec.iter().map(|(a, _)| *a).collect();
+        assert_eq!(ases.len(), 5, "random placement: distinct stub ASes");
+    }
+
+    #[test]
+    fn same_as_uses_one_as() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = place_sensors(&net, Placement::SameAs, 6, &mut rng);
+        let ases: std::collections::BTreeSet<_> = spec.iter().map(|(a, _)| *a).collect();
+        assert_eq!(ases.len(), 1);
+    }
+
+    #[test]
+    fn distant_as_uses_two_ases() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = place_sensors(&net, Placement::DistantAs, 8, &mut rng);
+        let ases: std::collections::BTreeSet<_> = spec.iter().map(|(a, _)| *a).collect();
+        assert_eq!(ases.len(), 2);
+        // Balanced halves.
+        let first = spec[0].0;
+        let count = spec.iter().filter(|(a, _)| *a == first).count();
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn split_path_adds_intermediates() {
+        let net = net();
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = place_sensors(&net, Placement::DistantAsSplit, 10, &mut rng);
+        assert_eq!(spec.len(), 10);
+        let ases: std::collections::BTreeSet<_> = spec.iter().map(|(a, _)| *a).collect();
+        assert!(ases.len() >= 3, "intermediate ASes present: {ases:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = net();
+        let a = place_sensors(&net, Placement::Random, 5, &mut StdRng::seed_from_u64(7));
+        let b = place_sensors(&net, Placement::Random, 5, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

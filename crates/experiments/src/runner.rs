@@ -1,0 +1,254 @@
+//! End-to-end experiment runner: placement → converge → probe → fail →
+//! re-probe → diagnose → score. One [`PlacementContext`] per sensor
+//! placement, many [`run_trial`] calls per context — matching the paper's
+//! "10 random sensor placements and 100 failures per placement".
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use netdiag_netsim::{apply_failure, probe_mesh, Failure, ProbeMesh, Sim, SensorSet};
+use netdiag_topology::builders::Internet;
+use netdiag_topology::{AsId, LinkId};
+use netdiagnoser::{nd_bgpigp, nd_edge, nd_lg, tomo, Weights};
+
+use crate::bridge::{observations, routing_feed, SimLookingGlass, TruthIpToAs};
+use crate::placement::{place_sensors, Placement};
+use crate::sampling::{sample_failure, FailureSpec};
+use crate::truth::{evaluate, mesh_diagnosability, Evaluation, TruthMap};
+
+/// Where the troubleshooting AS (AS-X) sits in the hierarchy (§5.3
+/// studies core vs edge placement).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObserverPosition {
+    /// A core AS (the paper's default; Abilene here).
+    Core,
+    /// A tier-2 transit AS.
+    Tier2,
+    /// A stub AS hosting the first sensor.
+    SensorStub,
+}
+
+/// Configuration of one experiment scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Number of sensors (paper default: 10).
+    pub n_sensors: usize,
+    /// Where AS-X sits (paper default: a core AS).
+    pub observer: ObserverPosition,
+    /// Placement strategy (paper default: random stubs).
+    pub placement: Placement,
+    /// Failure class to inject.
+    pub failure: FailureSpec,
+    /// Fraction of probed ASes that block traceroute (`f_b`).
+    pub blocked_frac: f64,
+    /// Fraction of probed ASes providing a Looking Glass.
+    pub lg_frac: f64,
+    /// Greedy scoring weights.
+    pub weights: Weights,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            n_sensors: 10,
+            observer: ObserverPosition::Core,
+            placement: Placement::Random,
+            failure: FailureSpec::Links(1),
+            blocked_frac: 0.0,
+            lg_frac: 1.0,
+            weights: Weights::default(),
+        }
+    }
+}
+
+/// A prepared sensor placement: healthy converged network plus the
+/// pre-failure measurements.
+pub struct PlacementContext {
+    /// Healthy converged simulator (observer set, message buffers drained).
+    pub sim: Sim,
+    /// The placed sensors.
+    pub sensors: SensorSet,
+    /// The troubleshooting AS (AS-X) — the first core AS.
+    pub observer: AsId,
+    /// ASes blocking traceroute.
+    pub blocked: BTreeSet<AsId>,
+    /// ASes providing Looking Glass servers (always includes AS-X).
+    pub lg_available: BTreeSet<AsId>,
+    /// The `T-` probe mesh (with blocking applied).
+    pub mesh_before: ProbeMesh,
+    /// Diagnosability `D(G)` of the unblocked pre-failure mesh.
+    pub diagnosability: f64,
+}
+
+/// Prepares a placement on a generated internet.
+pub fn prepare(net: &Internet, cfg: &RunConfig, rng: &mut StdRng) -> PlacementContext {
+    let topology = Arc::new(net.topology.clone());
+    let spec = place_sensors(net, cfg.placement, cfg.n_sensors, rng);
+    let sensors = SensorSet::place(&topology, &spec);
+    let observer = match cfg.observer {
+        ObserverPosition::Core => net.cores[0].as_id,
+        ObserverPosition::Tier2 => net.tier2[0].as_id,
+        ObserverPosition::SensorStub => sensors.sensors()[0].as_id,
+    };
+
+    let mut sim = Sim::new(Arc::clone(&topology));
+    sensors.register(&mut sim);
+    sim.set_observer(observer);
+    sim.converge_for(&sensors.as_ids());
+    // Drop the initial-convergence chatter; trials only want event-driven
+    // messages.
+    sim.take_observed();
+    sim.take_igp_events();
+
+    // Probe once without blocking to learn the probed ASes and the
+    // diagnosability of the placement.
+    let plain_mesh = probe_mesh(&sim, &sensors, &BTreeSet::new());
+    let diagnosability = mesh_diagnosability(&plain_mesh);
+    let probed_ases: BTreeSet<AsId> = plain_mesh
+        .traceroutes
+        .iter()
+        .flat_map(|t| t.hops.iter().filter_map(|h| h.router()))
+        .map(|r| topology.as_of_router(r))
+        .collect();
+
+    // Sample the blocking and Looking-Glass sets among probed ASes. AS-X
+    // never blocks itself and always has its own routing data ("its own
+    // BGP information" acts as its Looking Glass).
+    let mut blockable: Vec<AsId> = probed_ases
+        .iter()
+        .copied()
+        .filter(|&a| a != observer)
+        .collect();
+    blockable.shuffle(rng);
+    let n_blocked = (cfg.blocked_frac * blockable.len() as f64).round() as usize;
+    let blocked: BTreeSet<AsId> = blockable[..n_blocked.min(blockable.len())]
+        .iter()
+        .copied()
+        .collect();
+
+    let mut lg_pool: Vec<AsId> = probed_ases.iter().copied().collect();
+    lg_pool.shuffle(rng);
+    let n_lg = (cfg.lg_frac * lg_pool.len() as f64).round() as usize;
+    let mut lg_available: BTreeSet<AsId> =
+        lg_pool[..n_lg.min(lg_pool.len())].iter().copied().collect();
+    lg_available.insert(observer);
+
+    let mesh_before = probe_mesh(&sim, &sensors, &blocked);
+
+    PlacementContext {
+        sim,
+        sensors,
+        observer,
+        blocked,
+        lg_available,
+        mesh_before,
+        diagnosability,
+    }
+}
+
+/// Per-algorithm evaluations for one failure trial.
+#[derive(Clone, Debug)]
+pub struct TrialResult {
+    /// The injected failure.
+    pub failure: Failure,
+    /// Ground-truth failure sites restricted to probed links.
+    pub failed_sites: BTreeSet<LinkId>,
+    /// Number of sensor pairs that lost reachability.
+    pub failed_paths: usize,
+    /// Plain Boolean tomography.
+    pub tomo: Evaluation,
+    /// Logical links + reroute sets.
+    pub nd_edge: Evaluation,
+    /// ND-edge + AS-X control plane.
+    pub nd_bgpigp: Evaluation,
+    /// ND-bgpigp + Looking Glass (only when traceroute blocking is on).
+    pub nd_lg: Option<Evaluation>,
+    /// For router-failure trials: did ND-edge's hypothesis touch the failed
+    /// router (the paper's router-detection criterion)?
+    pub router_detected: Option<bool>,
+}
+
+/// Maximum failure-sampling attempts before giving up on a trial. The
+/// troubleshooter is only invoked for failures that actually cause
+/// unreachability, so reroutable-only samples are redrawn (as in the
+/// paper, which counts only unreachability-causing failures).
+const MAX_ATTEMPTS: usize = 200;
+
+/// Runs one failure trial: samples failures until one causes
+/// unreachability, then diagnoses and scores. Returns `None` if no
+/// unreachability-causing failure of the class could be drawn.
+pub fn run_trial(
+    ctx: &PlacementContext,
+    cfg: &RunConfig,
+    rng: &mut StdRng,
+) -> Option<TrialResult> {
+    let topology = ctx.sim.topology();
+    for _ in 0..MAX_ATTEMPTS {
+        let failure =
+            sample_failure(&ctx.sim, &ctx.mesh_before, &ctx.sensors, cfg.failure, rng)?;
+        let mut broken = ctx.sim.clone();
+        apply_failure(&mut broken, &failure);
+        let mesh_after = probe_mesh(&broken, &ctx.sensors, &ctx.blocked);
+        if mesh_after.failed_count() == 0 {
+            continue; // fully rerouted: no unreachability, redraw
+        }
+
+        let observed = broken.take_observed();
+        let igp_events = broken.take_igp_events();
+        let obs = observations(&ctx.sensors, &ctx.mesh_before, &mesh_after);
+        let feed = routing_feed(topology, ctx.observer, &observed, &igp_events);
+        let truth = TruthMap::build(topology, &ctx.mesh_before, &mesh_after);
+        let ip2as = TruthIpToAs { topology };
+
+        let failed_sites: BTreeSet<LinkId> = failure
+            .all_failure_sites(&ctx.sim)
+            .into_iter()
+            .filter(|l| truth.probed_links().contains(l))
+            .collect();
+
+        let d_tomo = tomo(&obs, &ip2as);
+        let d_edge = nd_edge(&obs, &ip2as, cfg.weights);
+        let d_bgpigp = nd_bgpigp(&obs, &ip2as, &feed, cfg.weights);
+
+        let router_detected = match failure {
+            Failure::Router(r) => {
+                let links: BTreeSet<LinkId> =
+                    topology.router(r).links.iter().copied().collect();
+                let hyp = truth.hypothesis_links(&d_edge);
+                Some(hyp.intersection(&links).next().is_some())
+            }
+            _ => None,
+        };
+
+        let nd_lg_eval = if ctx.blocked.is_empty() {
+            None
+        } else {
+            // The troubleshooting system records Looking Glass AS paths
+            // alongside its periodic baseline mesh, so UH mapping of the
+            // pre-failure paths uses the pre-failure LG views (after the
+            // failure, sources toward dead destinations have no AS path to
+            // report at all).
+            let lg = SimLookingGlass {
+                sim: &ctx.sim,
+                available: ctx.lg_available.clone(),
+            };
+            let d = nd_lg(&obs, &ip2as, &feed, &lg, cfg.weights);
+            Some(evaluate(topology, &truth, &d, &failed_sites))
+        };
+
+        return Some(TrialResult {
+            failed_paths: mesh_after.failed_count(),
+            tomo: evaluate(topology, &truth, &d_tomo, &failed_sites),
+            nd_edge: evaluate(topology, &truth, &d_edge, &failed_sites),
+            nd_bgpigp: evaluate(topology, &truth, &d_bgpigp, &failed_sites),
+            nd_lg: nd_lg_eval,
+            router_detected,
+            failure,
+            failed_sites,
+        });
+    }
+    None
+}

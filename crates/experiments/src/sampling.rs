@@ -1,0 +1,285 @@
+//! Failure sampling (§4, "Failure scenarios"): failures are drawn from the
+//! *probed* part of the topology, exactly as the paper does ("we simulate
+//! link failures by randomly breaking x links in E").
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use netdiag_bgp::ExportDeny;
+use netdiag_netsim::{Failure, ProbeMesh, Sim, SensorSet};
+use netdiag_topology::{LinkId, LinkKind, RouterId};
+
+/// The failure classes evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureSpec {
+    /// `x` simultaneous link failures (x ∈ {1, 2, 3} in the paper).
+    Links(usize),
+    /// One router failure (all attached links down).
+    Router,
+    /// One BGP export-filter misconfiguration.
+    Misconfig,
+    /// One misconfiguration plus one link failure.
+    MisconfigPlusLink,
+}
+
+/// Samples a failure of the given class from the probed topology.
+///
+/// Returns `None` when the class cannot be instantiated (e.g. no suitable
+/// misconfiguration target among probed inter-domain links).
+pub fn sample_failure(
+    sim: &Sim,
+    mesh: &ProbeMesh,
+    sensors: &SensorSet,
+    spec: FailureSpec,
+    rng: &mut StdRng,
+) -> Option<Failure> {
+    let probed: Vec<LinkId> = {
+        let set: BTreeSet<LinkId> = mesh
+            .traceroutes
+            .iter()
+            .flat_map(|t| t.links())
+            .collect();
+        set.into_iter().collect()
+    };
+    if probed.is_empty() {
+        return None;
+    }
+    match spec {
+        FailureSpec::Links(x) => {
+            if probed.len() < x {
+                return None;
+            }
+            let mut links = probed;
+            links.shuffle(rng);
+            links.truncate(x);
+            Some(Failure::Links(links))
+        }
+        FailureSpec::Router => {
+            let attach: BTreeSet<RouterId> =
+                sensors.sensors().iter().map(|s| s.router).collect();
+            let routers: Vec<RouterId> = {
+                let set: BTreeSet<RouterId> = mesh
+                    .traceroutes
+                    .iter()
+                    .flat_map(|t| t.hops.iter().filter_map(|h| h.router()))
+                    .filter(|r| !attach.contains(r))
+                    .collect();
+                set.into_iter().collect()
+            };
+            if routers.is_empty() {
+                return None;
+            }
+            Some(Failure::Router(routers[rng.gen_range(0..routers.len())]))
+        }
+        FailureSpec::Misconfig => {
+            sample_misconfig(sim, &probed, sensors, rng).map(Failure::Misconfig)
+        }
+        FailureSpec::MisconfigPlusLink => {
+            let denies = sample_misconfig(sim, &probed, sensors, rng)?;
+            let misconfig_link = sim
+                .topology()
+                .link_between(denies[0].at, denies[0].peer)
+                .expect("deny endpoints are adjacent");
+            let other: Vec<LinkId> = probed
+                .iter()
+                .copied()
+                .filter(|&l| l != misconfig_link)
+                .collect();
+            if other.is_empty() {
+                return None;
+            }
+            let link = other[rng.gen_range(0..other.len())];
+            Some(Failure::Combined(vec![
+                Failure::Misconfig(denies),
+                Failure::Links(vec![link]),
+            ]))
+        }
+    }
+}
+
+/// Picks a probed inter-domain link and builds a *per-neighbor* export
+/// misconfiguration at one end: the target router stops announcing to the
+/// peer every route it learned from one of its AS's neighbors (§4 chooses
+/// "some route(s) from the routing table of the target router"; §3.1 notes
+/// BGP policies — and hence misconfigurations — are set per neighbor).
+///
+/// The chosen neighbor group must matter: at least one of its prefixes is
+/// currently routed by the peer through the target.
+fn sample_misconfig(
+    sim: &Sim,
+    probed: &[LinkId],
+    sensors: &SensorSet,
+    rng: &mut StdRng,
+) -> Option<Vec<ExportDeny>> {
+    let topology = sim.topology();
+    let mut inter: Vec<LinkId> = probed
+        .iter()
+        .copied()
+        .filter(|&l| topology.link(l).kind == LinkKind::Inter)
+        .collect();
+    inter.shuffle(rng);
+
+    let sensor_prefixes: Vec<_> = sensors
+        .as_ids()
+        .iter()
+        .map(|&a| topology.as_node(a).prefix)
+        .collect();
+
+    for l in inter {
+        let link = topology.link(l);
+        // Try both orientations (which end is the misconfigured target).
+        let mut ends = [(link.a, link.b), (link.b, link.a)];
+        if rng.gen_bool(0.5) {
+            ends.swap(0, 1);
+        }
+        for (target, peer) in ends {
+            // Group the target's routes by the neighbor AS they were
+            // learned from (the first AS-path element).
+            let mut groups: std::collections::BTreeMap<netdiag_topology::AsId, Vec<_>> =
+                Default::default();
+            for &prefix in &sensor_prefixes {
+                let Some(route) = sim.bgp().best_route(target, &prefix) else {
+                    continue;
+                };
+                let Some(&via) = route.as_path.first() else {
+                    continue; // locally originated: not an export candidate
+                };
+                groups.entry(via).or_default().push(prefix);
+            }
+            // A group is a valid misconfiguration if filtering it has any
+            // effect: the peer routes at least one of its prefixes through
+            // the target.
+            let mut effective: Vec<(netdiag_topology::AsId, Vec<_>)> = groups
+                .into_iter()
+                .filter(|(_, prefixes)| {
+                    prefixes.iter().any(|p| {
+                        sim.bgp()
+                            .best_route(peer, p)
+                            .and_then(|r| r.learned_from)
+                            .is_some_and(|(_, n)| n == target)
+                    })
+                })
+                .collect();
+            if effective.is_empty() {
+                continue;
+            }
+            let (_, prefixes) = effective.swap_remove(rng.gen_range(0..effective.len()));
+            return Some(
+                prefixes
+                    .into_iter()
+                    .map(|prefix| ExportDeny {
+                        at: target,
+                        peer,
+                        prefix,
+                    })
+                    .collect(),
+            );
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdiag_netsim::probe_mesh;
+    use netdiag_topology::builders::{build_internet, InternetConfig};
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn setup() -> (Sim, SensorSet, ProbeMesh) {
+        let net = build_internet(&InternetConfig::small(21));
+        let topology = Arc::new(net.topology.clone());
+        let mut sim = Sim::new(Arc::clone(&topology));
+        let spec: Vec<_> = net.stubs[..6]
+            .iter()
+            .map(|s| (s.as_id, s.routers[0]))
+            .collect();
+        let sensors = SensorSet::place(&topology, &spec);
+        sensors.register(&mut sim);
+        sim.converge_for(&sensors.as_ids());
+        let mesh = probe_mesh(&sim, &sensors, &BTreeSet::new());
+        (sim, sensors, mesh)
+    }
+
+    #[test]
+    fn link_failures_come_from_probed_links() {
+        let (sim, sensors, mesh) = setup();
+        let probed: BTreeSet<LinkId> = mesh.traceroutes.iter().flat_map(|t| t.links()).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        for x in 1..=3 {
+            let f = sample_failure(&sim, &mesh, &sensors, FailureSpec::Links(x), &mut rng)
+                .expect("sampleable");
+            let links = f.failed_links(&sim);
+            assert_eq!(links.len(), x);
+            assert!(links.iter().all(|l| probed.contains(l)));
+        }
+    }
+
+    #[test]
+    fn router_failure_avoids_sensor_attach_routers() {
+        let (sim, sensors, mesh) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let f = sample_failure(&sim, &mesh, &sensors, FailureSpec::Router, &mut rng)
+                .expect("sampleable");
+            let Failure::Router(r) = f else { panic!() };
+            assert!(sensors.sensors().iter().all(|s| s.router != r));
+        }
+    }
+
+    #[test]
+    fn misconfig_targets_effective_route() {
+        let (sim, sensors, mesh) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = sample_failure(&sim, &mesh, &sensors, FailureSpec::Misconfig, &mut rng)
+            .expect("sampleable");
+        let Failure::Misconfig(rules) = &f else { panic!() };
+        let rule = rules[0];
+        // The peer really does learn the prefix from the target.
+        let learned = sim
+            .bgp()
+            .best_route(rule.peer, &rule.prefix)
+            .and_then(|r| r.learned_from)
+            .unwrap();
+        assert_eq!(learned.1, rule.at);
+    }
+
+    #[test]
+    fn misconfig_plus_link_has_two_sites() {
+        let (sim, sensors, mesh) = setup();
+        let mut rng = StdRng::seed_from_u64(8);
+        let f = sample_failure(
+            &sim,
+            &mesh,
+            &sensors,
+            FailureSpec::MisconfigPlusLink,
+            &mut rng,
+        )
+        .expect("sampleable");
+        assert_eq!(f.all_failure_sites(&sim).len(), 2);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let (sim, sensors, mesh) = setup();
+        let f1 = sample_failure(
+            &sim,
+            &mesh,
+            &sensors,
+            FailureSpec::Links(2),
+            &mut StdRng::seed_from_u64(9),
+        );
+        let f2 = sample_failure(
+            &sim,
+            &mesh,
+            &sensors,
+            FailureSpec::Links(2),
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(f1, f2);
+    }
+}

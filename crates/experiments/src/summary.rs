@@ -1,0 +1,125 @@
+//! Builds a single markdown digest out of the CSV files a figure run left
+//! in the results directory (the `figures summary` subcommand).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The known result files, in presentation order, with one-line captions.
+const SECTIONS: &[(&str, &str)] = &[
+    ("fig5_placement_diagnosability", "Figure 5 — sensor placement vs diagnosability"),
+    ("fig6_tomo_sensitivity_links", "Figure 6 (top) — Tomo sensitivity CDF, 1/2/3 link failures"),
+    ("fig6_tomo_sensitivity_misconfig", "Figure 6 (bottom) — Tomo sensitivity CDF, misconfigurations"),
+    ("fig7_sensitivity_3link", "Figure 7 (top) — Tomo vs ND-edge, 3 link failures"),
+    ("fig7_sensitivity_misconfig_link", "Figure 7 (bottom) — Tomo vs ND-edge, misconfig + link"),
+    ("fig8_ndedge_specificity", "Figure 8 — ND-edge specificity CDF"),
+    ("fig9_diagnosability_vs_specificity", "Figure 9 — diagnosability vs specificity (scatter)"),
+    ("fig10_sensitivity_3link", "Figure 10 — ND-edge vs ND-bgpigp sensitivity"),
+    ("fig10_specificity_3link", "Figure 10 — ND-edge vs ND-bgpigp specificity"),
+    ("fig11_blocked_traceroutes", "Figure 11 — blocked traceroutes"),
+    ("fig12_looking_glass_fraction", "Figure 12 — Looking Glass availability"),
+    ("claims", "In-text claims, paper vs measured"),
+    ("ablation_ndedge_weights", "Ablation — ND-edge scoring weights"),
+    ("ablation_greedy_vs_exact", "Ablation — greedy vs exact hitting set"),
+    ("robustness_sensor_sweep", "Robustness — sensor count"),
+    ("robustness_observer_position", "Robustness — AS-X position"),
+    ("robustness_tier2_style", "Robustness — tier-2 intradomain style"),
+    ("scalability_logical_links", "Scalability — logical-link graph size"),
+];
+
+/// The known section stems (exposed so tests can check that every figure
+/// regenerator's output is indexed here).
+pub fn known_stems() -> Vec<&'static str> {
+    SECTIONS.iter().map(|(stem, _)| *stem).collect()
+}
+
+/// Maximum data rows rendered per table (scatter files are huge).
+const MAX_ROWS: usize = 24;
+
+/// Renders one CSV as a markdown table (truncating long ones).
+fn csv_to_markdown(csv: &str) -> String {
+    let mut out = String::new();
+    let mut lines = csv.lines();
+    let Some(header) = lines.next() else {
+        return out;
+    };
+    let cols = header.split(',').count();
+    let _ = writeln!(out, "| {} |", header.replace(',', " | "));
+    let _ = writeln!(out, "|{}", "---|".repeat(cols));
+    let rows: Vec<&str> = lines.collect();
+    for row in rows.iter().take(MAX_ROWS) {
+        let _ = writeln!(out, "| {} |", row.replace(',', " | "));
+    }
+    if rows.len() > MAX_ROWS {
+        let _ = writeln!(out, "\n*({} more rows in the CSV)*", rows.len() - MAX_ROWS);
+    }
+    out
+}
+
+/// Builds the digest from whatever CSVs exist under `dir`. Returns the
+/// markdown text (also written to `dir/SUMMARY.md`).
+pub fn build(dir: &Path) -> io::Result<String> {
+    let mut out = String::from(
+        "# Reproduction summary\n\nGenerated from the CSVs in this directory by \
+         `figures summary`. See EXPERIMENTS.md for the paper-vs-measured\n\
+         interpretation of every table.\n",
+    );
+    let mut found = 0;
+    for (stem, caption) in SECTIONS {
+        let path = dir.join(format!("{stem}.csv"));
+        let Ok(csv) = fs::read_to_string(&path) else {
+            continue;
+        };
+        found += 1;
+        let _ = writeln!(out, "\n## {caption}\n");
+        out.push_str(&csv_to_markdown(&csv));
+    }
+    if found == 0 {
+        let _ = writeln!(
+            out,
+            "\n*(no result CSVs found — run `figures all` first)*"
+        );
+    }
+    fs::write(dir.join("SUMMARY.md"), &out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering_truncates() {
+        let mut csv = String::from("a,b\n");
+        for i in 0..40 {
+            csv.push_str(&format!("{i},{i}\n"));
+        }
+        let md = csv_to_markdown(&csv);
+        assert!(md.starts_with("| a | b |"));
+        assert!(md.contains("more rows"));
+        assert_eq!(md.matches('\n').count(), 2 + MAX_ROWS + 2);
+    }
+
+    #[test]
+    fn build_writes_summary() {
+        let dir = std::env::temp_dir().join("netdiag_summary_test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("claims.csv"), "claim,paper,measured\nx,1,1\n").unwrap();
+        let md = build(&dir).unwrap();
+        assert!(md.contains("In-text claims"));
+        assert!(dir.join("SUMMARY.md").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn build_handles_empty_dir() {
+        let dir = std::env::temp_dir().join("netdiag_summary_empty");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let md = build(&dir).unwrap();
+        assert!(md.contains("no result CSVs"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,166 @@
+//! Ground-truth evaluation: mapping a diagnosis back onto physical links
+//! and computing the paper's metrics.
+//!
+//! The diagnoser reasons about *observed* directed edges (address pairs,
+//! unidentified hops, logical halves). Evaluation happens at the physical
+//! granularity the paper reports: each observed edge maps to the ground
+//! truth [`LinkId`] of the link the probe crossed, and sensitivity /
+//! specificity are computed over the set of *probed* physical links.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use netdiag_netsim::{ProbeMesh, Traceroute};
+use netdiag_topology::{AsId, LinkId, Topology};
+use netdiagnoser::{metrics, Diagnosis, Epoch, Hop, HopNode, PathRef, ProbePath};
+
+/// Ground-truth map from observed edges to physical links.
+#[derive(Clone, Debug, Default)]
+pub struct TruthMap {
+    /// (from, to) observed endpoint pair -> physical link.
+    edges: BTreeMap<(HopNode, HopNode), LinkId>,
+    /// All probed physical links (the universe `E`).
+    probed_links: BTreeSet<LinkId>,
+    /// All ASes touched by probes (universe for AS-specificity).
+    probed_ases: BTreeSet<AsId>,
+}
+
+impl TruthMap {
+    /// Builds the map from the two measured meshes. `before`/`after` must be
+    /// the same meshes the diagnoser observed (hop indices align).
+    pub fn build(topology: &Topology, before: &ProbeMesh, after: &ProbeMesh) -> TruthMap {
+        let mut map = TruthMap::default();
+        for (epoch, mesh) in [(Epoch::Before, before), (Epoch::After, after)] {
+            for (index, tr) in mesh.traceroutes.iter().enumerate() {
+                map.add_traceroute(topology, tr, PathRef { epoch, index });
+            }
+        }
+        map
+    }
+
+    fn add_traceroute(&mut self, topology: &Topology, tr: &Traceroute, path_ref: PathRef) {
+        // Reconstruct the diagnoser's node keys for each hop.
+        let keys: Vec<HopNode> = tr
+            .hops
+            .iter()
+            .enumerate()
+            .map(|(pos, h)| match h.addr() {
+                Some(addr) => HopNode::Ip(addr),
+                None => HopNode::Uh(path_ref, pos),
+            })
+            .collect();
+        for (pos, h) in tr.hops.iter().enumerate() {
+            if let Some(r) = h.router() {
+                self.probed_ases.insert(topology.as_of_router(r));
+            }
+            if pos == 0 {
+                continue;
+            }
+            // The edge (hop[pos-1], hop[pos]) is the link the probe arrived
+            // on at hop pos (None only for the final Dest hop, which shares
+            // its router with the previous hop).
+            if let Some(link) = h.link() {
+                self.edges.insert((keys[pos - 1], keys[pos]), link);
+                self.probed_links.insert(link);
+            }
+        }
+    }
+
+    /// The physical link behind an observed edge.
+    pub fn link_of(&self, from: HopNode, to: HopNode) -> Option<LinkId> {
+        self.edges.get(&(from, to)).copied()
+    }
+
+    /// The probed-link universe `E`.
+    pub fn probed_links(&self) -> &BTreeSet<LinkId> {
+        &self.probed_links
+    }
+
+    /// The probed-AS universe.
+    pub fn probed_ases(&self) -> &BTreeSet<AsId> {
+        &self.probed_ases
+    }
+
+    /// Maps a diagnosis hypothesis to physical links (deduplicated; logical
+    /// halves and both directions collapse onto their link).
+    pub fn hypothesis_links(&self, diagnosis: &Diagnosis) -> BTreeSet<LinkId> {
+        diagnosis
+            .hypothesis
+            .iter()
+            .filter_map(|&e| {
+                let (from, to) = diagnosis.graph().endpoints(e);
+                self.link_of(from, to)
+            })
+            .collect()
+    }
+}
+
+/// The paper's metrics for one diagnosis run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Evaluation {
+    /// Link-level sensitivity `|F ∩ H| / |F|`.
+    pub sensitivity: f64,
+    /// Link-level specificity over probed links.
+    pub specificity: f64,
+    /// AS-level sensitivity (per failed link: one of its ASes named).
+    pub as_sensitivity: f64,
+    /// AS-level specificity over probed ASes.
+    pub as_specificity: f64,
+    /// Size of the (physical) hypothesis set.
+    pub hypothesis_size: usize,
+}
+
+/// Evaluates a diagnosis against the ground-truth failed links.
+pub fn evaluate(
+    topology: &Topology,
+    truth: &TruthMap,
+    diagnosis: &Diagnosis,
+    failed: &BTreeSet<LinkId>,
+) -> Evaluation {
+    let hypothesis = truth.hypothesis_links(diagnosis);
+    // Ground truth attributes each link to a single owning AS, matching the
+    // paper's "the AS containing the failed link": intra-domain links to
+    // their AS, inter-domain links to their `a`-side AS (the provider side
+    // in the generated topologies).
+    let link_as_set = |l: LinkId| -> BTreeSet<AsId> {
+        BTreeSet::from([topology.as_of_router(topology.link(l).a)])
+    };
+    // AS-level hypothesis: AS attributions straight from the diagnoser
+    // (includes LG tags for unidentified links).
+    let h_as = diagnosis.as_hypothesis();
+    let failed_as_sets: Vec<BTreeSet<AsId>> = failed.iter().map(|&l| link_as_set(l)).collect();
+    let failed_as_union: BTreeSet<AsId> = failed_as_sets.iter().flatten().copied().collect();
+
+    Evaluation {
+        sensitivity: metrics::sensitivity(failed, &hypothesis),
+        specificity: metrics::specificity(truth.probed_links(), failed, &hypothesis),
+        as_sensitivity: metrics::as_sensitivity(&failed_as_sets, &h_as),
+        as_specificity: metrics::as_specificity(truth.probed_ases(), &failed_as_union, &h_as),
+        hypothesis_size: hypothesis.len(),
+    }
+}
+
+/// Diagnosability `D(G)` of a measured mesh, computed over ground-truth
+/// physical links per path (§4 of the paper).
+pub fn mesh_diagnosability(mesh: &ProbeMesh) -> f64 {
+    let paths: Vec<Vec<LinkId>> = mesh.traceroutes.iter().map(|t| t.links()).collect();
+    metrics::diagnosability(&paths)
+}
+
+/// Sanity helper used by tests: the observed edges of a converted path must
+/// map onto exactly its ground-truth links.
+pub fn path_links_via_truth(
+    truth: &TruthMap,
+    path: &ProbePath,
+    path_ref: PathRef,
+) -> Vec<Option<LinkId>> {
+    let keys: Vec<HopNode> = path
+        .hops
+        .iter()
+        .enumerate()
+        .map(|(pos, h)| match h {
+            Hop::Addr(a) => HopNode::Ip(*a),
+            Hop::Star => HopNode::Uh(path_ref, pos),
+        })
+        .collect();
+    keys.windows(2).map(|w| truth.link_of(w[0], w[1])).collect()
+}

@@ -1,0 +1,150 @@
+//! Structural smoke tests for every figure regenerator: each must run at a
+//! tiny trial count and emit tables with the documented shape.
+
+use netdiag_experiments::figures::{self, FigureConfig, FigureOutput};
+
+fn tiny() -> FigureConfig {
+    FigureConfig {
+        placements: 1,
+        failures_per_placement: 2,
+        ..FigureConfig::default()
+    }
+}
+
+fn names(outputs: &[FigureOutput]) -> Vec<&str> {
+    outputs.iter().map(|o| o.name.as_str()).collect()
+}
+
+#[test]
+fn fig5_shape() {
+    let out = figures::fig5::run(&tiny());
+    assert_eq!(names(&out), vec!["fig5_placement_diagnosability"]);
+    assert_eq!(out[0].table.len(), figures::fig5::SENSOR_COUNTS.len());
+    let csv = out[0].table.to_csv();
+    assert!(csv.starts_with("sensors,same_as,distant_as,distant_as_split,random"));
+}
+
+#[test]
+fn fig6_shape() {
+    let out = figures::fig6::run(&tiny());
+    assert_eq!(
+        names(&out),
+        vec![
+            "fig6_tomo_sensitivity_links",
+            "fig6_tomo_sensitivity_misconfig"
+        ]
+    );
+    // CDF tables have CDF_STEPS+1 rows and monotone columns.
+    for o in &out {
+        assert_eq!(o.table.len(), figures::CDF_STEPS + 1);
+        let csv = o.table.to_csv();
+        let last = csv.lines().last().unwrap();
+        // CDFs end at P(X<=1) = 1.
+        for cell in last.split(',').skip(1) {
+            assert_eq!(cell, "1.0000", "CDF must reach 1 at x=1: {csv}");
+        }
+    }
+}
+
+#[test]
+fn fig7_to_fig10_shapes() {
+    for (run, expected) in [
+        (
+            figures::fig7::run as fn(&FigureConfig) -> Vec<FigureOutput>,
+            vec!["fig7_sensitivity_3link", "fig7_sensitivity_misconfig_link"],
+        ),
+        (figures::fig8::run, vec!["fig8_ndedge_specificity"]),
+        (
+            figures::fig10::run,
+            vec!["fig10_sensitivity_3link", "fig10_specificity_3link"],
+        ),
+    ] {
+        let out = run(&tiny());
+        assert_eq!(names(&out), expected);
+        for o in &out {
+            assert_eq!(o.table.len(), figures::CDF_STEPS + 1);
+        }
+    }
+}
+
+#[test]
+fn fig9_shape() {
+    let out = figures::fig9::run(&tiny());
+    assert_eq!(names(&out), vec!["fig9_diagnosability_vs_specificity"]);
+    assert!(!out[0].table.is_empty());
+    let csv = out[0].table.to_csv();
+    assert!(csv.starts_with("sensors,diagnosability,nd_edge_specificity"));
+}
+
+#[test]
+fn fig11_and_fig12_shapes() {
+    let out = figures::fig11::run(&tiny());
+    assert_eq!(names(&out), vec!["fig11_blocked_traceroutes"]);
+    assert_eq!(out[0].table.len(), figures::fig11::BLOCKED_FRACTIONS.len());
+
+    let out = figures::fig12::run(&tiny());
+    assert_eq!(names(&out), vec!["fig12_looking_glass_fraction"]);
+    assert_eq!(out[0].table.len(), figures::fig12::LG_FRACTIONS.len());
+}
+
+#[test]
+fn claims_ablations_robustness_scalability_shapes() {
+    let out = figures::claims::run(&tiny());
+    assert_eq!(names(&out), vec!["claims"]);
+    assert!(out[0].table.len() >= 10, "every in-text claim present");
+
+    let out = figures::ablations::run(&tiny());
+    assert_eq!(
+        names(&out),
+        vec!["ablation_ndedge_weights", "ablation_greedy_vs_exact"]
+    );
+    assert_eq!(out[0].table.len(), figures::ablations::WEIGHTS.len());
+
+    let out = figures::robustness::run(&tiny());
+    assert_eq!(
+        names(&out),
+        vec![
+            "robustness_sensor_sweep",
+            "robustness_observer_position",
+            "robustness_tier2_style"
+        ]
+    );
+    assert_eq!(out[1].table.len(), 3);
+    assert_eq!(out[2].table.len(), 3);
+
+    let out = figures::scalability::run(&tiny());
+    assert_eq!(names(&out), vec!["scalability_logical_links"]);
+    assert!(!out[0].table.is_empty());
+}
+
+#[test]
+fn every_figure_output_is_indexed_in_the_summary() {
+    // Regenerate everything at tiny scale and check each emitted table
+    // name appears in the summary's section index (guards against adding
+    // a figure and forgetting the digest).
+    let fc = tiny();
+    let stems = netdiag_experiments::summary::known_stems();
+    let all: Vec<fn(&FigureConfig) -> Vec<FigureOutput>> = vec![
+        figures::fig5::run,
+        figures::fig6::run,
+        figures::fig7::run,
+        figures::fig8::run,
+        figures::fig9::run,
+        figures::fig10::run,
+        figures::fig11::run,
+        figures::fig12::run,
+        figures::claims::run,
+        figures::ablations::run,
+        figures::robustness::run,
+        figures::scalability::run,
+    ];
+    for run in all {
+        for out in run(&fc) {
+            assert!(
+                stems.contains(&out.name.as_str()),
+                "figure output {:?} missing from summary::SECTIONS",
+                out.name
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Per-AS link-state IGP (an IS-IS stand-in) for the NetDiagnoser
+//! reproduction.
+//!
+//! Each AS runs an independent shortest-path-first routing computation over
+//! its intra-domain links. The crate provides:
+//!
+//! * [`LinkState`] — dynamic up/down state for every link in the topology
+//!   (shared with the BGP and data-plane layers);
+//! * [`AsIgp`] — the converged SPF result for one AS: distances and first
+//!   hops between every pair of its routers;
+//! * [`Igp`] — the per-AS results for a whole topology, with incremental
+//!   recomputation when link state changes.
+//!
+//! Forwarding along IGP next hops is loop-free by construction: every hop
+//! strictly decreases the remaining shortest-path distance (all weights are
+//! ≥ 1), independent of tie-breaking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod spf;
+mod state;
+
+pub use spf::{AsIgp, Igp};
+pub use state::LinkState;

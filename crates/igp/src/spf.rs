@@ -1,0 +1,384 @@
+//! Shortest-path-first computation per AS.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::collections::HashMap;
+
+use netdiag_topology::{AsId, LinkKind, RouterId, Topology};
+
+use crate::state::LinkState;
+
+/// Distance value for "unreachable".
+const INF: u64 = u64::MAX;
+
+/// Converged SPF state for one AS: all-pairs distances and first hops over
+/// the AS's *up* intra-domain links.
+#[derive(Clone, Debug)]
+pub struct AsIgp {
+    as_id: AsId,
+    routers: Vec<RouterId>,
+    local: HashMap<RouterId, usize>,
+    /// `dist[i][j]`: shortest-path weight from routers[i] to routers[j].
+    dist: Vec<Vec<u64>>,
+    /// `next_hop[i][j]`: first router on the path from routers[i] to
+    /// routers[j] (None when unreachable or i == j).
+    next_hop: Vec<Vec<Option<RouterId>>>,
+}
+
+impl AsIgp {
+    /// Runs SPF for `as_id` over the currently-up intra links.
+    pub fn compute(topology: &Topology, as_id: AsId, links: &LinkState) -> Self {
+        let routers = topology.as_node(as_id).routers.clone();
+        let local: HashMap<RouterId, usize> =
+            routers.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+        let n = routers.len();
+        let mut dist = vec![vec![INF; n]; n];
+        let mut next_hop = vec![vec![None; n]; n];
+
+        for (src_local, &src) in routers.iter().enumerate() {
+            dijkstra(
+                topology,
+                links,
+                &local,
+                src,
+                &mut dist[src_local],
+                &mut next_hop[src_local],
+            );
+        }
+
+        AsIgp {
+            as_id,
+            routers,
+            local,
+            dist,
+            next_hop,
+        }
+    }
+
+    /// The AS this state belongs to.
+    pub fn as_id(&self) -> AsId {
+        self.as_id
+    }
+
+    /// Shortest-path distance, or `None` if `to` is unreachable from `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either router is not in this AS.
+    pub fn dist(&self, from: RouterId, to: RouterId) -> Option<u64> {
+        let d = self.dist[self.local[&from]][self.local[&to]];
+        (d != INF).then_some(d)
+    }
+
+    /// First hop on the shortest path from `from` to `to`.
+    ///
+    /// Returns `None` when unreachable or when `from == to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either router is not in this AS.
+    pub fn next_hop(&self, from: RouterId, to: RouterId) -> Option<RouterId> {
+        self.next_hop[self.local[&from]][self.local[&to]]
+    }
+
+    /// True if an intra-AS path currently exists between the two routers.
+    pub fn reachable(&self, from: RouterId, to: RouterId) -> bool {
+        self.dist(from, to).is_some()
+    }
+
+    /// *All* equal-cost first hops from `from` toward `to` (ECMP set),
+    /// sorted by router id. Empty when unreachable or `from == to`.
+    ///
+    /// The deterministic [`AsIgp::next_hop`] is always a member of this
+    /// set; the data plane uses the full set for flow-based load balancing
+    /// (what Paris traceroute enumerates).
+    pub fn next_hops(
+        &self,
+        topology: &Topology,
+        links: &LinkState,
+        from: RouterId,
+        to: RouterId,
+    ) -> Vec<RouterId> {
+        if from == to {
+            return Vec::new();
+        }
+        let Some(total) = self.dist(from, to) else {
+            return Vec::new();
+        };
+        let mut hops: Vec<RouterId> = topology
+            .neighbors(from)
+            .filter(|&(link_id, v)| {
+                let link = topology.link(link_id);
+                link.kind == LinkKind::Intra
+                    && links.is_up(link_id)
+                    && self.local.contains_key(&v)
+                    && self
+                        .dist(v, to)
+                        .is_some_and(|rest| u64::from(link.weight_from(from)) + rest == total)
+            })
+            .map(|(_, v)| v)
+            .collect();
+        hops.sort_unstable();
+        hops.dedup();
+        hops
+    }
+
+    /// Routers of this AS in local order.
+    pub fn routers(&self) -> &[RouterId] {
+        &self.routers
+    }
+}
+
+/// Single-source Dijkstra over up intra-links, writing distances and first
+/// hops into the provided rows.
+///
+/// Tie-breaking is deterministic: on equal distance the path through the
+/// lower-id predecessor wins (heap pops `(dist, router_id)` in order and
+/// later relaxations require strictly smaller distance).
+fn dijkstra(
+    topology: &Topology,
+    links: &LinkState,
+    local: &HashMap<RouterId, usize>,
+    src: RouterId,
+    dist_row: &mut [u64],
+    nh_row: &mut [Option<RouterId>],
+) {
+    let src_local = local[&src];
+    dist_row[src_local] = 0;
+    // (Reverse(dist), router, first_hop)
+    let mut heap: BinaryHeap<(Reverse<u64>, RouterId, Option<RouterId>)> = BinaryHeap::new();
+    heap.push((Reverse(0), src, None));
+    let mut done = vec![false; dist_row.len()];
+
+    while let Some((Reverse(d), u, first)) = heap.pop() {
+        let ul = local[&u];
+        if done[ul] {
+            continue;
+        }
+        done[ul] = true;
+        nh_row[ul] = first;
+        for (link_id, v) in topology.neighbors(u) {
+            let link = topology.link(link_id);
+            if link.kind != LinkKind::Intra || !links.is_up(link_id) {
+                continue;
+            }
+            let w = link.weight_from(u);
+            debug_assert!(w >= 1, "IGP weights must be >= 1");
+            let Some(&vl) = local.get(&v) else { continue };
+            let nd = d + u64::from(w);
+            if nd < dist_row[vl] {
+                dist_row[vl] = nd;
+                let first_hop = if u == src { Some(v) } else { first };
+                heap.push((Reverse(nd), v, first_hop));
+            }
+        }
+    }
+    nh_row[src_local] = None;
+}
+
+/// Per-AS IGP state for an entire topology.
+#[derive(Clone, Debug)]
+pub struct Igp {
+    per_as: Vec<AsIgp>,
+}
+
+impl Igp {
+    /// Computes SPF for every AS.
+    pub fn compute(topology: &Topology, links: &LinkState) -> Self {
+        let per_as = topology
+            .ases()
+            .iter()
+            .map(|a| AsIgp::compute(topology, a.id, links))
+            .collect();
+        Igp { per_as }
+    }
+
+    /// The converged state of one AS.
+    pub fn of(&self, as_id: AsId) -> &AsIgp {
+        &self.per_as[as_id.index()]
+    }
+
+    /// Recomputes a single AS after its intra-domain link state changed.
+    pub fn recompute_as(&mut self, topology: &Topology, as_id: AsId, links: &LinkState) {
+        self.per_as[as_id.index()] = AsIgp::compute(topology, as_id, links);
+    }
+
+    /// Convenience: distance between two routers of the same AS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the routers are in different ASes.
+    pub fn dist(&self, topology: &Topology, from: RouterId, to: RouterId) -> Option<u64> {
+        let a = topology.as_of_router(from);
+        assert_eq!(a, topology.as_of_router(to), "routers in different ASes");
+        self.of(a).dist(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdiag_topology::{AsKind, LinkId, TopologyBuilder};
+
+    /// A 4-router diamond: r0-r1 (1), r0-r2 (2), r1-r3 (1), r2-r3 (1).
+    fn diamond() -> (Topology, [RouterId; 4]) {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_as(AsKind::Core, "A");
+        let r0 = b.add_router(a, "r0");
+        let r1 = b.add_router(a, "r1");
+        let r2 = b.add_router(a, "r2");
+        let r3 = b.add_router(a, "r3");
+        b.add_intra_link(r0, r1, 1);
+        b.add_intra_link(r0, r2, 2);
+        b.add_intra_link(r1, r3, 1);
+        b.add_intra_link(r2, r3, 1);
+        (b.build().unwrap(), [r0, r1, r2, r3])
+    }
+
+    #[test]
+    fn shortest_path_distances() {
+        let (t, [r0, r1, r2, r3]) = diamond();
+        let links = LinkState::all_up(&t);
+        let igp = Igp::compute(&t, &links);
+        let a = igp.of(AsId(0));
+        assert_eq!(a.dist(r0, r3), Some(2)); // via r1
+        assert_eq!(a.dist(r0, r2), Some(2)); // direct
+        assert_eq!(a.next_hop(r0, r3), Some(r1));
+        assert_eq!(a.next_hop(r0, r0), None);
+        assert_eq!(a.dist(r0, r0), Some(0));
+        assert_eq!(a.dist(r3, r0), Some(2)); // symmetric weights
+        assert_eq!(a.next_hop(r1, r2), Some(r3)); // 1+1=2 via r3 vs 1+2=3 via r0
+    }
+
+    #[test]
+    fn next_hop_via_r3_for_r1_to_r2() {
+        let (t, [_, r1, r2, r3]) = diamond();
+        let links = LinkState::all_up(&t);
+        let igp = Igp::compute(&t, &links);
+        // r1->r2: via r3 costs 2, via r0 costs 3.
+        assert_eq!(igp.of(AsId(0)).next_hop(r1, r2), Some(r3));
+    }
+
+    #[test]
+    fn reroute_after_link_failure() {
+        let (t, [r0, r1, _, r3]) = diamond();
+        let mut links = LinkState::all_up(&t);
+        // Fail r0-r1 (link 0): r0 must now reach r3 via r2.
+        links.set_down(t.link_between(r0, r1).unwrap());
+        let igp = Igp::compute(&t, &links);
+        let a = igp.of(AsId(0));
+        assert_eq!(a.dist(r0, r3), Some(3));
+        assert_eq!(a.next_hop(r0, r3), a.next_hop(r0, r3));
+        assert_eq!(a.dist(r0, r1), Some(4)); // r0-r2-r3-r1
+    }
+
+    #[test]
+    fn partition_detected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_as(AsKind::Core, "A");
+        let r0 = b.add_router(a, "r0");
+        let r1 = b.add_router(a, "r1");
+        let l = b.add_intra_link(r0, r1, 5);
+        let t = b.build().unwrap();
+        let mut links = LinkState::all_up(&t);
+        links.set_down(l);
+        let igp = Igp::compute(&t, &links);
+        assert_eq!(igp.of(AsId(0)).dist(r0, r1), None);
+        assert!(!igp.of(AsId(0)).reachable(r0, r1));
+        assert_eq!(igp.of(AsId(0)).next_hop(r0, r1), None);
+    }
+
+    #[test]
+    fn recompute_single_as() {
+        let (t, [r0, r1, _, _]) = diamond();
+        let mut links = LinkState::all_up(&t);
+        let mut igp = Igp::compute(&t, &links);
+        assert_eq!(igp.of(AsId(0)).dist(r0, r1), Some(1));
+        links.set_down(LinkId(0));
+        igp.recompute_as(&t, AsId(0), &links);
+        assert_eq!(igp.of(AsId(0)).dist(r0, r1), Some(4));
+    }
+
+    #[test]
+    fn inter_links_ignored_by_spf() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_as(AsKind::Core, "A");
+        let c = b.add_as(AsKind::Stub, "C");
+        let r0 = b.add_router(a, "r0");
+        let r1 = b.add_router(a, "r1");
+        b.add_intra_link(r0, r1, 3);
+        let c0 = b.add_router(c, "c0");
+        b.add_inter_link(r1, c0, netdiag_topology::LinkRelationship::ProviderCustomer);
+        let t = b.build().unwrap();
+        let igp = Igp::compute(&t, &LinkState::all_up(&t));
+        // The inter link exists but SPF state only covers AS members.
+        assert_eq!(igp.of(a).dist(r0, r1), Some(3));
+        assert_eq!(igp.of(c).dist(c0, c0), Some(0));
+    }
+
+    #[test]
+    fn forwarding_along_next_hops_terminates() {
+        // Walk next hops from every router to every other; must reach the
+        // destination within n hops (loop-freedom).
+        let (t, routers) = diamond();
+        let igp = Igp::compute(&t, &LinkState::all_up(&t));
+        let a = igp.of(AsId(0));
+        for &s in &routers {
+            for &d in &routers {
+                let mut cur = s;
+                let mut hops = 0;
+                while cur != d {
+                    cur = a.next_hop(cur, d).expect("reachable");
+                    hops += 1;
+                    assert!(hops <= routers.len(), "forwarding loop");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod ecmp_tests {
+    use super::*;
+    use netdiag_topology::{AsKind, TopologyBuilder};
+
+    /// Square with equal weights: two equal-cost paths r0->r3.
+    fn square() -> (Topology, [RouterId; 4]) {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_as(AsKind::Core, "A");
+        let r0 = b.add_router(a, "r0");
+        let r1 = b.add_router(a, "r1");
+        let r2 = b.add_router(a, "r2");
+        let r3 = b.add_router(a, "r3");
+        b.add_intra_link(r0, r1, 1);
+        b.add_intra_link(r0, r2, 1);
+        b.add_intra_link(r1, r3, 1);
+        b.add_intra_link(r2, r3, 1);
+        (b.build().unwrap(), [r0, r1, r2, r3])
+    }
+
+    #[test]
+    fn ecmp_set_contains_all_equal_cost_hops() {
+        let (t, [r0, r1, r2, r3]) = square();
+        let links = LinkState::all_up(&t);
+        let igp = Igp::compute(&t, &links);
+        let a = igp.of(AsId(0));
+        assert_eq!(a.next_hops(&t, &links, r0, r3), vec![r1, r2]);
+        // The deterministic next hop is an ECMP member.
+        let nh = a.next_hop(r0, r3).unwrap();
+        assert!(a.next_hops(&t, &links, r0, r3).contains(&nh));
+        // Unequal costs collapse the set.
+        assert_eq!(a.next_hops(&t, &links, r0, r1), vec![r1]);
+        assert!(a.next_hops(&t, &links, r0, r0).is_empty());
+    }
+
+    #[test]
+    fn ecmp_set_respects_link_failures() {
+        let (t, [r0, r1, _, r3]) = square();
+        let mut links = LinkState::all_up(&t);
+        links.set_down(t.link_between(r0, r1).unwrap());
+        let igp = Igp::compute(&t, &links);
+        let a = igp.of(AsId(0));
+        assert_eq!(a.next_hops(&t, &links, r0, r3), vec![RouterId(2)]);
+    }
+}

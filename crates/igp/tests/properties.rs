@@ -1,0 +1,170 @@
+//! Property-based tests of the IGP: SPF distances checked against a
+//! Floyd–Warshall reference, loop-freedom of hop-by-hop forwarding, and
+//! monotonicity under link failures.
+
+use proptest::prelude::*;
+
+use netdiag_igp::{Igp, LinkState};
+use netdiag_topology::{AsId, AsKind, LinkId, RouterId, Topology, TopologyBuilder};
+
+/// Builds a random connected single-AS topology from a proptest-generated
+/// edge list (indices into an `n`-node ring plus chords, guaranteeing
+/// connectivity).
+fn random_as(n: usize, chords: &[(usize, usize, u32)]) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let a = b.add_as(AsKind::Core, "A");
+    let routers: Vec<RouterId> = (0..n).map(|i| b.add_router(a, format!("r{i}"))).collect();
+    // Ring for connectivity.
+    for i in 0..n {
+        b.add_intra_link(routers[i], routers[(i + 1) % n], 1 + (i as u32 % 5));
+    }
+    // Chords are generated against a fixed modulus; re-filter against the
+    // actual ring size so no chord duplicates a ring edge.
+    let mut used = std::collections::BTreeSet::new();
+    for &(i, j, w) in chords {
+        if i >= n || j >= n || i == j {
+            continue;
+        }
+        let (lo, hi) = (i.min(j), i.max(j));
+        let ring_edge = hi - lo == 1 || (lo == 0 && hi == n - 1);
+        if ring_edge || !used.insert((lo, hi)) {
+            continue;
+        }
+        b.add_intra_link(routers[lo], routers[hi], 1 + w % 9);
+    }
+    b.build().unwrap()
+}
+
+/// Floyd–Warshall all-pairs distances over the up intra links.
+fn reference_distances(t: &Topology, links: &LinkState) -> Vec<Vec<Option<u64>>> {
+    let n = t.router_count();
+    let mut d = vec![vec![None; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = Some(0);
+    }
+    for l in t.links() {
+        if links.is_up(l.id) {
+            let (a, b) = (l.a.index(), l.b.index());
+            let (w_ab, w_ba) = (u64::from(l.weight_ab), u64::from(l.weight_ba));
+            if d[a][b].map_or(true, |cur| w_ab < cur) {
+                d[a][b] = Some(w_ab);
+            }
+            if d[b][a].map_or(true, |cur| w_ba < cur) {
+                d[b][a] = Some(w_ba);
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if let (Some(ik), Some(kj)) = (d[i][k], d[k][j]) {
+                    if d[i][j].map_or(true, |cur| ik + kj < cur) {
+                        d[i][j] = Some(ik + kj);
+                    }
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Distinct chord set generator (avoids builder duplicate-link errors).
+fn chords(n: usize) -> impl Strategy<Value = Vec<(usize, usize, u32)>> {
+    proptest::collection::btree_set((0..n, 0..n), 0..6).prop_map(move |set| {
+        let mut seen = std::collections::BTreeSet::new();
+        set.into_iter()
+            .filter_map(|(i, j)| {
+                let (i, j) = (i.min(j), i.max(j));
+                // Exclude self, ring edges, and duplicates.
+                if i == j || (i + 1) % n == j || (j + 1) % n == i || j == n - 1 && i == 0 {
+                    return None;
+                }
+                seen.insert((i, j)).then_some((i, j, ((i * 7 + j * 13) % 9) as u32))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// SPF distances equal the Floyd–Warshall reference, with all links up
+    /// and after failing one link.
+    #[test]
+    fn spf_matches_reference(n in 3usize..10, chords in chords(10), fail in 0usize..20) {
+        let t = random_as(n, &chords);
+        let mut links = LinkState::all_up(&t);
+        // Optionally fail one link.
+        if fail < t.link_count() {
+            links.set_down(LinkId(fail as u32));
+        }
+        let igp = Igp::compute(&t, &links);
+        let reference = reference_distances(&t, &links);
+        let a = igp.of(AsId(0));
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(
+                    a.dist(RouterId(i as u32), RouterId(j as u32)),
+                    reference[i][j],
+                    "dist({},{}) mismatch",
+                    i,
+                    j
+                );
+            }
+        }
+    }
+
+    /// Hop-by-hop forwarding along next hops always reaches the target in
+    /// at most n-1 hops when a path exists.
+    #[test]
+    fn forwarding_terminates(n in 3usize..10, chords in chords(10), fail in 0usize..20) {
+        let t = random_as(n, &chords);
+        let mut links = LinkState::all_up(&t);
+        if fail < t.link_count() {
+            links.set_down(LinkId(fail as u32));
+        }
+        let igp = Igp::compute(&t, &links);
+        let a = igp.of(AsId(0));
+        for i in 0..n {
+            for j in 0..n {
+                let (src, dst) = (RouterId(i as u32), RouterId(j as u32));
+                if a.dist(src, dst).is_none() {
+                    prop_assert!(a.next_hop(src, dst).is_none());
+                    continue;
+                }
+                let mut cur = src;
+                let mut hops = 0;
+                while cur != dst {
+                    let nh = a.next_hop(cur, dst).expect("reachable");
+                    // Each hop strictly decreases the remaining distance.
+                    prop_assert!(a.dist(nh, dst) < a.dist(cur, dst));
+                    cur = nh;
+                    hops += 1;
+                    prop_assert!(hops < n, "loop detected");
+                }
+            }
+        }
+    }
+
+    /// Failing a link never shortens any distance.
+    #[test]
+    fn failure_monotonicity(n in 3usize..10, chords in chords(10), fail_idx in 0usize..20) {
+        let t = random_as(n, &chords);
+        let links_before = LinkState::all_up(&t);
+        let igp_before = Igp::compute(&t, &links_before);
+        let mut links_after = LinkState::all_up(&t);
+        links_after.set_down(LinkId((fail_idx % t.link_count()) as u32));
+        let igp_after = Igp::compute(&t, &links_after);
+        let (a0, a1) = (igp_before.of(AsId(0)), igp_after.of(AsId(0)));
+        for i in 0..n {
+            for j in 0..n {
+                let (src, dst) = (RouterId(i as u32), RouterId(j as u32));
+                match (a0.dist(src, dst), a1.dist(src, dst)) {
+                    (Some(before), Some(after)) => prop_assert!(after >= before),
+                    (None, Some(_)) => prop_assert!(false, "failure created a path"),
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Failure scenarios: the events the paper's evaluation injects.
+
+use netdiag_bgp::ExportDeny;
+use netdiag_topology::{LinkId, RouterId};
+
+use crate::sim::Sim;
+
+/// A failure event to inject into a converged network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Failure {
+    /// One or more links fail simultaneously (possibly in different ASes).
+    Links(Vec<LinkId>),
+    /// A router fails: all its links go down at once (the paper treats this
+    /// like a Shared Risk Link Group failure).
+    Router(RouterId),
+    /// BGP export-filter misconfiguration(s): routes silently stop being
+    /// announced to specific neighbors while the links stay up.
+    Misconfig(Vec<ExportDeny>),
+    /// A combination (the paper evaluates "one misconfiguration plus one
+    /// link failure").
+    Combined(Vec<Failure>),
+}
+
+impl Failure {
+    /// Ground truth: the physical links this failure takes down.
+    /// (Misconfigured links stay physically up; the paper counts the
+    /// misconfigured *link* as the failure site — see
+    /// [`Failure::misconfigured_links`].)
+    pub fn failed_links(&self, sim: &Sim) -> Vec<LinkId> {
+        match self {
+            Failure::Links(ls) => ls.clone(),
+            Failure::Router(r) => sim.topology().router(*r).links.clone(),
+            Failure::Misconfig(_) => Vec::new(),
+            Failure::Combined(fs) => fs.iter().flat_map(|f| f.failed_links(sim)).collect(),
+        }
+    }
+
+    /// Ground truth: inter-domain links whose announcements are filtered
+    /// (the failure site of a misconfiguration).
+    pub fn misconfigured_links(&self, sim: &Sim) -> Vec<LinkId> {
+        match self {
+            Failure::Misconfig(rules) => rules
+                .iter()
+                .filter_map(|rule| sim.topology().link_between(rule.at, rule.peer))
+                .collect(),
+            Failure::Combined(fs) => fs
+                .iter()
+                .flat_map(|f| f.misconfigured_links(sim))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// All ground-truth failure sites: failed plus misconfigured links.
+    pub fn all_failure_sites(&self, sim: &Sim) -> Vec<LinkId> {
+        let mut v = self.failed_links(sim);
+        v.extend(self.misconfigured_links(sim));
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Applies a failure to the simulator and reconverges.
+pub fn apply_failure(sim: &mut Sim, failure: &Failure) {
+    match failure {
+        Failure::Links(ls) => sim.fail_links(ls),
+        Failure::Router(r) => sim.fail_router(*r),
+        Failure::Misconfig(rules) => sim.misconfigure(rules),
+        Failure::Combined(fs) => {
+            for f in fs {
+                apply_failure(sim, f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdiag_topology::{AsKind, LinkRelationship, TopologyBuilder};
+    use std::sync::Arc;
+
+    fn net() -> (Sim, [RouterId; 3], LinkId) {
+        let mut b = TopologyBuilder::new();
+        let t2 = b.add_as(AsKind::Tier2, "T");
+        let s1 = b.add_as(AsKind::Stub, "S1");
+        let s2 = b.add_as(AsKind::Stub, "S2");
+        let h = b.add_router(t2, "h");
+        let s1r = b.add_router(s1, "s1r");
+        let s2r = b.add_router(s2, "s2r");
+        b.add_inter_link(h, s1r, LinkRelationship::ProviderCustomer);
+        let l2 = b.add_inter_link(h, s2r, LinkRelationship::ProviderCustomer);
+        let t = Arc::new(b.build().unwrap());
+        let mut sim = Sim::new(Arc::clone(&t));
+        sim.converge_all();
+        (sim, [h, s1r, s2r], l2)
+    }
+
+    #[test]
+    fn link_failure_sites() {
+        let (sim, _, l2) = net();
+        let f = Failure::Links(vec![l2]);
+        assert_eq!(f.failed_links(&sim), vec![l2]);
+        assert!(f.misconfigured_links(&sim).is_empty());
+        assert_eq!(f.all_failure_sites(&sim), vec![l2]);
+    }
+
+    #[test]
+    fn router_failure_covers_all_links() {
+        let (sim, [h, _, _], _) = net();
+        let f = Failure::Router(h);
+        assert_eq!(f.failed_links(&sim).len(), 2);
+    }
+
+    #[test]
+    fn misconfig_sites_map_to_links() {
+        let (sim, [h, _, s2r], l2) = net();
+        let prefix = sim.topology().as_node(netdiag_topology::AsId(2)).prefix;
+        let f = Failure::Misconfig(vec![ExportDeny {
+            at: h,
+            peer: s2r,
+            prefix,
+        }]);
+        assert!(f.failed_links(&sim).is_empty());
+        assert_eq!(f.misconfigured_links(&sim), vec![l2]);
+    }
+
+    #[test]
+    fn combined_failure_applies_both() {
+        let (mut sim, [h, s1r, s2r], _) = net();
+        let s1_prefix = sim.topology().as_node(netdiag_topology::AsId(1)).prefix;
+        let uplink = sim.topology().link_between(h, s1r).unwrap();
+        let f = Failure::Combined(vec![
+            Failure::Links(vec![uplink]),
+            Failure::Misconfig(vec![ExportDeny {
+                at: h,
+                peer: s2r,
+                prefix: s1_prefix,
+            }]),
+        ]);
+        assert_eq!(f.all_failure_sites(&sim).len(), 2);
+        apply_failure(&mut sim, &f);
+        assert!(!sim.links().is_up(uplink));
+        // s2r lost the (already dead) route to S1; the filter is installed.
+        assert!(sim.bgp().best_route(s2r, &s1_prefix).is_none());
+    }
+}

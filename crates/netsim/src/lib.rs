@@ -1,0 +1,37 @@
+//! Whole-network routing simulator for the NetDiagnoser reproduction —
+//! the stand-in for the paper's use of C-BGP.
+//!
+//! [`Sim`] bundles a static [`netdiag_topology::Topology`] with dynamic
+//! link state, converged IGP and BGP, and provides:
+//!
+//! * a hop-by-hop **data plane** ([`Sim::forward`]) resolving BGP routes
+//!   recursively through IGP next hops;
+//! * **traceroute** ([`traceroute`]) between sensors, honoring ASes that
+//!   block probes (hops become stars);
+//! * **sensor** placement and full-mesh probing ([`SensorSet`],
+//!   [`probe_mesh`]);
+//! * **failure injection** ([`Failure`], [`apply_failure`]): multi-link
+//!   failures, router failures, and BGP export-filter misconfigurations,
+//!   each followed by deterministic reconvergence;
+//! * a **Looking Glass** service ([`looking_glass_query`]) answering
+//!   AS-path queries from any AS's converged BGP state;
+//! * the **AS-X feeds** the diagnoser consumes: observed eBGP messages
+//!   ([`Sim::take_observed`]) and IGP link-down events
+//!   ([`Sim::take_igp_events`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataplane;
+mod failures;
+mod looking_glass;
+mod sensors;
+mod sim;
+mod traceroute;
+
+pub use dataplane::{DataPath, ForwardOutcome, PathHop};
+pub use failures::{apply_failure, Failure};
+pub use looking_glass::looking_glass_query;
+pub use sensors::{probe_mesh, ProbeMesh, Sensor, SensorSet};
+pub use sim::{IgpLinkDown, Sim};
+pub use traceroute::{paris_traceroute, traceroute, ProbeHop, Traceroute};

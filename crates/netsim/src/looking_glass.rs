@@ -1,0 +1,85 @@
+//! Looking Glass servers: per-AS AS-path queries.
+//!
+//! A Looking Glass server in an AS answers "what is your AS path toward
+//! this destination?" from that AS's converged BGP state — the interface
+//! the paper's ND-LG algorithm queries to map unidentified traceroute hops
+//! to ASes.
+
+use std::net::Ipv4Addr;
+
+use netdiag_topology::AsId;
+
+use crate::sim::Sim;
+
+/// Queries the Looking Glass of `as_id` for the AS path toward `dst`.
+///
+/// Returns the path *including the queried AS itself* at the front (the
+/// paper's example: querying AS-A for a destination in AS-C returns
+/// `A-B-C`). Returns `Some(vec![as_id])` when the destination is inside the
+/// queried AS, and `None` when the AS has no route.
+pub fn looking_glass_query(sim: &Sim, as_id: AsId, dst: Ipv4Addr) -> Option<Vec<AsId>> {
+    let topology = sim.topology();
+    if topology.as_node(as_id).prefix.contains(dst) {
+        return Some(vec![as_id]);
+    }
+    // Ask each router of the AS in order; the first with a route answers.
+    // (All routers converge to policy-consistent paths; border routers may
+    // differ in egress but agree on reachability.)
+    for &r in &topology.as_node(as_id).routers {
+        if let Some(route) = sim.bgp().lookup(r, dst) {
+            let mut path = Vec::with_capacity(route.as_path.len() + 1);
+            path.push(as_id);
+            path.extend_from_slice(&route.as_path);
+            return Some(path);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdiag_topology::{AsKind, LinkRelationship, TopologyBuilder};
+    use std::sync::Arc;
+
+    #[test]
+    fn lg_reports_as_path_including_self() {
+        // S1 - T - S2 chain.
+        let mut b = TopologyBuilder::new();
+        let t2 = b.add_as(AsKind::Tier2, "T");
+        let s1 = b.add_as(AsKind::Stub, "S1");
+        let s2 = b.add_as(AsKind::Stub, "S2");
+        let h = b.add_router(t2, "h");
+        let s1r = b.add_router(s1, "s1r");
+        let s2r = b.add_router(s2, "s2r");
+        b.add_inter_link(h, s1r, LinkRelationship::ProviderCustomer);
+        b.add_inter_link(h, s2r, LinkRelationship::ProviderCustomer);
+        let t = Arc::new(b.build().unwrap());
+        let mut sim = Sim::new(Arc::clone(&t));
+        sim.converge_all();
+
+        let dst = t.as_node(s2).prefix.host(200);
+        assert_eq!(looking_glass_query(&sim, s1, dst), Some(vec![s1, t2, s2]));
+        assert_eq!(looking_glass_query(&sim, t2, dst), Some(vec![t2, s2]));
+        assert_eq!(looking_glass_query(&sim, s2, dst), Some(vec![s2]));
+    }
+
+    #[test]
+    fn lg_returns_none_without_route() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_as(AsKind::Stub, "A");
+        let c = b.add_as(AsKind::Stub, "C");
+        let a1 = b.add_router(a, "a1");
+        let c1 = b.add_router(c, "c1");
+        b.add_inter_link(a1, c1, LinkRelationship::PeerPeer);
+        let t = Arc::new(b.build().unwrap());
+        let mut sim = Sim::new(Arc::clone(&t));
+        sim.converge_all();
+        // Peers do exchange their own prefixes, so use an address that is in
+        // no AS at all.
+        assert_eq!(
+            looking_glass_query(&sim, a, Ipv4Addr::new(198, 51, 100, 1)),
+            None
+        );
+    }
+}

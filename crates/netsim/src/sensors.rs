@@ -1,0 +1,214 @@
+//! Sensor placement and full-mesh probing.
+//!
+//! Sensors are end hosts attached to routers; they probe each other in a
+//! full mesh with traceroute (the paper's troubleshooting overlay).
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use netdiag_topology::{AsId, RouterId, SensorId, Topology};
+
+use crate::sim::Sim;
+use crate::traceroute::{traceroute, Traceroute};
+
+/// A troubleshooting sensor: an end host inside some AS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sensor {
+    /// Identifier (dense, assigned by placement order).
+    pub id: SensorId,
+    /// The AS hosting the sensor.
+    pub as_id: AsId,
+    /// The router the sensor's host attaches to.
+    pub router: RouterId,
+    /// The sensor's host address (inside the AS prefix).
+    pub addr: Ipv4Addr,
+}
+
+/// An ordered set of sensors.
+#[derive(Clone, Debug)]
+pub struct SensorSet {
+    sensors: Vec<Sensor>,
+}
+
+impl SensorSet {
+    /// Places sensors at the given (AS, attach router) locations. Host
+    /// addresses are assigned as `prefix.host(0x00c8 + k)` — `10.i.0.200+k`
+    /// for the k-th sensor inside AS `i` — so they never collide with
+    /// router loopbacks (`10.i.(r+1).1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attach router does not belong to the named AS, or if an
+    /// AS hosts more than 55 sensors (address plan limit).
+    pub fn place(topology: &Topology, spec: &[(AsId, RouterId)]) -> SensorSet {
+        let mut per_as_count = vec![0u32; topology.as_count()];
+        let sensors = spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(as_id, router))| {
+                assert_eq!(
+                    topology.as_of_router(router),
+                    as_id,
+                    "attach router not in the sensor's AS"
+                );
+                let k = per_as_count[as_id.index()];
+                per_as_count[as_id.index()] += 1;
+                assert!(k < 55, "too many sensors in one AS for the address plan");
+                Sensor {
+                    id: SensorId(i as u32),
+                    as_id,
+                    router,
+                    addr: topology.as_node(as_id).prefix.host(200 + k),
+                }
+            })
+            .collect();
+        SensorSet { sensors }
+    }
+
+    /// Registers every sensor's host address with the simulator.
+    pub fn register(&self, sim: &mut Sim) {
+        for s in &self.sensors {
+            sim.register_host(s.addr, s.router);
+        }
+    }
+
+    /// All sensors in id order.
+    pub fn sensors(&self) -> &[Sensor] {
+        &self.sensors
+    }
+
+    /// Looks up a sensor.
+    pub fn get(&self, id: SensorId) -> &Sensor {
+        &self.sensors[id.index()]
+    }
+
+    /// Number of sensors.
+    pub fn len(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// True when no sensors are placed.
+    pub fn is_empty(&self) -> bool {
+        self.sensors.is_empty()
+    }
+
+    /// The distinct ASes hosting sensors (the prefixes experiments must
+    /// originate).
+    pub fn as_ids(&self) -> Vec<AsId> {
+        let set: BTreeSet<AsId> = self.sensors.iter().map(|s| s.as_id).collect();
+        set.into_iter().collect()
+    }
+}
+
+/// A full mesh of traceroutes between all ordered sensor pairs.
+#[derive(Clone, Debug)]
+pub struct ProbeMesh {
+    /// Traceroutes in (src, dst) lexicographic order, src != dst.
+    pub traceroutes: Vec<Traceroute>,
+}
+
+impl ProbeMesh {
+    /// The traceroute for an ordered pair.
+    pub fn between(&self, src: SensorId, dst: SensorId) -> Option<&Traceroute> {
+        self.traceroutes
+            .iter()
+            .find(|t| t.src == src && t.dst == dst)
+    }
+
+    /// Count of failed (unreached) paths.
+    pub fn failed_count(&self) -> usize {
+        self.traceroutes.iter().filter(|t| !t.reached).count()
+    }
+}
+
+/// Probes the full sensor mesh under the current routing state.
+pub fn probe_mesh(sim: &Sim, sensors: &SensorSet, blocked: &BTreeSet<AsId>) -> ProbeMesh {
+    let mut traceroutes = Vec::with_capacity(sensors.len() * sensors.len());
+    for src in sensors.sensors() {
+        for dst in sensors.sensors() {
+            if src.id != dst.id {
+                traceroutes.push(traceroute(sim, src, dst, blocked));
+            }
+        }
+    }
+    ProbeMesh { traceroutes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdiag_topology::{AsKind, LinkRelationship, TopologyBuilder};
+    use std::sync::Arc;
+
+    fn star_net() -> (Sim, SensorSet) {
+        // Hub tier-2 with three stub customers, one sensor per stub.
+        let mut b = TopologyBuilder::new();
+        let hub = b.add_as(AsKind::Tier2, "Hub");
+        let h = b.add_router(hub, "h");
+        let mut spec = Vec::new();
+        for i in 0..3 {
+            let s = b.add_as(AsKind::Stub, format!("S{i}"));
+            let r = b.add_router(s, format!("s{i}r"));
+            b.add_inter_link(h, r, LinkRelationship::ProviderCustomer);
+            spec.push((s, r));
+        }
+        let t = Arc::new(b.build().unwrap());
+        let mut sim = Sim::new(Arc::clone(&t));
+        sim.converge_all();
+        let sensors = SensorSet::place(&t, &spec);
+        sensors.register(&mut sim);
+        (sim, sensors)
+    }
+
+    #[test]
+    fn placement_assigns_unique_addresses() {
+        let (_, sensors) = star_net();
+        let mut addrs: Vec<_> = sensors.sensors().iter().map(|s| s.addr).collect();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 3);
+        assert_eq!(sensors.as_ids().len(), 3);
+    }
+
+    #[test]
+    fn two_sensors_same_as_get_distinct_addrs() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_as(AsKind::Tier2, "A");
+        let r0 = b.add_router(a, "r0");
+        let r1 = b.add_router(a, "r1");
+        b.add_intra_link(r0, r1, 1);
+        let t = b.build().unwrap();
+        let sensors = SensorSet::place(&t, &[(a, r0), (a, r1), (a, r0)]);
+        let addrs: BTreeSet<_> = sensors.sensors().iter().map(|s| s.addr).collect();
+        assert_eq!(addrs.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the sensor's AS")]
+    fn placement_validates_attach_router() {
+        let (sim, _) = star_net();
+        let t = sim.topology();
+        // Router 0 belongs to the hub AS, not to stub AS 1.
+        SensorSet::place(t, &[(AsId(1), RouterId(0))]);
+    }
+
+    #[test]
+    fn full_mesh_size_and_health() {
+        let (sim, sensors) = star_net();
+        let mesh = probe_mesh(&sim, &sensors, &BTreeSet::new());
+        assert_eq!(mesh.traceroutes.len(), 6); // 3*2 ordered pairs
+        assert_eq!(mesh.failed_count(), 0);
+        assert!(mesh.between(SensorId(0), SensorId(1)).is_some());
+        assert!(mesh.between(SensorId(0), SensorId(0)).is_none());
+    }
+
+    #[test]
+    fn mesh_detects_failures() {
+        let (mut sim, sensors) = star_net();
+        // Cut stub 2's uplink: 4 of 6 paths fail (to/from sensor 2).
+        let r = sensors.get(SensorId(2)).router;
+        let uplink = sim.topology().router(r).links[0];
+        sim.fail_link(uplink);
+        let mesh = probe_mesh(&sim, &sensors, &BTreeSet::new());
+        assert_eq!(mesh.failed_count(), 4);
+    }
+}

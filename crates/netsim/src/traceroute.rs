@@ -1,0 +1,331 @@
+//! Traceroute simulation between sensors.
+//!
+//! A traceroute records, per hop, the address that answered: the ingress
+//! interface of each router on the forwarding path (the attach router of the
+//! source answers with its loopback, standing in for the host-facing
+//! gateway interface). Routers in ASes that block traceroute do not answer
+//! — the hop is a star. The destination host itself always answers when
+//! reached. Ground-truth router/link ids are kept alongside for evaluation;
+//! the diagnoser only ever sees addresses and stars.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use netdiag_topology::{AsId, LinkId, RouterId, SensorId};
+
+use crate::dataplane::ForwardOutcome;
+use crate::sensors::Sensor;
+use crate::sim::Sim;
+
+/// One observed traceroute hop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeHop {
+    /// A router answered with the given address.
+    Addr {
+        /// The address seen in the traceroute output.
+        addr: Ipv4Addr,
+        /// Ground truth: the answering router (hidden from the diagnoser).
+        router: RouterId,
+        /// Ground truth: the link the probe arrived on (None for the first
+        /// hop, reached via the host link).
+        link: Option<LinkId>,
+    },
+    /// The hop did not answer (its AS blocks traceroute).
+    Star {
+        /// Ground truth: the silent router.
+        router: RouterId,
+        /// Ground truth: the link the probe arrived on.
+        link: Option<LinkId>,
+    },
+    /// The destination host answered.
+    Dest {
+        /// The destination address.
+        addr: Ipv4Addr,
+    },
+}
+
+impl ProbeHop {
+    /// The ground-truth router behind this hop (None for the destination
+    /// host).
+    pub fn router(&self) -> Option<RouterId> {
+        match self {
+            ProbeHop::Addr { router, .. } | ProbeHop::Star { router, .. } => Some(*router),
+            ProbeHop::Dest { .. } => None,
+        }
+    }
+
+    /// The ground-truth ingress link, if any.
+    pub fn link(&self) -> Option<LinkId> {
+        match self {
+            ProbeHop::Addr { link, .. } | ProbeHop::Star { link, .. } => *link,
+            ProbeHop::Dest { .. } => None,
+        }
+    }
+
+    /// The observed address (None for stars).
+    pub fn addr(&self) -> Option<Ipv4Addr> {
+        match self {
+            ProbeHop::Addr { addr, .. } | ProbeHop::Dest { addr } => Some(*addr),
+            ProbeHop::Star { .. } => None,
+        }
+    }
+}
+
+/// A complete traceroute measurement between two sensors.
+#[derive(Clone, Debug)]
+pub struct Traceroute {
+    /// Probing sensor.
+    pub src: SensorId,
+    /// Target sensor.
+    pub dst: SensorId,
+    /// Hops in order (first = source attach router; last = destination host
+    /// when `reached`).
+    pub hops: Vec<ProbeHop>,
+    /// Did the probe reach the destination?
+    pub reached: bool,
+}
+
+impl Traceroute {
+    /// Ground-truth links traversed, in order.
+    pub fn links(&self) -> Vec<LinkId> {
+        self.hops.iter().filter_map(|h| h.link()).collect()
+    }
+}
+
+/// Runs a traceroute from `src` to `dst` under the current routing state.
+///
+/// `blocked` is the set of ASes whose routers do not answer probes.
+pub fn traceroute(
+    sim: &Sim,
+    src: &Sensor,
+    dst: &Sensor,
+    blocked: &BTreeSet<AsId>,
+) -> Traceroute {
+    let path = sim.forward(src.router, dst.addr);
+    render_traceroute(sim, src, dst, blocked, &path)
+}
+
+/// Runs a Paris-traceroute sweep from `src` to `dst`: one [`Traceroute`]
+/// per distinct ECMP path (at most `cap`). With no load balancing on the
+/// route this returns exactly one measurement, identical to
+/// [`traceroute`]'s single-path view.
+pub fn paris_traceroute(
+    sim: &Sim,
+    src: &Sensor,
+    dst: &Sensor,
+    blocked: &BTreeSet<AsId>,
+    cap: usize,
+) -> Vec<Traceroute> {
+    sim.all_paths(src.router, dst.addr, cap)
+        .iter()
+        .map(|path| render_traceroute(sim, src, dst, blocked, path))
+        .collect()
+}
+
+/// Converts a forwarding path into the traceroute the sensor observes.
+fn render_traceroute(
+    sim: &Sim,
+    src: &Sensor,
+    dst: &Sensor,
+    blocked: &BTreeSet<AsId>,
+    path: &crate::dataplane::DataPath,
+) -> Traceroute {
+    let topology = sim.topology();
+    let mut hops = Vec::with_capacity(path.hops.len() + 1);
+    for hop in &path.hops {
+        let as_id = topology.as_of_router(hop.router);
+        let link = hop.ingress.map(|(l, _)| l);
+        if blocked.contains(&as_id) {
+            hops.push(ProbeHop::Star {
+                router: hop.router,
+                link,
+            });
+        } else {
+            let addr = match hop.ingress {
+                Some((_, ingress_addr)) => ingress_addr,
+                None => topology.router(hop.router).loopback,
+            };
+            hops.push(ProbeHop::Addr {
+                addr,
+                router: hop.router,
+                link,
+            });
+        }
+    }
+    let reached = path.outcome == ForwardOutcome::Delivered;
+    if reached {
+        hops.push(ProbeHop::Dest { addr: dst.addr });
+    }
+    Traceroute {
+        src: src.id,
+        dst: dst.id,
+        hops,
+        reached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensors::SensorSet;
+    use netdiag_topology::{AsKind, LinkRelationship, TopologyBuilder};
+    use std::sync::Arc;
+
+    /// S1 -- T -- S2 with sensors at the stubs.
+    fn net() -> (Sim, SensorSet, AsId) {
+        let mut b = TopologyBuilder::new();
+        let t2 = b.add_as(AsKind::Tier2, "T");
+        let s1 = b.add_as(AsKind::Stub, "S1");
+        let s2 = b.add_as(AsKind::Stub, "S2");
+        let t_a = b.add_router(t2, "ta");
+        let t_b = b.add_router(t2, "tb");
+        b.add_intra_link(t_a, t_b, 7);
+        let s1r = b.add_router(s1, "s1r");
+        let s2r = b.add_router(s2, "s2r");
+        b.add_inter_link(t_a, s1r, LinkRelationship::ProviderCustomer);
+        b.add_inter_link(t_b, s2r, LinkRelationship::ProviderCustomer);
+        let t = Arc::new(b.build().unwrap());
+        let mut sim = Sim::new(Arc::clone(&t));
+        sim.converge_all();
+        let sensors = SensorSet::place(&t, &[(s1, s1r), (s2, s2r)]);
+        sensors.register(&mut sim);
+        (sim, sensors, t2)
+    }
+
+    #[test]
+    fn hops_and_destination() {
+        let (sim, sensors, _) = net();
+        let tr = traceroute(
+            &sim,
+            sensors.get(SensorId(0)),
+            sensors.get(SensorId(1)),
+            &BTreeSet::new(),
+        );
+        assert!(tr.reached);
+        // s1r, ta, tb, s2r, dest-host
+        assert_eq!(tr.hops.len(), 5);
+        assert!(matches!(tr.hops[0], ProbeHop::Addr { link: None, .. }));
+        assert!(matches!(tr.hops[4], ProbeHop::Dest { .. }));
+        assert_eq!(tr.links().len(), 3);
+    }
+
+    #[test]
+    fn blocked_as_yields_stars_but_ground_truth_retained() {
+        let (sim, sensors, t2) = net();
+        let blocked: BTreeSet<AsId> = [t2].into_iter().collect();
+        let tr = traceroute(
+            &sim,
+            sensors.get(SensorId(0)),
+            sensors.get(SensorId(1)),
+            &blocked,
+        );
+        assert!(tr.reached);
+        let stars: Vec<_> = tr
+            .hops
+            .iter()
+            .filter(|h| matches!(h, ProbeHop::Star { .. }))
+            .collect();
+        assert_eq!(stars.len(), 2, "both transit routers silent");
+        // Links are still known as ground truth.
+        assert_eq!(tr.links().len(), 3);
+    }
+
+    #[test]
+    fn failed_path_is_truncated_and_unreached() {
+        let (mut sim, sensors, _) = net();
+        let s2r = sensors.get(SensorId(1)).router;
+        let uplink = sim.topology().router(s2r).links[0];
+        sim.fail_link(uplink);
+        let tr = traceroute(
+            &sim,
+            sensors.get(SensorId(0)),
+            sensors.get(SensorId(1)),
+            &BTreeSet::new(),
+        );
+        assert!(!tr.reached);
+        assert!(tr.hops.len() < 5);
+        assert!(!tr
+            .hops
+            .iter()
+            .any(|h| matches!(h, ProbeHop::Dest { .. })));
+    }
+}
+
+#[cfg(test)]
+mod paris_tests {
+    use super::*;
+    use crate::sensors::SensorSet;
+    use netdiag_topology::{AsKind, LinkRelationship, TopologyBuilder};
+    use std::sync::Arc;
+
+    /// Transit AS with an internal ECMP square: two equal-cost paths.
+    fn ecmp_net() -> (Sim, SensorSet) {
+        let mut b = TopologyBuilder::new();
+        let t2 = b.add_as(AsKind::Tier2, "T");
+        let s1 = b.add_as(AsKind::Stub, "S1");
+        let s2 = b.add_as(AsKind::Stub, "S2");
+        let ta = b.add_router(t2, "ta");
+        let m1 = b.add_router(t2, "m1");
+        let m2 = b.add_router(t2, "m2");
+        let tb = b.add_router(t2, "tb");
+        b.add_intra_link(ta, m1, 1);
+        b.add_intra_link(ta, m2, 1);
+        b.add_intra_link(m1, tb, 1);
+        b.add_intra_link(m2, tb, 1);
+        let s1r = b.add_router(s1, "s1r");
+        let s2r = b.add_router(s2, "s2r");
+        b.add_inter_link(ta, s1r, LinkRelationship::ProviderCustomer);
+        b.add_inter_link(tb, s2r, LinkRelationship::ProviderCustomer);
+        let t = Arc::new(b.build().unwrap());
+        let mut sim = Sim::new(Arc::clone(&t));
+        sim.converge_all();
+        let sensors = SensorSet::place(&t, &[(s1, s1r), (s2, s2r)]);
+        sensors.register(&mut sim);
+        (sim, sensors)
+    }
+
+    #[test]
+    fn paris_discovers_all_ecmp_variants() {
+        let (sim, sensors) = ecmp_net();
+        let trs = paris_traceroute(
+            &sim,
+            sensors.get(SensorId(0)),
+            sensors.get(SensorId(1)),
+            &BTreeSet::new(),
+            8,
+        );
+        assert_eq!(trs.len(), 2);
+        assert!(trs.iter().all(|t| t.reached));
+        // The two traceroutes differ in the middle hop.
+        assert_ne!(trs[0].hops[2].addr(), trs[1].hops[2].addr());
+        // The classic traceroute is one of them.
+        let single = traceroute(
+            &sim,
+            sensors.get(SensorId(0)),
+            sensors.get(SensorId(1)),
+            &BTreeSet::new(),
+        );
+        assert!(trs.iter().any(|t| {
+            t.hops.iter().map(|h| h.addr()).collect::<Vec<_>>()
+                == single.hops.iter().map(|h| h.addr()).collect::<Vec<_>>()
+        }));
+    }
+
+    #[test]
+    fn paris_respects_blocking() {
+        let (sim, sensors) = ecmp_net();
+        let blocked: BTreeSet<AsId> = [AsId(0)].into_iter().collect(); // transit blocks
+        let trs = paris_traceroute(
+            &sim,
+            sensors.get(SensorId(0)),
+            sensors.get(SensorId(1)),
+            &blocked,
+            8,
+        );
+        assert_eq!(trs.len(), 2);
+        for t in &trs {
+            let stars = t.hops.iter().filter(|h| h.addr().is_none()).count();
+            assert_eq!(stars, 3, "all transit hops starred");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Scale smoke test on the paper's full 165-AS topology.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use netdiag_netsim::{probe_mesh, Sim, SensorSet};
+use netdiag_topology::builders::{build_internet, InternetConfig};
+
+#[test]
+fn full_internet_converges_and_probes() {
+    let t0 = Instant::now();
+    let net = build_internet(&InternetConfig::default());
+    let topology = Arc::new(net.topology.clone());
+    let mut sim = Sim::new(Arc::clone(&topology));
+
+    // 10 sensors in the first 10 stub ASes.
+    let spec: Vec<_> = net.stubs[..10]
+        .iter()
+        .map(|s| (s.as_id, s.routers[0]))
+        .collect();
+    let sensors = SensorSet::place(&topology, &spec);
+    sensors.register(&mut sim);
+    let t1 = Instant::now();
+    sim.converge_for(&sensors.as_ids());
+    let t2 = Instant::now();
+
+    let mesh = probe_mesh(&sim, &sensors, &BTreeSet::new());
+    assert_eq!(mesh.traceroutes.len(), 90);
+    assert_eq!(mesh.failed_count(), 0, "healthy network: all paths work");
+    let t3 = Instant::now();
+
+    // Fail a probed inter-domain link and reconverge.
+    let link = mesh.traceroutes[0].links()[1];
+    let mut broken = sim.clone();
+    broken.fail_link(link);
+    let t4 = Instant::now();
+    let mesh2 = probe_mesh(&broken, &sensors, &BTreeSet::new());
+    eprintln!(
+        "build={:?} converge={:?} mesh={:?} fail+reconverge={:?} failed_paths={}",
+        t1 - t0, t2 - t1, t3 - t2, t4 - t3, mesh2.failed_count()
+    );
+}
+
+#[test]
+fn convergence_message_counts_are_sane() {
+    let net = build_internet(&InternetConfig::default());
+    let topology = Arc::new(net.topology.clone());
+    let mut sim = Sim::new(Arc::clone(&topology));
+    let spec: Vec<_> = net.stubs[..10]
+        .iter()
+        .map(|s| (s.as_id, s.routers[0]))
+        .collect();
+    let sensors = SensorSet::place(&topology, &spec);
+    sensors.register(&mut sim);
+    sim.converge_for(&sensors.as_ids());
+    let initial = sim.bgp_messages();
+    // 10 prefixes over ~2000 sessions: tens of thousands of messages, not
+    // millions (no path-exploration blowups).
+    assert!(initial > 1_000, "suspiciously quiet: {initial}");
+    assert!(initial < 5_000_000, "convergence storm: {initial}");
+
+    // A single failure reconverges with far fewer messages.
+    let mesh = probe_mesh(&sim, &sensors, &BTreeSet::new());
+    let link = mesh.traceroutes[0].links()[1];
+    let mut broken = sim.clone();
+    broken.fail_link(link);
+    let delta = broken.bgp_messages() - initial;
+    assert!(delta < initial, "incremental reconvergence must be cheaper");
+}

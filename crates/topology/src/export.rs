@@ -1,0 +1,131 @@
+//! Graphviz export of topologies — for eyeballing generated internets and
+//! illustrating diagnosis results.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::ids::LinkId;
+use crate::topology::{AsKind, LinkKind, Topology};
+
+/// Options for the DOT rendering.
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Links to highlight (drawn red and bold) — e.g. failed links or a
+    /// diagnosis hypothesis.
+    pub highlight: BTreeSet<LinkId>,
+    /// Skip stub ASes (keeps large topologies readable).
+    pub hide_stubs: bool,
+}
+
+/// Renders the topology as a Graphviz `dot` graph: one cluster per AS,
+/// routers as nodes, links as edges (inter-domain edges dashed).
+pub fn to_dot(topology: &Topology, opts: &DotOptions) -> String {
+    let mut out = String::from("graph topology {\n  layout=sfdp;\n  overlap=false;\n");
+    let hidden = |as_idx: usize| {
+        opts.hide_stubs && topology.ases()[as_idx].kind == AsKind::Stub
+    };
+    for asn in topology.ases() {
+        if hidden(asn.id.index()) {
+            continue;
+        }
+        let _ = writeln!(out, "  subgraph cluster_{} {{", asn.id.0);
+        let _ = writeln!(out, "    label=\"{} ({})\";", asn.name, asn.prefix);
+        let shape = match asn.kind {
+            AsKind::Core => "doublecircle",
+            AsKind::Tier2 => "circle",
+            AsKind::Stub => "box",
+        };
+        for &r in &asn.routers {
+            let router = topology.router(r);
+            let _ = writeln!(
+                out,
+                "    r{} [label=\"{}\", shape={shape}];",
+                r.0, router.name
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for link in topology.links() {
+        let a_as = topology.as_of_router(link.a).index();
+        let b_as = topology.as_of_router(link.b).index();
+        if hidden(a_as) || hidden(b_as) {
+            continue;
+        }
+        let mut attrs: Vec<String> = Vec::new();
+        if link.kind == LinkKind::Inter {
+            attrs.push("style=dashed".into());
+        } else {
+            if link.weight_ab == link.weight_ba {
+                attrs.push(format!("label=\"{}\"", link.weight_ab));
+            } else {
+                attrs.push(format!("label=\"{}/{}\"", link.weight_ab, link.weight_ba));
+            }
+        }
+        if opts.highlight.contains(&link.id) {
+            attrs.push("color=red".into());
+            attrs.push("penwidth=3".into());
+        }
+        let _ = writeln!(
+            out,
+            "  r{} -- r{} [{}];",
+            link.a.0,
+            link.b.0,
+            attrs.join(", ")
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{LinkRelationship, TopologyBuilder};
+
+    fn sample() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let core = b.add_as(AsKind::Core, "Core");
+        let stub = b.add_as(AsKind::Stub, "Stub");
+        let c1 = b.add_router(core, "c1");
+        let c2 = b.add_router(core, "c2");
+        b.add_intra_link(c1, c2, 7);
+        let s1 = b.add_router(stub, "s1");
+        b.add_inter_link(c2, s1, LinkRelationship::ProviderCustomer);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_clusters_and_edges() {
+        let t = sample();
+        let dot = to_dot(&t, &DotOptions::default());
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("r0 -- r1 [label=\"7\"]"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.starts_with("graph topology {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn highlight_marks_links_red() {
+        let t = sample();
+        let opts = DotOptions {
+            highlight: BTreeSet::from([LinkId(1)]),
+            hide_stubs: false,
+        };
+        let dot = to_dot(&t, &opts);
+        assert!(dot.contains("color=red"));
+    }
+
+    #[test]
+    fn hide_stubs_removes_them() {
+        let t = sample();
+        let opts = DotOptions {
+            highlight: BTreeSet::new(),
+            hide_stubs: true,
+        };
+        let dot = to_dot(&t, &opts);
+        assert!(!dot.contains("cluster_1"));
+        assert!(!dot.contains("style=dashed"), "stub uplink hidden too");
+    }
+}

@@ -1,0 +1,81 @@
+//! Strongly-typed identifiers for topology entities.
+//!
+//! All entities are referred to by dense `u32` indices wrapped in newtypes so
+//! they cannot be confused with one another. Indices are assigned in creation
+//! order by [`crate::TopologyBuilder`] and are stable for the lifetime of a
+//! [`crate::Topology`].
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $tag:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an autonomous system (dense index, *not* an ASN).
+    AsId,
+    "AS"
+);
+define_id!(
+    /// Identifier of a router (global across all ASes).
+    RouterId,
+    "r"
+);
+define_id!(
+    /// Identifier of a link (global across all ASes).
+    LinkId,
+    "l"
+);
+define_id!(
+    /// Identifier of a sensor (an end host participating in the probe mesh).
+    SensorId,
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_tag() {
+        assert_eq!(AsId(3).to_string(), "AS3");
+        assert_eq!(RouterId(14).to_string(), "r14");
+        assert_eq!(LinkId(7).to_string(), "l7");
+        assert_eq!(SensorId(0).to_string(), "s0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(RouterId(1) < RouterId(2));
+        assert_eq!(LinkId(5).index(), 5);
+    }
+
+    #[test]
+    fn debug_matches_display() {
+        assert_eq!(format!("{:?}", AsId(9)), "AS9");
+    }
+}

@@ -1,0 +1,40 @@
+//! Multi-AS network topology model for the NetDiagnoser reproduction.
+//!
+//! This crate provides the static description of an internetwork:
+//!
+//! * strongly-typed ids ([`AsId`], [`RouterId`], [`LinkId`], [`SensorId`]);
+//! * IPv4 [`Prefix`]es and a longest-prefix-match [`PrefixTable`];
+//! * the [`Topology`] itself — ASes, routers, links, business relationships,
+//!   and the addressing plan — built through [`TopologyBuilder`];
+//! * [`builders`] with embedded router-level maps of Abilene, GEANT and WIDE,
+//!   a hub-and-spoke generator, and [`builders::build_internet`], which
+//!   reproduces the paper's 165-AS evaluation topology.
+//!
+//! Everything here is immutable ground truth; protocol state lives in the
+//! `netdiag-igp`, `netdiag-bgp` and `netdiag-netsim` crates.
+//!
+//! # Example
+//!
+//! ```
+//! use netdiag_topology::builders::{build_internet, InternetConfig};
+//!
+//! let net = build_internet(&InternetConfig::default());
+//! assert_eq!(net.topology.as_count(), 165);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod export;
+mod ids;
+mod prefix;
+pub mod text;
+mod topology;
+
+pub use ids::{AsId, LinkId, RouterId, SensorId};
+pub use prefix::{ParsePrefixError, Prefix, PrefixTable};
+pub use topology::{
+    AsKind, AsNode, IpOwner, Link, LinkKind, LinkRelationship, PeerKind, Router, Topology,
+    TopologyBuilder, TopologyError,
+};

@@ -1,0 +1,283 @@
+//! Plain-text topology format — bring your own network.
+//!
+//! The simulator is not tied to the generated research Internet: any
+//! topology can be described in a small line-oriented format and loaded
+//! with [`parse_topology`]. Lines (comments start with `#`):
+//!
+//! ```text
+//! as <name> core|tier2|stub          # declares an AS
+//! router <as-name> <router-name>     # adds a router to an AS
+//! link <router> <router> <w> [<w-reverse>]  # intra-domain link; one
+//!                                    # weight = symmetric, two = per
+//!                                    # direction (a->b then b->a)
+//! peer <router> <router>             # inter-domain settlement-free peering
+//! provider <router> <router>         # inter-domain: first AS provides
+//!                                    # transit to the second
+//! ```
+//!
+//! Router names must be globally unique. The addressing plan is assigned
+//! exactly as [`crate::TopologyBuilder`] does for generated topologies.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ids::RouterId;
+use crate::topology::{AsKind, LinkRelationship, Topology, TopologyBuilder, TopologyError};
+
+/// A parse or validation failure with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTopologyError {
+    /// 1-based line number (0 for builder validation errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTopologyError {}
+
+impl From<TopologyError> for ParseTopologyError {
+    fn from(e: TopologyError) -> Self {
+        ParseTopologyError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseTopologyError {
+    ParseTopologyError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a topology description.
+///
+/// ```
+/// use netdiag_topology::text::parse_topology;
+///
+/// let t = parse_topology(
+///     "as Core core\n\
+///      as Edge stub\n\
+///      router Core c1\n\
+///      router Edge e1\n\
+///      provider c1 e1\n",
+/// )
+/// .unwrap();
+/// assert_eq!(t.as_count(), 2);
+/// assert_eq!(t.link_count(), 1);
+/// ```
+pub fn parse_topology(text: &str) -> Result<Topology, ParseTopologyError> {
+    let mut b = TopologyBuilder::new();
+    let mut ases: HashMap<String, crate::ids::AsId> = HashMap::new();
+    let mut routers: HashMap<String, RouterId> = HashMap::new();
+
+    for (n, raw) in text.lines().enumerate() {
+        let n = n + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["as", name, kind] => {
+                let kind = match *kind {
+                    "core" => AsKind::Core,
+                    "tier2" => AsKind::Tier2,
+                    "stub" => AsKind::Stub,
+                    other => return Err(err(n, format!("unknown AS kind {other:?}"))),
+                };
+                if ases.contains_key(*name) {
+                    return Err(err(n, format!("duplicate AS {name:?}")));
+                }
+                ases.insert(name.to_string(), b.add_as(kind, *name));
+            }
+            ["router", as_name, name] => {
+                let &as_id = ases
+                    .get(*as_name)
+                    .ok_or_else(|| err(n, format!("unknown AS {as_name:?}")))?;
+                if routers.contains_key(*name) {
+                    return Err(err(n, format!("duplicate router {name:?}")));
+                }
+                routers.insert(name.to_string(), b.add_router(as_id, *name));
+            }
+            ["link", a, c, rest @ ..] if !rest.is_empty() && rest.len() <= 2 => {
+                let (&ra, &rc) = (
+                    routers
+                        .get(*a)
+                        .ok_or_else(|| err(n, format!("unknown router {a:?}")))?,
+                    routers
+                        .get(*c)
+                        .ok_or_else(|| err(n, format!("unknown router {c:?}")))?,
+                );
+                let parse_w = |w: &str| {
+                    w.parse::<u32>()
+                        .ok()
+                        .filter(|&w| w >= 1)
+                        .ok_or_else(|| err(n, "weight must be an integer >= 1"))
+                };
+                let w_ab = parse_w(rest[0])?;
+                let w_ba = if rest.len() == 2 { parse_w(rest[1])? } else { w_ab };
+                b.add_intra_link_asym(ra, rc, w_ab, w_ba);
+            }
+            ["peer", a, c] | ["provider", a, c] => {
+                let (&ra, &rc) = (
+                    routers
+                        .get(*a)
+                        .ok_or_else(|| err(n, format!("unknown router {a:?}")))?,
+                    routers
+                        .get(*c)
+                        .ok_or_else(|| err(n, format!("unknown router {c:?}")))?,
+                );
+                let rel = if parts[0] == "peer" {
+                    LinkRelationship::PeerPeer
+                } else {
+                    LinkRelationship::ProviderCustomer
+                };
+                b.add_inter_link(ra, rc, rel);
+            }
+            _ => return Err(err(n, format!("unrecognized line: {line:?}"))),
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// Serializes a topology back into the text format (round-trippable up to
+/// creation order).
+pub fn write_topology(t: &Topology) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("# as <name> core|tier2|stub / router / link / peer / provider\n");
+    for asn in t.ases() {
+        let kind = match asn.kind {
+            AsKind::Core => "core",
+            AsKind::Tier2 => "tier2",
+            AsKind::Stub => "stub",
+        };
+        let _ = writeln!(out, "as {} {kind}", asn.name);
+    }
+    for r in t.routers() {
+        let _ = writeln!(out, "router {} {}", t.as_node(r.as_id).name, r.name);
+    }
+    for l in t.links() {
+        let (a, b) = (t.router(l.a), t.router(l.b));
+        match l.kind {
+            crate::topology::LinkKind::Intra => {
+                if l.weight_ab == l.weight_ba {
+                    let _ = writeln!(out, "link {} {} {}", a.name, b.name, l.weight_ab);
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "link {} {} {} {}",
+                        a.name, b.name, l.weight_ab, l.weight_ba
+                    );
+                }
+            }
+            crate::topology::LinkKind::Inter => {
+                let rel = t
+                    .relationship(a.as_id, b.as_id)
+                    .expect("inter link has relationship");
+                let verb = match rel {
+                    crate::topology::PeerKind::Customer => "provider",
+                    crate::topology::PeerKind::Peer => "peer",
+                    // a pays b: write it from the provider side.
+                    crate::topology::PeerKind::Provider => {
+                        let _ = writeln!(out, "provider {} {}", b.name, a.name);
+                        continue;
+                    }
+                };
+                let _ = writeln!(out, "{verb} {} {}", a.name, b.name);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::PeerKind;
+
+    const SAMPLE: &str = "\
+# a tiny transit triangle
+as Core core
+as T tier2
+as S stub
+router Core c1
+router Core c2
+router T t1
+router S s1
+link c1 c2 10
+provider c2 t1
+provider t1 s1
+";
+
+    #[test]
+    fn parses_sample() {
+        let t = parse_topology(SAMPLE).unwrap();
+        assert_eq!(t.as_count(), 3);
+        assert_eq!(t.router_count(), 4);
+        assert_eq!(t.link_count(), 3);
+        // provider c2 t1 => Core is T's provider.
+        let core = t.ases()[0].id;
+        let tier = t.ases()[1].id;
+        assert_eq!(t.relationship(tier, core), Some(PeerKind::Provider));
+    }
+
+    #[test]
+    fn roundtrips() {
+        let t = parse_topology(SAMPLE).unwrap();
+        let text = write_topology(&t);
+        let t2 = parse_topology(&text).unwrap();
+        assert_eq!(t.as_count(), t2.as_count());
+        assert_eq!(t.router_count(), t2.router_count());
+        assert_eq!(t.link_count(), t2.link_count());
+        for (a, b) in t.links().iter().zip(t2.links()) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.weight_ab, b.weight_ab);
+            assert_eq!(a.weight_ba, b.weight_ba);
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_topology("as X coreish").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_topology("as X core\nrouter Y r1").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_topology("as X core\nrouter X r1\nlink r1 r9 5").unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = parse_topology("as X core\nrouter X r1\nrouter X r2\nlink r1 r2 0").unwrap_err();
+        assert!(e.message.contains(">= 1"));
+        let e = parse_topology("bananas").unwrap_err();
+        assert!(e.message.contains("unrecognized"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(parse_topology("as X core\nas X stub").is_err());
+        assert!(parse_topology("as X core\nrouter X r1\nrouter X r1").is_err());
+    }
+
+    #[test]
+    fn builder_validation_propagates() {
+        // Disconnected AS caught at build time (line 0).
+        let e = parse_topology("as X core\nrouter X r1\nrouter X r2").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("not internally connected"));
+    }
+
+    #[test]
+    fn figure2_roundtrips_through_text() {
+        let fig = crate::builders::paper_figure2();
+        let text = write_topology(&fig.topology);
+        let parsed = parse_topology(&text).unwrap();
+        assert_eq!(parsed.as_count(), 5);
+        assert_eq!(parsed.link_count(), fig.topology.link_count());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the topology layer: generator invariants over
+//! random configurations and prefix/address-plan laws.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use netdiag_topology::builders::{build_internet, InternetConfig};
+use netdiag_topology::{LinkKind, PeerKind, Prefix, PrefixTable};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generator always produces a valid topology with the requested
+    /// shape, for any seed and a range of sizes.
+    #[test]
+    fn generator_shape_invariants(
+        seed in 0u64..10_000,
+        n_tier2 in 2usize..8,
+        n_stub in 2usize..20,
+        t2_frac in 0.0f64..1.0,
+        stub_frac in 0.0f64..1.0,
+    ) {
+        let cfg = InternetConfig {
+            n_tier2,
+            tier2_size: 5,
+            n_stub,
+            tier2_multihomed_frac: t2_frac,
+            stub_multihomed_frac: stub_frac,
+            seed,
+            ..InternetConfig::default()
+        };
+        let net = build_internet(&cfg);
+        let t = &net.topology;
+        prop_assert_eq!(t.as_count(), 3 + n_tier2 + n_stub);
+        // Prefixes are disjoint across ASes.
+        for a in t.ases() {
+            for b in t.ases() {
+                if a.id != b.id {
+                    prop_assert!(!a.prefix.covers(&b.prefix));
+                }
+            }
+        }
+        // Every stub has at least one provider; every tier-2 a core above.
+        for stub in &net.stubs {
+            let has_provider = t.ases().iter().any(|other| {
+                t.relationship(stub.as_id, other.id) == Some(PeerKind::Provider)
+            });
+            prop_assert!(has_provider);
+        }
+        // Inter links connect distinct ASes with a declared relationship.
+        for l in t.links() {
+            let (a, b) = (t.as_of_router(l.a), t.as_of_router(l.b));
+            match l.kind {
+                LinkKind::Intra => prop_assert_eq!(a, b),
+                LinkKind::Inter => {
+                    prop_assert_ne!(a, b);
+                    prop_assert!(t.relationship(a, b).is_some());
+                }
+            }
+        }
+    }
+
+    /// All interface and loopback addresses are globally unique and map
+    /// back to their owners.
+    #[test]
+    fn address_plan_is_injective(seed in 0u64..2_000) {
+        let net = build_internet(&InternetConfig::small(seed));
+        let t = &net.topology;
+        let mut seen = BTreeSet::new();
+        for l in t.links() {
+            prop_assert!(seen.insert(l.addr_a), "dup {}", l.addr_a);
+            prop_assert!(seen.insert(l.addr_b), "dup {}", l.addr_b);
+        }
+        for r in t.routers() {
+            prop_assert!(seen.insert(r.loopback), "dup {}", r.loopback);
+        }
+        for addr in seen {
+            prop_assert!(t.ip_owner(addr).is_some());
+            prop_assert!(t.as_of_ip(addr).is_some());
+        }
+    }
+
+    /// Prefix::contains agrees with bit arithmetic; host() stays inside.
+    #[test]
+    fn prefix_laws(addr: u32, len in 0u8..=32, host in 0u32..1024) {
+        let p = Prefix::new(Ipv4Addr::from(addr), len);
+        prop_assert!(p.contains(p.network()));
+        if 32 - len >= 10 {
+            // host index < 1024 always fits in >= 10 host bits.
+            prop_assert!(p.contains(p.host(host)));
+        }
+        // Canonicalization is idempotent.
+        let q = Prefix::new(p.network(), len);
+        prop_assert_eq!(p, q);
+    }
+
+    /// The prefix table always returns the longest matching prefix.
+    #[test]
+    fn table_lpm_law(addr: u32, lens in proptest::collection::btree_set(0u8..=24, 1..6)) {
+        let ip = Ipv4Addr::from(addr);
+        let mut table = PrefixTable::new();
+        for &len in &lens {
+            table.insert(Prefix::new(ip, len), len);
+        }
+        let (got, v) = table.lookup(ip).expect("some prefix matches");
+        let longest = *lens.iter().max().unwrap();
+        prop_assert_eq!(got.len(), longest);
+        prop_assert_eq!(*v, longest);
+    }
+}
+
+#[test]
+fn relationships_are_antisymmetric_everywhere() {
+    let net = build_internet(&InternetConfig::default());
+    let t = &net.topology;
+    for a in t.ases() {
+        for b in t.ases() {
+            if let Some(rel) = t.relationship(a.id, b.id) {
+                assert_eq!(t.relationship(b.id, a.id), Some(rel.reverse()));
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Troubleshooting when ASes block traceroute — the paper's §3.4 / §5.4
+//! scenario: unidentified hops are mapped to candidate ASes with Looking
+//! Glass queries (ND-LG), where ND-bgpigp can only shrug.
+//!
+//! ```text
+//! cargo run --release --example blocked_traceroutes
+//! ```
+
+use netdiagnoser_repro::experiments::placement::Placement;
+use netdiagnoser_repro::experiments::runner::{prepare, run_trial, RunConfig};
+use netdiagnoser_repro::experiments::sampling::FailureSpec;
+use netdiagnoser_repro::topology::builders::{build_internet, InternetConfig};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let net = build_internet(&InternetConfig::default());
+    // Half the probed ASes block traceroute; every AS offers a Looking
+    // Glass (Figure 11's middle regime).
+    let cfg = RunConfig {
+        n_sensors: 10,
+        placement: Placement::Random,
+        failure: FailureSpec::Links(1),
+        blocked_frac: 0.5,
+        lg_frac: 1.0,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(99);
+    let ctx = prepare(&net, &cfg, &mut rng);
+    println!(
+        "{} probed ASes block traceroute; sensors see stars through them",
+        ctx.blocked.len()
+    );
+    let stars: usize = ctx
+        .mesh_before
+        .traceroutes
+        .iter()
+        .flat_map(|t| &t.hops)
+        .filter(|h| h.addr().is_none())
+        .count();
+    println!("pre-failure mesh contains {stars} unidentified hops\n");
+
+    // Sample failures until several land where it hurts: links owned by a
+    // traceroute-blocking AS, where ND-bgpigp is blind.
+    let topology = ctx.sim.topology();
+    let mut frng = StdRng::seed_from_u64(17);
+    let mut shown = 0;
+    let mut attempts = 0;
+    while shown < 5 && attempts < 400 {
+        attempts += 1;
+        let Some(tr) = run_trial(&ctx, &cfg, &mut frng) else {
+            break;
+        };
+        let in_blocked = tr.failed_sites.iter().any(|&l| {
+            let link = topology.link(l);
+            ctx.blocked.contains(&topology.as_of_router(link.a))
+        });
+        if !in_blocked {
+            continue;
+        }
+        let lg = tr.nd_lg.expect("blocking is on");
+        println!(
+            "failure {:?} (inside a blocked AS): AS-sensitivity  ND-bgpigp {:.2} vs ND-LG {:.2}   \
+             (AS-specificity {:.2} vs {:.2})",
+            tr.failed_sites, tr.nd_bgpigp.as_sensitivity, lg.as_sensitivity,
+            tr.nd_bgpigp.as_specificity, lg.as_specificity,
+        );
+        shown += 1;
+    }
+    println!(
+        "\nND-LG keeps locating the responsible AS even when the failed link \
+         hides behind stars, by mapping unidentified hops to ASes with \
+         Looking Glass AS-path queries and clustering same-link candidates."
+    );
+}

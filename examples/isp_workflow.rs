@@ -1,0 +1,124 @@
+//! An ISP operator's troubleshooting workflow (the paper's deployment
+//! story): AS-X runs the troubleshooter at its NOC, combining the sensor
+//! mesh with its own IGP/BGP feeds (ND-bgpigp).
+//!
+//! Two incidents are replayed: a failure *inside* AS-X (the IGP names the
+//! exact link) and a remote failure (BGP withdrawals prune the upstream
+//! suspects).
+//!
+//! ```text
+//! cargo run --release --example isp_workflow
+//! ```
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use netdiagnoser_repro::diagnoser::{nd_bgpigp, nd_edge, Weights};
+use netdiagnoser_repro::experiments::bridge::{observations, routing_feed, TruthIpToAs};
+use netdiagnoser_repro::experiments::runner::{prepare, RunConfig};
+use netdiagnoser_repro::experiments::truth::{evaluate, TruthMap};
+use netdiagnoser_repro::netsim::probe_mesh;
+use netdiagnoser_repro::topology::builders::{build_internet, InternetConfig};
+use netdiagnoser_repro::topology::{LinkId, LinkKind};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let net = build_internet(&InternetConfig::default());
+    let cfg = RunConfig::default();
+    let mut rng = StdRng::seed_from_u64(7);
+    let ctx = prepare(&net, &cfg, &mut rng);
+    let topology = Arc::new(net.topology.clone());
+    println!("AS-X (the troubleshooter) is {}\n", ctx.observer);
+
+    // Probed links inside AS-X and outside it.
+    let probed: BTreeSet<LinkId> = ctx
+        .mesh_before
+        .traceroutes
+        .iter()
+        .flat_map(|t| t.links())
+        .collect();
+    // For each incident class, find a probed link whose failure actually
+    // breaks reachability (cleanly-rerouted failures never page the NOC).
+    let breaking = |candidates: Vec<LinkId>| -> Option<LinkId> {
+        candidates.into_iter().find(|&l| {
+            let mut trial = ctx.sim.clone();
+            trial.fail_link(l);
+            probe_mesh(&trial, &ctx.sensors, &ctx.blocked).failed_count() > 0
+        })
+    };
+    let inside = breaking(
+        probed
+            .iter()
+            .copied()
+            .filter(|&l| {
+                let link = topology.link(l);
+                link.kind == LinkKind::Intra && topology.as_of_router(link.a) == ctx.observer
+            })
+            .collect(),
+    );
+    let outside = breaking(
+        probed
+            .iter()
+            .copied()
+            .filter(|&l| {
+                let link = topology.link(l);
+                topology.as_of_router(link.a) != ctx.observer
+                    && topology.as_of_router(link.b) != ctx.observer
+            })
+            .collect(),
+    );
+
+    for (label, link) in [("inside AS-X", inside), ("outside AS-X", outside)] {
+        let Some(link) = link else {
+            println!("({label}: no unreachability-causing probed link this placement)");
+            continue;
+        };
+        let mut broken = ctx.sim.clone();
+        broken.fail_link(link);
+        let after = probe_mesh(&broken, &ctx.sensors, &ctx.blocked);
+        let observed = broken.take_observed();
+        let igp_events = broken.take_igp_events();
+        println!(
+            "incident {label}: link {link} down, {} paths broken",
+            after.failed_count()
+        );
+        println!(
+            "  NOC feeds: {} BGP messages observed at AS-X, {} IGP link-down events",
+            observed.len(),
+            igp_events.iter().filter(|e| e.as_id == ctx.observer).count()
+        );
+
+        let obs = observations(&ctx.sensors, &ctx.mesh_before, &after);
+        let feed = routing_feed(&topology, ctx.observer, &observed, &igp_events);
+        let ip2as = TruthIpToAs {
+            topology: &topology,
+        };
+        let truth = TruthMap::build(&topology, &ctx.mesh_before, &after);
+        let failed = BTreeSet::from([link]);
+
+        let e_edge = evaluate(
+            &topology,
+            &truth,
+            &nd_edge(&obs, &ip2as, Weights::default()),
+            &failed,
+        );
+        let d_bgpigp = nd_bgpigp(&obs, &ip2as, &feed, Weights::default());
+        let e_bgpigp = evaluate(&topology, &truth, &d_bgpigp, &failed);
+        println!(
+            "  ND-edge   : sensitivity {:.2}, |H| = {:>2} links",
+            e_edge.sensitivity, e_edge.hypothesis_size
+        );
+        println!(
+            "  ND-bgpigp : sensitivity {:.2}, |H| = {:>2} links  (control plane pruned {})",
+            e_bgpigp.sensitivity,
+            e_bgpigp.hypothesis_size,
+            e_edge.hypothesis_size.saturating_sub(e_bgpigp.hypothesis_size)
+        );
+        println!(
+            "  suspect links handed to the operator: {:?}\n",
+            truth.hypothesis_links(&d_bgpigp)
+        );
+    }
+}

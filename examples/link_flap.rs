@@ -1,0 +1,96 @@
+//! Link flaps vs hard failures (§6 of the paper): the persistence filter
+//! keeps transient events from waking the troubleshooter, while a
+//! non-transient failure raises an alarm and gets diagnosed.
+//!
+//! ```text
+//! cargo run --release --example link_flap
+//! ```
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use netdiagnoser_repro::diagnoser::{nd_edge, PersistenceFilter, Weights};
+use netdiagnoser_repro::experiments::bridge::{observations, to_snapshot, TruthIpToAs};
+use netdiagnoser_repro::experiments::truth::TruthMap;
+use netdiagnoser_repro::netsim::{probe_mesh, Sim, SensorSet};
+use netdiagnoser_repro::topology::builders::{build_internet, InternetConfig};
+
+fn main() {
+    let net = build_internet(&InternetConfig::default());
+    let topology = Arc::new(net.topology.clone());
+    let spec: Vec<_> = net.stubs[..8]
+        .iter()
+        .map(|s| (s.as_id, s.routers[0]))
+        .collect();
+    let sensors = SensorSet::place(&topology, &spec);
+    let mut sim = Sim::new(Arc::clone(&topology));
+    sensors.register(&mut sim);
+    sim.converge_for(&sensors.as_ids());
+
+    let blocked = BTreeSet::new();
+    let baseline = probe_mesh(&sim, &sensors, &blocked);
+    // Alarm only after 3 consecutive broken measurement rounds.
+    let mut filter = PersistenceFilter::new(3);
+    filter.observe(&to_snapshot(&baseline));
+
+    // Pick a single-homed sensor's uplink to play with.
+    let victim = sensors
+        .sensors()
+        .iter()
+        .find(|s| topology.router(s.router).links.len() == 1)
+        .expect("a single-homed stub");
+    let uplink = topology.router(victim.router).links[0];
+
+    // --- Scenario 1: a link flap (down for one round, then repaired). ---
+    println!("scenario 1: link {uplink} flaps (one bad measurement round)");
+    sim.fail_link(uplink);
+    let round = probe_mesh(&sim, &sensors, &blocked);
+    println!(
+        "  round 1: {} failed paths -> alarm? {}",
+        round.failed_count(),
+        filter.observe(&to_snapshot(&round)).is_some()
+    );
+    sim.repair_link(uplink);
+    for n in 2..=3 {
+        let round = probe_mesh(&sim, &sensors, &blocked);
+        println!(
+            "  round {n}: {} failed paths -> alarm? {}",
+            round.failed_count(),
+            filter.observe(&to_snapshot(&round)).is_some()
+        );
+    }
+    println!("  transient event correctly suppressed\n");
+
+    // --- Scenario 2: a hard (non-transient) failure. ---
+    println!("scenario 2: link {uplink} fails for good");
+    sim.fail_link(uplink);
+    let mut alarm = None;
+    let mut last_mesh = None;
+    for n in 1..=3 {
+        let round = probe_mesh(&sim, &sensors, &blocked);
+        alarm = filter.observe(&to_snapshot(&round));
+        println!(
+            "  round {n}: {} failed paths -> alarm? {}",
+            round.failed_count(),
+            alarm.is_some()
+        );
+        last_mesh = Some(round);
+    }
+    let alarm = alarm.expect("persistent failure must alarm");
+    println!(
+        "  alarm raised for {} persistent pair(s); invoking NetDiagnoser...",
+        alarm.persistent_pairs.len()
+    );
+
+    let after = last_mesh.unwrap();
+    let obs = observations(&sensors, &baseline, &after);
+    let ip2as = TruthIpToAs {
+        topology: &topology,
+    };
+    let d = nd_edge(&obs, &ip2as, Weights::default());
+    let truth = TruthMap::build(&topology, &baseline, &after);
+    let hyp = truth.hypothesis_links(&d);
+    println!("  hypothesis: {hyp:?}");
+    assert!(hyp.contains(&uplink));
+    println!("  the flapped-then-dead link is localized ✓");
+}

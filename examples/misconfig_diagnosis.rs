@@ -1,0 +1,97 @@
+//! Diagnosing a BGP export-filter misconfiguration — the paper's §3.1
+//! scenario: a link that "partially fails" (works for some destinations,
+//! silently drops others) is invisible to plain Boolean tomography but
+//! localized by ND-edge's logical links.
+//!
+//! ```text
+//! cargo run --release --example misconfig_diagnosis
+//! ```
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use netdiagnoser_repro::diagnoser::{nd_edge, tomo, Weights};
+use netdiagnoser_repro::experiments::bridge::{observations, TruthIpToAs};
+use netdiagnoser_repro::experiments::runner::{prepare, RunConfig};
+use netdiagnoser_repro::experiments::sampling::{sample_failure, FailureSpec};
+use netdiagnoser_repro::experiments::truth::{evaluate, TruthMap};
+use netdiagnoser_repro::netsim::{apply_failure, probe_mesh, Failure};
+use netdiagnoser_repro::topology::builders::{build_internet, InternetConfig};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let net = build_internet(&InternetConfig::default());
+    let cfg = RunConfig::default();
+    let mut rng = StdRng::seed_from_u64(2024);
+    let ctx = prepare(&net, &cfg, &mut rng);
+    let topology = Arc::new(net.topology.clone());
+
+    // Sample a per-neighbor export misconfiguration that actually breaks
+    // reachability (redrawing recoverable ones, as the evaluation does).
+    let mut frng = StdRng::seed_from_u64(5);
+    let (failure, after, broken_sites) = loop {
+        let failure = sample_failure(
+            &ctx.sim,
+            &ctx.mesh_before,
+            &ctx.sensors,
+            FailureSpec::Misconfig,
+            &mut frng,
+        )
+        .expect("a misconfiguration is sampleable");
+        let mut broken = ctx.sim.clone();
+        apply_failure(&mut broken, &failure);
+        let after = probe_mesh(&broken, &ctx.sensors, &BTreeSet::new());
+        if after.failed_count() > 0 {
+            let sites = failure.all_failure_sites(&ctx.sim);
+            break (failure, after, sites);
+        }
+    };
+    let Failure::Misconfig(rules) = &failure else {
+        unreachable!()
+    };
+    println!(
+        "misconfiguration: router {} stops announcing {} prefix(es) to {}",
+        rules[0].at,
+        rules.len(),
+        rules[0].peer
+    );
+    println!(
+        "the physical link {} stays up, yet {} sensor pair(s) lost reachability",
+        broken_sites[0],
+        after.failed_count()
+    );
+
+    let obs = observations(&ctx.sensors, &ctx.mesh_before, &after);
+    let ip2as = TruthIpToAs {
+        topology: &topology,
+    };
+    let truth = TruthMap::build(&topology, &ctx.mesh_before, &after);
+    let failed: BTreeSet<_> = broken_sites.iter().copied().collect();
+
+    let e_tomo = evaluate(&topology, &truth, &tomo(&obs, &ip2as), &failed);
+    let d_edge = nd_edge(&obs, &ip2as, Weights::default());
+    let e_edge = evaluate(&topology, &truth, &d_edge, &failed);
+
+    println!("\n              sensitivity  specificity  |H|");
+    println!(
+        "Tomo             {:>6.2}      {:>6.3}     {}",
+        e_tomo.sensitivity, e_tomo.specificity, e_tomo.hypothesis_size
+    );
+    println!(
+        "ND-edge          {:>6.2}      {:>6.3}     {}",
+        e_edge.sensitivity, e_edge.specificity, e_edge.hypothesis_size
+    );
+
+    // The logical links in ND-edge's hypothesis localize the
+    // misconfiguration on the physical link.
+    println!("\nND-edge hypothesis (logical annotations included):");
+    for &e in &d_edge.hypothesis {
+        let data = d_edge.graph().edge(e);
+        let (from, to) = d_edge.graph().endpoints(e);
+        println!("  {from:?} -> {to:?}  [{:?}]", data.logical);
+    }
+    assert_eq!(e_edge.sensitivity, 1.0);
+    println!("\nthe misconfigured link is localized ✓");
+}

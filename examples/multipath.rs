@@ -1,0 +1,83 @@
+//! Load balancing and Paris traceroute — the paper's footnote 2 made
+//! concrete: classic traceroute sees one of several equal-cost paths;
+//! a Paris-traceroute sweep enumerates all of them, so rerouted paths can
+//! be told apart from load-balanced path changes.
+//!
+//! ```text
+//! cargo run --release --example multipath
+//! ```
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use netdiagnoser_repro::netsim::{paris_traceroute, Sim, SensorSet};
+use netdiagnoser_repro::topology::builders::{build_internet, InternetConfig};
+
+fn main() {
+    let net = build_internet(&InternetConfig::default());
+    let topology = Arc::new(net.topology.clone());
+
+    // Sensors across many stubs; tier-2 transit offers ECMP (a dual-homed
+    // spoke reaches another spoke via either hub at equal cost).
+    let spec: Vec<_> = net.stubs[..20]
+        .iter()
+        .map(|s| (s.as_id, s.routers[0]))
+        .collect();
+    let sensors = SensorSet::place(&topology, &spec);
+    let mut sim = Sim::new(Arc::clone(&topology));
+    sensors.register(&mut sim);
+    sim.converge_for(&sensors.as_ids());
+
+    let blocked = BTreeSet::new();
+    let mut multipath_pairs = 0;
+    let mut example_shown = false;
+    for src in sensors.sensors() {
+        for dst in sensors.sensors() {
+            if src.id == dst.id {
+                continue;
+            }
+            let paths = paris_traceroute(&sim, src, dst, &blocked, 8);
+            if paths.len() > 1 {
+                multipath_pairs += 1;
+                if !example_shown {
+                    example_shown = true;
+                    println!(
+                        "sensor pair {} -> {}: {} equal-cost paths discovered",
+                        src.id,
+                        dst.id,
+                        paths.len()
+                    );
+                    for (i, tr) in paths.iter().enumerate() {
+                        let hops: Vec<String> = tr
+                            .hops
+                            .iter()
+                            .map(|h| {
+                                h.addr()
+                                    .map(|a| a.to_string())
+                                    .unwrap_or_else(|| "*".into())
+                            })
+                            .collect();
+                        println!("  path {}: {}", i + 1, hops.join(" -> "));
+                    }
+                    // Per-flow consistency: the same flow id always rides
+                    // the same path.
+                    let f0 = sim.forward_flow(src.router, dst.addr, 7);
+                    let f1 = sim.forward_flow(src.router, dst.addr, 7);
+                    assert_eq!(f0, f1);
+                    println!("  (flow 7 deterministically takes one of them)");
+                }
+            }
+        }
+    }
+    println!(
+        "\n{multipath_pairs} of {} sensor pairs are load-balanced across \
+         multiple equal-cost paths.",
+        sensors.len() * (sensors.len() - 1)
+    );
+    println!(
+        "Classic traceroute sees only one path per pair; NetDiagnoser's \
+         evaluation follows the paper in using the single-path view, but the \
+         simulator models the full ECMP structure (`Sim::all_paths`, \
+         `paris_traceroute`)."
+    );
+}

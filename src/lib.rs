@@ -1,0 +1,10 @@
+//! Umbrella crate for the NetDiagnoser reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See the individual crates for documentation.
+pub use netdiag_bgp as bgp;
+pub use netdiag_experiments as experiments;
+pub use netdiag_igp as igp;
+pub use netdiag_netsim as netsim;
+pub use netdiag_topology as topology;
+pub use netdiagnoser as diagnoser;

@@ -1,0 +1,169 @@
+//! Property-based tests of the diagnoser against randomized simulated
+//! networks: structural invariants that must hold for every topology,
+//! placement and failure.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netdiagnoser_repro::diagnoser::{nd_edge, tomo, Weights};
+use netdiagnoser_repro::experiments::bridge::{observations, TruthIpToAs};
+use netdiagnoser_repro::experiments::sampling::{sample_failure, FailureSpec};
+use netdiagnoser_repro::experiments::truth::TruthMap;
+use netdiagnoser_repro::netsim::{apply_failure, probe_mesh, Sim, SensorSet};
+use netdiagnoser_repro::topology::builders::{build_internet, InternetConfig};
+
+/// Builds a small random internet with sensors and a converged simulator.
+fn small_world(seed: u64, n_sensors: usize) -> (Sim, SensorSet) {
+    let net = build_internet(&InternetConfig::small(seed));
+    let topology = Arc::new(net.topology.clone());
+    let spec: Vec<_> = net.stubs[..n_sensors]
+        .iter()
+        .map(|s| (s.as_id, s.routers[0]))
+        .collect();
+    let sensors = SensorSet::place(&topology, &spec);
+    let mut sim = Sim::new(topology);
+    sensors.register(&mut sim);
+    sim.converge_for(&sensors.as_ids());
+    (sim, sensors)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The healthy mesh is always fully reachable, whatever the seed.
+    #[test]
+    fn healthy_mesh_fully_reachable(seed in 0u64..500, n in 3usize..7) {
+        let (sim, sensors) = small_world(seed, n);
+        let mesh = probe_mesh(&sim, &sensors, &BTreeSet::new());
+        prop_assert_eq!(mesh.failed_count(), 0);
+        prop_assert_eq!(mesh.traceroutes.len(), n * (n - 1));
+    }
+
+    /// For any single/multi link failure: the hypothesis only contains
+    /// probed links; metrics are within range; every failure set the
+    /// greedy reports explained really is hit by the hypothesis.
+    #[test]
+    fn diagnosis_structural_invariants(
+        seed in 0u64..200,
+        fseed in 0u64..50,
+        n_fail in 1usize..4,
+    ) {
+        let (sim, sensors) = small_world(seed, 5);
+        let before = probe_mesh(&sim, &sensors, &BTreeSet::new());
+        let mut rng = StdRng::seed_from_u64(fseed);
+        let Some(failure) = sample_failure(
+            &sim, &before, &sensors, FailureSpec::Links(n_fail), &mut rng,
+        ) else {
+            return Ok(());
+        };
+        let mut broken = sim.clone();
+        apply_failure(&mut broken, &failure);
+        let after = probe_mesh(&broken, &sensors, &BTreeSet::new());
+        if after.failed_count() == 0 {
+            return Ok(()); // fully rerouted: troubleshooter not invoked
+        }
+        let topology = sim.topology();
+        let obs = observations(&sensors, &before, &after);
+        let ip2as = TruthIpToAs { topology };
+        let truth = TruthMap::build(topology, &before, &after);
+
+        for d in [tomo(&obs, &ip2as), nd_edge(&obs, &ip2as, Weights::default())] {
+            // Hypothesis edges come from candidates/forced only.
+            for &e in &d.hypothesis {
+                prop_assert!(
+                    d.problem.candidates.contains(&e)
+                        || d.problem.forced.contains(&e)
+                        || !d.problem.working_edges.contains(&e),
+                    "hypothesis edge on a working path"
+                );
+            }
+            // Every hypothesis edge maps to a probed link or a host edge.
+            let mapped = truth.hypothesis_links(&d);
+            for l in &mapped {
+                prop_assert!(truth.probed_links().contains(l));
+            }
+            // Explained sets really are hit.
+            let h: BTreeSet<_> = d.hypothesis.iter().copied().collect();
+            for (i, set) in d.problem.failure_sets.iter().enumerate() {
+                let explained = !d.greedy.unexplained_failures.contains(&i);
+                if explained {
+                    prop_assert!(
+                        set.edges.iter().any(|e| h.contains(e)),
+                        "explained set not hit"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A single failed link is never *exonerated*: its edges stay in the
+    /// candidate set (no working path can cross a dead link), so the
+    /// evidence always permits the correct diagnosis. (Whether the greedy
+    /// actually selects it is statistical — ~98% of trials at paper scale,
+    /// the "almost always" of §5.2 — so that part is asserted on averages
+    /// in the calibration tests, not per-instance here.)
+    #[test]
+    fn ndedge_never_exonerates_single_failures(seed in 0u64..200, fseed in 0u64..20) {
+        let (sim, sensors) = small_world(seed, 5);
+        let before = probe_mesh(&sim, &sensors, &BTreeSet::new());
+        let mut rng = StdRng::seed_from_u64(fseed);
+        let Some(failure) = sample_failure(
+            &sim, &before, &sensors, FailureSpec::Links(1), &mut rng,
+        ) else {
+            return Ok(());
+        };
+        let mut broken = sim.clone();
+        apply_failure(&mut broken, &failure);
+        let after = probe_mesh(&broken, &sensors, &BTreeSet::new());
+        if after.failed_count() == 0 {
+            return Ok(());
+        }
+        let topology = sim.topology();
+        let obs = observations(&sensors, &before, &after);
+        let ip2as = TruthIpToAs { topology };
+        let truth = TruthMap::build(topology, &before, &after);
+        let d = nd_edge(&obs, &ip2as, Weights::default());
+        let failed = failure.all_failure_sites(&sim)[0];
+        // Some candidate edge maps to the failed link (it was probed at T-
+        // and cannot be cleared by any T+ working path).
+        let mut in_candidates = false;
+        for &e in &d.problem.candidates {
+            let (from, to) = d.graph().endpoints(e);
+            if truth.link_of(from, to) == Some(failed) {
+                in_candidates = true;
+                break;
+            }
+        }
+        prop_assert!(
+            in_candidates,
+            "failed link {failed:?} was exonerated from the candidate set"
+        );
+        // And the greedy left no explainable failure set unexplained.
+        prop_assert!(d.greedy.unexplained_failures.is_empty());
+    }
+
+    /// Tomo and ND-edge are deterministic functions of the observations.
+    #[test]
+    fn diagnosis_deterministic(seed in 0u64..100) {
+        let (sim, sensors) = small_world(seed, 4);
+        let before = probe_mesh(&sim, &sensors, &BTreeSet::new());
+        let mut rng = StdRng::seed_from_u64(1);
+        let Some(failure) = sample_failure(
+            &sim, &before, &sensors, FailureSpec::Links(1), &mut rng,
+        ) else {
+            return Ok(());
+        };
+        let mut broken = sim.clone();
+        apply_failure(&mut broken, &failure);
+        let after = probe_mesh(&broken, &sensors, &BTreeSet::new());
+        let obs = observations(&sensors, &before, &after);
+        let ip2as = TruthIpToAs { topology: sim.topology() };
+        let d1 = nd_edge(&obs, &ip2as, Weights::default());
+        let d2 = nd_edge(&obs, &ip2as, Weights::default());
+        prop_assert_eq!(d1.hypothesis, d2.hypothesis);
+    }
+}

@@ -1,0 +1,151 @@
+//! End-to-end workspace tests: the full pipeline from topology generation
+//! through diagnosis, plus determinism across the whole stack.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netdiagnoser_repro::diagnoser::{nd_bgpigp, nd_edge, tomo, Weights};
+use netdiagnoser_repro::experiments::bridge::{observations, routing_feed, TruthIpToAs};
+use netdiagnoser_repro::experiments::placement::Placement;
+use netdiagnoser_repro::experiments::runner::{prepare, run_trial, RunConfig};
+use netdiagnoser_repro::experiments::sampling::FailureSpec;
+use netdiagnoser_repro::experiments::truth::{evaluate, mesh_diagnosability, TruthMap};
+use netdiagnoser_repro::netsim::{probe_mesh, Sim, SensorSet};
+use netdiagnoser_repro::topology::builders::{build_internet, InternetConfig};
+
+#[test]
+fn single_uplink_failure_localized_by_every_algorithm() {
+    let net = build_internet(&InternetConfig::default());
+    let topology = Arc::new(net.topology.clone());
+    let spec: Vec<_> = net.stubs[..8]
+        .iter()
+        .map(|s| (s.as_id, s.routers[0]))
+        .collect();
+    let sensors = SensorSet::place(&topology, &spec);
+    let mut sim = Sim::new(Arc::clone(&topology));
+    sim.set_observer(net.cores[0].as_id);
+    sensors.register(&mut sim);
+    sim.converge_for(&sensors.as_ids());
+    sim.take_observed();
+
+    let before = probe_mesh(&sim, &sensors, &BTreeSet::new());
+    // A single-homed sensor: its lone uplink is non-recoverable.
+    let victim = sensors
+        .sensors()
+        .iter()
+        .find(|s| topology.router(s.router).links.len() == 1)
+        .expect("some stub is single-homed");
+    let uplink = topology.router(victim.router).links[0];
+    let mut broken = sim.clone();
+    broken.fail_link(uplink);
+    let after = probe_mesh(&broken, &sensors, &BTreeSet::new());
+    assert!(after.failed_count() > 0);
+
+    let obs = observations(&sensors, &before, &after);
+    let feed = routing_feed(
+        &topology,
+        net.cores[0].as_id,
+        &broken.take_observed(),
+        &broken.take_igp_events(),
+    );
+    let ip2as = TruthIpToAs {
+        topology: &topology,
+    };
+    let truth = TruthMap::build(&topology, &before, &after);
+    let failed = BTreeSet::from([uplink]);
+
+    for (name, d) in [
+        ("tomo", tomo(&obs, &ip2as)),
+        ("nd_edge", nd_edge(&obs, &ip2as, Weights::default())),
+        ("nd_bgpigp", nd_bgpigp(&obs, &ip2as, &feed, Weights::default())),
+    ] {
+        let e = evaluate(&topology, &truth, &d, &failed);
+        assert_eq!(e.sensitivity, 1.0, "{name} must find the uplink");
+        assert!(e.specificity > 0.9, "{name} specificity {}", e.specificity);
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let net = build_internet(&InternetConfig::default());
+        let cfg = RunConfig {
+            failure: FailureSpec::Links(2),
+            placement: Placement::Random,
+            blocked_frac: 0.3,
+            ..Default::default()
+        };
+        let mut prng = StdRng::seed_from_u64(4242);
+        let ctx = prepare(&net, &cfg, &mut prng);
+        let mut frng = StdRng::seed_from_u64(17);
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            if let Some(tr) = run_trial(&ctx, &cfg, &mut frng) {
+                out.push((
+                    tr.failed_sites.clone(),
+                    tr.tomo.sensitivity,
+                    tr.nd_edge.sensitivity,
+                    tr.nd_edge.specificity,
+                    tr.nd_bgpigp.hypothesis_size,
+                    tr.nd_lg.map(|e| e.as_sensitivity),
+                ));
+            }
+        }
+        out
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "two identical runs must agree bit for bit");
+}
+
+#[test]
+fn diagnosability_in_papers_range_for_ten_random_sensors() {
+    // Paper §4: for N=10 random sensors, diagnosability spans ~0.25-0.6
+    // (PlanetLab reality check: 0.41). Allow a wider band but require the
+    // same order of magnitude.
+    let net = build_internet(&InternetConfig::default());
+    let topology = Arc::new(net.topology.clone());
+    let mut values = Vec::new();
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = netdiagnoser_repro::experiments::placement::place_sensors(
+            &net,
+            Placement::Random,
+            10,
+            &mut rng,
+        );
+        let sensors = SensorSet::place(&topology, &spec);
+        let mut sim = Sim::new(Arc::clone(&topology));
+        sensors.register(&mut sim);
+        sim.converge_for(&sensors.as_ids());
+        let mesh = probe_mesh(&sim, &sensors, &BTreeSet::new());
+        values.push(mesh_diagnosability(&mesh));
+    }
+    for v in &values {
+        assert!((0.2..=0.8).contains(v), "diagnosability {v} out of range");
+    }
+}
+
+#[test]
+fn blocked_run_produces_nd_lg_results() {
+    let net = build_internet(&InternetConfig::default());
+    let cfg = RunConfig {
+        blocked_frac: 0.4,
+        lg_frac: 1.0,
+        ..Default::default()
+    };
+    let mut prng = StdRng::seed_from_u64(5);
+    let ctx = prepare(&net, &cfg, &mut prng);
+    assert!(!ctx.blocked.is_empty());
+    let mut frng = StdRng::seed_from_u64(6);
+    let tr = run_trial(&ctx, &cfg, &mut frng).expect("trial");
+    let lg = tr.nd_lg.expect("ND-LG runs when blocking is on");
+    assert!((0.0..=1.0).contains(&lg.as_sensitivity));
+    assert!((0.0..=1.0).contains(&lg.as_specificity));
+    // ND-LG never does worse than ND-bgpigp on AS-sensitivity.
+    assert!(lg.as_sensitivity >= tr.nd_bgpigp.as_sensitivity - 1e-9);
+}

@@ -1,0 +1,164 @@
+//! The paper's running example, end to end *through the simulator*: the
+//! Figure 2 network is built, routed, misconfigured exactly as §3.1
+//! narrates, and the diagnoser must reach the paper's conclusions.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use netdiagnoser_repro::bgp::ExportDeny;
+use netdiagnoser_repro::diagnoser::{nd_bgpigp, nd_edge, tomo, LogicalPart, Weights};
+use netdiagnoser_repro::experiments::bridge::{observations, routing_feed, TruthIpToAs};
+use netdiagnoser_repro::experiments::truth::{evaluate, TruthMap};
+use netdiagnoser_repro::netsim::{probe_mesh, Sim, SensorSet};
+use netdiagnoser_repro::topology::builders::paper_figure2;
+
+struct Fixture {
+    sim: Sim,
+    sensors: SensorSet,
+    fig: netdiagnoser_repro::topology::builders::Figure2,
+}
+
+fn fixture() -> Fixture {
+    let fig = paper_figure2();
+    let topology = Arc::new(fig.topology.clone());
+    let [a, _, _, b, c] = fig.as_ids();
+    // Sensors: s1 at a1, s2 at b2, s3 at c1.
+    let sensors = SensorSet::place(&topology, &[(a, fig.a[0]), (b, fig.b[1]), (c, fig.c[0])]);
+    let mut sim = Sim::new(topology);
+    sensors.register(&mut sim);
+    let [_, x, ..] = fig.as_ids();
+    sim.set_observer(x);
+    sim.converge_all();
+    sim.take_observed();
+    Fixture { sim, sensors, fig }
+}
+
+#[test]
+fn healthy_paths_follow_the_papers_hop_sequences() {
+    let f = fixture();
+    let mesh = probe_mesh(&f.sim, &f.sensors, &BTreeSet::new());
+    assert_eq!(mesh.failed_count(), 0);
+    // s1 -> s2 routers: a1 a2 x1 x2 y1 y4 b1 b2.
+    let tr = mesh
+        .between(
+            netdiagnoser_repro::topology::SensorId(0),
+            netdiagnoser_repro::topology::SensorId(1),
+        )
+        .unwrap();
+    let routers: Vec<_> = tr.hops.iter().filter_map(|h| h.router()).collect();
+    assert_eq!(
+        routers,
+        vec![
+            f.fig.a[0], f.fig.a[1], f.fig.x[0], f.fig.x[1], f.fig.y[0], f.fig.y[3],
+            f.fig.b[0], f.fig.b[1]
+        ],
+        "the paper's narrated path"
+    );
+    // s1 -> s3 goes through y3 toward C.
+    let tr = mesh
+        .between(
+            netdiagnoser_repro::topology::SensorId(0),
+            netdiagnoser_repro::topology::SensorId(2),
+        )
+        .unwrap();
+    let routers: Vec<_> = tr.hops.iter().filter_map(|h| h.router()).collect();
+    assert_eq!(
+        routers,
+        vec![
+            f.fig.a[0], f.fig.a[1], f.fig.x[0], f.fig.x[1], f.fig.y[0], f.fig.y[2],
+            f.fig.c[0]
+        ]
+    );
+}
+
+#[test]
+fn section31_misconfiguration_reproduced_through_the_simulator() {
+    // "a misconfiguration at the outbound route filter of y1 causes it to
+    //  announce to x2 only the route towards B, while it does not announce
+    //  the route towards C. As a result, the path s1-s2 works, while s1-s3
+    //  fails."
+    let f = fixture();
+    let before = probe_mesh(&f.sim, &f.sensors, &BTreeSet::new());
+    let [.., c_as] = f.fig.as_ids();
+    let c_prefix = f.sim.topology().as_node(c_as).prefix;
+    let mut broken = f.sim.clone();
+    broken.misconfigure(&[ExportDeny {
+        at: f.fig.y[0],  // y1
+        peer: f.fig.x[1], // x2
+        prefix: c_prefix,
+    }]);
+    let after = probe_mesh(&broken, &f.sensors, &BTreeSet::new());
+
+    let s = |i| netdiagnoser_repro::topology::SensorId(i);
+    assert!(after.between(s(0), s(1)).unwrap().reached, "s1-s2 works");
+    assert!(!after.between(s(0), s(2)).unwrap().reached, "s1-s3 fails");
+
+    // Diagnose.
+    let topology = f.sim.topology();
+    let obs = observations(&f.sensors, &before, &after);
+    let ip2as = TruthIpToAs { topology };
+    let truth = TruthMap::build(topology, &before, &after);
+    let misconfigured_link = topology.link_between(f.fig.x[1], f.fig.y[0]).unwrap();
+    let failed = BTreeSet::from([misconfigured_link]);
+
+    // Tomo misses it (the link carries the working s1-s2 path)...
+    let e_tomo = evaluate(topology, &truth, &tomo(&obs, &ip2as), &failed);
+    assert_eq!(e_tomo.sensitivity, 0.0, "Tomo must exonerate x2-y1");
+
+    // ...ND-edge pins it through the C-annotated logical links.
+    let d = nd_edge(&obs, &ip2as, Weights::default());
+    let e_edge = evaluate(topology, &truth, &d, &failed);
+    assert_eq!(e_edge.sensitivity, 1.0);
+    let logical_cs: Vec<_> = d
+        .hypothesis
+        .iter()
+        .filter_map(|&e| d.graph().edge(e).logical)
+        .filter(|l| matches!(l, LogicalPart::First(a) | LogicalPart::Second(a) if *a == c_as))
+        .collect();
+    assert_eq!(
+        logical_cs.len(),
+        2,
+        "exactly the two C-annotated halves x2-y1(C), y1(C)-y1"
+    );
+
+    // With AS-X's control plane: x2 received y1's withdrawal for C's
+    // prefix, which prunes the upstream links from the failed path.
+    let observed = broken.take_observed();
+    let feed = routing_feed(topology, f.fig.as_ids()[1], &observed, &[]);
+    assert!(
+        feed.withdrawals
+            .iter()
+            .any(|w| w.prefix == c_prefix),
+        "x2 must observe y1's withdrawal: {observed:?}"
+    );
+    let d2 = nd_bgpigp(&obs, &ip2as, &feed, Weights::default());
+    let e2 = evaluate(topology, &truth, &d2, &failed);
+    assert_eq!(e2.sensitivity, 1.0);
+    assert!(e2.specificity >= e_edge.specificity);
+}
+
+#[test]
+fn figure2_b1_b2_failure_is_found_exactly() {
+    // §2.2's opening example: "the link b1-b2 fails, causing some pairs of
+    // sensors to become unreachable. The goal of AS-X is to determine that
+    // the link b1-b2 failed."
+    let f = fixture();
+    let before = probe_mesh(&f.sim, &f.sensors, &BTreeSet::new());
+    let link = f
+        .sim
+        .topology()
+        .link_between(f.fig.b[0], f.fig.b[1])
+        .unwrap();
+    let mut broken = f.sim.clone();
+    broken.fail_link(link);
+    let after = probe_mesh(&broken, &f.sensors, &BTreeSet::new());
+    assert!(after.failed_count() > 0, "s2 became unreachable");
+
+    let topology = f.sim.topology();
+    let obs = observations(&f.sensors, &before, &after);
+    let ip2as = TruthIpToAs { topology };
+    let truth = TruthMap::build(topology, &before, &after);
+    let d = nd_edge(&obs, &ip2as, Weights::default());
+    let hyp = truth.hypothesis_links(&d);
+    assert!(hyp.contains(&link), "b1-b2 must be hypothesized: {hyp:?}");
+}

@@ -1,0 +1,143 @@
+//! Cross-crate invariants of the routing substrate on the full 165-AS
+//! evaluation topology: reachability, valley-freeness, loop-freedom, and
+//! traceroute/BGP consistency.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use netdiagnoser_repro::netsim::{probe_mesh, Sim, SensorSet};
+use netdiagnoser_repro::topology::builders::{build_internet, InternetConfig};
+use netdiagnoser_repro::topology::{AsId, PeerKind};
+
+fn fixture() -> (Sim, SensorSet) {
+    let net = build_internet(&InternetConfig::default());
+    let topology = Arc::new(net.topology.clone());
+    let spec: Vec<_> = net.stubs[..10]
+        .iter()
+        .map(|s| (s.as_id, s.routers[0]))
+        .collect();
+    let sensors = SensorSet::place(&topology, &spec);
+    let mut sim = Sim::new(topology);
+    sensors.register(&mut sim);
+    sim.converge_for(&sensors.as_ids());
+    (sim, sensors)
+}
+
+#[test]
+fn healthy_network_has_full_reachability() {
+    let (sim, sensors) = fixture();
+    let mesh = probe_mesh(&sim, &sensors, &BTreeSet::new());
+    assert_eq!(mesh.traceroutes.len(), 90);
+    assert_eq!(mesh.failed_count(), 0);
+}
+
+#[test]
+fn all_as_paths_are_valley_free() {
+    let (sim, sensors) = fixture();
+    let topology = sim.topology();
+    for sensor in sensors.sensors() {
+        let prefix = topology.as_node(sensor.as_id).prefix;
+        for router in topology.routers() {
+            let Some(route) = sim.bgp().best_route(router.id, &prefix) else {
+                continue;
+            };
+            // Valley-free: up* (peer)? down* — once the path steps
+            // sideways (peer) or down (provider->customer), it may only
+            // continue downhill.
+            let mut path = vec![router.as_id];
+            path.extend(route.as_path.iter().copied());
+            let mut downhill_only = false;
+            for w in path.windows(2) {
+                // rel = role of w[1] from w[0]'s perspective:
+                // Provider = "up" step, Peer = "flat", Customer = "down".
+                let rel = topology
+                    .relationship(w[0], w[1])
+                    .expect("consecutive path ASes are neighbors");
+                match rel {
+                    PeerKind::Provider | PeerKind::Peer => {
+                        assert!(
+                            !downhill_only,
+                            "valley in AS path {path:?} at {:?}->{:?}",
+                            w[0], w[1]
+                        );
+                        if rel == PeerKind::Peer {
+                            downhill_only = true;
+                        }
+                    }
+                    PeerKind::Customer => downhill_only = true,
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn traceroute_as_sequence_matches_bgp_as_path() {
+    let (sim, sensors) = fixture();
+    let topology = sim.topology();
+    let mesh = probe_mesh(&sim, &sensors, &BTreeSet::new());
+    for tr in &mesh.traceroutes {
+        let src = sensors.get(tr.src);
+        let dst = sensors.get(tr.dst);
+        // AS sequence actually traversed.
+        let mut traversed: Vec<AsId> = Vec::new();
+        for hop in &tr.hops {
+            if let Some(r) = hop.router() {
+                let a = topology.as_of_router(r);
+                if traversed.last() != Some(&a) {
+                    traversed.push(a);
+                }
+            }
+        }
+        // BGP's promised AS path from the source router.
+        let prefix = topology.as_node(dst.as_id).prefix;
+        let route = sim
+            .bgp()
+            .best_route(src.router, &prefix)
+            .expect("healthy network");
+        let mut promised = vec![src.as_id];
+        promised.extend(route.as_path.iter().copied());
+        assert_eq!(
+            traversed, promised,
+            "data plane disagrees with control plane for {}->{}",
+            tr.src, tr.dst
+        );
+    }
+}
+
+#[test]
+fn no_forwarding_loops_anywhere() {
+    let (sim, sensors) = fixture();
+    // Forward from every router toward every sensor: the walk must always
+    // terminate by delivery or blackhole, never a loop (checked inside
+    // `forward`, which reports Loop as an outcome).
+    let topology = sim.topology();
+    for router in topology.routers() {
+        for sensor in sensors.sensors() {
+            let path = sim.forward(router.id, sensor.addr);
+            assert!(
+                !matches!(
+                    path.outcome,
+                    netdiagnoser_repro::netsim::ForwardOutcome::Loop(_)
+                ),
+                "forwarding loop from {} to {}",
+                router.id,
+                sensor.id
+            );
+        }
+    }
+}
+
+#[test]
+fn probed_link_counts_match_paper_scale() {
+    // The paper reports ~150-200 probed links for 10 sensors.
+    let (sim, sensors) = fixture();
+    let mesh = probe_mesh(&sim, &sensors, &BTreeSet::new());
+    let probed: BTreeSet<_> = mesh.traceroutes.iter().flat_map(|t| t.links()).collect();
+    assert!(
+        (60..=400).contains(&probed.len()),
+        "probed links: {}",
+        probed.len()
+    );
+    let _ = sim;
+}
