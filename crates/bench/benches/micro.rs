@@ -121,7 +121,13 @@ fn bench_hitting_set(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_substrates, bench_diagnosis, bench_hitting_set, bench_scaling);
+criterion_group!(
+    benches,
+    bench_substrates,
+    bench_diagnosis,
+    bench_hitting_set,
+    bench_scaling
+);
 criterion_main!(benches);
 
 fn bench_scaling(c: &mut Criterion) {

@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use netdiag_netsim::{probe_mesh, ProbeMesh, Sim, SensorSet};
+use netdiag_netsim::{probe_mesh, ProbeMesh, SensorSet, Sim};
 use netdiag_topology::builders::{build_internet, Internet, InternetConfig};
 
 /// A converged full-scale simulator with ten sensors — the common fixture.

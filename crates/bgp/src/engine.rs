@@ -11,6 +11,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use netdiag_igp::{Igp, LinkState};
+use netdiag_obs::{names, RecorderHandle};
 use netdiag_topology::{AsId, LinkId, LinkKind, Prefix, RouterId, Topology};
 
 use crate::policy::{ExportDeny, ExportFilters};
@@ -126,6 +127,10 @@ pub struct Bgp {
     observer: Option<AsId>,
     observed: Vec<ObservedMsg>,
     seq: u64,
+    recorder: RecorderHandle,
+    /// Decision-process invocations since the last flush (batched so the
+    /// hot path pays one integer add, not a virtual call).
+    decisions: u64,
 }
 
 impl Bgp {
@@ -139,12 +144,20 @@ impl Bgp {
             observer: None,
             observed: Vec::new(),
             seq: 0,
+            recorder: RecorderHandle::noop(),
+            decisions: 0,
         }
     }
 
     /// Designates the AS whose received eBGP messages are recorded.
     pub fn set_observer(&mut self, as_id: AsId) {
         self.observer = Some(as_id);
+    }
+
+    /// Routes `bgp.*` metrics to `recorder` (counters flush at the end of
+    /// each [`Bgp::run`]).
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// Drains the recorded observer messages.
@@ -199,6 +212,12 @@ impl Bgp {
                 "BGP did not converge: policy dispute?"
             );
             self.deliver(ctx, msg);
+        }
+        if self.recorder.enabled() {
+            self.recorder.add(names::BGP_RUNS, 1);
+            self.recorder.add(names::BGP_MSGS, stats.messages);
+            self.recorder.add(names::BGP_DECISIONS, self.decisions);
+            self.decisions = 0;
         }
         stats
     }
@@ -414,9 +433,7 @@ impl Bgp {
                     None => {
                         // Loop-rejected update acts as a withdraw of any
                         // previous route on the session.
-                        if let Some(by_session) =
-                            self.routers[to.index()].adj_in.get_mut(&prefix)
-                        {
+                        if let Some(by_session) = self.routers[to.index()].adj_in.get_mut(&prefix) {
                             by_session.remove(&session);
                         }
                     }
@@ -484,6 +501,7 @@ impl Bgp {
     /// Recomputes the best route of `r` for `prefix`. Returns true when the
     /// Loc-RIB entry changed.
     fn decide(&mut self, ctx: Ctx<'_>, r: RouterId, prefix: Prefix) -> bool {
+        self.decisions += 1;
         let state = &self.routers[r.index()];
         let as_id = ctx.topology.as_of_router(r);
         let best: Option<Route> = if state.originated.contains(&prefix) {
@@ -496,8 +514,7 @@ impl Bgp {
                 .flatten()
                 .filter(|(sid, route)| {
                     self.sessions.is_up(**sid, ctx.topology, ctx.igp, ctx.links)
-                        && (route.ebgp_learned
-                            || ctx.igp.of(as_id).reachable(r, route.egress))
+                        && (route.ebgp_learned || ctx.igp.of(as_id).reachable(r, route.egress))
                 })
                 .max_by_key(|(sid, route)| {
                     let igp_dist = if route.egress == r {
@@ -547,9 +564,9 @@ impl Bgp {
             }
             let session = self.sessions.get(sid).clone();
             let peer = session.other(r);
-            let advertise: Option<RouteMsg> = best.as_ref().and_then(|b| {
-                self.export(ctx, r, peer, sid, session.kind, b)
-            });
+            let advertise: Option<RouteMsg> = best
+                .as_ref()
+                .and_then(|b| self.export(ctx, r, peer, sid, session.kind, b));
             let had = self.routers[r.index()]
                 .adj_out
                 .get(&sid)

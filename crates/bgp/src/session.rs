@@ -205,11 +205,7 @@ mod tests {
         let sid = st
             .sessions()
             .iter()
-            .find(|s| {
-                s.kind == SessionKind::Ibgp
-                    && s.a == RouterId(0)
-                    && s.b == RouterId(1)
-            })
+            .find(|s| s.kind == SessionKind::Ibgp && s.a == RouterId(0) && s.b == RouterId(1))
             .unwrap()
             .id;
         let igp = Igp::compute(&t, &links);

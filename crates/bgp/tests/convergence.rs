@@ -3,9 +3,7 @@
 
 use netdiag_bgp::{Bgp, Ctx, ExportDeny, ObservedKind};
 use netdiag_igp::{Igp, LinkState};
-use netdiag_topology::{
-    AsId, AsKind, LinkRelationship, RouterId, Topology, TopologyBuilder,
-};
+use netdiag_topology::{AsId, AsKind, LinkRelationship, RouterId, Topology, TopologyBuilder};
 
 /// Full simulator bundle for tests.
 struct Net {
@@ -173,7 +171,11 @@ fn single_homed_failure_withdraws_everywhere() {
     let mut net = Net::converge(t);
     net.fail_link(p1r, sr);
     net.fail_link(p2r, sr);
-    assert_eq!(net.as_path(c1, AsId(3)), None, "S unreachable after both uplinks die");
+    assert_eq!(
+        net.as_path(c1, AsId(3)),
+        None,
+        "S unreachable after both uplinks die"
+    );
     assert_eq!(net.as_path(sr, AsId(0)), None, "S lost all routes too");
 }
 
@@ -318,8 +320,16 @@ fn deterministic_convergence() {
     let net2 = Net::converge(t);
     for r in 0..net1.topology.router_count() {
         let r = RouterId(r as u32);
-        let rib1: Vec<_> = net1.bgp.loc_rib(r).map(|(p, rt)| (*p, rt.clone())).collect();
-        let rib2: Vec<_> = net2.bgp.loc_rib(r).map(|(p, rt)| (*p, rt.clone())).collect();
+        let rib1: Vec<_> = net1
+            .bgp
+            .loc_rib(r)
+            .map(|(p, rt)| (*p, rt.clone()))
+            .collect();
+        let rib2: Vec<_> = net2
+            .bgp
+            .loc_rib(r)
+            .map(|(p, rt)| (*p, rt.clone()))
+            .collect();
         assert_eq!(rib1, rib2);
     }
 }
@@ -412,13 +422,13 @@ fn fail_repair_roundtrip_restores_original_ribs() {
     };
     net.bgp.handle_link_up(ctx, l);
     net.bgp.run(ctx);
-    for r in 0..t.router_count() {
+    for (r, pristine_rib) in pristine.iter().enumerate().take(t.router_count()) {
         let now: Vec<_> = net
             .bgp
             .loc_rib(RouterId(r as u32))
             .map(|(p, rt)| (*p, rt.clone()))
             .collect();
-        assert_eq!(now, pristine[r], "RIB of r{r} differs after flap");
+        assert_eq!(&now, pristine_rib, "RIB of r{r} differs after flap");
     }
 }
 

@@ -63,7 +63,10 @@ fn customer_route_beats_shorter_peer_route() {
         vec![c1, c2, d],
         "longer customer route must beat shorter peer route"
     );
-    assert_eq!(route.source, RouteSource::External(netdiag_topology::PeerKind::Customer));
+    assert_eq!(
+        route.source,
+        RouteSource::External(netdiag_topology::PeerKind::Customer)
+    );
 }
 
 /// Rung 2 — AS-path length: among equal-preference routes the shorter

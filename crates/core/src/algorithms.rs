@@ -3,6 +3,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use netdiag_obs::{names, RecorderHandle};
 use netdiag_topology::AsId;
 
 use crate::diagnosis::Diagnosis;
@@ -16,18 +17,39 @@ use crate::problem::{BuildOptions, Problem};
 /// Algorithm 1. Uses only the pre-failure paths plus the post-failure
 /// reachability matrix; no logical links, no reroute information.
 pub fn tomo(obs: &Observations, ip2as: &dyn IpToAs) -> Diagnosis {
+    tomo_recorded(obs, ip2as, &RecorderHandle::noop())
+}
+
+/// [`tomo`] reporting diagnosis counters to `recorder`.
+pub fn tomo_recorded(
+    obs: &Observations,
+    ip2as: &dyn IpToAs,
+    recorder: &RecorderHandle,
+) -> Diagnosis {
     let problem = Problem::build(obs, ip2as, BuildOptions::tomo());
-    let greedy = problem.instance().greedy(Weights { a: 1, b: 0 });
-    Diagnosis::new(problem, greedy)
+    let greedy = problem
+        .instance()
+        .greedy_recorded(Weights { a: 1, b: 0 }, recorder);
+    finish(Diagnosis::new(problem, greedy), recorder)
 }
 
 /// **ND-edge** (§3.1–§3.2): Tomo plus logical links (per-neighbor
 /// inter-domain link splitting, catching router misconfigurations) and
 /// reroute sets mined from the post-failure paths.
 pub fn nd_edge(obs: &Observations, ip2as: &dyn IpToAs, weights: Weights) -> Diagnosis {
+    nd_edge_recorded(obs, ip2as, weights, &RecorderHandle::noop())
+}
+
+/// [`nd_edge`] reporting diagnosis counters to `recorder`.
+pub fn nd_edge_recorded(
+    obs: &Observations,
+    ip2as: &dyn IpToAs,
+    weights: Weights,
+    recorder: &RecorderHandle,
+) -> Diagnosis {
     let problem = Problem::build(obs, ip2as, BuildOptions::nd_edge());
-    let greedy = problem.instance().greedy(weights);
-    Diagnosis::new(problem, greedy)
+    let greedy = problem.instance().greedy_recorded(weights, recorder);
+    finish(Diagnosis::new(problem, greedy), recorder)
 }
 
 /// **ND-bgpigp** (§3.3): ND-edge refined with AS-X's control plane — IGP
@@ -39,10 +61,21 @@ pub fn nd_bgpigp(
     feed: &RoutingFeed,
     weights: Weights,
 ) -> Diagnosis {
+    nd_bgpigp_recorded(obs, ip2as, feed, weights, &RecorderHandle::noop())
+}
+
+/// [`nd_bgpigp`] reporting diagnosis and feed counters to `recorder`.
+pub fn nd_bgpigp_recorded(
+    obs: &Observations,
+    ip2as: &dyn IpToAs,
+    feed: &RoutingFeed,
+    weights: Weights,
+    recorder: &RecorderHandle,
+) -> Diagnosis {
     let mut problem = Problem::build(obs, ip2as, BuildOptions::nd_edge());
-    problem.apply_feed(obs, feed);
-    let greedy = problem.instance().greedy(weights);
-    Diagnosis::new(problem, greedy)
+    problem.apply_feed_recorded(obs, feed, recorder);
+    let greedy = problem.instance().greedy_recorded(weights, recorder);
+    finish(Diagnosis::new(problem, greedy), recorder)
 }
 
 /// **ND-LG** (§3.4): ND-bgpigp extended to handle blocked traceroutes.
@@ -56,13 +89,34 @@ pub fn nd_lg(
     lg: &dyn LookingGlass,
     weights: Weights,
 ) -> Diagnosis {
+    nd_lg_recorded(obs, ip2as, feed, lg, weights, &RecorderHandle::noop())
+}
+
+/// [`nd_lg`] reporting diagnosis and feed counters to `recorder`.
+pub fn nd_lg_recorded(
+    obs: &Observations,
+    ip2as: &dyn IpToAs,
+    feed: &RoutingFeed,
+    lg: &dyn LookingGlass,
+    weights: Weights,
+    recorder: &RecorderHandle,
+) -> Diagnosis {
     let mut problem = Problem::build(obs, ip2as, BuildOptions::nd_lg());
     tag_unidentified_hops(&mut problem, obs, ip2as, lg);
-    problem.apply_feed(obs, feed);
+    problem.apply_feed_recorded(obs, feed, recorder);
     let mut instance = problem.instance();
     instance.clusters = build_clusters(&problem);
-    let greedy = instance.greedy(weights);
-    Diagnosis::new(problem, greedy)
+    let greedy = instance.greedy_recorded(weights, recorder);
+    finish(Diagnosis::new(problem, greedy), recorder)
+}
+
+/// Records the per-diagnosis counters once a hypothesis exists.
+fn finish(diagnosis: Diagnosis, recorder: &RecorderHandle) -> Diagnosis {
+    if recorder.enabled() {
+        recorder.add(names::DIAG_RUNS, 1);
+        recorder.observe(names::DIAG_HYPOTHESIS_SIZE, diagnosis.len() as u64);
+    }
+    diagnosis
 }
 
 /// Maps every unidentified hop to a candidate-AS tag using Looking Glass
@@ -266,7 +320,11 @@ fn build_clusters(problem: &Problem) -> BTreeMap<EdgeId, Vec<EdgeId>> {
         for &e in members {
             clusters.insert(
                 e,
-                members.iter().copied().filter(|&m| m != e).collect::<Vec<_>>(),
+                members
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != e)
+                    .collect::<Vec<_>>(),
             );
         }
     }

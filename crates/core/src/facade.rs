@@ -1,14 +1,24 @@
 //! A one-stop configuration facade over the four algorithms — convenient
 //! for downstream users who pick the variant at runtime (the CLI and the
-//! experiment harness use the explicit functions).
+//! experiment harness go through it too).
+//!
+//! The entry point is [`NetDiagnoser::builder`]: configure the algorithm,
+//! weights and optional inputs once, then call
+//! [`diagnose`](NetDiagnoser::diagnose) per incident. Algorithms that
+//! depend on an input refuse to run without it ([`DiagnoseError`]) unless
+//! [`allow_missing_inputs`](NetDiagnoserBuilder::allow_missing_inputs)
+//! opts back into the lenient empty-substitute behaviour.
 
-use crate::algorithms::{nd_bgpigp, nd_edge, nd_lg, tomo};
+use netdiag_obs::RecorderHandle;
+
+use crate::algorithms::{nd_bgpigp_recorded, nd_edge_recorded, nd_lg_recorded, tomo_recorded};
 use crate::diagnosis::Diagnosis;
 use crate::hitting_set::Weights;
 use crate::observation::{IpToAs, LookingGlass, Observations, RoutingFeed};
 
 /// Which diagnosis algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub enum Algorithm {
     /// Plain multi-AS Boolean tomography (§2).
     Tomo,
@@ -22,11 +32,37 @@ pub enum Algorithm {
     NdLg,
 }
 
+impl Algorithm {
+    /// Every variant, in paper order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Tomo,
+        Algorithm::NdEdge,
+        Algorithm::NdBgpIgp,
+        Algorithm::NdLg,
+    ];
+
+    /// The canonical (CLI and [`Display`](std::fmt::Display)) name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Tomo => "tomo",
+            Algorithm::NdEdge => "nd-edge",
+            Algorithm::NdBgpIgp => "nd-bgpigp",
+            Algorithm::NdLg => "nd-lg",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl std::str::FromStr for Algorithm {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s {
+        match s.to_ascii_lowercase().as_str() {
             "tomo" => Ok(Algorithm::Tomo),
             "nd-edge" | "nd_edge" => Ok(Algorithm::NdEdge),
             "nd-bgpigp" | "nd_bgpigp" => Ok(Algorithm::NdBgpIgp),
@@ -36,67 +72,278 @@ impl std::str::FromStr for Algorithm {
     }
 }
 
+/// Why [`NetDiagnoser::diagnose`] refused to run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DiagnoseError {
+    /// The algorithm consumes AS-X's control-plane feed but none was
+    /// configured on the builder.
+    MissingFeed {
+        /// The algorithm that needed the feed.
+        algorithm: Algorithm,
+    },
+    /// ND-LG maps unidentified hops via Looking Glass queries but no
+    /// Looking Glass was configured on the builder.
+    MissingLookingGlass,
+}
+
+impl std::fmt::Display for DiagnoseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiagnoseError::MissingFeed { algorithm } => write!(
+                f,
+                "{algorithm} needs a routing feed; configure one with \
+                 `.routing_feed(..)` or opt into an empty substitute with \
+                 `.allow_missing_inputs()`"
+            ),
+            DiagnoseError::MissingLookingGlass => write!(
+                f,
+                "nd-lg needs a Looking Glass; configure one with \
+                 `.looking_glass(..)` or opt into leaving unidentified \
+                 hops unmapped with `.allow_missing_inputs()`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiagnoseError {}
+
+/// A Looking Glass with no servers at all (lenient ND-LG fallback).
+struct NoLg;
+
+impl LookingGlass for NoLg {
+    fn as_path(
+        &self,
+        _: netdiag_topology::AsId,
+        _: std::net::Ipv4Addr,
+    ) -> Option<Vec<netdiag_topology::AsId>> {
+        None
+    }
+}
+
+/// Configures a [`NetDiagnoser`].
+///
+/// Created by [`NetDiagnoser::builder`]; every setter consumes and returns
+/// the builder so a diagnoser is assembled in one expression.
+#[derive(Clone, Default)]
+pub struct NetDiagnoserBuilder<'a> {
+    algorithm: Algorithm,
+    weights: Weights,
+    feed: Option<&'a RoutingFeed>,
+    lg: Option<&'a dyn LookingGlass>,
+    recorder: RecorderHandle,
+    allow_missing_inputs: bool,
+}
+
+impl std::fmt::Debug for NetDiagnoserBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetDiagnoserBuilder")
+            .field("algorithm", &self.algorithm)
+            .field("weights", &self.weights)
+            .field("feed", &self.feed.is_some())
+            .field("looking_glass", &self.lg.is_some())
+            .field("allow_missing_inputs", &self.allow_missing_inputs)
+            .finish()
+    }
+}
+
+impl<'a> NetDiagnoserBuilder<'a> {
+    /// Selects the algorithm variant (default: [`Algorithm::NdEdge`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the greedy scoring weights (§3.2; default `a = b = 1`).
+    pub fn weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Attaches AS-X's control-plane feed (consumed by
+    /// [`Algorithm::NdBgpIgp`] and [`Algorithm::NdLg`]).
+    pub fn routing_feed(mut self, feed: &'a RoutingFeed) -> Self {
+        self.feed = Some(feed);
+        self
+    }
+
+    /// Attaches a Looking Glass oracle (consumed by [`Algorithm::NdLg`]).
+    pub fn looking_glass(mut self, lg: &'a dyn LookingGlass) -> Self {
+        self.lg = Some(lg);
+        self
+    }
+
+    /// Attaches an instrumentation recorder; every diagnosis reports its
+    /// greedy iterations, candidate-set size, feed refinements and
+    /// hypothesis size to it (default: the no-op recorder).
+    pub fn recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Runs feed-dependent algorithms even when no feed (or, for ND-LG,
+    /// no Looking Glass) is configured, substituting an ISP that observed
+    /// nothing — the behaviour of the old constructor API.
+    pub fn allow_missing_inputs(mut self) -> Self {
+        self.allow_missing_inputs = true;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> NetDiagnoser<'a> {
+        NetDiagnoser {
+            algorithm: self.algorithm,
+            weights: self.weights,
+            feed: self.feed,
+            lg: self.lg,
+            recorder: self.recorder,
+            allow_missing_inputs: self.allow_missing_inputs,
+        }
+    }
+}
+
 /// A configured troubleshooter.
 ///
 /// ```
-/// use netdiagnoser::{Algorithm, NetDiagnoser};
-/// let nd = NetDiagnoser::new(Algorithm::NdEdge);
-/// assert_eq!(nd.algorithm, Algorithm::NdEdge);
+/// use netdiagnoser::{Algorithm, NetDiagnoser, RoutingFeed};
+/// let feed = RoutingFeed::default();
+/// let nd = NetDiagnoser::builder()
+///     .algorithm(Algorithm::NdBgpIgp)
+///     .routing_feed(&feed)
+///     .build();
+/// assert_eq!(nd.algorithm(), Algorithm::NdBgpIgp);
 /// ```
-#[derive(Clone, Copy, Debug, Default)]
-pub struct NetDiagnoser {
-    /// The algorithm variant.
-    pub algorithm: Algorithm,
-    /// Greedy scoring weights (§3.2; the paper's default is `a = b = 1`).
-    pub weights: Weights,
+#[derive(Clone)]
+pub struct NetDiagnoser<'a> {
+    algorithm: Algorithm,
+    weights: Weights,
+    feed: Option<&'a RoutingFeed>,
+    lg: Option<&'a dyn LookingGlass>,
+    recorder: RecorderHandle,
+    allow_missing_inputs: bool,
 }
 
-impl NetDiagnoser {
-    /// A troubleshooter with the paper's default weights.
+impl std::fmt::Debug for NetDiagnoser<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetDiagnoser")
+            .field("algorithm", &self.algorithm)
+            .field("weights", &self.weights)
+            .field("feed", &self.feed.is_some())
+            .field("looking_glass", &self.lg.is_some())
+            .field("allow_missing_inputs", &self.allow_missing_inputs)
+            .finish()
+    }
+}
+
+impl Default for NetDiagnoser<'_> {
+    fn default() -> Self {
+        NetDiagnoser::builder().build()
+    }
+}
+
+impl<'a> NetDiagnoser<'a> {
+    /// Starts configuring a troubleshooter.
+    pub fn builder() -> NetDiagnoserBuilder<'a> {
+        NetDiagnoserBuilder::default()
+    }
+
+    /// A lenient troubleshooter with the paper's default weights — the
+    /// pre-builder API.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `NetDiagnoser::builder()` and attach inputs explicitly"
+    )]
     pub fn new(algorithm: Algorithm) -> Self {
-        NetDiagnoser {
-            algorithm,
-            weights: Weights::default(),
-        }
+        NetDiagnoser::builder()
+            .algorithm(algorithm)
+            .allow_missing_inputs()
+            .build()
+    }
+
+    /// The configured algorithm variant.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The configured greedy scoring weights.
+    pub fn weights(&self) -> Weights {
+        self.weights
     }
 
     /// Runs the configured diagnosis.
     ///
-    /// `feed` is required by [`Algorithm::NdBgpIgp`] and [`Algorithm::NdLg`]
-    /// (an empty default is substituted if absent — equivalent to an ISP
-    /// that observed nothing); `lg` is required by [`Algorithm::NdLg`]
-    /// (without it, unidentified hops simply stay unmapped).
+    /// Fails with [`DiagnoseError::MissingFeed`] when
+    /// [`Algorithm::NdBgpIgp`] or [`Algorithm::NdLg`] was selected without
+    /// a [`routing_feed`](NetDiagnoserBuilder::routing_feed), and with
+    /// [`DiagnoseError::MissingLookingGlass`] when [`Algorithm::NdLg`] was
+    /// selected without a
+    /// [`looking_glass`](NetDiagnoserBuilder::looking_glass) — unless the
+    /// builder opted into
+    /// [`allow_missing_inputs`](NetDiagnoserBuilder::allow_missing_inputs).
     pub fn diagnose(
+        &self,
+        obs: &Observations,
+        ip2as: &dyn IpToAs,
+    ) -> Result<Diagnosis, DiagnoseError> {
+        let recorder = &self.recorder;
+        let empty_feed = RoutingFeed::default();
+        let feed = match (self.feed, self.allow_missing_inputs) {
+            (Some(feed), _) => feed,
+            (None, true) => &empty_feed,
+            (None, false) => match self.algorithm {
+                Algorithm::Tomo | Algorithm::NdEdge => &empty_feed,
+                Algorithm::NdBgpIgp | Algorithm::NdLg => {
+                    return Err(DiagnoseError::MissingFeed {
+                        algorithm: self.algorithm,
+                    })
+                }
+            },
+        };
+        match self.algorithm {
+            Algorithm::Tomo => Ok(tomo_recorded(obs, ip2as, recorder)),
+            Algorithm::NdEdge => Ok(nd_edge_recorded(obs, ip2as, self.weights, recorder)),
+            Algorithm::NdBgpIgp => Ok(nd_bgpigp_recorded(obs, ip2as, feed, self.weights, recorder)),
+            Algorithm::NdLg => {
+                let lg: &dyn LookingGlass = match (self.lg, self.allow_missing_inputs) {
+                    (Some(lg), _) => lg,
+                    (None, true) => &NoLg,
+                    (None, false) => return Err(DiagnoseError::MissingLookingGlass),
+                };
+                Ok(nd_lg_recorded(obs, ip2as, feed, lg, self.weights, recorder))
+            }
+        }
+    }
+
+    /// Runs the configured diagnosis with per-call inputs — the
+    /// pre-builder API. Always lenient: absent inputs are substituted with
+    /// empty ones regardless of how the diagnoser was built.
+    #[deprecated(
+        since = "0.2.0",
+        note = "attach the feed and Looking Glass on the builder, then call \
+                `diagnose(obs, ip2as)`"
+    )]
+    pub fn diagnose_with(
         &self,
         obs: &Observations,
         ip2as: &dyn IpToAs,
         feed: Option<&RoutingFeed>,
         lg: Option<&dyn LookingGlass>,
     ) -> Diagnosis {
-        let empty_feed = RoutingFeed::default();
-        let feed = feed.unwrap_or(&empty_feed);
-        match self.algorithm {
-            Algorithm::Tomo => tomo(obs, ip2as),
-            Algorithm::NdEdge => nd_edge(obs, ip2as, self.weights),
-            Algorithm::NdBgpIgp => nd_bgpigp(obs, ip2as, feed, self.weights),
-            Algorithm::NdLg => {
-                /// A Looking Glass with no servers at all.
-                struct NoLg;
-                impl LookingGlass for NoLg {
-                    fn as_path(
-                        &self,
-                        _: netdiag_topology::AsId,
-                        _: std::net::Ipv4Addr,
-                    ) -> Option<Vec<netdiag_topology::AsId>> {
-                        None
-                    }
-                }
-                match lg {
-                    Some(lg) => nd_lg(obs, ip2as, feed, lg, self.weights),
-                    None => nd_lg(obs, ip2as, feed, &NoLg, self.weights),
-                }
-            }
+        let mut builder = NetDiagnoser::builder()
+            .algorithm(self.algorithm)
+            .weights(self.weights)
+            .recorder(self.recorder.clone())
+            .allow_missing_inputs();
+        if let Some(feed) = feed.or(self.feed) {
+            builder = builder.routing_feed(feed);
         }
+        if let Some(lg) = lg.or(self.lg) {
+            builder = builder.looking_glass(lg);
+        }
+        builder
+            .build()
+            .diagnose(obs, ip2as)
+            .expect("lenient diagnosis cannot fail")
     }
 }
 
@@ -105,6 +352,7 @@ mod tests {
     use super::*;
     use crate::observation::{Hop, IpToAsFn, ProbePath, SensorMeta, Snapshot};
     use netdiag_topology::{AsId, SensorId};
+    use proptest::prelude::*;
     use std::net::Ipv4Addr;
 
     fn obs() -> Observations {
@@ -142,34 +390,128 @@ mod tests {
         }
     }
 
+    fn ip2as() -> IpToAsFn<impl Fn(Ipv4Addr) -> Option<AsId>> {
+        IpToAsFn(|a: Ipv4Addr| Some(AsId(u32::from(a.octets()[1]))))
+    }
+
     #[test]
     fn parses_algorithm_names() {
         assert_eq!("tomo".parse(), Ok(Algorithm::Tomo));
         assert_eq!("nd-edge".parse(), Ok(Algorithm::NdEdge));
         assert_eq!("nd_bgpigp".parse(), Ok(Algorithm::NdBgpIgp));
         assert_eq!("nd-lg".parse(), Ok(Algorithm::NdLg));
+        assert_eq!("ND-LG".parse(), Ok(Algorithm::NdLg));
+        assert_eq!("Tomo".parse(), Ok(Algorithm::Tomo));
         assert!("nd-???".parse::<Algorithm>().is_err());
     }
 
+    proptest! {
+        #[test]
+        fn display_round_trips_through_fromstr(i in 0usize..4) {
+            let algorithm = Algorithm::ALL[i];
+            prop_assert_eq!(algorithm.to_string().parse::<Algorithm>(), Ok(algorithm));
+            prop_assert_eq!(
+                algorithm.to_string().to_ascii_uppercase().parse::<Algorithm>(),
+                Ok(algorithm)
+            );
+        }
+    }
+
     #[test]
-    fn every_variant_runs_without_optional_inputs() {
-        let ip2as = IpToAsFn(|a: Ipv4Addr| Some(AsId(u32::from(a.octets()[1]))));
+    fn every_variant_runs_leniently_without_optional_inputs() {
+        let ip2as = ip2as();
         let o = obs();
-        for algorithm in [
-            Algorithm::Tomo,
-            Algorithm::NdEdge,
-            Algorithm::NdBgpIgp,
-            Algorithm::NdLg,
-        ] {
-            let d = NetDiagnoser::new(algorithm).diagnose(&o, &ip2as, None, None);
+        for algorithm in Algorithm::ALL {
+            let d = NetDiagnoser::builder()
+                .algorithm(algorithm)
+                .allow_missing_inputs()
+                .build()
+                .diagnose(&o, &ip2as)
+                .unwrap();
             assert!(!d.is_empty(), "{algorithm:?} finds the only suspect link");
         }
     }
 
     #[test]
+    fn feed_dependent_variants_refuse_to_run_without_a_feed() {
+        let ip2as = ip2as();
+        let o = obs();
+        for algorithm in [Algorithm::NdBgpIgp, Algorithm::NdLg] {
+            let err = NetDiagnoser::builder()
+                .algorithm(algorithm)
+                .build()
+                .diagnose(&o, &ip2as)
+                .unwrap_err();
+            assert_eq!(err, DiagnoseError::MissingFeed { algorithm });
+        }
+    }
+
+    #[test]
+    fn ndlg_refuses_to_run_without_a_looking_glass() {
+        let ip2as = ip2as();
+        let o = obs();
+        let feed = RoutingFeed::default();
+        let err = NetDiagnoser::builder()
+            .algorithm(Algorithm::NdLg)
+            .routing_feed(&feed)
+            .build()
+            .diagnose(&o, &ip2as)
+            .unwrap_err();
+        assert_eq!(err, DiagnoseError::MissingLookingGlass);
+    }
+
+    #[test]
+    fn configured_feed_is_used() {
+        let ip2as = ip2as();
+        let o = obs();
+        let feed = RoutingFeed::default();
+        let d = NetDiagnoser::builder()
+            .algorithm(Algorithm::NdBgpIgp)
+            .routing_feed(&feed)
+            .build()
+            .diagnose(&o, &ip2as)
+            .unwrap();
+        assert!(!d.is_empty());
+    }
+
+    #[test]
     fn default_is_ndedge_with_paper_weights() {
         let nd = NetDiagnoser::default();
-        assert_eq!(nd.algorithm, Algorithm::NdEdge);
-        assert_eq!(nd.weights, Weights { a: 1, b: 1 });
+        assert_eq!(nd.algorithm(), Algorithm::NdEdge);
+        assert_eq!(nd.weights(), Weights { a: 1, b: 1 });
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_builder_behaviour() {
+        let ip2as = ip2as();
+        let o = obs();
+        let old = NetDiagnoser::new(Algorithm::NdLg).diagnose_with(&o, &ip2as, None, None);
+        let new = NetDiagnoser::builder()
+            .algorithm(Algorithm::NdLg)
+            .allow_missing_inputs()
+            .build()
+            .diagnose(&o, &ip2as)
+            .unwrap();
+        assert_eq!(old.hypothesis_endpoints(), new.hypothesis_endpoints());
+    }
+
+    #[test]
+    fn recorder_sees_diagnosis_counters() {
+        let (recorder, sink) = RecorderHandle::in_memory();
+        let ip2as = ip2as();
+        let o = obs();
+        let d = NetDiagnoser::builder()
+            .recorder(recorder)
+            .build()
+            .diagnose(&o, &ip2as)
+            .unwrap();
+        let report = sink.report();
+        assert_eq!(report.counter(netdiag_obs::names::DIAG_RUNS), 1);
+        assert!(report.counter(netdiag_obs::names::HS_GREEDY_ITERS) >= 1);
+        let h = report
+            .histogram(netdiag_obs::names::DIAG_HYPOTHESIS_SIZE)
+            .expect("hypothesis size observed");
+        assert_eq!(h.sum, d.len() as u64);
     }
 }

@@ -207,15 +207,9 @@ impl DiagGraph {
                 Hop::Star => HopNode::Uh(path_ref, pos),
             })
             .collect();
-        let nodes: Vec<NodeId> = keys
-            .iter()
-            .map(|&k| self.intern_node(k, ip2as))
-            .collect();
+        let nodes: Vec<NodeId> = keys.iter().map(|&k| self.intern_node(k, ip2as)).collect();
         // Per-hop AS (where known), for logical annotation.
-        let hop_as: Vec<Option<AsId>> = nodes
-            .iter()
-            .map(|&n| self.single_tag(n))
-            .collect();
+        let hop_as: Vec<Option<AsId>> = nodes.iter().map(|&n| self.single_tag(n)).collect();
 
         let mut edges = Vec::with_capacity(nodes.len().saturating_sub(1));
         for i in 1..nodes.len() {
@@ -378,8 +372,7 @@ mod tests {
         let edges = g.expand_path(&p, BEFORE0, AsId(3), &m, true);
         // 2 + 1 + 2 edges.
         assert_eq!(edges.len(), 5);
-        let parts: Vec<Option<LogicalPart>> =
-            edges.iter().map(|&e| g.edge(e).logical).collect();
+        let parts: Vec<Option<LogicalPart>> = edges.iter().map(|&e| g.edge(e).logical).collect();
         assert_eq!(
             parts,
             vec![
@@ -438,10 +431,7 @@ mod tests {
         // Stars do not merge: 2 shared Ip nodes + 2 distinct Uh nodes.
         assert_eq!(g.node_count(), 4);
         assert_eq!(g.edge_count(), 4);
-        let uh_edges: Vec<_> = g
-            .edges()
-            .filter(|(id, _)| g.is_unidentified(*id))
-            .collect();
+        let uh_edges: Vec<_> = g.edges().filter(|(id, _)| g.is_unidentified(*id)).collect();
         assert_eq!(uh_edges.len(), 4);
     }
 
@@ -460,10 +450,7 @@ mod tests {
         let mut g = DiagGraph::new();
         let p = path(vec![ip(1, 1), ip(2, 1)], true);
         let edges = g.expand_path(&p, BEFORE0, AsId(2), &m, false);
-        assert_eq!(
-            g.edge_as_set(edges[0]),
-            BTreeSet::from([AsId(1), AsId(2)])
-        );
+        assert_eq!(g.edge_as_set(edges[0]), BTreeSet::from([AsId(1), AsId(2)]));
     }
 
     #[test]

@@ -10,6 +10,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use netdiag_obs::{names, RecorderHandle};
+
 use crate::graph::EdgeId;
 
 /// Scoring weights: `score(ℓ) = a·|C(ℓ)| + b·|R(ℓ)|` (§3.2; the paper uses
@@ -89,17 +91,23 @@ impl HittingSetInstance {
     /// maximum score is added (Algorithm 1, lines 13–16). Stops when all
     /// sets are explained, candidates run out, or no candidate scores > 0.
     pub fn greedy(&self, weights: Weights) -> GreedyResult {
+        self.greedy_recorded(weights, &RecorderHandle::noop())
+    }
+
+    /// [`HittingSetInstance::greedy`] reporting `hs.greedy_iters` and the
+    /// `hs.candidates` instance size to `recorder`.
+    pub fn greedy_recorded(&self, weights: Weights, recorder: &RecorderHandle) -> GreedyResult {
         let mut unexplained_f: BTreeSet<usize> = (0..self.failure_sets.len()).collect();
         let mut unexplained_r: BTreeSet<usize> = (0..self.reroute_sets.len()).collect();
         let mut candidates = self.candidates.clone();
         let mut hypothesis = Vec::new();
+        let mut iterations: u64 = 0;
 
         // Loop while work remains (Algorithm 1 line 7): some set is still
         // unexplained and candidates are left.
         #[allow(clippy::nonminimal_bool)] // mirrors the paper's condition
-        while !candidates.is_empty()
-            && !(unexplained_f.is_empty() && unexplained_r.is_empty())
-        {
+        while !candidates.is_empty() && !(unexplained_f.is_empty() && unexplained_r.is_empty()) {
+            iterations += 1;
             // Score every candidate.
             let mut best_score = 0u64;
             let mut best: Vec<EdgeId> = Vec::new();
@@ -128,13 +136,16 @@ impl HittingSetInstance {
             }
             for e in best {
                 let group = self.coverage_group(e);
-                unexplained_f
-                    .retain(|&i| !group.iter().any(|g| self.failure_sets[i].contains(g)));
-                unexplained_r
-                    .retain(|&i| !group.iter().any(|g| self.reroute_sets[i].contains(g)));
+                unexplained_f.retain(|&i| !group.iter().any(|g| self.failure_sets[i].contains(g)));
+                unexplained_r.retain(|&i| !group.iter().any(|g| self.reroute_sets[i].contains(g)));
                 candidates.remove(&e);
                 hypothesis.push(e);
             }
+        }
+
+        if recorder.enabled() {
+            recorder.add(names::HS_GREEDY_ITERS, iterations);
+            recorder.observe(names::HS_CANDIDATES, self.candidates.len() as u64);
         }
 
         GreedyResult {
@@ -159,7 +170,12 @@ impl HittingSetInstance {
         // unhittable.
         let sets: Vec<Vec<EdgeId>> = all_sets
             .iter()
-            .map(|s| s.iter().copied().filter(|e| self.candidates.contains(e)).collect())
+            .map(|s| {
+                s.iter()
+                    .copied()
+                    .filter(|e| self.candidates.contains(e))
+                    .collect()
+            })
             .collect();
         if sets.iter().any(|s: &Vec<EdgeId>| s.is_empty()) {
             return None;

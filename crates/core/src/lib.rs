@@ -21,6 +21,12 @@
 //!   hops to candidate ASes with Looking Glass queries and clustering
 //!   unidentified links that may be the same link.
 //!
+//! The [`NetDiagnoser`] builder facade wraps all four — pick the variant
+//! at runtime, attach the routing feed, Looking Glass and an optional
+//! [`RecorderHandle`] once, then call
+//! [`diagnose`](NetDiagnoser::diagnose) per incident. Algorithms refuse to
+//! run without the inputs they depend on ([`DiagnoseError`]).
+//!
 //! The crate is simulator-agnostic: inputs are plain observations
 //! ([`Observations`], [`RoutingFeed`]) plus two oracles ([`IpToAs`],
 //! [`LookingGlass`]) that a deployment would implement with an IP-to-AS
@@ -79,10 +85,13 @@ pub mod report;
 mod scfs;
 pub mod text;
 
-pub use algorithms::{nd_bgpigp, nd_edge, nd_lg, tomo};
+pub use algorithms::{
+    nd_bgpigp, nd_bgpigp_recorded, nd_edge, nd_edge_recorded, nd_lg, nd_lg_recorded, tomo,
+    tomo_recorded,
+};
 pub use detector::{Alarm, PersistenceFilter};
 pub use diagnosis::Diagnosis;
-pub use facade::{Algorithm, NetDiagnoser};
+pub use facade::{Algorithm, DiagnoseError, NetDiagnoser, NetDiagnoserBuilder};
 pub use graph::{
     DiagGraph, EdgeData, EdgeId, Epoch, HopNode, LogicalPart, NodeData, NodeId, PathRef, PhysId,
 };
@@ -93,3 +102,7 @@ pub use observation::{
 };
 pub use problem::{BuildOptions, PathSet, Problem};
 pub use scfs::scfs;
+
+// Re-exported so downstream users can attach a recorder without naming the
+// instrumentation crate themselves.
+pub use netdiag_obs::{InMemoryRecorder, NoopRecorder, Recorder, RecorderHandle, RunReport};

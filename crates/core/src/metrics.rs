@@ -37,7 +37,10 @@ pub fn specificity<T: Ord>(
 /// one of the link's owning ASes appears in the hypothesized AS set.
 /// (An inter-domain link belongs to both of its endpoint ASes; naming
 /// either counts as locating the failure.)
-pub fn as_sensitivity(failed_link_ases: &[BTreeSet<AsId>], hypothesis_ases: &BTreeSet<AsId>) -> f64 {
+pub fn as_sensitivity(
+    failed_link_ases: &[BTreeSet<AsId>],
+    hypothesis_ases: &BTreeSet<AsId>,
+) -> f64 {
     if failed_link_ases.is_empty() {
         return 1.0;
     }

@@ -263,6 +263,19 @@ impl Problem {
     ///   path, every edge up to and including the hop where `n` answered —
     ///   the failure must lie strictly downstream of `n`.
     pub fn apply_feed(&mut self, obs: &Observations, feed: &RoutingFeed) {
+        self.apply_feed_recorded(obs, feed, &netdiag_obs::RecorderHandle::noop());
+    }
+
+    /// [`apply_feed`](Self::apply_feed), additionally counting forced and
+    /// exonerated edges on `recorder`.
+    pub fn apply_feed_recorded(
+        &mut self,
+        obs: &Observations,
+        feed: &RoutingFeed,
+        recorder: &netdiag_obs::RecorderHandle,
+    ) {
+        let forced_before = self.forced.len() as u64;
+        let mut exonerated: u64 = 0;
         // IGP link-down: edges terminating at either interface of the
         // failed link are that link.
         for ev in &feed.igp_link_down {
@@ -332,7 +345,9 @@ impl Problem {
                         if into_neighbor && d.logical.is_some() {
                             continue;
                         }
-                        set.edges.remove(&e);
+                        if set.edges.remove(&e) {
+                            exonerated += 1;
+                        }
                     }
                 }
             }
@@ -342,9 +357,22 @@ impl Problem {
             .failure_sets
             .iter()
             .flat_map(|s| s.edges.iter().copied())
-            .chain(self.reroute_sets.iter().flat_map(|s| s.edges.iter().copied()))
+            .chain(
+                self.reroute_sets
+                    .iter()
+                    .flat_map(|s| s.edges.iter().copied()),
+            )
             .collect();
         self.candidates.retain(|e| still_implicated.contains(e));
+
+        if recorder.enabled() {
+            use netdiag_obs::names;
+            recorder.add(
+                names::FEED_FORCED_EDGES,
+                self.forced.len() as u64 - forced_before,
+            );
+            recorder.add(names::FEED_EXONERATED_EDGES, exonerated);
+        }
     }
 
     /// Converts to a hitting-set instance (clusters empty; ND-LG adds them).

@@ -126,7 +126,9 @@ mod tests {
         assert_eq!(ranked[0].failure_sets_hit, 2);
         assert!(ranked.iter().all(|r| r.failure_sets_hit <= 2));
         assert!(
-            ranked.windows(2).all(|w| w[0].failure_sets_hit >= w[1].failure_sets_hit),
+            ranked
+                .windows(2)
+                .all(|w| w[0].failure_sets_hit >= w[1].failure_sets_hit),
             "non-increasing coverage"
         );
         // Deterministic.

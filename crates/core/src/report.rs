@@ -44,7 +44,10 @@ pub fn render(diagnosis: &Diagnosis) -> String {
         );
         match data.logical {
             Some(LogicalPart::First(a)) | Some(LogicalPart::Second(a)) => {
-                let _ = write!(line, "  (only for routes toward {a}: likely a BGP export misconfiguration)");
+                let _ = write!(
+                    line,
+                    "  (only for routes toward {a}: likely a BGP export misconfiguration)"
+                );
             }
             None => {}
         }
@@ -99,7 +102,10 @@ pub fn render(diagnosis: &Diagnosis) -> String {
 fn fmt_node(node: &HopNode) -> String {
     match node {
         HopNode::Ip(a) => a.to_string(),
-        HopNode::Uh(path, pos) => format!("unidentified-hop({:?}#{} pos {pos})", path.epoch, path.index),
+        HopNode::Uh(path, pos) => format!(
+            "unidentified-hop({:?}#{} pos {pos})",
+            path.epoch, path.index
+        ),
     }
 }
 

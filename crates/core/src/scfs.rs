@@ -71,10 +71,7 @@ pub fn scfs<T: Ord + Clone>(source: &T, paths: &[(Vec<T>, bool)]) -> BTreeSet<(T
         }
         let own = dest_status.get(v).map(|&good| !good).unwrap_or(true);
         let kids = children.get(v).cloned().unwrap_or_default();
-        let result = own
-            && kids
-                .iter()
-                .all(|c| all_bad(c, children, dest_status, memo));
+        let result = own && kids.iter().all(|c| all_bad(c, children, dest_status, memo));
         memo.insert(v.clone(), result);
         result
     }

@@ -351,7 +351,7 @@ mod tests {
         assert_eq!(parsed.sensors, obs.sensors);
         assert_eq!(parsed.before.paths.len(), 1);
         assert_eq!(parsed.before.paths[0].hops, obs.before.paths[0].hops);
-        assert_eq!(parsed.after.paths[0].reached, false);
+        assert!(!parsed.after.paths[0].reached);
     }
 
     #[test]

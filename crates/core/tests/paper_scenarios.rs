@@ -148,8 +148,8 @@ fn nd_edge_localizes_misconfiguration_via_logical_links() {
         let (from, to) = g.endpoints(e);
         if from == HopNode::Ip(ip(4, 2, 1)) && to == HopNode::Ip(ip(5, 1, 1)) {
             match data.logical {
-                Some(LogicalPart::First(a)) if a == AsId(3) => found_first = true,
-                Some(LogicalPart::Second(a)) if a == AsId(3) => found_second = true,
+                Some(LogicalPart::First(AsId(3))) => found_first = true,
+                Some(LogicalPart::Second(AsId(3))) => found_second = true,
                 _ => {}
             }
         }
@@ -229,18 +229,22 @@ fn nd_edge_uses_reroute_sets() {
         .collect();
     assert!(phys.contains(&(HopNode::Ip(ip(5, 1, 1)), HopNode::Ip(ip(5, 3, 1)))));
     // Hypothesis must cover the reroute set (the failed y1-y3 link region).
-    assert!(d
-        .hypothesis
-        .iter()
-        .any(|e| rs.edges.contains(e)), "reroute set must be hit");
+    assert!(
+        d.hypothesis.iter().any(|e| rs.edges.contains(e)),
+        "reroute set must be hit"
+    );
     // Tomo, by contrast, wrongly exonerates y1->y3? No — y1->y3 is not on
     // any *stale working* path (s1->s3's stale path contains it and the
     // pair still works, so Tomo clears it!). Check the contrast explicitly:
     let t = tomo(&obs, &ip2as());
-    let t_has_y1_y3 = t.hypothesis_endpoints().iter().any(|(a, b)| {
-        *a == HopNode::Ip(ip(5, 1, 1)) && *b == HopNode::Ip(ip(5, 3, 1))
-    });
-    assert!(!t_has_y1_y3, "Tomo's stale working path clears the real failure");
+    let t_has_y1_y3 = t
+        .hypothesis_endpoints()
+        .iter()
+        .any(|(a, b)| *a == HopNode::Ip(ip(5, 1, 1)) && *b == HopNode::Ip(ip(5, 3, 1)));
+    assert!(
+        !t_has_y1_y3,
+        "Tomo's stale working path clears the real failure"
+    );
 }
 
 #[test]
@@ -331,8 +335,7 @@ fn nd_bgpigp_withdrawal_prunes_upstream_links() {
     assert!(with
         .hypothesis_endpoints()
         .iter()
-        .any(|(_, to)| *to == HopNode::Ip(ip(1, 1, 1))
-            || *to == HopNode::Ip(ip(1, 0, 200))));
+        .any(|(_, to)| *to == HopNode::Ip(ip(1, 1, 1)) || *to == HopNode::Ip(ip(1, 0, 200))));
 }
 
 #[test]
@@ -349,11 +352,7 @@ fn nd_bgpigp_igp_event_forces_exact_link() {
             paths: vec![ProbePath {
                 src: SensorId(0),
                 dst: SensorId(1),
-                hops: vec![
-                    addr_hop(1, 1, 1),
-                    addr_hop(1, 2, 1),
-                    addr_hop(4, 1, 1),
-                ],
+                hops: vec![addr_hop(1, 1, 1), addr_hop(1, 2, 1), addr_hop(4, 1, 1)],
                 reached: false,
             }],
         },
@@ -478,8 +477,10 @@ fn nd_lg_combined_tag_when_ambiguous() {
         Weights::default(),
     );
     let ases = d.as_hypothesis();
-    assert!(ases.contains(&AsId(5)) && ases.contains(&AsId(6)),
-        "ambiguous tag must include both candidate ASes, got {ases:?}");
+    assert!(
+        ases.contains(&AsId(5)) && ases.contains(&AsId(6)),
+        "ambiguous tag must include both candidate ASes, got {ases:?}"
+    );
 }
 
 #[test]
@@ -548,9 +549,7 @@ fn section32_reroute_set_example_literal() {
         before: Snapshot {
             paths: vec![before],
         },
-        after: Snapshot {
-            paths: vec![after],
-        },
+        after: Snapshot { paths: vec![after] },
     };
     let d = nd_edge(&obs, &ip2as(), Weights::default());
     assert_eq!(d.problem.reroute_sets.len(), 1);
@@ -558,11 +557,7 @@ fn section32_reroute_set_example_literal() {
     // The reroute set is exactly the two abandoned links: the edges into
     // h3 (l3) and h4 (l4). The edge into the destination host is shared
     // (same ingress) and the prefix l1, l2 are unchanged.
-    let targets: BTreeSet<HopNode> = rs
-        .edges
-        .iter()
-        .map(|&e| d.graph().endpoints(e).1)
-        .collect();
+    let targets: BTreeSet<HopNode> = rs.edges.iter().map(|&e| d.graph().endpoints(e).1).collect();
     assert_eq!(
         targets,
         BTreeSet::from([HopNode::Ip(ip(9, 3, 1)), HopNode::Ip(ip(9, 4, 1))]),

@@ -39,7 +39,11 @@ fn empty_observations_build_empty_problem() {
         before: Snapshot::default(),
         after: Snapshot::default(),
     };
-    for opts in [BuildOptions::tomo(), BuildOptions::nd_edge(), BuildOptions::nd_lg()] {
+    for opts in [
+        BuildOptions::tomo(),
+        BuildOptions::nd_edge(),
+        BuildOptions::nd_lg(),
+    ] {
         let p = Problem::build(&obs, &ip2as(), opts);
         assert_eq!(p.graph.edge_count(), 0);
         assert!(p.failure_sets.is_empty());
@@ -121,10 +125,20 @@ fn single_hop_paths_are_handled() {
     let obs = Observations {
         sensors: sensors(2),
         before: Snapshot {
-            paths: vec![path(0, 1, vec![Hop::Addr(Ipv4Addr::new(10, 1, 1, 1))], true)],
+            paths: vec![path(
+                0,
+                1,
+                vec![Hop::Addr(Ipv4Addr::new(10, 1, 1, 1))],
+                true,
+            )],
         },
         after: Snapshot {
-            paths: vec![path(0, 1, vec![Hop::Addr(Ipv4Addr::new(10, 1, 1, 1))], false)],
+            paths: vec![path(
+                0,
+                1,
+                vec![Hop::Addr(Ipv4Addr::new(10, 1, 1, 1))],
+                false,
+            )],
         },
     };
     let d = nd_edge(&obs, &ip2as(), Weights::default());
@@ -153,7 +167,12 @@ fn unmapped_addresses_fall_back_to_plain_edges() {
             )],
         },
         after: Snapshot {
-            paths: vec![path(0, 1, vec![Hop::Addr(Ipv4Addr::new(10, 1, 1, 1))], false)],
+            paths: vec![path(
+                0,
+                1,
+                vec![Hop::Addr(Ipv4Addr::new(10, 1, 1, 1))],
+                false,
+            )],
         },
     };
     let p = Problem::build(&obs, &unknown, BuildOptions::nd_edge());

@@ -12,24 +12,21 @@ use netdiagnoser::{metrics, scfs, EdgeId, HittingSetInstance, Weights};
 /// Random hitting-set instance: sets over a small universe, with all their
 /// elements as candidates.
 fn instance_strategy() -> impl Strategy<Value = HittingSetInstance> {
-    proptest::collection::vec(
-        proptest::collection::btree_set(0u32..20, 1..5),
-        1..8,
+    proptest::collection::vec(proptest::collection::btree_set(0u32..20, 1..5), 1..8).prop_map(
+        |sets| {
+            let failure_sets: Vec<BTreeSet<EdgeId>> = sets
+                .into_iter()
+                .map(|s| s.into_iter().map(EdgeId).collect())
+                .collect();
+            let candidates: BTreeSet<EdgeId> = failure_sets.iter().flatten().copied().collect();
+            HittingSetInstance {
+                failure_sets,
+                reroute_sets: Vec::new(),
+                candidates,
+                clusters: BTreeMap::new(),
+            }
+        },
     )
-    .prop_map(|sets| {
-        let failure_sets: Vec<BTreeSet<EdgeId>> = sets
-            .into_iter()
-            .map(|s| s.into_iter().map(EdgeId).collect())
-            .collect();
-        let candidates: BTreeSet<EdgeId> =
-            failure_sets.iter().flatten().copied().collect();
-        HittingSetInstance {
-            failure_sets,
-            reroute_sets: Vec::new(),
-            candidates,
-            clusters: BTreeMap::new(),
-        }
-    })
 }
 
 proptest! {

@@ -10,8 +10,8 @@ use netdiagnoser::text::{
     parse_feed, parse_observations, write_feed, write_observations, RecordedLookingGlass,
 };
 use netdiagnoser::{
-    Hop, IgpLinkDownObs, LookingGlass, Observations, ProbePath, RoutingFeed, SensorMeta,
-    Snapshot, WithdrawalObs,
+    Hop, IgpLinkDownObs, LookingGlass, Observations, ProbePath, RoutingFeed, SensorMeta, Snapshot,
+    WithdrawalObs,
 };
 
 fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {

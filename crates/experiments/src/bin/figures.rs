@@ -3,17 +3,21 @@
 //! ```text
 //! figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|claims|ablations|robustness|scalability|summary|all>
 //!         [--placements N] [--failures N] [--seed S] [--out DIR] [--quick]
+//!         [--profile FILE]
 //! ```
 //!
 //! Defaults match the paper (10 placements x 100 failures per scenario).
 //! Tables are printed and written as CSV under `--out` (default
-//! `results/`).
+//! `results/`). With `--profile`, instrumentation counters aggregated over
+//! every selected figure are written to FILE as a JSON run report and a
+//! summary section is printed.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use netdiag_experiments::figures::{self, FigureConfig, FigureOutput};
+use netdiag_obs::RecorderHandle;
 
 /// A named figure regenerator.
 type FigureFn = fn(&FigureConfig) -> Vec<FigureOutput>;
@@ -21,7 +25,7 @@ type FigureFn = fn(&FigureConfig) -> Vec<FigureOutput>;
 fn usage() -> ! {
     eprintln!(
         "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|claims|ablations|robustness|scalability|summary|all> \
-         [--placements N] [--failures N] [--seed S] [--out DIR] [--quick]"
+         [--placements N] [--failures N] [--seed S] [--out DIR] [--quick] [--profile FILE]"
     );
     std::process::exit(2)
 }
@@ -31,17 +35,32 @@ fn main() -> ExitCode {
     let Some(which) = args.next() else { usage() };
     let mut fc = FigureConfig::default();
     let mut out_dir = PathBuf::from("results");
+    let mut profile = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
+            "--profile" => {
+                let path = args.next().map(PathBuf::from).unwrap_or_else(|| usage());
+                let (handle, sink) = RecorderHandle::in_memory();
+                fc.recorder = handle;
+                profile = Some((path, sink));
+            }
             "--placements" => {
-                fc.placements = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                fc.placements = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--failures" => {
-                fc.failures_per_placement =
-                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                fc.failures_per_placement = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--seed" => {
-                fc.base_seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                fc.base_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--out" => out_dir = args.next().map(PathBuf::from).unwrap_or_else(|| usage()),
             "--quick" => {
@@ -109,7 +128,28 @@ fn main() -> ExitCode {
             eprintln!("summary failed: {e}");
             return ExitCode::FAILURE;
         }
-        println!("(digest written to {})", out_dir.join("SUMMARY.md").display());
+        println!(
+            "(digest written to {})",
+            out_dir.join("SUMMARY.md").display()
+        );
+    }
+    if let Some((path, sink)) = profile {
+        let report = sink.report();
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("== run report ==");
+        for name in [
+            netdiag_obs::names::IGP_SPF_RUNS,
+            netdiag_obs::names::BGP_MSGS,
+            netdiag_obs::names::PROBE_TRACEROUTES,
+            netdiag_obs::names::HS_GREEDY_ITERS,
+            netdiag_obs::names::DIAG_RUNS,
+        ] {
+            println!("{name} = {}", report.counter(name));
+        }
+        println!("(full report written to {})", path.display());
     }
     ExitCode::SUCCESS
 }

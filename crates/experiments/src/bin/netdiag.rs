@@ -14,6 +14,10 @@
 //! netdiag diagnose --dir DIR [--algo tomo|nd-edge|nd-bgpigp|nd-lg]
 //!     Reads a scenario directory and prints the diagnosis report.
 //! ```
+//!
+//! Both subcommands accept `--profile FILE`: instrumentation counters and
+//! phase timings of the run (SPF runs, BGP messages, probes, greedy
+//! iterations, …) are written to FILE as a JSON run report.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -21,28 +25,51 @@ use std::fs;
 use std::net::Ipv4Addr;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use netdiag_experiments::bridge::{observations, routing_feed};
-use netdiag_experiments::runner::{prepare, RunConfig};
+use netdiag_experiments::runner::{prepare_with, RunConfig};
 use netdiag_experiments::sampling::{sample_failure, FailureSpec};
 use netdiag_netsim::{apply_failure, looking_glass_query, probe_mesh};
+use netdiag_obs::{InMemoryRecorder, RecorderHandle};
 use netdiag_topology::AsId;
-use netdiagnoser::text::{
-    parse_feed, parse_observations, RecordedLookingGlass,
-};
+use netdiagnoser::text::{parse_feed, parse_observations, RecordedLookingGlass};
 use netdiagnoser::{report, Algorithm, IpToAs, NetDiagnoser};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  netdiag simulate --out DIR [--seed N] [--sensors N] \
          [--failure links:<x>|router|misconfig|misconfig+link] [--blocked FRAC] [--lg FRAC] \
-         [--topology FILE]\n  \
-         netdiag diagnose --dir DIR [--algo tomo|nd-edge|nd-bgpigp|nd-lg]"
+         [--topology FILE] [--profile FILE]\n  \
+         netdiag diagnose --dir DIR [--algo tomo|nd-edge|nd-bgpigp|nd-lg] [--profile FILE]"
     );
     std::process::exit(2)
+}
+
+/// The recorder for a run: in-memory when `--profile` was given, else the
+/// free no-op.
+fn profile_recorder(args: &[String]) -> (RecorderHandle, Option<(PathBuf, Arc<InMemoryRecorder>)>) {
+    match get_flag(args, "--profile") {
+        Some(path) => {
+            let (handle, sink) = RecorderHandle::in_memory();
+            (handle, Some((PathBuf::from(path), sink)))
+        }
+        None => (RecorderHandle::noop(), None),
+    }
+}
+
+/// Writes the JSON run report when `--profile` was given.
+fn write_profile(profile: Option<(PathBuf, Arc<InMemoryRecorder>)>) -> Result<(), ExitCode> {
+    if let Some((path, sink)) = profile {
+        fs::write(&path, sink.report().to_json()).map_err(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            ExitCode::FAILURE
+        })?;
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -67,7 +94,8 @@ fn simulate(args: Vec<String>) -> ExitCode {
         get_flag(&args, "--sensors").map_or(10, |v| v.parse().unwrap_or_else(|_| usage()));
     let blocked: f64 =
         get_flag(&args, "--blocked").map_or(0.0, |v| v.parse().unwrap_or_else(|_| usage()));
-    let lg_frac: f64 = get_flag(&args, "--lg").map_or(1.0, |v| v.parse().unwrap_or_else(|_| usage()));
+    let lg_frac: f64 =
+        get_flag(&args, "--lg").map_or(1.0, |v| v.parse().unwrap_or_else(|_| usage()));
     let failure_spec = match get_flag(&args, "--failure").as_deref() {
         None => FailureSpec::Links(1),
         Some("router") => FailureSpec::Router,
@@ -120,15 +148,20 @@ fn simulate(args: Vec<String>) -> ExitCode {
         ..Default::default()
     };
     let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
-    let ctx = prepare(&net, &cfg, &mut rng);
+    let (recorder, profile) = profile_recorder(&args);
+    let ctx = prepare_with(&net, &cfg, &mut rng, recorder);
     let topology = ctx.sim.topology();
 
     // Draw failures until one causes unreachability.
     let mut frng = StdRng::seed_from_u64(seed ^ 0xF00D);
     let (failure, broken, after) = loop {
-        let Some(failure) =
-            sample_failure(&ctx.sim, &ctx.mesh_before, &ctx.sensors, cfg.failure, &mut frng)
-        else {
+        let Some(failure) = sample_failure(
+            &ctx.sim,
+            &ctx.mesh_before,
+            &ctx.sensors,
+            cfg.failure,
+            &mut frng,
+        ) else {
             eprintln!("no failure of that class is sampleable here");
             return ExitCode::FAILURE;
         };
@@ -210,6 +243,9 @@ fn simulate(args: Vec<String>) -> ExitCode {
             eprintln!("cannot write {name}: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    if let Err(code) = write_profile(profile) {
+        return code;
     }
     println!(
         "scenario written to {} ({} failed paths, {} observed messages)",
@@ -294,8 +330,24 @@ fn diagnose(args: Vec<String>) -> ExitCode {
     let Ok(algorithm) = algo.parse::<Algorithm>() else {
         usage()
     };
-    let diagnosis =
-        NetDiagnoser::new(algorithm).diagnose(&obs, &ip2as, Some(&feed), Some(&lg));
+    let (recorder, profile) = profile_recorder(&args);
+    let diagnosis = match NetDiagnoser::builder()
+        .algorithm(algorithm)
+        .routing_feed(&feed)
+        .looking_glass(&lg)
+        .recorder(recorder)
+        .build()
+        .diagnose(&obs, &ip2as)
+    {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("diagnosis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(code) = write_profile(profile) {
+        return code;
+    }
     // Write through a fallible sink: a closed pipe (e.g. `| head`) must
     // end the program quietly, not panic.
     let mut out = String::new();

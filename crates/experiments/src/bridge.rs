@@ -6,7 +6,7 @@
 
 use std::net::Ipv4Addr;
 
-use netdiag_netsim::{looking_glass_query, ProbeHop, ProbeMesh, Sim, SensorSet, Traceroute};
+use netdiag_netsim::{looking_glass_query, ProbeHop, ProbeMesh, SensorSet, Sim, Traceroute};
 use netdiag_topology::{AsId, Topology};
 use netdiagnoser::{
     Hop, IgpLinkDownObs, IpToAs, LookingGlass, Observations, ProbePath, RoutingFeed, SensorMeta,
@@ -53,11 +53,7 @@ pub fn sensor_metas(sensors: &SensorSet) -> Vec<SensorMeta> {
 }
 
 /// Assembles the probe observations from two meshes.
-pub fn observations(
-    sensors: &SensorSet,
-    before: &ProbeMesh,
-    after: &ProbeMesh,
-) -> Observations {
+pub fn observations(sensors: &SensorSet, before: &ProbeMesh, after: &ProbeMesh) -> Observations {
     Observations {
         sensors: sensor_metas(sensors),
         before: to_snapshot(before),

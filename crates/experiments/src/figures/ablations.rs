@@ -15,7 +15,7 @@ use rand::SeedableRng;
 use crate::bridge::{observations, TruthIpToAs};
 use crate::figures::{collect_trials, FigureConfig, FigureOutput};
 use crate::output::{f4, Table};
-use crate::runner::{prepare, run_trial, RunConfig};
+use crate::runner::{prepare_with, run_trial, RunConfig};
 use crate::sampling::{sample_failure, FailureSpec};
 
 /// The weight pairs swept.
@@ -44,7 +44,11 @@ fn weight_sweep(fc: &FigureConfig) -> FigureOutput {
             b.to_string(),
             f4(trials.iter().map(|t| t.nd_edge.sensitivity).sum::<f64>() / n),
             f4(trials.iter().map(|t| t.nd_edge.specificity).sum::<f64>() / n),
-            f4(trials.iter().map(|t| t.nd_edge.hypothesis_size as f64).sum::<f64>() / n),
+            f4(trials
+                .iter()
+                .map(|t| t.nd_edge.hypothesis_size as f64)
+                .sum::<f64>()
+                / n),
         ]);
     }
     FigureOutput::new("ablation_ndedge_weights", table)
@@ -71,7 +75,7 @@ fn greedy_vs_exact(fc: &FigureConfig) -> FigureOutput {
         let mut exact_sizes = Vec::new();
         for p in 0..fc.placements.min(3) {
             let mut prng = StdRng::seed_from_u64(fc.base_seed ^ (p as u64 + 77));
-            let ctx = prepare(&net, &cfg, &mut prng);
+            let ctx = prepare_with(&net, &cfg, &mut prng, fc.recorder.clone());
             for _ in 0..fc.failures_per_placement.min(10) {
                 // Reuse run_trial's sampling discipline but rebuild the
                 // problem so the exact solver can run on it.

@@ -143,14 +143,21 @@ pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
         "~0.8".into(),
         f4(blocked
             .iter()
-            .map(|t| t.nd_lg.map_or(t.nd_bgpigp.as_sensitivity, |e| e.as_sensitivity))
+            .map(|t| {
+                t.nd_lg
+                    .map_or(t.nd_bgpigp.as_sensitivity, |e| e.as_sensitivity)
+            })
             .sum::<f64>()
             / n),
     ]);
     table.row(&[
         "nd-bgpigp mean AS-sensitivity, f_b=0.8".into(),
         "~0.2 (1-f_b)".into(),
-        f4(blocked.iter().map(|t| t.nd_bgpigp.as_sensitivity).sum::<f64>() / n),
+        f4(blocked
+            .iter()
+            .map(|t| t.nd_bgpigp.as_sensitivity)
+            .sum::<f64>()
+            / n),
     ]);
 
     vec![FigureOutput::new("claims", table)]

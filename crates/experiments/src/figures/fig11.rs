@@ -33,13 +33,18 @@ pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
         };
         let trials = collect_trials(&net, &cfg, fc);
         let n = trials.len().max(1) as f64;
-        let mean = |f: &dyn Fn(&crate::runner::TrialResult) -> f64| {
-            trials.iter().map(f).sum::<f64>() / n
-        };
+        let mean =
+            |f: &dyn Fn(&crate::runner::TrialResult) -> f64| trials.iter().map(f).sum::<f64>() / n;
         // With f_b = 0 there are no unidentified hops and ND-LG degenerates
         // to ND-bgpigp; report the latter's numbers for both.
-        let lg_sens = mean(&|t| t.nd_lg.map_or(t.nd_bgpigp.as_sensitivity, |e| e.as_sensitivity));
-        let lg_spec = mean(&|t| t.nd_lg.map_or(t.nd_bgpigp.as_specificity, |e| e.as_specificity));
+        let lg_sens = mean(&|t| {
+            t.nd_lg
+                .map_or(t.nd_bgpigp.as_sensitivity, |e| e.as_sensitivity)
+        });
+        let lg_spec = mean(&|t| {
+            t.nd_lg
+                .map_or(t.nd_bgpigp.as_specificity, |e| e.as_specificity)
+        });
         table.row(&[
             f4(f_b),
             f4(lg_sens),

@@ -45,13 +45,20 @@ pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
             let n = trials.len().max(1) as f64;
             let lg = trials
                 .iter()
-                .map(|t| t.nd_lg.map_or(t.nd_bgpigp.as_sensitivity, |e| e.as_sensitivity))
+                .map(|t| {
+                    t.nd_lg
+                        .map_or(t.nd_bgpigp.as_sensitivity, |e| e.as_sensitivity)
+                })
                 .sum::<f64>()
                 / n;
             lg_curves[bi].push(lg);
             if lg_frac == 1.0 {
                 baselines.push(
-                    trials.iter().map(|t| t.nd_bgpigp.as_sensitivity).sum::<f64>() / n,
+                    trials
+                        .iter()
+                        .map(|t| t.nd_bgpigp.as_sensitivity)
+                        .sum::<f64>()
+                        / n,
                 );
             }
         }

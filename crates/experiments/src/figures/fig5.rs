@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use crate::figures::{FigureConfig, FigureOutput};
 use crate::output::{f4, Table};
 use crate::placement::Placement;
-use crate::runner::{prepare, RunConfig};
+use crate::runner::{prepare_with, RunConfig};
 
 /// Sensor counts swept on the x axis.
 pub const SENSOR_COUNTS: [usize; 6] = [5, 10, 20, 30, 40, 50];
@@ -43,10 +43,9 @@ pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
             // Mean diagnosability over the placements.
             let mut sum = 0.0;
             for p in 0..fc.placements {
-                let mut rng = StdRng::seed_from_u64(
-                    fc.base_seed ^ (p as u64).wrapping_mul(0x9E37_79B9),
-                );
-                let ctx = prepare(&net, &cfg, &mut rng);
+                let mut rng =
+                    StdRng::seed_from_u64(fc.base_seed ^ (p as u64).wrapping_mul(0x9E37_79B9));
+                let ctx = prepare_with(&net, &cfg, &mut rng, fc.recorder.clone());
                 sum += ctx.diagnosability;
             }
             row.push(f4(sum / fc.placements as f64));

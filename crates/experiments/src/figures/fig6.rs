@@ -37,7 +37,10 @@ pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
     let misconfig = trials_for(FailureSpec::Misconfig);
     let combined = trials_for(FailureSpec::MisconfigPlusLink);
     let bottom = cdf_table(&[
-        ("tomo_misconfig", &cdf_of(&misconfig, |t| t.tomo.sensitivity)),
+        (
+            "tomo_misconfig",
+            &cdf_of(&misconfig, |t| t.tomo.sensitivity),
+        ),
         (
             "tomo_misconfig_plus_link",
             &cdf_of(&combined, |t| t.tomo.sensitivity),

@@ -10,7 +10,7 @@ use rand::SeedableRng;
 
 use crate::figures::{FigureConfig, FigureOutput};
 use crate::output::{f4, Table};
-use crate::runner::{prepare, run_trial, RunConfig};
+use crate::runner::{prepare_with, run_trial, RunConfig};
 use crate::sampling::FailureSpec;
 
 /// Sensor counts swept to span the diagnosability range.
@@ -33,7 +33,7 @@ pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
             let mut rng = StdRng::seed_from_u64(
                 fc.base_seed ^ (n as u64) << 8 ^ (p as u64).wrapping_mul(0x9E37_79B9),
             );
-            let ctx = prepare(&net, &cfg, &mut rng);
+            let ctx = prepare_with(&net, &cfg, &mut rng, fc.recorder.clone());
             let mut frng = StdRng::seed_from_u64(fc.base_seed ^ 0xF19 ^ (n as u64 * 31 + p as u64));
             for _ in 0..failures {
                 if let Some(tr) = run_trial(&ctx, &cfg, &mut frng) {
@@ -46,5 +46,8 @@ pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
             }
         }
     }
-    vec![FigureOutput::new("fig9_diagnosability_vs_specificity", table)]
+    vec![FigureOutput::new(
+        "fig9_diagnosability_vs_specificity",
+        table,
+    )]
 }

@@ -16,16 +16,17 @@ pub mod fig9;
 pub mod robustness;
 pub mod scalability;
 
+use netdiag_obs::RecorderHandle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use netdiag_topology::builders::{build_internet, Internet, InternetConfig};
 
 use crate::output::{Cdf, Table};
-use crate::runner::{prepare, run_trial, RunConfig, TrialResult};
+use crate::runner::{prepare_with, run_trial, RunConfig, TrialResult};
 
 /// How much work a figure regeneration does.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FigureConfig {
     /// Sensor placements per scenario (paper: 10).
     pub placements: usize,
@@ -35,6 +36,9 @@ pub struct FigureConfig {
     pub topology_seed: u64,
     /// Base seed for placements and failures.
     pub base_seed: u64,
+    /// Instrumentation sink shared by every placement and trial (no-op by
+    /// default).
+    pub recorder: RecorderHandle,
 }
 
 impl Default for FigureConfig {
@@ -44,6 +48,7 @@ impl Default for FigureConfig {
             failures_per_placement: 100,
             topology_seed: 1,
             base_seed: 7,
+            recorder: RecorderHandle::noop(),
         }
     }
 }
@@ -96,7 +101,7 @@ impl FigureOutput {
 pub fn collect_trials(net: &Internet, cfg: &RunConfig, fc: &FigureConfig) -> Vec<TrialResult> {
     let one_placement = |p: usize| -> Vec<TrialResult> {
         let mut prng = StdRng::seed_from_u64(fc.base_seed ^ (p as u64).wrapping_mul(0x9E37_79B9));
-        let ctx = prepare(net, cfg, &mut prng);
+        let ctx = prepare_with(net, cfg, &mut prng, fc.recorder.clone());
         let mut frng =
             StdRng::seed_from_u64(fc.base_seed ^ 0xABCD ^ (p as u64).wrapping_mul(0x85EB_CA6B));
         (0..fc.failures_per_placement)

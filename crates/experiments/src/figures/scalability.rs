@@ -14,7 +14,7 @@ use netdiagnoser::{nd_edge, tomo, BuildOptions, Problem, Weights};
 use crate::bridge::{observations, TruthIpToAs};
 use crate::figures::{FigureConfig, FigureOutput};
 use crate::output::{f4, Table};
-use crate::runner::{prepare, RunConfig};
+use crate::runner::{prepare_with, RunConfig};
 use crate::sampling::{sample_failure, FailureSpec};
 
 /// Sensor counts swept.
@@ -38,7 +38,7 @@ pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
             ..Default::default()
         };
         let mut rng = StdRng::seed_from_u64(fc.base_seed ^ 0x5CA1E ^ n as u64);
-        let ctx = prepare(&net, &cfg, &mut rng);
+        let ctx = prepare_with(&net, &cfg, &mut rng, fc.recorder.clone());
         // One representative unreachability-causing failure.
         let mut frng = StdRng::seed_from_u64(fc.base_seed ^ n as u64);
         let Some((obs, _)) = (0..50).find_map(|_| {
@@ -52,8 +52,12 @@ pub fn run(fc: &FigureConfig) -> Vec<FigureOutput> {
             let mut broken = ctx.sim.clone();
             netdiag_netsim::apply_failure(&mut broken, &failure);
             let after = netdiag_netsim::probe_mesh(&broken, &ctx.sensors, &ctx.blocked);
-            (after.failed_count() > 0)
-                .then(|| (observations(&ctx.sensors, &ctx.mesh_before, &after), failure))
+            (after.failed_count() > 0).then(|| {
+                (
+                    observations(&ctx.sensors, &ctx.mesh_before, &after),
+                    failure,
+                )
+            })
         }) else {
             continue;
         };

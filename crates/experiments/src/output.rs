@@ -41,8 +41,8 @@ impl Cdf {
     /// The `q`-quantile (0 ≤ q ≤ 1).
     pub fn quantile(&self, q: f64) -> f64 {
         assert!(!self.values.is_empty(), "quantile of empty CDF");
-        let idx = ((q * (self.values.len() - 1) as f64).round() as usize)
-            .min(self.values.len() - 1);
+        let idx =
+            ((q * (self.values.len() - 1) as f64).round() as usize).min(self.values.len() - 1);
         self.values[idx]
     }
 
@@ -107,12 +107,7 @@ impl Table {
 
     /// Convenience: appends a row of display-formatted cells.
     pub fn rowf(&mut self, cells: &[&dyn std::fmt::Display]) {
-        self.row(
-            &cells
-                .iter()
-                .map(|c| c.to_string())
-                .collect::<Vec<String>>(),
-        );
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<String>>());
     }
 
     /// Renders as CSV.

@@ -9,10 +9,11 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
-use netdiag_netsim::{apply_failure, probe_mesh, Failure, ProbeMesh, Sim, SensorSet};
+use netdiag_netsim::{apply_failure, probe_mesh, Failure, ProbeMesh, SensorSet, Sim};
+use netdiag_obs::{names, RecorderHandle};
 use netdiag_topology::builders::Internet;
 use netdiag_topology::{AsId, LinkId};
-use netdiagnoser::{nd_bgpigp, nd_edge, nd_lg, tomo, Weights};
+use netdiagnoser::{nd_bgpigp_recorded, nd_edge_recorded, nd_lg_recorded, tomo_recorded, Weights};
 
 use crate::bridge::{observations, routing_feed, SimLookingGlass, TruthIpToAs};
 use crate::placement::{place_sensors, Placement};
@@ -85,6 +86,19 @@ pub struct PlacementContext {
 
 /// Prepares a placement on a generated internet.
 pub fn prepare(net: &Internet, cfg: &RunConfig, rng: &mut StdRng) -> PlacementContext {
+    prepare_with(net, cfg, rng, RecorderHandle::noop())
+}
+
+/// [`prepare`] with an instrumentation recorder: the simulator (and every
+/// trial clone of it) reports IGP, BGP and probe counters to `recorder`,
+/// and the preparation itself is timed as the `trial.setup` span.
+pub fn prepare_with(
+    net: &Internet,
+    cfg: &RunConfig,
+    rng: &mut StdRng,
+    recorder: RecorderHandle,
+) -> PlacementContext {
+    let _setup = recorder.span(names::TRIAL_SETUP);
     let topology = Arc::new(net.topology.clone());
     let spec = place_sensors(net, cfg.placement, cfg.n_sensors, rng);
     let sensors = SensorSet::place(&topology, &spec);
@@ -94,7 +108,7 @@ pub fn prepare(net: &Internet, cfg: &RunConfig, rng: &mut StdRng) -> PlacementCo
         ObserverPosition::SensorStub => sensors.sensors()[0].as_id,
     };
 
-    let mut sim = Sim::new(Arc::clone(&topology));
+    let mut sim = Sim::with_recorder(Arc::clone(&topology), recorder.clone());
     sensors.register(&mut sim);
     sim.set_observer(observer);
     sim.converge_for(&sensors.as_ids());
@@ -180,18 +194,20 @@ const MAX_ATTEMPTS: usize = 200;
 /// Runs one failure trial: samples failures until one causes
 /// unreachability, then diagnoses and scores. Returns `None` if no
 /// unreachability-causing failure of the class could be drawn.
-pub fn run_trial(
-    ctx: &PlacementContext,
-    cfg: &RunConfig,
-    rng: &mut StdRng,
-) -> Option<TrialResult> {
+pub fn run_trial(ctx: &PlacementContext, cfg: &RunConfig, rng: &mut StdRng) -> Option<TrialResult> {
     let topology = ctx.sim.topology();
+    let recorder = ctx.sim.recorder().clone();
     for _ in 0..MAX_ATTEMPTS {
-        let failure =
-            sample_failure(&ctx.sim, &ctx.mesh_before, &ctx.sensors, cfg.failure, rng)?;
+        let failure = sample_failure(&ctx.sim, &ctx.mesh_before, &ctx.sensors, cfg.failure, rng)?;
         let mut broken = ctx.sim.clone();
-        apply_failure(&mut broken, &failure);
-        let mesh_after = probe_mesh(&broken, &ctx.sensors, &ctx.blocked);
+        {
+            let _inject = recorder.span(names::TRIAL_INJECT);
+            apply_failure(&mut broken, &failure);
+        }
+        let mesh_after = {
+            let _measure = recorder.span(names::TRIAL_MEASURE);
+            probe_mesh(&broken, &ctx.sensors, &ctx.blocked)
+        };
         if mesh_after.failed_count() == 0 {
             continue; // fully rerouted: no unreachability, redraw
         }
@@ -209,14 +225,14 @@ pub fn run_trial(
             .filter(|l| truth.probed_links().contains(l))
             .collect();
 
-        let d_tomo = tomo(&obs, &ip2as);
-        let d_edge = nd_edge(&obs, &ip2as, cfg.weights);
-        let d_bgpigp = nd_bgpigp(&obs, &ip2as, &feed, cfg.weights);
+        let diagnose_span = recorder.span(names::TRIAL_DIAGNOSE);
+        let d_tomo = tomo_recorded(&obs, &ip2as, &recorder);
+        let d_edge = nd_edge_recorded(&obs, &ip2as, cfg.weights, &recorder);
+        let d_bgpigp = nd_bgpigp_recorded(&obs, &ip2as, &feed, cfg.weights, &recorder);
 
         let router_detected = match failure {
             Failure::Router(r) => {
-                let links: BTreeSet<LinkId> =
-                    topology.router(r).links.iter().copied().collect();
+                let links: BTreeSet<LinkId> = topology.router(r).links.iter().copied().collect();
                 let hyp = truth.hypothesis_links(&d_edge);
                 Some(hyp.intersection(&links).next().is_some())
             }
@@ -235,9 +251,10 @@ pub fn run_trial(
                 sim: &ctx.sim,
                 available: ctx.lg_available.clone(),
             };
-            let d = nd_lg(&obs, &ip2as, &feed, &lg, cfg.weights);
+            let d = nd_lg_recorded(&obs, &ip2as, &feed, &lg, cfg.weights, &recorder);
             Some(evaluate(topology, &truth, &d, &failed_sites))
         };
+        drop(diagnose_span);
 
         return Some(TrialResult {
             failed_paths: mesh_after.failed_count(),

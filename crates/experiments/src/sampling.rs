@@ -9,7 +9,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use netdiag_bgp::ExportDeny;
-use netdiag_netsim::{Failure, ProbeMesh, Sim, SensorSet};
+use netdiag_netsim::{Failure, ProbeMesh, SensorSet, Sim};
 use netdiag_topology::{LinkId, LinkKind, RouterId};
 
 /// The failure classes evaluated in the paper.
@@ -37,11 +37,7 @@ pub fn sample_failure(
     rng: &mut StdRng,
 ) -> Option<Failure> {
     let probed: Vec<LinkId> = {
-        let set: BTreeSet<LinkId> = mesh
-            .traceroutes
-            .iter()
-            .flat_map(|t| t.links())
-            .collect();
+        let set: BTreeSet<LinkId> = mesh.traceroutes.iter().flat_map(|t| t.links()).collect();
         set.into_iter().collect()
     };
     if probed.is_empty() {
@@ -58,8 +54,7 @@ pub fn sample_failure(
             Some(Failure::Links(links))
         }
         FailureSpec::Router => {
-            let attach: BTreeSet<RouterId> =
-                sensors.sensors().iter().map(|s| s.router).collect();
+            let attach: BTreeSet<RouterId> = sensors.sensors().iter().map(|s| s.router).collect();
             let routers: Vec<RouterId> = {
                 let set: BTreeSet<RouterId> = mesh
                     .traceroutes
@@ -237,7 +232,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let f = sample_failure(&sim, &mesh, &sensors, FailureSpec::Misconfig, &mut rng)
             .expect("sampleable");
-        let Failure::Misconfig(rules) = &f else { panic!() };
+        let Failure::Misconfig(rules) = &f else {
+            panic!()
+        };
         let rule = rules[0];
         // The peer really does learn the prefix from the target.
         let learned = sim

@@ -8,24 +8,69 @@ use std::path::Path;
 
 /// The known result files, in presentation order, with one-line captions.
 const SECTIONS: &[(&str, &str)] = &[
-    ("fig5_placement_diagnosability", "Figure 5 — sensor placement vs diagnosability"),
-    ("fig6_tomo_sensitivity_links", "Figure 6 (top) — Tomo sensitivity CDF, 1/2/3 link failures"),
-    ("fig6_tomo_sensitivity_misconfig", "Figure 6 (bottom) — Tomo sensitivity CDF, misconfigurations"),
-    ("fig7_sensitivity_3link", "Figure 7 (top) — Tomo vs ND-edge, 3 link failures"),
-    ("fig7_sensitivity_misconfig_link", "Figure 7 (bottom) — Tomo vs ND-edge, misconfig + link"),
-    ("fig8_ndedge_specificity", "Figure 8 — ND-edge specificity CDF"),
-    ("fig9_diagnosability_vs_specificity", "Figure 9 — diagnosability vs specificity (scatter)"),
-    ("fig10_sensitivity_3link", "Figure 10 — ND-edge vs ND-bgpigp sensitivity"),
-    ("fig10_specificity_3link", "Figure 10 — ND-edge vs ND-bgpigp specificity"),
-    ("fig11_blocked_traceroutes", "Figure 11 — blocked traceroutes"),
-    ("fig12_looking_glass_fraction", "Figure 12 — Looking Glass availability"),
+    (
+        "fig5_placement_diagnosability",
+        "Figure 5 — sensor placement vs diagnosability",
+    ),
+    (
+        "fig6_tomo_sensitivity_links",
+        "Figure 6 (top) — Tomo sensitivity CDF, 1/2/3 link failures",
+    ),
+    (
+        "fig6_tomo_sensitivity_misconfig",
+        "Figure 6 (bottom) — Tomo sensitivity CDF, misconfigurations",
+    ),
+    (
+        "fig7_sensitivity_3link",
+        "Figure 7 (top) — Tomo vs ND-edge, 3 link failures",
+    ),
+    (
+        "fig7_sensitivity_misconfig_link",
+        "Figure 7 (bottom) — Tomo vs ND-edge, misconfig + link",
+    ),
+    (
+        "fig8_ndedge_specificity",
+        "Figure 8 — ND-edge specificity CDF",
+    ),
+    (
+        "fig9_diagnosability_vs_specificity",
+        "Figure 9 — diagnosability vs specificity (scatter)",
+    ),
+    (
+        "fig10_sensitivity_3link",
+        "Figure 10 — ND-edge vs ND-bgpigp sensitivity",
+    ),
+    (
+        "fig10_specificity_3link",
+        "Figure 10 — ND-edge vs ND-bgpigp specificity",
+    ),
+    (
+        "fig11_blocked_traceroutes",
+        "Figure 11 — blocked traceroutes",
+    ),
+    (
+        "fig12_looking_glass_fraction",
+        "Figure 12 — Looking Glass availability",
+    ),
     ("claims", "In-text claims, paper vs measured"),
-    ("ablation_ndedge_weights", "Ablation — ND-edge scoring weights"),
-    ("ablation_greedy_vs_exact", "Ablation — greedy vs exact hitting set"),
+    (
+        "ablation_ndedge_weights",
+        "Ablation — ND-edge scoring weights",
+    ),
+    (
+        "ablation_greedy_vs_exact",
+        "Ablation — greedy vs exact hitting set",
+    ),
     ("robustness_sensor_sweep", "Robustness — sensor count"),
     ("robustness_observer_position", "Robustness — AS-X position"),
-    ("robustness_tier2_style", "Robustness — tier-2 intradomain style"),
-    ("scalability_logical_links", "Scalability — logical-link graph size"),
+    (
+        "robustness_tier2_style",
+        "Robustness — tier-2 intradomain style",
+    ),
+    (
+        "scalability_logical_links",
+        "Scalability — logical-link graph size",
+    ),
 ];
 
 /// The known section stems (exposed so tests can check that every figure
@@ -76,10 +121,7 @@ pub fn build(dir: &Path) -> io::Result<String> {
         out.push_str(&csv_to_markdown(&csv));
     }
     if found == 0 {
-        let _ = writeln!(
-            out,
-            "\n*(no result CSVs found — run `figures all` first)*"
-        );
+        let _ = writeln!(out, "\n*(no result CSVs found — run `figures all` first)*");
     }
     fs::write(dir.join("SUMMARY.md"), &out)?;
     Ok(out)

@@ -9,7 +9,7 @@ use netdiag_experiments::bridge::{
     observations, routing_feed, to_probe_path, SimLookingGlass, TruthIpToAs,
 };
 use netdiag_experiments::truth::{evaluate, mesh_diagnosability, TruthMap};
-use netdiag_netsim::{probe_mesh, IgpLinkDown, Sim, SensorSet};
+use netdiag_netsim::{probe_mesh, IgpLinkDown, SensorSet, Sim};
 use netdiag_topology::{AsId, AsKind, LinkRelationship, SensorId, TopologyBuilder};
 use netdiagnoser::{nd_edge, Epoch, Hop, IpToAs, LookingGlass, PathRef, Weights};
 

@@ -27,7 +27,11 @@ fn figures_quick_writes_csv_and_prints_table() {
         .args(["fig5", "--quick", "--out", dir.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("fig5_placement_diagnosability"));
     assert!(stdout.contains("same_as"));
@@ -60,7 +64,11 @@ fn netdiag_simulate_diagnose_roundtrip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     for f in [
         "sensors.txt",
         "before.txt",
@@ -128,7 +136,11 @@ fn netdiag_custom_topology() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = netdiag()
         .args(["diagnose", "--dir", out_dir.to_str().unwrap()])
         .output()
@@ -152,7 +164,13 @@ fn netdiag_rejects_bad_input() {
         .output()
         .unwrap();
     let out = netdiag()
-        .args(["diagnose", "--dir", dir.to_str().unwrap(), "--algo", "bogus"])
+        .args([
+            "diagnose",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--algo",
+            "bogus",
+        ])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
@@ -175,7 +193,11 @@ fn netdiag_rejects_degenerate_custom_topology() {
     let dir = temp_dir("degenerate");
     let topo = dir.join("net.txt");
     // No core AS at all.
-    fs::write(&topo, "as S1 stub\nas S2 stub\nrouter S1 a1\nrouter S2 b1\npeer a1 b1\n").unwrap();
+    fs::write(
+        &topo,
+        "as S1 stub\nas S2 stub\nrouter S1 a1\nrouter S2 b1\npeer a1 b1\n",
+    )
+    .unwrap();
     let out = netdiag()
         .args([
             "simulate",

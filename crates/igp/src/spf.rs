@@ -1,9 +1,10 @@
 //! Shortest-path-first computation per AS.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
+use netdiag_obs::{names, RecorderHandle};
 use netdiag_topology::{AsId, LinkKind, RouterId, Topology};
 
 use crate::state::LinkState;
@@ -28,6 +29,17 @@ pub struct AsIgp {
 impl AsIgp {
     /// Runs SPF for `as_id` over the currently-up intra links.
     pub fn compute(topology: &Topology, as_id: AsId, links: &LinkState) -> Self {
+        Self::compute_recorded(topology, as_id, links, &RecorderHandle::noop())
+    }
+
+    /// [`AsIgp::compute`] reporting `igp.spf_runs` / `igp.settled_nodes`
+    /// to `recorder`. Counters are batched locally and flushed once.
+    pub fn compute_recorded(
+        topology: &Topology,
+        as_id: AsId,
+        links: &LinkState,
+        recorder: &RecorderHandle,
+    ) -> Self {
         let routers = topology.as_node(as_id).routers.clone();
         let local: HashMap<RouterId, usize> =
             routers.iter().enumerate().map(|(i, &r)| (r, i)).collect();
@@ -35,8 +47,9 @@ impl AsIgp {
         let mut dist = vec![vec![INF; n]; n];
         let mut next_hop = vec![vec![None; n]; n];
 
+        let mut settled: u64 = 0;
         for (src_local, &src) in routers.iter().enumerate() {
-            dijkstra(
+            settled += dijkstra(
                 topology,
                 links,
                 &local,
@@ -44,6 +57,10 @@ impl AsIgp {
                 &mut dist[src_local],
                 &mut next_hop[src_local],
             );
+        }
+        if recorder.enabled() {
+            recorder.add(names::IGP_SPF_RUNS, n as u64);
+            recorder.add(names::IGP_SETTLED_NODES, settled);
         }
 
         AsIgp {
@@ -130,7 +147,7 @@ impl AsIgp {
 }
 
 /// Single-source Dijkstra over up intra-links, writing distances and first
-/// hops into the provided rows.
+/// hops into the provided rows. Returns the number of settled nodes.
 ///
 /// Tie-breaking is deterministic: on equal distance the path through the
 /// lower-id predecessor wins (heap pops `(dist, router_id)` in order and
@@ -142,13 +159,14 @@ fn dijkstra(
     src: RouterId,
     dist_row: &mut [u64],
     nh_row: &mut [Option<RouterId>],
-) {
+) -> u64 {
     let src_local = local[&src];
     dist_row[src_local] = 0;
     // (Reverse(dist), router, first_hop)
     let mut heap: BinaryHeap<(Reverse<u64>, RouterId, Option<RouterId>)> = BinaryHeap::new();
     heap.push((Reverse(0), src, None));
     let mut done = vec![false; dist_row.len()];
+    let mut settled: u64 = 0;
 
     while let Some((Reverse(d), u, first)) = heap.pop() {
         let ul = local[&u];
@@ -156,6 +174,7 @@ fn dijkstra(
             continue;
         }
         done[ul] = true;
+        settled += 1;
         nh_row[ul] = first;
         for (link_id, v) in topology.neighbors(u) {
             let link = topology.link(link_id);
@@ -174,6 +193,7 @@ fn dijkstra(
         }
     }
     nh_row[src_local] = None;
+    settled
 }
 
 /// Per-AS IGP state for an entire topology.
@@ -185,10 +205,19 @@ pub struct Igp {
 impl Igp {
     /// Computes SPF for every AS.
     pub fn compute(topology: &Topology, links: &LinkState) -> Self {
+        Self::compute_recorded(topology, links, &RecorderHandle::noop())
+    }
+
+    /// [`Igp::compute`] reporting SPF counters to `recorder`.
+    pub fn compute_recorded(
+        topology: &Topology,
+        links: &LinkState,
+        recorder: &RecorderHandle,
+    ) -> Self {
         let per_as = topology
             .ases()
             .iter()
-            .map(|a| AsIgp::compute(topology, a.id, links))
+            .map(|a| AsIgp::compute_recorded(topology, a.id, links, recorder))
             .collect();
         Igp { per_as }
     }
@@ -200,7 +229,18 @@ impl Igp {
 
     /// Recomputes a single AS after its intra-domain link state changed.
     pub fn recompute_as(&mut self, topology: &Topology, as_id: AsId, links: &LinkState) {
-        self.per_as[as_id.index()] = AsIgp::compute(topology, as_id, links);
+        self.recompute_as_recorded(topology, as_id, links, &RecorderHandle::noop());
+    }
+
+    /// [`Igp::recompute_as`] reporting SPF counters to `recorder`.
+    pub fn recompute_as_recorded(
+        &mut self,
+        topology: &Topology,
+        as_id: AsId,
+        links: &LinkState,
+        recorder: &RecorderHandle,
+    ) {
+        self.per_as[as_id.index()] = AsIgp::compute_recorded(topology, as_id, links, recorder);
     }
 
     /// Convenience: distance between two routers of the same AS.

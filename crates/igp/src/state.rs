@@ -76,7 +76,10 @@ mod tests {
         assert!(s.set_down(LinkId(1)));
         assert!(!s.is_up(LinkId(1)));
         assert_eq!(s.down_links().collect::<Vec<_>>(), vec![LinkId(1)]);
-        assert!(!s.set_down(LinkId(1)), "second set_down reports prior state");
+        assert!(
+            !s.set_down(LinkId(1)),
+            "second set_down reports prior state"
+        );
         assert!(!s.set_up(LinkId(1)));
         assert!(s.is_up(LinkId(1)));
     }

@@ -46,10 +46,10 @@ fn reference_distances(t: &Topology, links: &LinkState) -> Vec<Vec<Option<u64>>>
         if links.is_up(l.id) {
             let (a, b) = (l.a.index(), l.b.index());
             let (w_ab, w_ba) = (u64::from(l.weight_ab), u64::from(l.weight_ba));
-            if d[a][b].map_or(true, |cur| w_ab < cur) {
+            if d[a][b].is_none_or(|cur| w_ab < cur) {
                 d[a][b] = Some(w_ab);
             }
-            if d[b][a].map_or(true, |cur| w_ba < cur) {
+            if d[b][a].is_none_or(|cur| w_ba < cur) {
                 d[b][a] = Some(w_ba);
             }
         }
@@ -58,7 +58,7 @@ fn reference_distances(t: &Topology, links: &LinkState) -> Vec<Vec<Option<u64>>>
         for i in 0..n {
             for j in 0..n {
                 if let (Some(ik), Some(kj)) = (d[i][k], d[k][j]) {
-                    if d[i][j].map_or(true, |cur| ik + kj < cur) {
+                    if d[i][j].is_none_or(|cur| ik + kj < cur) {
                         d[i][j] = Some(ik + kj);
                     }
                 }
@@ -79,7 +79,8 @@ fn chords(n: usize) -> impl Strategy<Value = Vec<(usize, usize, u32)>> {
                 if i == j || (i + 1) % n == j || (j + 1) % n == i || j == n - 1 && i == 0 {
                     return None;
                 }
-                seen.insert((i, j)).then_some((i, j, ((i * 7 + j * 13) % 9) as u32))
+                seen.insert((i, j))
+                    .then_some((i, j, ((i * 7 + j * 13) % 9) as u32))
             })
             .collect()
     })
@@ -101,11 +102,11 @@ proptest! {
         let igp = Igp::compute(&t, &links);
         let reference = reference_distances(&t, &links);
         let a = igp.of(AsId(0));
-        for i in 0..n {
-            for j in 0..n {
+        for (i, row) in reference.iter().enumerate().take(n) {
+            for (j, &expected) in row.iter().enumerate().take(n) {
                 prop_assert_eq!(
                     a.dist(RouterId(i as u32), RouterId(j as u32)),
-                    reference[i][j],
+                    expected,
                     "dist({},{}) mismatch",
                     i,
                     j

@@ -26,7 +26,11 @@ const MAX_HOPS: usize = 64;
 /// Deterministic per-(flow, router) hash (FNV-1a) for ECMP choice.
 fn flow_hash(flow: u64, router: RouterId) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in flow.to_le_bytes().iter().chain(router.0.to_le_bytes().iter()) {
+    for byte in flow
+        .to_le_bytes()
+        .iter()
+        .chain(router.0.to_le_bytes().iter())
+    {
         h ^= u64::from(*byte);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
@@ -73,7 +77,10 @@ impl DataPath {
 
     /// The links traversed, in order.
     pub fn links(&self) -> Vec<LinkId> {
-        self.hops.iter().filter_map(|h| h.ingress.map(|(l, _)| l)).collect()
+        self.hops
+            .iter()
+            .filter_map(|h| h.ingress.map(|(l, _)| l))
+            .collect()
     }
 }
 

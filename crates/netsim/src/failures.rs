@@ -43,10 +43,7 @@ impl Failure {
                 .iter()
                 .filter_map(|rule| sim.topology().link_between(rule.at, rule.peer))
                 .collect(),
-            Failure::Combined(fs) => fs
-                .iter()
-                .flat_map(|f| f.misconfigured_links(sim))
-                .collect(),
+            Failure::Combined(fs) => fs.iter().flat_map(|f| f.misconfigured_links(sim)).collect(),
             _ => Vec::new(),
         }
     }

@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use netdiag_bgp::{Bgp, Ctx, ExportDeny, ObservedMsg};
 use netdiag_igp::{Igp, LinkState};
+use netdiag_obs::RecorderHandle;
 use netdiag_topology::{AsId, LinkId, LinkKind, RouterId, Topology};
 
 /// An IGP "link down" event, as seen by the operator of the link's AS.
@@ -51,15 +52,25 @@ pub struct Sim {
     igp_events: Vec<IgpLinkDown>,
     /// Cumulative BGP message count across all convergences.
     messages: u64,
+    /// Instrumentation sink, shared by clones (`igp.*`/`bgp.*`/`probe.*`).
+    recorder: RecorderHandle,
 }
 
 impl Sim {
     /// Creates a simulator with all links up, IGP converged, and an empty
     /// BGP — call [`Sim::converge_for`] or [`Sim::converge_all`] next.
     pub fn new(topology: Arc<Topology>) -> Self {
+        Self::with_recorder(topology, RecorderHandle::noop())
+    }
+
+    /// [`Sim::new`] with an instrumentation sink: all IGP/BGP/probe work of
+    /// this simulator (including the initial SPF and every clone taken from
+    /// it) reports to `recorder`.
+    pub fn with_recorder(topology: Arc<Topology>, recorder: RecorderHandle) -> Self {
         let links = LinkState::all_up(&topology);
-        let igp = Igp::compute(&topology, &links);
-        let bgp = Bgp::new(&topology);
+        let igp = Igp::compute_recorded(&topology, &links, &recorder);
+        let mut bgp = Bgp::new(&topology);
+        bgp.set_recorder(recorder.clone());
         Sim {
             topology,
             links,
@@ -68,7 +79,13 @@ impl Sim {
             hosts: HashMap::new(),
             igp_events: Vec::new(),
             messages: 0,
+            recorder,
         }
+    }
+
+    /// The simulator's instrumentation sink.
+    pub fn recorder(&self) -> &RecorderHandle {
+        &self.recorder
     }
 
     /// Originates the prefixes of the given ASes and converges.
@@ -138,7 +155,8 @@ impl Sim {
             }
         }
         for &a in &affected_ases {
-            self.igp.recompute_as(&self.topology, a, &self.links);
+            self.igp
+                .recompute_as_recorded(&self.topology, a, &self.links, &self.recorder);
         }
         let ctx = Ctx {
             topology: &self.topology,
@@ -166,7 +184,8 @@ impl Sim {
         let link = self.topology.link(l);
         if link.kind == LinkKind::Intra {
             let as_id = self.topology.as_of_router(link.a);
-            self.igp.recompute_as(&self.topology, as_id, &self.links);
+            self.igp
+                .recompute_as_recorded(&self.topology, as_id, &self.links, &self.recorder);
         }
         let ctx = Ctx {
             topology: &self.topology,
@@ -240,7 +259,6 @@ impl Sim {
     pub fn bgp_messages(&self) -> u64 {
         self.messages
     }
-
 }
 
 #[cfg(test)]

@@ -95,12 +95,7 @@ impl Traceroute {
 /// Runs a traceroute from `src` to `dst` under the current routing state.
 ///
 /// `blocked` is the set of ASes whose routers do not answer probes.
-pub fn traceroute(
-    sim: &Sim,
-    src: &Sensor,
-    dst: &Sensor,
-    blocked: &BTreeSet<AsId>,
-) -> Traceroute {
+pub fn traceroute(sim: &Sim, src: &Sensor, dst: &Sensor, blocked: &BTreeSet<AsId>) -> Traceroute {
     let path = sim.forward(src.router, dst.addr);
     render_traceroute(sim, src, dst, blocked, &path)
 }
@@ -155,6 +150,17 @@ fn render_traceroute(
     let reached = path.outcome == ForwardOutcome::Delivered;
     if reached {
         hops.push(ProbeHop::Dest { addr: dst.addr });
+    }
+    let recorder = sim.recorder();
+    if recorder.enabled() {
+        use netdiag_obs::names;
+        recorder.add(names::PROBE_TRACEROUTES, 1);
+        recorder.add(names::PROBE_HOPS, hops.len() as u64);
+        let stars = hops
+            .iter()
+            .filter(|h| matches!(h, ProbeHop::Star { .. }))
+            .count();
+        recorder.add(names::PROBE_BLOCKED_HOPS, stars as u64);
     }
     Traceroute {
         src: src.id,
@@ -244,10 +250,7 @@ mod tests {
         );
         assert!(!tr.reached);
         assert!(tr.hops.len() < 5);
-        assert!(!tr
-            .hops
-            .iter()
-            .any(|h| matches!(h, ProbeHop::Dest { .. })));
+        assert!(!tr.hops.iter().any(|h| matches!(h, ProbeHop::Dest { .. })));
     }
 }
 

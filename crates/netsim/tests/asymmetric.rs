@@ -5,7 +5,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use netdiag_netsim::{probe_mesh, Sim, SensorSet};
+use netdiag_netsim::{probe_mesh, SensorSet, Sim};
 use netdiag_topology::text::parse_topology;
 use netdiag_topology::SensorId;
 
@@ -35,7 +35,13 @@ fn asymmetric_weights_produce_asymmetric_paths() {
     let mut sim = Sim::new(Arc::clone(&t));
     let s1 = t.ases()[1].id;
     let s2 = t.ases()[2].id;
-    let sensors = SensorSet::place(&t, &[(s1, t.as_node(s1).routers[0]), (s2, t.as_node(s2).routers[0])]);
+    let sensors = SensorSet::place(
+        &t,
+        &[
+            (s1, t.as_node(s1).routers[0]),
+            (s2, t.as_node(s2).routers[0]),
+        ],
+    );
     sensors.register(&mut sim);
     sim.converge_all();
     let mesh = probe_mesh(&sim, &sensors, &BTreeSet::new());
@@ -69,7 +75,13 @@ fn diagnosis_handles_asymmetric_failure() {
     let mut sim = Sim::new(Arc::clone(&t));
     let s1 = t.ases()[1].id;
     let s2 = t.ases()[2].id;
-    let sensors = SensorSet::place(&t, &[(s1, t.as_node(s1).routers[0]), (s2, t.as_node(s2).routers[0])]);
+    let sensors = SensorSet::place(
+        &t,
+        &[
+            (s1, t.as_node(s1).routers[0]),
+            (s2, t.as_node(s2).routers[0]),
+        ],
+    );
     sensors.register(&mut sim);
     sim.converge_all();
     let before = probe_mesh(&sim, &sensors, &BTreeSet::new());

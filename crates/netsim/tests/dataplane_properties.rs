@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use netdiag_netsim::{ForwardOutcome, Sim, SensorSet};
+use netdiag_netsim::{ForwardOutcome, SensorSet, Sim};
 use netdiag_topology::builders::{build_internet, InternetConfig};
 
 fn world(seed: u64) -> (Sim, SensorSet) {

@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;
 
-use netdiag_netsim::{probe_mesh, Sim, SensorSet};
+use netdiag_netsim::{probe_mesh, SensorSet, Sim};
 use netdiag_topology::builders::{build_internet, InternetConfig};
 
 #[test]
@@ -38,7 +38,11 @@ fn full_internet_converges_and_probes() {
     let mesh2 = probe_mesh(&broken, &sensors, &BTreeSet::new());
     eprintln!(
         "build={:?} converge={:?} mesh={:?} fail+reconverge={:?} failed_paths={}",
-        t1 - t0, t2 - t1, t3 - t2, t4 - t3, mesh2.failed_count()
+        t1 - t0,
+        t2 - t1,
+        t3 - t2,
+        t4 - t3,
+        mesh2.failed_count()
     );
 }
 

@@ -1,0 +1,498 @@
+//! `netdiag-obs`: the workspace's instrumentation substrate.
+//!
+//! Every layer of the simulator and diagnoser reports what it did —
+//! SPF runs, BGP messages, probe hops, greedy iterations — through one
+//! tiny, dependency-free [`Recorder`] trait. Three kinds of metrics:
+//!
+//! * **Counters** — monotonically increasing event counts
+//!   ([`Recorder::add`]), e.g. `igp.spf_runs`.
+//! * **Histograms** — per-observation value distributions
+//!   ([`Recorder::observe`]), e.g. `hs.candidates` per problem build.
+//! * **Spans** — wall-clock phase timings ([`RecorderHandle::span`]),
+//!   e.g. `trial.diagnose`.
+//!
+//! Metric names are `&'static str` in a `layer.metric` scheme
+//! (`igp.spf_runs`, `bgp.msgs`, `probe.hops`, `hs.greedy_iters`, …); the
+//! full vocabulary lives in [`names`].
+//!
+//! Two recorders ship with the crate: [`NoopRecorder`] (the default —
+//! every call is a no-op behind an `enabled()` fast-gate, so
+//! uninstrumented runs pay nothing) and [`InMemoryRecorder`]
+//! (thread-safe aggregation plus a stable, hand-rolled JSON
+//! [`RunReport`] — no serde). Instrumented code holds a cheap
+//! [`RecorderHandle`] (a clonable `Arc<dyn Recorder>`); hot loops batch
+//! locally and flush one `add` per operation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub mod names;
+
+/// Sink for instrumentation events.
+///
+/// Implementations must be cheap and thread-safe: `add`/`observe` are
+/// called from hot paths (post-batching) and from concurrent trial
+/// threads.
+pub trait Recorder: Send + Sync {
+    /// Is this recorder collecting anything at all?
+    ///
+    /// Instrumented code may skip metric computation (and clock reads)
+    /// entirely when this returns `false`; the no-op recorder does.
+    fn enabled(&self) -> bool;
+
+    /// Increments the monotonic counter `name` by `delta`.
+    fn add(&self, name: &'static str, delta: u64);
+
+    /// Records one observation of `value` under histogram `name`.
+    fn observe(&self, name: &'static str, value: u64);
+
+    /// Records one completed span of `nanos` wall-clock under `name`.
+    fn record_span(&self, name: &'static str, nanos: u64);
+}
+
+/// The default recorder: drops everything, costs nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn add(&self, _name: &'static str, _delta: u64) {}
+    fn observe(&self, _name: &'static str, _value: u64) {}
+    fn record_span(&self, _name: &'static str, _nanos: u64) {}
+}
+
+/// Aggregated statistics of one histogram or span series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeriesStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values (nanoseconds for spans).
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl SeriesStats {
+    fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn new(value: u64) -> Self {
+        SeriesStats {
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Aggregates {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, SeriesStats>,
+    spans: BTreeMap<&'static str, SeriesStats>,
+}
+
+/// A thread-safe aggregating recorder whose contents serialize to a
+/// stable JSON [`RunReport`].
+#[derive(Debug, Default)]
+pub struct InMemoryRecorder {
+    inner: Mutex<Aggregates>,
+}
+
+impl InMemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshots the aggregates collected so far.
+    pub fn report(&self) -> RunReport {
+        let inner = self.inner.lock().expect("recorder poisoned");
+        RunReport {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_owned(), v))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(&k, &v)| (k.to_owned(), v))
+                .collect(),
+            spans: inner
+                .spans
+                .iter()
+                .map(|(&k, &v)| (k.to_owned(), v))
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        *inner.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        match inner.histograms.entry(name) {
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().record(value),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(SeriesStats::new(value));
+            }
+        }
+    }
+
+    fn record_span(&self, name: &'static str, nanos: u64) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        match inner.spans.entry(name) {
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().record(nanos),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(SeriesStats::new(nanos));
+            }
+        }
+    }
+}
+
+/// A cheap, clonable handle to a shared recorder.
+///
+/// This is what instrumented types store: cloning shares the underlying
+/// recorder, `Default` is the no-op recorder, and `Debug` never dumps
+/// recorder contents (so `#[derive(Debug)]` on simulator types stays
+/// readable).
+#[derive(Clone)]
+pub struct RecorderHandle(Arc<dyn Recorder>);
+
+impl RecorderHandle {
+    /// Wraps a recorder.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        RecorderHandle(recorder)
+    }
+
+    /// The no-op handle (same as `Default`).
+    pub fn noop() -> Self {
+        RecorderHandle(Arc::new(NoopRecorder))
+    }
+
+    /// Creates an in-memory recorder and a handle feeding it.
+    pub fn in_memory() -> (Self, Arc<InMemoryRecorder>) {
+        let recorder = Arc::new(InMemoryRecorder::new());
+        (RecorderHandle(recorder.clone()), recorder)
+    }
+
+    /// Is the underlying recorder collecting?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.enabled()
+    }
+
+    /// Increments counter `name` by `delta` (skipped when disabled).
+    #[inline]
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if self.0.enabled() {
+            self.0.add(name, delta);
+        }
+    }
+
+    /// Records one histogram observation (skipped when disabled).
+    #[inline]
+    pub fn observe(&self, name: &'static str, value: u64) {
+        if self.0.enabled() {
+            self.0.observe(name, value);
+        }
+    }
+
+    /// Starts a scoped wall-clock span; the guard records on drop.
+    ///
+    /// When the recorder is disabled the guard never reads the clock.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            handle: self,
+            name,
+            start: self.0.enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Default for RecorderHandle {
+    fn default() -> Self {
+        RecorderHandle::noop()
+    }
+}
+
+impl fmt::Debug for RecorderHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecorderHandle")
+            .field("enabled", &self.0.enabled())
+            .finish()
+    }
+}
+
+/// Live span: times the enclosing scope, reporting on drop.
+#[must_use = "a span measures nothing unless it is held to end of scope"]
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    handle: &'a RecorderHandle,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.handle.0.record_span(self.name, nanos);
+        }
+    }
+}
+
+/// A point-in-time snapshot of everything a recorder collected,
+/// serializable to stable JSON.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram series by name.
+    pub histograms: BTreeMap<String, SeriesStats>,
+    /// Span series by name (values in nanoseconds).
+    pub spans: BTreeMap<String, SeriesStats>,
+}
+
+/// Version tag written into every report, bumped on shape changes.
+pub const REPORT_VERSION: u32 = 1;
+
+impl RunReport {
+    /// The value of counter `name`, zero when never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The stats of span `name`, if any completed.
+    pub fn span(&self, name: &str) -> Option<&SeriesStats> {
+        self.spans.get(name)
+    }
+
+    /// The stats of histogram `name`, if anything was observed.
+    pub fn histogram(&self, name: &str) -> Option<&SeriesStats> {
+        self.histograms.get(name)
+    }
+
+    /// Serializes to pretty-printed JSON with a stable key order
+    /// (lexicographic within each section).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {REPORT_VERSION},\n"));
+
+        out.push_str("  \"counters\": {");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            push_json_string(&mut out, name);
+            out.push_str(&format!(": {value}"));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        for (section, series, unit_suffix) in [
+            ("histograms", &self.histograms, ""),
+            ("spans", &self.spans, "_ns"),
+        ] {
+            out.push_str(&format!("  \"{section}\": {{"));
+            let mut first = true;
+            for (name, s) in series {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str("\n    ");
+                push_json_string(&mut out, name);
+                out.push_str(&format!(
+                    ": {{\"count\": {}, \"sum{u}\": {}, \"min{u}\": {}, \"max{u}\": {}}}",
+                    s.count,
+                    s.sum,
+                    s.min,
+                    s.max,
+                    u = unit_suffix,
+                ));
+            }
+            let closing = if section == "spans" { "" } else { "," };
+            out.push_str(if first { "}" } else { "\n  }" });
+            out.push_str(closing);
+            out.push('\n');
+        }
+
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes + escapes).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        let h = RecorderHandle::default();
+        assert!(!h.enabled());
+        h.add(names::IGP_SPF_RUNS, 5);
+        h.observe("x", 1);
+        drop(h.span("y"));
+        // Nothing to assert against — the point is that nothing panics
+        // and `enabled()` lets callers skip work.
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let (h, rec) = RecorderHandle::in_memory();
+        assert!(h.enabled());
+        h.add("a.x", 2);
+        h.add("a.x", 3);
+        h.add("b.y", 1);
+        let report = rec.report();
+        assert_eq!(report.counter("a.x"), 5);
+        assert_eq!(report.counter("b.y"), 1);
+        assert_eq!(report.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histograms_track_min_max_sum() {
+        let (h, rec) = RecorderHandle::in_memory();
+        for v in [7, 3, 12] {
+            h.observe("h.v", v);
+        }
+        let s = *rec.report().histogram("h.v").unwrap();
+        assert_eq!(
+            s,
+            SeriesStats {
+                count: 3,
+                sum: 22,
+                min: 3,
+                max: 12
+            }
+        );
+    }
+
+    #[test]
+    fn spans_record_positive_durations() {
+        let (h, rec) = RecorderHandle::in_memory();
+        {
+            let _g = h.span("phase.work");
+            std::hint::black_box((0..1000).sum::<u64>());
+        }
+        {
+            let _g = h.span("phase.work");
+        }
+        let s = *rec.report().span("phase.work").unwrap();
+        assert_eq!(s.count, 2);
+        assert!(s.sum >= s.min + s.min);
+        assert!(s.max >= s.min);
+    }
+
+    #[test]
+    fn handle_clones_share_the_recorder() {
+        let (h, rec) = RecorderHandle::in_memory();
+        let h2 = h.clone();
+        h.add("c", 1);
+        h2.add("c", 1);
+        assert_eq!(rec.report().counter("c"), 2);
+    }
+
+    #[test]
+    fn report_json_shape_is_stable() {
+        let (h, rec) = RecorderHandle::in_memory();
+        h.add("b.second", 2);
+        h.add("a.first", 1);
+        h.observe("sizes", 4);
+        {
+            let _g = h.span("phase");
+        }
+        let json = rec.report().to_json();
+        assert!(json.starts_with("{\n  \"version\": 1,\n"));
+        // Counters are in lexicographic order regardless of insertion.
+        let a = json.find("\"a.first\": 1").unwrap();
+        let b = json.find("\"b.second\": 2").unwrap();
+        assert!(a < b);
+        assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"sizes\": {\"count\": 1, \"sum\": 4, \"min\": 4, \"max\": 4}"));
+        assert!(json.contains("\"spans\""));
+        assert!(json.contains("\"count\": 1, \"sum_ns\": "));
+        assert!(json.ends_with("}\n"));
+        // Balanced braces (cheap well-formedness check without a parser).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn empty_report_json_is_well_formed() {
+        let (_h, rec) = RecorderHandle::in_memory();
+        let json = rec.report().to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+        assert!(json.contains("\"spans\": {}"));
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let (h, rec) = RecorderHandle::in_memory();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        h.add("t", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.report().counter("t"), 4000);
+    }
+}

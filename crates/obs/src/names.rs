@@ -1,0 +1,62 @@
+//! The workspace's metric vocabulary.
+//!
+//! Names follow a `layer.metric` scheme so reports group naturally when
+//! sorted. Every instrumented crate pulls its constants from here — the
+//! single place a future perf PR looks to see what is already measured.
+
+// --- igp: link-state SPF ---------------------------------------------------
+
+/// Counter: Dijkstra runs (one per router per AS recompute).
+pub const IGP_SPF_RUNS: &str = "igp.spf_runs";
+/// Counter: nodes settled across all SPF runs.
+pub const IGP_SETTLED_NODES: &str = "igp.settled_nodes";
+
+// --- bgp: message-driven convergence ---------------------------------------
+
+/// Counter: BGP messages delivered (update + withdraw).
+pub const BGP_MSGS: &str = "bgp.msgs";
+/// Counter: decision-process invocations.
+pub const BGP_DECISIONS: &str = "bgp.decisions";
+/// Counter: `Bgp::run` convergence rounds.
+pub const BGP_RUNS: &str = "bgp.runs";
+
+// --- probe: simulated measurements -----------------------------------------
+
+/// Counter: traceroutes rendered.
+pub const PROBE_TRACEROUTES: &str = "probe.traceroutes";
+/// Counter: hops across all traceroutes.
+pub const PROBE_HOPS: &str = "probe.hops";
+/// Counter: hops that answered with a star (blocked AS).
+pub const PROBE_BLOCKED_HOPS: &str = "probe.blocked_hops";
+
+// --- hs: minimum hitting set ------------------------------------------------
+
+/// Counter: greedy Algorithm-1 iterations (one per selected edge).
+pub const HS_GREEDY_ITERS: &str = "hs.greedy_iters";
+/// Histogram: candidate-edge count per solved instance.
+pub const HS_CANDIDATES: &str = "hs.candidates";
+
+// --- feed: routing-data integration (ND-bgpigp) -----------------------------
+
+/// Counter: edges forced into the hypothesis by IGP link-down messages.
+pub const FEED_FORCED_EDGES: &str = "feed.forced_edges";
+/// Counter: edges exonerated from failure sets by BGP withdrawals.
+pub const FEED_EXONERATED_EDGES: &str = "feed.exonerated_edges";
+
+// --- diag: whole-diagnosis results ------------------------------------------
+
+/// Counter: diagnosis runs through the facade or algorithm entry points.
+pub const DIAG_RUNS: &str = "diag.runs";
+/// Histogram: hypothesis-set size per diagnosis.
+pub const DIAG_HYPOTHESIS_SIZE: &str = "diag.hypothesis_size";
+
+// --- trial: experiment-runner phases (span names) ---------------------------
+
+/// Span: failure injection + reconvergence of one trial.
+pub const TRIAL_INJECT: &str = "trial.inject";
+/// Span: post-failure probe mesh measurement of one trial.
+pub const TRIAL_MEASURE: &str = "trial.measure";
+/// Span: diagnosis algorithm execution of one trial.
+pub const TRIAL_DIAGNOSE: &str = "trial.diagnose";
+/// Span: topology + control-plane setup of one placement.
+pub const TRIAL_SETUP: &str = "trial.setup";

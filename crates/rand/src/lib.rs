@@ -1,0 +1,497 @@
+//! Minimal in-tree stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the exact slice of `rand` it uses: [`rngs::StdRng`] (ChaCha12, matching
+//! upstream's choice for `StdRng` in rand 0.8), [`SeedableRng::seed_from_u64`]
+//! (PCG32-based seed expansion, same constants as `rand_core` 0.6),
+//! [`Rng::gen_range`] (Lemire widening-multiply rejection sampling),
+//! [`Rng::gen_bool`] (64-bit Bernoulli), and [`seq::SliceRandom`]
+//! (Fisher–Yates `shuffle` / `choose`).
+//!
+//! The algorithms mirror upstream so streams are stable and deterministic;
+//! every consumer in this workspace only relies on *internal* determinism
+//! (same seed → same results, forever), which this crate guarantees.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed material.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via PCG32 (same constants and
+    /// output function as `rand_core` 0.6, so streams match upstream).
+    fn seed_from_u64(state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut state = state;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot);
+            let bytes = word.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws one value from the full-width uniform distribution.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl Standard for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Upstream: sign bit of a u32 draw.
+        (rng.next_u32() as i32) < 0
+    }
+}
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Upstream "Standard" float: 53 random bits scaled to [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Uniform sampling over a half-open or inclusive integer range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)`. Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Samples uniformly from `[low, high]`. Panics if the range is empty.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($ty:ty, $uty:ty, $large:ty, $wide:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let range = (high as $uty).wrapping_sub(low as $uty) as $large;
+                // Lemire widening-multiply rejection, as in rand 0.8's
+                // `UniformInt::sample_single`.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = <$large as Standard>::sample(rng);
+                    let prod = (v as $wide) * (range as $wide);
+                    let lo = prod as $large;
+                    let hi = (prod >> <$large>::BITS) as $large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let range = ((high as $uty).wrapping_sub(low as $uty) as $large).wrapping_add(1);
+                if range == 0 {
+                    // Span covers the whole type: every draw is valid.
+                    return <$large as Standard>::sample(rng) as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = <$large as Standard>::sample(rng);
+                    let prod = (v as $wide) * (range as $wide);
+                    let lo = prod as $large;
+                    let hi = (prod >> <$large>::BITS) as $large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+impl_sample_uniform!(u8, u8, u32, u64);
+impl_sample_uniform!(u16, u16, u32, u64);
+impl_sample_uniform!(u32, u32, u32, u64);
+impl_sample_uniform!(u64, u64, u64, u128);
+impl_sample_uniform!(usize, usize, u64, u128);
+impl_sample_uniform!(i32, u32, u32, u64);
+impl_sample_uniform!(i64, u64, u64, u128);
+
+impl SampleUniform for f64 {
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low < high, "cannot sample empty range");
+        let unit = <f64 as Standard>::sample(rng); // in [0, 1)
+        let v = low + unit * (high - low);
+        // Guard against rounding up to the excluded endpoint.
+        if v < high {
+            v
+        } else {
+            low
+        }
+    }
+
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low <= high, "cannot sample empty range");
+        let unit = <f64 as Standard>::sample(rng);
+        (low + unit * (high - low)).min(high)
+    }
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the full-width uniform distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Mirrors rand 0.8's `Bernoulli`: `p` is converted to a 64-bit
+    /// fixed-point threshold and compared against one `u64` draw.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is outside [0, 1]");
+        if p >= 1.0 {
+            // Consume nothing, as upstream's p == 1 special case.
+            return true;
+        }
+        let p_int = (p * (2.0f64).powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Number of 32-bit words ChaCha buffers per refill (4 blocks, the
+    /// same wide buffer `rand_chacha` uses).
+    const BUF_WORDS: usize = 64;
+
+    /// The standard generator: ChaCha with 12 rounds, exactly as `StdRng`
+    /// in rand 0.8 (via `rand_chacha::ChaCha12Rng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        /// Key schedule words (the seed).
+        key: [u32; 8],
+        /// 64-bit block counter of the *next* 4-block refill.
+        counter: u64,
+        /// Buffered keystream output.
+        buf: [u32; BUF_WORDS],
+        /// Next unread index into `buf`.
+        index: usize,
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            for block in 0..4 {
+                let out = chacha12_block(&self.key, self.counter.wrapping_add(block as u64));
+                self.buf[block * 16..block * 16 + 16].copy_from_slice(&out);
+            }
+            self.counter = self.counter.wrapping_add(4);
+            self.index = 0;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut key = [0u32; 8];
+            for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; BUF_WORDS],
+                index: BUF_WORDS,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.refill();
+            }
+            let word = self.buf[self.index];
+            self.index += 1;
+            word
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // BlockRng semantics: two consecutive u32s, low word first,
+            // spanning a refill boundary if necessary.
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            (hi << 32) | lo
+        }
+    }
+
+    /// One 12-round ChaCha block: 16 output words for (key, counter).
+    fn chacha12_block(key: &[u32; 8], counter: u64) -> [u32; 16] {
+        const C: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&C);
+        state[4..12].copy_from_slice(key);
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        // state[14], state[15]: stream nonce, zero for seeded StdRng.
+        let mut x = state;
+        for _ in 0..6 {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            x[i] = x[i].wrapping_add(state[i]);
+        }
+        x
+    }
+
+    fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers: shuffling and choosing.
+
+    use super::{Rng, RngCore};
+
+    /// Draws an index uniformly from `[0, ubound)`, using a 32-bit draw
+    /// when the bound fits (matching `rand::seq::index::sample` /
+    /// `gen_index` in rand 0.8, which keeps streams identical across
+    /// 32- and 64-bit platforms).
+    fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates, upstream order).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns one uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[gen_index(rng, self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0u8..=24);
+            assert!(w <= 24);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_edges_and_rates() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn u64_spans_refill_boundary_consistently() {
+        // Drain an odd number of u32s so next_u64 straddles the 64-word
+        // buffer, then check a fresh clone agrees word-for-word.
+        let mut a = StdRng::seed_from_u64(5);
+        for _ in 0..63 {
+            a.next_u32();
+        }
+        let straddle = a.next_u64();
+        let mut b = StdRng::seed_from_u64(5);
+        let words: Vec<u32> = (0..66).map(|_| b.next_u32()).collect();
+        assert_eq!(straddle, ((words[64] as u64) << 32) | words[63] as u64);
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([42u8].choose(&mut rng) == Some(&42));
+    }
+}

@@ -1,0 +1,674 @@
+//! Internet-scale topology generators.
+//!
+//! [`build_internet`] produces the paper's evaluation topology (§5): a
+//! 165-AS "research Internet" with three backbone cores in full mesh
+//! (router-level maps shaped after the 2007-era Abilene, GEANT and WIDE
+//! backbones), 22 tier-2 transit ASes (12-router hub-and-spoke by
+//! default, 50% multihomed), and 140 single-router stub ASes (25%
+//! multihomed). [`paper_figure2`] builds the five-AS running example of
+//! the paper's Figure 2 exactly as §2.2/§3.1 narrate it.
+//!
+//! Everything is deterministic in the [`InternetConfig::seed`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::{AsId, RouterId};
+use crate::topology::{AsKind, LinkRelationship, Topology, TopologyBuilder};
+
+/// Intradomain graph style of the generated tier-2 ASes (used by the
+/// robustness study; the paper's tier-2s are hub-and-spoke).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier2Style {
+    /// One hub router, spokes attached to it (the default).
+    HubSpoke,
+    /// A single cycle.
+    Ring,
+    /// Two parallel rails with rungs between them.
+    Ladder,
+}
+
+/// Parameters of [`build_internet`].
+#[derive(Clone, Debug)]
+pub struct InternetConfig {
+    /// Seed of all random choices (attachment points, multihoming).
+    pub seed: u64,
+    /// Number of tier-2 transit ASes (paper: 22).
+    pub n_tier2: usize,
+    /// Number of stub ASes (paper: 140).
+    pub n_stub: usize,
+    /// Routers per tier-2 AS (paper: 12).
+    pub tier2_size: usize,
+    /// Intradomain style of the tier-2 ASes.
+    pub tier2_style: Tier2Style,
+    /// Fraction of tier-2 ASes homed to two cores (paper: 50%).
+    pub tier2_multihomed_frac: f64,
+    /// Fraction of stubs homed to two tier-2 ASes (paper: 25%).
+    pub stub_multihomed_frac: f64,
+    /// Use the full embedded core maps (11/22/14 routers). `false`
+    /// replaces them with three 4-router mini cores for fast tests.
+    pub full_cores: bool,
+}
+
+impl Default for InternetConfig {
+    fn default() -> Self {
+        InternetConfig {
+            seed: 1,
+            n_tier2: 22,
+            n_stub: 140,
+            tier2_size: 12,
+            tier2_style: Tier2Style::HubSpoke,
+            tier2_multihomed_frac: 0.5,
+            stub_multihomed_frac: 0.25,
+            full_cores: true,
+        }
+    }
+}
+
+impl InternetConfig {
+    /// A small instance for tests: mini cores, 4 tier-2 ASes of 4 routers,
+    /// 12 stubs.
+    pub fn small(seed: u64) -> Self {
+        InternetConfig {
+            seed,
+            n_tier2: 4,
+            n_stub: 12,
+            tier2_size: 4,
+            full_cores: false,
+            ..InternetConfig::default()
+        }
+    }
+}
+
+/// One generated AS with its routers (creation order).
+#[derive(Clone, Debug)]
+pub struct BuiltAs {
+    /// The AS.
+    pub as_id: AsId,
+    /// Its routers, index 0 first-created.
+    pub routers: Vec<RouterId>,
+}
+
+/// A generated internetwork: the topology plus the role lists the
+/// experiment harness samples from.
+#[derive(Clone, Debug)]
+pub struct Internet {
+    /// The built topology.
+    pub topology: Topology,
+    /// Core (tier-1) ASes.
+    pub cores: Vec<BuiltAs>,
+    /// Tier-2 transit ASes.
+    pub tier2: Vec<BuiltAs>,
+    /// Stub ASes.
+    pub stubs: Vec<BuiltAs>,
+}
+
+impl Internet {
+    /// Classifies an externally built topology (e.g. parsed from text)
+    /// into the role lists, using each AS's [`AsKind`].
+    pub fn from_topology(topology: Topology) -> Internet {
+        let mut cores = Vec::new();
+        let mut tier2 = Vec::new();
+        let mut stubs = Vec::new();
+        for node in topology.ases() {
+            let built = BuiltAs {
+                as_id: node.id,
+                routers: node.routers.clone(),
+            };
+            match node.kind {
+                AsKind::Core => cores.push(built),
+                AsKind::Tier2 => tier2.push(built),
+                AsKind::Stub => stubs.push(built),
+            }
+        }
+        Internet {
+            topology,
+            cores,
+            tier2,
+            stubs,
+        }
+    }
+}
+
+/// An embedded core backbone map: router names and weighted adjacency.
+struct CoreMap {
+    name: &'static str,
+    routers: &'static [&'static str],
+    links: &'static [(usize, usize, u32)],
+}
+
+/// 11-node Abilene backbone (2007-era public map; weights are rough
+/// latency-derived metrics — exact values are not load-bearing, the path
+/// diversity is).
+const ABILENE: CoreMap = CoreMap {
+    name: "Abilene",
+    routers: &[
+        "Seattle",
+        "Sunnyvale",
+        "LosAngeles",
+        "Denver",
+        "KansasCity",
+        "Houston",
+        "Chicago",
+        "Indianapolis",
+        "Atlanta",
+        "WashingtonDC",
+        "NewYork",
+    ],
+    links: &[
+        (0, 1, 10),
+        (0, 3, 12),
+        (1, 2, 6),
+        (1, 3, 11),
+        (2, 5, 14),
+        (3, 4, 6),
+        (4, 5, 8),
+        (4, 7, 5),
+        (5, 8, 10),
+        (7, 6, 3),
+        (7, 8, 7),
+        (6, 10, 9),
+        (8, 9, 6),
+        (9, 10, 3),
+    ],
+};
+
+/// 22-node GEANT backbone approximation (hub countries DE/UK/FR/IT plus
+/// the 2007 ring spurs).
+const GEANT: CoreMap = CoreMap {
+    name: "GEANT",
+    routers: &[
+        "UK", "FR", "DE", "IT", "ES", "NL", "BE", "CH", "AT", "CZ", "PL", "HU", "SK", "SI", "GR",
+        "PT", "IE", "SE", "DK", "FI", "EE", "LU",
+    ],
+    links: &[
+        (0, 1, 7),   // UK-FR
+        (0, 5, 6),   // UK-NL
+        (0, 16, 9),  // UK-IE
+        (0, 17, 14), // UK-SE
+        (1, 4, 10),  // FR-ES
+        (1, 7, 6),   // FR-CH
+        (1, 21, 4),  // FR-LU
+        (2, 5, 5),   // DE-NL
+        (2, 18, 6),  // DE-DK
+        (2, 10, 8),  // DE-PL
+        (2, 9, 5),   // DE-CZ
+        (2, 8, 7),   // DE-AT
+        (2, 7, 6),   // DE-CH
+        (5, 6, 3),   // NL-BE
+        (6, 21, 3),  // BE-LU
+        (4, 15, 6),  // ES-PT
+        (3, 7, 5),   // IT-CH
+        (3, 8, 8),   // IT-AT
+        (3, 14, 12), // IT-GR
+        (8, 11, 4),  // AT-HU
+        (8, 13, 3),  // AT-SI
+        (9, 12, 4),  // CZ-SK
+        (17, 19, 6), // SE-FI
+        (19, 20, 4), // FI-EE
+        (17, 18, 5), // SE-DK
+        (11, 12, 3), // HU-SK
+        (15, 0, 13), // PT-UK
+        (16, 5, 12), // IE-NL
+        (14, 8, 10), // GR-AT
+        (13, 11, 5), // SI-HU
+        (10, 9, 6),  // PL-CZ
+        (20, 10, 9), // EE-PL
+    ],
+};
+
+/// 14-node WIDE backbone approximation (domestic ring plus the two US
+/// landing points).
+const WIDE: CoreMap = CoreMap {
+    name: "WIDE",
+    routers: &[
+        "Sapporo",
+        "Sendai",
+        "Tsukuba",
+        "TokyoA",
+        "TokyoB",
+        "Yokohama",
+        "Nagoya",
+        "Kyoto",
+        "Osaka",
+        "Hiroshima",
+        "Fukuoka",
+        "Okinawa",
+        "SanFrancisco",
+        "LosAngelesUS",
+    ],
+    links: &[
+        (0, 1, 8),
+        (1, 3, 6),
+        (2, 3, 2),
+        (2, 4, 2),
+        (3, 4, 1),
+        (4, 5, 1),
+        (3, 6, 5),
+        (6, 8, 3),
+        (8, 7, 1),
+        (8, 9, 4),
+        (9, 10, 3),
+        (10, 11, 8),
+        (4, 12, 80),
+        (12, 13, 8),
+        (3, 13, 85),
+        (0, 3, 12),
+        (3, 5, 2),
+        (6, 7, 2),
+        (3, 10, 11),
+        (9, 11, 9),
+    ],
+};
+
+/// 4-router mini core (ring plus one chord) used by
+/// [`InternetConfig::small`].
+const MINI_LINKS: &[(usize, usize, u32)] = &[(0, 1, 2), (1, 2, 3), (2, 3, 2), (3, 0, 3), (0, 2, 5)];
+
+fn add_core(b: &mut TopologyBuilder, map: &CoreMap) -> BuiltAs {
+    let as_id = b.add_as(AsKind::Core, map.name);
+    let routers: Vec<RouterId> = map
+        .routers
+        .iter()
+        .map(|name| b.add_router(as_id, format!("{}-{name}", map.name)))
+        .collect();
+    for &(i, j, w) in map.links {
+        b.add_intra_link(routers[i], routers[j], w);
+    }
+    BuiltAs { as_id, routers }
+}
+
+fn add_mini_core(b: &mut TopologyBuilder, idx: usize) -> BuiltAs {
+    let name = format!("Core{idx}");
+    let as_id = b.add_as(AsKind::Core, &name);
+    let routers: Vec<RouterId> = (0..4)
+        .map(|k| b.add_router(as_id, format!("{name}-r{k}")))
+        .collect();
+    for &(i, j, w) in MINI_LINKS {
+        b.add_intra_link(routers[i], routers[j], w);
+    }
+    BuiltAs { as_id, routers }
+}
+
+/// Builds a tier-2 AS with the configured intradomain style; returns the
+/// built AS and the indices of routers suitable as uplink attach points.
+fn add_tier2(
+    b: &mut TopologyBuilder,
+    idx: usize,
+    size: usize,
+    style: Tier2Style,
+    rng: &mut StdRng,
+) -> BuiltAs {
+    let size = size.max(2);
+    let name = format!("T2-{idx:02}");
+    let as_id = b.add_as(AsKind::Tier2, &name);
+    let routers: Vec<RouterId> = (0..size)
+        .map(|k| b.add_router(as_id, format!("{name}-r{k}")))
+        .collect();
+    match style {
+        Tier2Style::HubSpoke => {
+            // Router 0 is the hub.
+            for (k, &spoke) in routers.iter().enumerate().skip(1) {
+                let w = 1 + ((k * 3) % 5) as u32;
+                b.add_intra_link(routers[0], spoke, w);
+            }
+        }
+        Tier2Style::Ring => {
+            for k in 0..size {
+                let w = 1 + rng.gen_range(0u32..4);
+                let next = (k + 1) % size;
+                if size == 2 && k == 1 {
+                    break; // avoid the duplicate back-link on a 2-ring
+                }
+                b.add_intra_link(routers[k], routers[next], w);
+            }
+        }
+        Tier2Style::Ladder => {
+            // Rails 0..half and half..size, rungs between aligned slots.
+            let half = (size / 2).max(1);
+            for k in 0..half.saturating_sub(1) {
+                b.add_intra_link(routers[k], routers[k + 1], 1 + (k % 3) as u32);
+            }
+            for k in half..size.saturating_sub(1) {
+                b.add_intra_link(routers[k], routers[k + 1], 1 + (k % 3) as u32);
+            }
+            for k in 0..half.min(size - half) {
+                b.add_intra_link(routers[k], routers[half + k], 2 + (k % 2) as u32);
+            }
+        }
+    }
+    BuiltAs { as_id, routers }
+}
+
+/// Picks a router of `built` to terminate an uplink.
+fn attach_point(built: &BuiltAs, rng: &mut StdRng) -> RouterId {
+    built.routers[rng.gen_range(0..built.routers.len())]
+}
+
+/// Generates the evaluation internetwork described by `cfg`.
+///
+/// Shape: cores in full mesh with **two** interconnection points per core
+/// pair (see DESIGN.md §6.5), tier-2 ASes as customers of one or two
+/// cores, stubs as customers of one or two tier-2 ASes.
+pub fn build_internet(cfg: &InternetConfig) -> Internet {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = TopologyBuilder::new();
+
+    // Cores.
+    let cores: Vec<BuiltAs> = if cfg.full_cores {
+        [&ABILENE, &GEANT, &WIDE]
+            .into_iter()
+            .map(|m| add_core(&mut b, m))
+            .collect()
+    } else {
+        (0..3).map(|i| add_mini_core(&mut b, i)).collect()
+    };
+
+    // Full mesh between cores, two interconnection points per pair.
+    for i in 0..cores.len() {
+        for j in i + 1..cores.len() {
+            let (ca, cb) = (&cores[i], &cores[j]);
+            let a1 = rng.gen_range(0..ca.routers.len());
+            let mut a2 = rng.gen_range(0..ca.routers.len());
+            if a2 == a1 {
+                a2 = (a1 + 1) % ca.routers.len();
+            }
+            for a_idx in [a1, a2] {
+                let b_side = attach_point(cb, &mut rng);
+                b.add_inter_link(ca.routers[a_idx], b_side, LinkRelationship::PeerPeer);
+            }
+        }
+    }
+
+    // Tier-2 transit ASes, customers of one or two cores.
+    let mut tier2 = Vec::with_capacity(cfg.n_tier2);
+    let mut multihomed_t2 = Vec::new();
+    for idx in 0..cfg.n_tier2 {
+        let t2 = add_tier2(&mut b, idx, cfg.tier2_size, cfg.tier2_style, &mut rng);
+        // Hub-and-spoke transit terminates its uplinks at the hub: a chain
+        // through the provider then shares no interior intra-domain hop
+        // with the per-customer spokes, so the diagnoser's candidate edges
+        // tie instead of an interior hub link out-scoring the true uplink.
+        let uplink_at = |t2: &BuiltAs, rng: &mut StdRng| match cfg.tier2_style {
+            Tier2Style::HubSpoke => t2.routers[0],
+            _ => attach_point(t2, rng),
+        };
+        let primary = rng.gen_range(0..cores.len());
+        let up1 = uplink_at(&t2, &mut rng);
+        b.add_inter_link(
+            attach_point(&cores[primary], &mut rng),
+            up1,
+            LinkRelationship::ProviderCustomer,
+        );
+        if cores.len() > 1 && rng.gen_bool(cfg.tier2_multihomed_frac) {
+            let mut second = rng.gen_range(0..cores.len());
+            if second == primary {
+                second = (second + 1) % cores.len();
+            }
+            let up2 = uplink_at(&t2, &mut rng);
+            b.add_inter_link(
+                attach_point(&cores[second], &mut rng),
+                up2,
+                LinkRelationship::ProviderCustomer,
+            );
+            multihomed_t2.push(idx);
+        }
+        tier2.push(t2);
+    }
+
+    // Stubs: single router, customer of one or two tier-2 ASes. Under a
+    // hub-and-spoke provider, customers round-robin over the spokes so two
+    // stubs (and the hub uplink) rarely share an attachment router.
+    let mut spoke_rr = vec![0usize; tier2.len()];
+    let stub_attach = |j: usize, spoke_rr: &mut [usize], rng: &mut StdRng| {
+        let t2: &BuiltAs = &tier2[j];
+        match cfg.tier2_style {
+            Tier2Style::HubSpoke if t2.routers.len() > 1 => {
+                let n = t2.routers.len() - 1;
+                let r = t2.routers[1 + spoke_rr[j] % n];
+                spoke_rr[j] += 1;
+                r
+            }
+            _ => attach_point(t2, rng),
+        }
+    };
+    let mut stubs = Vec::with_capacity(cfg.n_stub);
+    for idx in 0..cfg.n_stub {
+        let name = format!("S-{idx:03}");
+        let as_id = b.add_as(AsKind::Stub, &name);
+        let r = b.add_router(as_id, format!("{name}-r0"));
+        let built = BuiltAs {
+            as_id,
+            routers: vec![r],
+        };
+        let multihomed = tier2.len() > 1 && rng.gen_bool(cfg.stub_multihomed_frac);
+        // Multihomed stubs home under multihomed tier-2 providers: a
+        // provider that can itself reroute never strands its single-homed
+        // customers while the multihomed stub survives and reroutes around
+        // them, which would leave the shared provider chain half-exonerated.
+        let all: Vec<usize> = (0..tier2.len()).collect();
+        let pool: &[usize] = if multihomed && multihomed_t2.len() >= 2 {
+            &multihomed_t2
+        } else {
+            &all
+        };
+        let primary = pool[rng.gen_range(0..pool.len())];
+        let a1 = stub_attach(primary, &mut spoke_rr, &mut rng);
+        b.add_inter_link(a1, r, LinkRelationship::ProviderCustomer);
+        if multihomed {
+            let mut si = rng.gen_range(0..pool.len());
+            if pool[si] == primary {
+                si = (si + 1) % pool.len();
+            }
+            let a2 = stub_attach(pool[si], &mut spoke_rr, &mut rng);
+            b.add_inter_link(a2, r, LinkRelationship::ProviderCustomer);
+        }
+        stubs.push(built);
+    }
+
+    let topology = b.build().expect("generated internet must validate");
+    Internet {
+        topology,
+        cores,
+        tier2,
+        stubs,
+    }
+}
+
+/// The paper's Figure 2 network: five ASes A, X, Y, B, C.
+///
+/// Router arrays use the paper's names: `a[0]` is a1, `y[3]` is y4, etc.
+#[derive(Clone, Debug)]
+pub struct Figure2 {
+    /// The built topology.
+    pub topology: Topology,
+    /// AS A's routers a1, a2.
+    pub a: [RouterId; 2],
+    /// AS X's routers x1, x2.
+    pub x: [RouterId; 2],
+    /// AS Y's routers y1..y4.
+    pub y: [RouterId; 4],
+    /// AS B's routers b1, b2.
+    pub b: [RouterId; 2],
+    /// AS C's router c1.
+    pub c: [RouterId; 1],
+}
+
+impl Figure2 {
+    /// The AS ids in the order `[A, X, Y, B, C]`.
+    pub fn as_ids(&self) -> [AsId; 5] {
+        [AsId(0), AsId(1), AsId(2), AsId(3), AsId(4)]
+    }
+}
+
+/// Builds the Figure 2 network: `s1-s2` routes a1 a2 x1 x2 y1 y4 b1 b2,
+/// `s1-s3` routes a1 a2 x1 x2 y1 y3 c1 (§2.2).
+pub fn paper_figure2() -> Figure2 {
+    let mut b = TopologyBuilder::new();
+    let as_a = b.add_as(AsKind::Stub, "A");
+    let as_x = b.add_as(AsKind::Core, "X");
+    let as_y = b.add_as(AsKind::Core, "Y");
+    let as_b = b.add_as(AsKind::Stub, "B");
+    let as_c = b.add_as(AsKind::Stub, "C");
+
+    let a = [b.add_router(as_a, "a1"), b.add_router(as_a, "a2")];
+    let x = [b.add_router(as_x, "x1"), b.add_router(as_x, "x2")];
+    let y = [
+        b.add_router(as_y, "y1"),
+        b.add_router(as_y, "y2"),
+        b.add_router(as_y, "y3"),
+        b.add_router(as_y, "y4"),
+    ];
+    let bb = [b.add_router(as_b, "b1"), b.add_router(as_b, "b2")];
+    let c = [b.add_router(as_c, "c1")];
+
+    b.add_intra_link(a[0], a[1], 1);
+    b.add_intra_link(x[0], x[1], 1);
+    b.add_intra_link(y[0], y[1], 1);
+    b.add_intra_link(y[0], y[2], 1);
+    b.add_intra_link(y[0], y[3], 1);
+    b.add_intra_link(bb[0], bb[1], 1);
+
+    // X is A's provider; X and Y peer; Y is the provider of B and C.
+    b.add_inter_link(x[0], a[1], LinkRelationship::ProviderCustomer);
+    b.add_inter_link(x[1], y[0], LinkRelationship::PeerPeer);
+    b.add_inter_link(y[3], bb[0], LinkRelationship::ProviderCustomer);
+    b.add_inter_link(y[2], c[0], LinkRelationship::ProviderCustomer);
+
+    Figure2 {
+        topology: b.build().expect("figure 2 network must validate"),
+        a,
+        x,
+        y,
+        b: bb,
+        c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{AsKind, LinkKind, PeerKind};
+
+    #[test]
+    fn paper_scale_shape() {
+        let net = build_internet(&InternetConfig::default());
+        assert_eq!(net.topology.as_count(), 165);
+        assert_eq!(net.cores.len(), 3);
+        assert_eq!(net.tier2.len(), 22);
+        assert_eq!(net.stubs.len(), 140);
+        assert_eq!(net.cores[0].routers.len(), 11, "Abilene");
+        assert_eq!(net.cores[1].routers.len(), 22, "GEANT");
+        assert_eq!(net.cores[2].routers.len(), 14, "WIDE");
+        assert!(net.tier2.iter().all(|t| t.routers.len() == 12));
+        assert!(net.stubs.iter().all(|s| s.routers.len() == 1));
+    }
+
+    #[test]
+    fn cores_fully_meshed_with_two_interconnects() {
+        let net = build_internet(&InternetConfig::default());
+        for i in 0..3 {
+            for j in i + 1..3 {
+                let (a, b) = (net.cores[i].as_id, net.cores[j].as_id);
+                assert_eq!(net.topology.relationship(a, b), Some(PeerKind::Peer));
+                let count = net
+                    .topology
+                    .inter_links()
+                    .filter(|l| {
+                        let (la, lb) = (
+                            net.topology.as_of_router(l.a),
+                            net.topology.as_of_router(l.b),
+                        );
+                        (la, lb) == (a, b) || (la, lb) == (b, a)
+                    })
+                    .count();
+                assert_eq!(count, 2, "two interconnection points per core pair");
+            }
+        }
+    }
+
+    #[test]
+    fn every_tier2_and_stub_has_a_provider() {
+        let net = build_internet(&InternetConfig::default());
+        for t2 in &net.tier2 {
+            assert!(net
+                .cores
+                .iter()
+                .any(|c| net.topology.relationship(t2.as_id, c.as_id) == Some(PeerKind::Provider)));
+        }
+        for s in &net.stubs {
+            assert!(net
+                .tier2
+                .iter()
+                .any(|t| net.topology.relationship(s.as_id, t.as_id) == Some(PeerKind::Provider)));
+        }
+    }
+
+    #[test]
+    fn multihoming_fractions_roughly_hold() {
+        let net = build_internet(&InternetConfig::default());
+        let multi_stub = net
+            .stubs
+            .iter()
+            .filter(|s| net.topology.router(s.routers[0]).links.len() >= 2)
+            .count();
+        let frac = multi_stub as f64 / net.stubs.len() as f64;
+        assert!((0.1..0.45).contains(&frac), "stub multihoming {frac}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = build_internet(&InternetConfig::default());
+        let b = build_internet(&InternetConfig::default());
+        assert_eq!(a.topology.link_count(), b.topology.link_count());
+        let c = build_internet(&InternetConfig {
+            seed: 99,
+            ..InternetConfig::default()
+        });
+        // Same shape, different wiring (with overwhelming probability).
+        assert_eq!(a.topology.as_count(), c.topology.as_count());
+    }
+
+    #[test]
+    fn small_instance_has_enough_roles() {
+        let net = build_internet(&InternetConfig::small(11));
+        assert_eq!(net.cores.len(), 3);
+        assert!(net.tier2.len() >= 2);
+        assert!(net.stubs.len() >= 6);
+    }
+
+    #[test]
+    fn styles_build_and_stay_connected() {
+        for style in [Tier2Style::HubSpoke, Tier2Style::Ring, Tier2Style::Ladder] {
+            let net = build_internet(&InternetConfig {
+                tier2_style: style,
+                ..InternetConfig::small(5)
+            });
+            assert!(net.topology.as_count() > 0, "{style:?} builds");
+        }
+    }
+
+    #[test]
+    fn from_topology_classifies_roles() {
+        let fig = paper_figure2();
+        let net = Internet::from_topology(fig.topology);
+        assert_eq!(net.cores.len(), 2);
+        assert_eq!(net.stubs.len(), 3);
+    }
+
+    #[test]
+    fn figure2_matches_the_paper() {
+        let fig = paper_figure2();
+        assert_eq!(fig.topology.as_count(), 5);
+        assert_eq!(fig.topology.router_count(), 11);
+        let x_as = fig.as_ids()[1];
+        let y_as = fig.as_ids()[2];
+        assert_eq!(fig.topology.relationship(x_as, y_as), Some(PeerKind::Peer));
+        assert_eq!(fig.topology.as_node(AsId(0)).kind, AsKind::Stub);
+        assert!(fig
+            .topology
+            .links()
+            .iter()
+            .any(|l| l.kind == LinkKind::Inter));
+    }
+}

@@ -21,9 +21,7 @@ pub struct DotOptions {
 /// routers as nodes, links as edges (inter-domain edges dashed).
 pub fn to_dot(topology: &Topology, opts: &DotOptions) -> String {
     let mut out = String::from("graph topology {\n  layout=sfdp;\n  overlap=false;\n");
-    let hidden = |as_idx: usize| {
-        opts.hide_stubs && topology.ases()[as_idx].kind == AsKind::Stub
-    };
+    let hidden = |as_idx: usize| opts.hide_stubs && topology.ases()[as_idx].kind == AsKind::Stub;
     for asn in topology.ases() {
         if hidden(asn.id.index()) {
             continue;

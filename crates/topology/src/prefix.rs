@@ -168,7 +168,10 @@ impl<T> PrefixTable<T> {
 
     /// Exact-match lookup.
     pub fn get(&self, prefix: &Prefix) -> Option<&T> {
-        self.entries.iter().find(|(p, _)| p == prefix).map(|(_, t)| t)
+        self.entries
+            .iter()
+            .find(|(p, _)| p == prefix)
+            .map(|(_, t)| t)
     }
 
     /// Iterates over all entries (most-specific first).

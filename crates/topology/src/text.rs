@@ -123,7 +123,11 @@ pub fn parse_topology(text: &str) -> Result<Topology, ParseTopologyError> {
                         .ok_or_else(|| err(n, "weight must be an integer >= 1"))
                 };
                 let w_ab = parse_w(rest[0])?;
-                let w_ba = if rest.len() == 2 { parse_w(rest[1])? } else { w_ab };
+                let w_ba = if rest.len() == 2 {
+                    parse_w(rest[1])?
+                } else {
+                    w_ab
+                };
                 b.add_intra_link_asym(ra, rc, w_ab, w_ba);
             }
             ["peer", a, c] | ["provider", a, c] => {

@@ -408,12 +408,7 @@ impl TopologyBuilder {
             self.errors
                 .push(TopologyError::AddressSpaceExhausted("routers"));
         }
-        let loopback = Ipv4Addr::new(
-            10,
-            (as_id.0 % 256) as u8,
-            ((local + 1) % 256) as u8,
-            1,
-        );
+        let loopback = Ipv4Addr::new(10, (as_id.0 % 256) as u8, ((local + 1) % 256) as u8, 1);
         self.ases[as_id.index()].routers.push(id);
         self.routers.push(Router {
             id,
@@ -447,12 +442,7 @@ impl TopologyBuilder {
 
     /// Adds an inter-domain link carrying the given relationship
     /// (`ProviderCustomer` means `a`'s AS is the provider of `b`'s AS).
-    pub fn add_inter_link(
-        &mut self,
-        a: RouterId,
-        b: RouterId,
-        rel: LinkRelationship,
-    ) -> LinkId {
+    pub fn add_inter_link(&mut self, a: RouterId, b: RouterId, rel: LinkRelationship) -> LinkId {
         let as_a = self.routers[a.index()].as_id;
         let as_b = self.routers[b.index()].as_id;
         if as_a == as_b {
@@ -652,10 +642,7 @@ mod tests {
         assert!(n.contains(&(LinkId(0), RouterId(0))));
         assert!(n.contains(&(LinkId(1), RouterId(2))));
         assert_eq!(t.link_between(RouterId(0), RouterId(2)), None);
-        assert_eq!(
-            t.link_between(RouterId(1), RouterId(2)),
-            Some(LinkId(1))
-        );
+        assert_eq!(t.link_between(RouterId(1), RouterId(2)), Some(LinkId(1)));
     }
 
     #[test]

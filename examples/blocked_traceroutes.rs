@@ -63,8 +63,11 @@ fn main() {
         println!(
             "failure {:?} (inside a blocked AS): AS-sensitivity  ND-bgpigp {:.2} vs ND-LG {:.2}   \
              (AS-specificity {:.2} vs {:.2})",
-            tr.failed_sites, tr.nd_bgpigp.as_sensitivity, lg.as_sensitivity,
-            tr.nd_bgpigp.as_specificity, lg.as_specificity,
+            tr.failed_sites,
+            tr.nd_bgpigp.as_sensitivity,
+            lg.as_sensitivity,
+            tr.nd_bgpigp.as_specificity,
+            lg.as_specificity,
         );
         shown += 1;
     }

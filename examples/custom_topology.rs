@@ -12,7 +12,7 @@ use std::sync::Arc;
 use netdiagnoser_repro::diagnoser::{nd_edge, Weights};
 use netdiagnoser_repro::experiments::bridge::{observations, TruthIpToAs};
 use netdiagnoser_repro::experiments::truth::TruthMap;
-use netdiagnoser_repro::netsim::{probe_mesh, Sim, SensorSet};
+use netdiagnoser_repro::netsim::{probe_mesh, SensorSet, Sim};
 use netdiagnoser_repro::topology::text::parse_topology;
 use netdiagnoser_repro::topology::AsKind;
 
@@ -70,7 +70,10 @@ fn main() {
 
     let before = probe_mesh(&sim, &sensors, &BTreeSet::new());
     assert_eq!(before.failed_count(), 0);
-    println!("healthy mesh: {} paths, all reachable", before.traceroutes.len());
+    println!(
+        "healthy mesh: {} paths, all reachable",
+        before.traceroutes.len()
+    );
 
     // Site A is single-homed behind w-sfo: cut its access link.
     let a1 = spec[0].1;

@@ -13,7 +13,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use netdiagnoser_repro::diagnoser::{nd_bgpigp, nd_edge, Weights};
+use netdiagnoser_repro::diagnoser::{Algorithm, NetDiagnoser};
 use netdiagnoser_repro::experiments::bridge::{observations, routing_feed, TruthIpToAs};
 use netdiagnoser_repro::experiments::runner::{prepare, RunConfig};
 use netdiagnoser_repro::experiments::truth::{evaluate, TruthMap};
@@ -87,7 +87,10 @@ fn main() {
         println!(
             "  NOC feeds: {} BGP messages observed at AS-X, {} IGP link-down events",
             observed.len(),
-            igp_events.iter().filter(|e| e.as_id == ctx.observer).count()
+            igp_events
+                .iter()
+                .filter(|e| e.as_id == ctx.observer)
+                .count()
         );
 
         let obs = observations(&ctx.sensors, &ctx.mesh_before, &after);
@@ -98,13 +101,17 @@ fn main() {
         let truth = TruthMap::build(&topology, &ctx.mesh_before, &after);
         let failed = BTreeSet::from([link]);
 
-        let e_edge = evaluate(
-            &topology,
-            &truth,
-            &nd_edge(&obs, &ip2as, Weights::default()),
-            &failed,
-        );
-        let d_bgpigp = nd_bgpigp(&obs, &ip2as, &feed, Weights::default());
+        // One diagnoser per algorithm, sharing the NOC's routing feed.
+        let diagnose = |algorithm| {
+            NetDiagnoser::builder()
+                .algorithm(algorithm)
+                .routing_feed(&feed)
+                .build()
+                .diagnose(&obs, &ip2as)
+                .expect("the feed is attached")
+        };
+        let e_edge = evaluate(&topology, &truth, &diagnose(Algorithm::NdEdge), &failed);
+        let d_bgpigp = diagnose(Algorithm::NdBgpIgp);
         let e_bgpigp = evaluate(&topology, &truth, &d_bgpigp, &failed);
         println!(
             "  ND-edge   : sensitivity {:.2}, |H| = {:>2} links",
@@ -114,7 +121,9 @@ fn main() {
             "  ND-bgpigp : sensitivity {:.2}, |H| = {:>2} links  (control plane pruned {})",
             e_bgpigp.sensitivity,
             e_bgpigp.hypothesis_size,
-            e_edge.hypothesis_size.saturating_sub(e_bgpigp.hypothesis_size)
+            e_edge
+                .hypothesis_size
+                .saturating_sub(e_bgpigp.hypothesis_size)
         );
         println!(
             "  suspect links handed to the operator: {:?}\n",

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use netdiagnoser_repro::diagnoser::{nd_edge, PersistenceFilter, Weights};
 use netdiagnoser_repro::experiments::bridge::{observations, to_snapshot, TruthIpToAs};
 use netdiagnoser_repro::experiments::truth::TruthMap;
-use netdiagnoser_repro::netsim::{probe_mesh, Sim, SensorSet};
+use netdiagnoser_repro::netsim::{probe_mesh, SensorSet, Sim};
 use netdiagnoser_repro::topology::builders::{build_internet, InternetConfig};
 
 fn main() {

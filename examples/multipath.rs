@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use netdiagnoser_repro::netsim::{paris_traceroute, Sim, SensorSet};
+use netdiagnoser_repro::netsim::{paris_traceroute, SensorSet, Sim};
 use netdiagnoser_repro::topology::builders::{build_internet, InternetConfig};
 
 fn main() {

@@ -8,10 +8,10 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use netdiagnoser_repro::diagnoser::{nd_edge, tomo, Weights};
+use netdiagnoser_repro::diagnoser::{Algorithm, NetDiagnoser, RecorderHandle};
 use netdiagnoser_repro::experiments::bridge::{observations, TruthIpToAs};
 use netdiagnoser_repro::experiments::truth::{evaluate, TruthMap};
-use netdiagnoser_repro::netsim::{probe_mesh, Sim, SensorSet};
+use netdiagnoser_repro::netsim::{probe_mesh, SensorSet, Sim};
 use netdiagnoser_repro::topology::builders::{build_internet, InternetConfig};
 
 fn main() {
@@ -40,7 +40,10 @@ fn main() {
     // 3. Probe the full mesh before the failure.
     let blocked = BTreeSet::new();
     let before = probe_mesh(&sim, &sensors, &blocked);
-    println!("T-: {} traceroutes, all reachable", before.traceroutes.len());
+    println!(
+        "T-: {} traceroutes, all reachable",
+        before.traceroutes.len()
+    );
 
     // 4. Break the uplink of the first sensor's stub AS and re-probe.
     let victim = sensors.sensors()[0];
@@ -54,13 +57,24 @@ fn main() {
         after.traceroutes.len()
     );
 
-    // 5. Diagnose from the probes alone.
+    // 5. Diagnose from the probes alone, collecting instrumentation as we
+    //    go. Tomo and ND-edge need no routing feed, so the builder needs
+    //    no optional inputs.
     let obs = observations(&sensors, &before, &after);
     let ip2as = TruthIpToAs {
         topology: &topology,
     };
-    let d_tomo = tomo(&obs, &ip2as);
-    let d_edge = nd_edge(&obs, &ip2as, Weights::default());
+    let (recorder, profile) = RecorderHandle::in_memory();
+    let diagnose = |algorithm| {
+        NetDiagnoser::builder()
+            .algorithm(algorithm)
+            .recorder(recorder.clone())
+            .build()
+            .diagnose(&obs, &ip2as)
+            .expect("tomo/nd-edge need no optional inputs")
+    };
+    let d_tomo = diagnose(Algorithm::Tomo);
+    let d_edge = diagnose(Algorithm::NdEdge);
 
     // 6. Score against ground truth.
     let truth = TruthMap::build(&topology, &before, &after);
@@ -81,4 +95,12 @@ fn main() {
     );
     assert!(truth.hypothesis_links(&d_edge).contains(&uplink));
     println!("the failed link is in the hypothesis ✓");
+
+    // 7. The recorder saw both diagnoses.
+    let report = profile.report();
+    println!(
+        "instrumentation: {} diagnoses, {} greedy iterations",
+        report.counter("diag.runs"),
+        report.counter("hs.greedy_iters")
+    );
 }

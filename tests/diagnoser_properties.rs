@@ -13,7 +13,7 @@ use netdiagnoser_repro::diagnoser::{nd_edge, tomo, Weights};
 use netdiagnoser_repro::experiments::bridge::{observations, TruthIpToAs};
 use netdiagnoser_repro::experiments::sampling::{sample_failure, FailureSpec};
 use netdiagnoser_repro::experiments::truth::TruthMap;
-use netdiagnoser_repro::netsim::{apply_failure, probe_mesh, Sim, SensorSet};
+use netdiagnoser_repro::netsim::{apply_failure, probe_mesh, SensorSet, Sim};
 use netdiagnoser_repro::topology::builders::{build_internet, InternetConfig};
 
 /// Builds a small random internet with sensors and a converged simulator.

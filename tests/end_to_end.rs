@@ -13,7 +13,7 @@ use netdiagnoser_repro::experiments::placement::Placement;
 use netdiagnoser_repro::experiments::runner::{prepare, run_trial, RunConfig};
 use netdiagnoser_repro::experiments::sampling::FailureSpec;
 use netdiagnoser_repro::experiments::truth::{evaluate, mesh_diagnosability, TruthMap};
-use netdiagnoser_repro::netsim::{probe_mesh, Sim, SensorSet};
+use netdiagnoser_repro::netsim::{probe_mesh, SensorSet, Sim};
 use netdiagnoser_repro::topology::builders::{build_internet, InternetConfig};
 
 #[test]
@@ -60,7 +60,10 @@ fn single_uplink_failure_localized_by_every_algorithm() {
     for (name, d) in [
         ("tomo", tomo(&obs, &ip2as)),
         ("nd_edge", nd_edge(&obs, &ip2as, Weights::default())),
-        ("nd_bgpigp", nd_bgpigp(&obs, &ip2as, &feed, Weights::default())),
+        (
+            "nd_bgpigp",
+            nd_bgpigp(&obs, &ip2as, &feed, Weights::default()),
+        ),
     ] {
         let e = evaluate(&topology, &truth, &d, &failed);
         assert_eq!(e.sensitivity, 1.0, "{name} must find the uplink");

@@ -9,7 +9,7 @@ use netdiagnoser_repro::bgp::ExportDeny;
 use netdiagnoser_repro::diagnoser::{nd_bgpigp, nd_edge, tomo, LogicalPart, Weights};
 use netdiagnoser_repro::experiments::bridge::{observations, routing_feed, TruthIpToAs};
 use netdiagnoser_repro::experiments::truth::{evaluate, TruthMap};
-use netdiagnoser_repro::netsim::{probe_mesh, Sim, SensorSet};
+use netdiagnoser_repro::netsim::{probe_mesh, SensorSet, Sim};
 use netdiagnoser_repro::topology::builders::paper_figure2;
 
 struct Fixture {
@@ -49,8 +49,8 @@ fn healthy_paths_follow_the_papers_hop_sequences() {
     assert_eq!(
         routers,
         vec![
-            f.fig.a[0], f.fig.a[1], f.fig.x[0], f.fig.x[1], f.fig.y[0], f.fig.y[3],
-            f.fig.b[0], f.fig.b[1]
+            f.fig.a[0], f.fig.a[1], f.fig.x[0], f.fig.x[1], f.fig.y[0], f.fig.y[3], f.fig.b[0],
+            f.fig.b[1]
         ],
         "the paper's narrated path"
     );
@@ -64,10 +64,7 @@ fn healthy_paths_follow_the_papers_hop_sequences() {
     let routers: Vec<_> = tr.hops.iter().filter_map(|h| h.router()).collect();
     assert_eq!(
         routers,
-        vec![
-            f.fig.a[0], f.fig.a[1], f.fig.x[0], f.fig.x[1], f.fig.y[0], f.fig.y[2],
-            f.fig.c[0]
-        ]
+        vec![f.fig.a[0], f.fig.a[1], f.fig.x[0], f.fig.x[1], f.fig.y[0], f.fig.y[2], f.fig.c[0]]
     );
 }
 
@@ -83,7 +80,7 @@ fn section31_misconfiguration_reproduced_through_the_simulator() {
     let c_prefix = f.sim.topology().as_node(c_as).prefix;
     let mut broken = f.sim.clone();
     broken.misconfigure(&[ExportDeny {
-        at: f.fig.y[0],  // y1
+        at: f.fig.y[0],   // y1
         peer: f.fig.x[1], // x2
         prefix: c_prefix,
     }]);
@@ -126,9 +123,7 @@ fn section31_misconfiguration_reproduced_through_the_simulator() {
     let observed = broken.take_observed();
     let feed = routing_feed(topology, f.fig.as_ids()[1], &observed, &[]);
     assert!(
-        feed.withdrawals
-            .iter()
-            .any(|w| w.prefix == c_prefix),
+        feed.withdrawals.iter().any(|w| w.prefix == c_prefix),
         "x2 must observe y1's withdrawal: {observed:?}"
     );
     let d2 = nd_bgpigp(&obs, &ip2as, &feed, Weights::default());

@@ -5,7 +5,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use netdiagnoser_repro::netsim::{probe_mesh, Sim, SensorSet};
+use netdiagnoser_repro::netsim::{probe_mesh, SensorSet, Sim};
 use netdiagnoser_repro::topology::builders::{build_internet, InternetConfig};
 use netdiagnoser_repro::topology::{AsId, PeerKind};
 

@@ -31,7 +31,11 @@ fn soak_all_failure_classes_many_seeds() {
             FailureSpec::Misconfig,
             FailureSpec::MisconfigPlusLink,
         ] {
-            for placement in [Placement::Random, Placement::SameAs, Placement::DistantAsSplit] {
+            for placement in [
+                Placement::Random,
+                Placement::SameAs,
+                Placement::DistantAsSplit,
+            ] {
                 for blocked in [0.0, 0.4] {
                     let cfg = RunConfig {
                         failure: spec,
@@ -68,7 +72,10 @@ fn soak_all_failure_classes_many_seeds() {
                         // failure classes Tomo handles poorly by more than
                         // the tie margin... keep the hard invariant only:
                         assert!(tr.failed_paths > 0);
-                        assert!(!tr.failed_sites.is_empty() || tr.failure.all_failure_sites(&ctx.sim).is_empty());
+                        assert!(
+                            !tr.failed_sites.is_empty()
+                                || tr.failure.all_failure_sites(&ctx.sim).is_empty()
+                        );
                         if blocked > 0.0 {
                             assert!(tr.nd_lg.is_some());
                         }
