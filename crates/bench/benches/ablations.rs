@@ -17,15 +17,15 @@ use rand::{Rng, SeedableRng};
 use netdiag_bench::Fixture;
 use netdiag_experiments::bridge::{observations, TruthIpToAs};
 use netdiag_netsim::probe_mesh;
-use netdiagnoser::{nd_edge, EdgeId, HittingSetInstance, Weights};
+use netdiagnoser::{nd_edge, EdgeBitSet, EdgeId, HittingSetInstance, Weights};
 
 fn small_instance(n_sets: usize, universe: u32, seed: u64) -> HittingSetInstance {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut failure_sets = Vec::new();
-    let mut candidates = BTreeSet::new();
+    let mut candidates = EdgeBitSet::new();
     for _ in 0..n_sets {
-        let set: BTreeSet<EdgeId> = (0..4).map(|_| EdgeId(rng.gen_range(0..universe))).collect();
-        candidates.extend(set.iter().copied());
+        let set: EdgeBitSet = (0..4).map(|_| EdgeId(rng.gen_range(0..universe))).collect();
+        candidates.extend(set.iter());
         failure_sets.push(set);
     }
     HittingSetInstance {

@@ -15,7 +15,7 @@ use netdiag_experiments::bridge::{observations, TruthIpToAs};
 use netdiag_igp::{Igp, LinkState};
 use netdiag_netsim::probe_mesh;
 use netdiag_topology::builders::{build_internet, InternetConfig};
-use netdiagnoser::{nd_edge, tomo, EdgeId, HittingSetInstance, Weights};
+use netdiagnoser::{nd_edge, tomo, EdgeBitSet, EdgeId, HittingSetInstance, Weights};
 
 fn bench_substrates(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrates");
@@ -90,12 +90,12 @@ fn bench_diagnosis(c: &mut Criterion) {
 fn synthetic_instance(n_sets: usize, set_size: usize, universe: u32) -> HittingSetInstance {
     let mut rng = StdRng::seed_from_u64(7);
     let mut failure_sets = Vec::new();
-    let mut candidates = BTreeSet::new();
+    let mut candidates = EdgeBitSet::new();
     for _ in 0..n_sets {
-        let set: BTreeSet<EdgeId> = (0..set_size)
+        let set: EdgeBitSet = (0..set_size)
             .map(|_| EdgeId(rng.gen_range(0..universe)))
             .collect();
-        candidates.extend(set.iter().copied());
+        candidates.extend(set.iter());
         failure_sets.push(set);
     }
     HittingSetInstance {

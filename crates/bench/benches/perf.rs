@@ -1,0 +1,185 @@
+//! Performance benchmarks for the copy-on-write / bitset / parallelism
+//! work:
+//!
+//! * `sim_clone_vs_snapshot` — deep-copying the 165-AS simulator vs the
+//!   CoW `Sim::clone` (Arc bumps) vs a failure + `snapshot`/`restore`
+//!   round-trip on one scratch simulator;
+//! * `hitting_set_btree_vs_bitset` — the greedy hitting set on the dense
+//!   `EdgeBitSet` representation vs a faithful `BTreeSet<EdgeId>`
+//!   reference (the representation this PR replaced);
+//! * `trials_parallel_speedup` — `collect_trials` (worker pool over
+//!   placements x trials) vs `collect_trials_sequential` at the quick
+//!   figure scale.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use netdiag_bench::Fixture;
+use netdiag_experiments::figures::{collect_trials, collect_trials_sequential, FigureConfig};
+use netdiag_experiments::runner::RunConfig;
+use netdiagnoser::{EdgeBitSet, EdgeId, HittingSetInstance, Weights};
+
+fn bench_sim_clone(c: &mut Criterion) {
+    let fx = Fixture::paper_scale();
+    let link = fx.mesh.traceroutes[0].links()[0];
+    let mut group = c.benchmark_group("sim_clone_vs_snapshot");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("deep_clone", |b| b.iter(|| fx.sim.deep_clone()));
+    group.bench_function("cow_clone", |b| b.iter(|| fx.sim.clone()));
+    group.bench_function("deep_clone_fail_link", |b| {
+        b.iter(|| {
+            let mut s = fx.sim.deep_clone();
+            s.fail_link(black_box(link));
+            s
+        })
+    });
+    let mut scratch = fx.sim.clone();
+    let snap = scratch.snapshot();
+    group.bench_function("snapshot_fail_restore", |b| {
+        b.iter(|| {
+            scratch.fail_link(black_box(link));
+            scratch.restore(&snap);
+        })
+    });
+    group.finish();
+}
+
+/// The pre-bitset representation: plain ordered sets of edge ids.
+struct BtreeInstance {
+    failure_sets: Vec<BTreeSet<EdgeId>>,
+    reroute_sets: Vec<BTreeSet<EdgeId>>,
+    candidates: BTreeSet<EdgeId>,
+}
+
+/// Faithful replica of the greedy on the `BTreeSet` representation
+/// (no clusters — the synthetic instance has none), kept as the bench
+/// baseline after the production code moved to `EdgeBitSet`.
+fn greedy_btree(inst: &BtreeInstance, weights: Weights) -> Vec<EdgeId> {
+    let mut unexplained_f: BTreeSet<usize> = (0..inst.failure_sets.len()).collect();
+    let mut unexplained_r: BTreeSet<usize> = (0..inst.reroute_sets.len()).collect();
+    let mut candidates = inst.candidates.clone();
+    let mut hypothesis = Vec::new();
+    #[allow(clippy::nonminimal_bool)] // mirrors the production greedy's condition
+    while !candidates.is_empty() && !(unexplained_f.is_empty() && unexplained_r.is_empty()) {
+        let mut best_score = 0u64;
+        let mut best: Vec<EdgeId> = Vec::new();
+        for &e in &candidates {
+            let cf = unexplained_f
+                .iter()
+                .filter(|&&i| inst.failure_sets[i].contains(&e))
+                .count() as u64;
+            let cr = unexplained_r
+                .iter()
+                .filter(|&&i| inst.reroute_sets[i].contains(&e))
+                .count() as u64;
+            let score = u64::from(weights.a) * cf + u64::from(weights.b) * cr;
+            match score.cmp(&best_score) {
+                Ordering::Greater => {
+                    best_score = score;
+                    best = vec![e];
+                }
+                Ordering::Equal if score > 0 => best.push(e),
+                _ => {}
+            }
+        }
+        if best_score == 0 {
+            break;
+        }
+        for e in best {
+            unexplained_f.retain(|&i| !inst.failure_sets[i].contains(&e));
+            unexplained_r.retain(|&i| !inst.reroute_sets[i].contains(&e));
+            candidates.remove(&e);
+            hypothesis.push(e);
+        }
+    }
+    hypothesis
+}
+
+fn synthetic_pair(
+    n_fail: usize,
+    n_reroute: usize,
+    universe: u32,
+    seed: u64,
+) -> (HittingSetInstance, BtreeInstance) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut draw_sets = |n: usize| -> Vec<BTreeSet<EdgeId>> {
+        (0..n)
+            .map(|_| (0..6).map(|_| EdgeId(rng.gen_range(0..universe))).collect())
+            .collect()
+    };
+    let failure_sets = draw_sets(n_fail);
+    let reroute_sets = draw_sets(n_reroute);
+    let candidates: BTreeSet<EdgeId> = failure_sets.iter().flatten().copied().collect();
+    let bitset = HittingSetInstance {
+        failure_sets: failure_sets
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect(),
+        reroute_sets: reroute_sets
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect(),
+        candidates: candidates.iter().copied().collect::<EdgeBitSet>(),
+        clusters: BTreeMap::new(),
+    };
+    let btree = BtreeInstance {
+        failure_sets,
+        reroute_sets,
+        candidates,
+    };
+    (bitset, btree)
+}
+
+fn bench_hitting_set(c: &mut Criterion) {
+    let (bitset, btree) = synthetic_pair(60, 40, 512, 11);
+    // The two representations must agree before comparing their speed.
+    assert_eq!(
+        bitset.greedy(Weights::default()).hypothesis,
+        greedy_btree(&btree, Weights::default()),
+        "bitset greedy must match the BTreeSet reference"
+    );
+    let mut group = c.benchmark_group("hitting_set_btree_vs_bitset");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("btreeset", |b| {
+        b.iter(|| greedy_btree(black_box(&btree), Weights::default()))
+    });
+    group.bench_function("bitset", |b| {
+        b.iter(|| black_box(&bitset).greedy(Weights::default()))
+    });
+    group.finish();
+}
+
+fn bench_trials_parallel(c: &mut Criterion) {
+    let fc = FigureConfig::quick();
+    let net = fc.internet();
+    let cfg = RunConfig::default();
+    let mut group = c.benchmark_group("trials_parallel_speedup");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(8));
+    group.bench_function("sequential", |b| {
+        b.iter(|| collect_trials_sequential(&net, &cfg, &fc))
+    });
+    group.bench_function("parallel", |b| b.iter(|| collect_trials(&net, &cfg, &fc)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_clone,
+    bench_hitting_set,
+    bench_trials_parallel
+);
+criterion_main!(benches);

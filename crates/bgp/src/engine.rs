@@ -9,6 +9,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use netdiag_igp::{Igp, LinkState};
 use netdiag_obs::{names, RecorderHandle};
@@ -76,7 +77,7 @@ pub enum ObservedKind {
 }
 
 /// An eBGP message received by a router of the observer AS.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ObservedMsg {
     /// Receiving router (inside the observer AS).
     pub at: RouterId,
@@ -117,11 +118,17 @@ pub struct RunStats {
 const MAX_MESSAGES_PER_RUN: u64 = 200_000_000;
 
 /// The BGP simulator for a whole topology.
+///
+/// Per-router state sits behind [`Arc`]s so a `Bgp` clone is O(#routers)
+/// pointer bumps; mutation goes through [`Bgp::state_mut`], which clones a
+/// router's RIBs only when they are still shared with another engine clone
+/// (copy-on-write). The session table is immutable after construction and
+/// shared outright.
 #[derive(Clone, Debug)]
 pub struct Bgp {
-    /// The session table (public for inspection).
-    pub sessions: SessionTable,
-    routers: Vec<RouterState>,
+    /// The session table (public for inspection; immutable after build).
+    pub sessions: Arc<SessionTable>,
+    routers: Vec<Arc<RouterState>>,
     filters: ExportFilters,
     queue: VecDeque<Msg>,
     observer: Option<AsId>,
@@ -131,14 +138,18 @@ pub struct Bgp {
     /// Decision-process invocations since the last flush (batched so the
     /// hot path pays one integer add, not a virtual call).
     decisions: u64,
+    /// Copy-on-write breaks since the last flush (batched like `decisions`).
+    cow_breaks: u64,
 }
 
 impl Bgp {
     /// Creates the engine with empty RIBs and no routes originated.
     pub fn new(topology: &Topology) -> Self {
         Bgp {
-            sessions: SessionTable::build(topology),
-            routers: vec![RouterState::default(); topology.router_count()],
+            sessions: Arc::new(SessionTable::build(topology)),
+            routers: (0..topology.router_count())
+                .map(|_| Arc::new(RouterState::default()))
+                .collect(),
             filters: ExportFilters::new(),
             queue: VecDeque::new(),
             observer: None,
@@ -146,6 +157,31 @@ impl Bgp {
             seq: 0,
             recorder: RecorderHandle::noop(),
             decisions: 0,
+            cow_breaks: 0,
+        }
+    }
+
+    /// Read access to a router's BGP state.
+    fn state(&self, r: RouterId) -> &RouterState {
+        &self.routers[r.index()]
+    }
+
+    /// Write access to a router's BGP state, cloning it first when it is
+    /// still shared with another engine clone (copy-on-write break).
+    fn state_mut(&mut self, r: RouterId) -> &mut RouterState {
+        let arc = &mut self.routers[r.index()];
+        if Arc::strong_count(arc) > 1 {
+            self.cow_breaks += 1;
+        }
+        Arc::make_mut(arc)
+    }
+
+    /// Forces every router's state to be uniquely owned (a full deep copy),
+    /// detaching this engine from any sharing. Used to benchmark the cost
+    /// the CoW representation avoids.
+    pub fn unshare_all(&mut self) {
+        for r in &mut self.routers {
+            Arc::make_mut(r);
         }
     }
 
@@ -183,7 +219,7 @@ impl Bgp {
             .filter(|&r| asn.routers.len() == 1 || ctx.topology.is_border_router(r))
             .collect();
         for r in originators {
-            self.routers[r.index()].originated.insert(prefix);
+            self.state_mut(r).originated.insert(prefix);
             if self.decide(ctx, r, prefix) {
                 self.propagate(ctx, r, prefix);
             }
@@ -218,18 +254,23 @@ impl Bgp {
             self.recorder.add(names::BGP_MSGS, stats.messages);
             self.recorder.add(names::BGP_DECISIONS, self.decisions);
             self.decisions = 0;
+            if self.cow_breaks > 0 {
+                self.recorder
+                    .add(names::SIM_SNAPSHOT_COW_BREAKS, self.cow_breaks);
+                self.cow_breaks = 0;
+            }
         }
         stats
     }
 
     /// The best route of `r` for exactly `prefix`.
     pub fn best_route(&self, r: RouterId, prefix: &Prefix) -> Option<&Route> {
-        self.routers[r.index()].loc_rib.get(prefix)
+        self.state(r).loc_rib.get(prefix)
     }
 
     /// Longest-prefix-match lookup in `r`'s Loc-RIB.
     pub fn lookup(&self, r: RouterId, dst: Ipv4Addr) -> Option<&Route> {
-        self.routers[r.index()]
+        self.state(r)
             .loc_rib
             .iter()
             .filter(|(p, _)| p.contains(dst))
@@ -239,7 +280,7 @@ impl Bgp {
 
     /// Iterates over `r`'s Loc-RIB (prefix-ordered).
     pub fn loc_rib(&self, r: RouterId) -> impl Iterator<Item = (&Prefix, &Route)> {
-        self.routers[r.index()].loc_rib.iter()
+        self.state(r).loc_rib.iter()
     }
 
     /// Reacts to a link going down (the [`LinkState`] must already reflect
@@ -291,10 +332,11 @@ impl Bgp {
         // Re-decide everything in the AS: IGP distance changes can flip the
         // best route even when all sessions stay up.
         for &r in &ctx.topology.as_node(as_id).routers {
-            let prefixes: BTreeSet<Prefix> = self.routers[r.index()]
+            let prefixes: BTreeSet<Prefix> = self
+                .state(r)
                 .adj_in
                 .keys()
-                .chain(self.routers[r.index()].loc_rib.keys())
+                .chain(self.state(r).loc_rib.keys())
                 .copied()
                 .collect();
             for prefix in prefixes {
@@ -335,7 +377,7 @@ impl Bgp {
     /// Resyncs every session's Adj-RIB-Out of `r` with its current best
     /// routes (sends updates over sessions that missed them).
     fn readvertise_all(&mut self, ctx: Ctx<'_>, r: RouterId) {
-        let prefixes: Vec<Prefix> = self.routers[r.index()].loc_rib.keys().copied().collect();
+        let prefixes: Vec<Prefix> = self.state(r).loc_rib.keys().copied().collect();
         for prefix in prefixes {
             self.propagate(ctx, r, prefix);
         }
@@ -367,7 +409,20 @@ impl Bgp {
         // Drop in-flight messages on the session (they would be discarded at
         // delivery anyway because the session is down).
         for r in [s.a, s.b] {
-            let state = &mut self.routers[r.index()];
+            // Read-only pre-check so routers untouched by the session don't
+            // break copy-on-write sharing.
+            let touched = {
+                let state = self.state(r);
+                state.adj_out.contains_key(&sid)
+                    || state
+                        .adj_in
+                        .values()
+                        .any(|by_session| by_session.contains_key(&sid))
+            };
+            if !touched {
+                continue;
+            }
+            let state = self.state_mut(r);
             state.adj_out.remove(&sid);
             let affected: Vec<Prefix> = state
                 .adj_in
@@ -424,7 +479,7 @@ impl Bgp {
                 let prefix = rm.prefix;
                 match self.import(ctx, to, from, session, rm, kind) {
                     Some(route) => {
-                        self.routers[to.index()]
+                        self.state_mut(to)
                             .adj_in
                             .entry(prefix)
                             .or_default()
@@ -433,22 +488,33 @@ impl Bgp {
                     None => {
                         // Loop-rejected update acts as a withdraw of any
                         // previous route on the session.
-                        if let Some(by_session) = self.routers[to.index()].adj_in.get_mut(&prefix) {
-                            by_session.remove(&session);
-                        }
+                        self.remove_adj_in(to, prefix, session);
                     }
                 }
                 prefix
             }
             Payload::Withdraw(prefix) => {
-                if let Some(by_session) = self.routers[to.index()].adj_in.get_mut(&prefix) {
-                    by_session.remove(&session);
-                }
+                self.remove_adj_in(to, prefix, session);
                 prefix
             }
         };
         if self.decide(ctx, to, prefix) {
             self.propagate(ctx, to, prefix);
+        }
+    }
+
+    /// Drops the route learned for `prefix` on `session` at `to`, if any,
+    /// without breaking copy-on-write when there is nothing to drop.
+    fn remove_adj_in(&mut self, to: RouterId, prefix: Prefix, session: SessionId) {
+        let present = self
+            .state(to)
+            .adj_in
+            .get(&prefix)
+            .is_some_and(|by_session| by_session.contains_key(&session));
+        if present {
+            if let Some(by_session) = self.state_mut(to).adj_in.get_mut(&prefix) {
+                by_session.remove(&session);
+            }
         }
     }
 
@@ -502,7 +568,7 @@ impl Bgp {
     /// Loc-RIB entry changed.
     fn decide(&mut self, ctx: Ctx<'_>, r: RouterId, prefix: Prefix) -> bool {
         self.decisions += 1;
-        let state = &self.routers[r.index()];
+        let state = self.state(r);
         let as_id = ctx.topology.as_of_router(r);
         let best: Option<Route> = if state.originated.contains(&prefix) {
             Some(Route::originated(prefix, r))
@@ -538,9 +604,12 @@ impl Bgp {
                 .map(|(_, route)| route.clone())
         };
 
-        let state = &mut self.routers[r.index()];
-        let changed = state.loc_rib.get(&prefix) != best.as_ref();
+        // Only take write access when the entry actually changes, so a
+        // no-op re-decision (the common case in `refresh_as`) keeps the
+        // router's state shared.
+        let changed = self.state(r).loc_rib.get(&prefix) != best.as_ref();
         if changed {
+            let state = self.state_mut(r);
             match best {
                 Some(route) => {
                     state.loc_rib.insert(prefix, route);
@@ -556,7 +625,7 @@ impl Bgp {
     /// Synchronizes every session's Adj-RIB-Out with the current best route
     /// of `r` for `prefix`, queueing updates/withdraws.
     fn propagate(&mut self, ctx: Ctx<'_>, r: RouterId, prefix: Prefix) {
-        let best = self.routers[r.index()].loc_rib.get(&prefix).cloned();
+        let best = self.state(r).loc_rib.get(&prefix).cloned();
         let session_ids: Vec<SessionId> = self.sessions.of_router(r).to_vec();
         for sid in session_ids {
             if !self.sessions.is_up(sid, ctx.topology, ctx.igp, ctx.links) {
@@ -567,17 +636,20 @@ impl Bgp {
             let advertise: Option<RouteMsg> = best
                 .as_ref()
                 .and_then(|b| self.export(ctx, r, peer, sid, session.kind, b));
-            let had = self.routers[r.index()]
+            let had = self
+                .state(r)
                 .adj_out
                 .get(&sid)
                 .is_some_and(|s| s.contains(&prefix));
             match advertise {
                 Some(rm) => {
-                    self.routers[r.index()]
-                        .adj_out
-                        .entry(sid)
-                        .or_default()
-                        .insert(prefix);
+                    if !had {
+                        self.state_mut(r)
+                            .adj_out
+                            .entry(sid)
+                            .or_default()
+                            .insert(prefix);
+                    }
                     self.queue.push_back(Msg {
                         session: sid,
                         from: r,
@@ -586,7 +658,7 @@ impl Bgp {
                     });
                 }
                 None if had => {
-                    self.routers[r.index()]
+                    self.state_mut(r)
                         .adj_out
                         .get_mut(&sid)
                         .expect("had implies entry")

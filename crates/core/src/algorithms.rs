@@ -262,7 +262,6 @@ fn build_clusters(problem: &Problem) -> BTreeMap<EdgeId, Vec<EdgeId>> {
     let infos: Vec<Info> = problem
         .candidates
         .iter()
-        .copied()
         .filter(|&e| problem.graph.is_unidentified(e))
         .filter_map(|e| {
             let d = problem.graph.edge(e);
@@ -275,7 +274,7 @@ fn build_clusters(problem: &Problem) -> BTreeMap<EdgeId, Vec<EdgeId>> {
             let failures = problem
                 .failure_sets
                 .iter()
-                .filter(|s| s.edges.contains(&e))
+                .filter(|s| s.edges.contains(e))
                 .count();
             Some(Info {
                 edge: e,

@@ -247,19 +247,6 @@ impl<'a> NetDiagnoser<'a> {
         NetDiagnoserBuilder::default()
     }
 
-    /// A lenient troubleshooter with the paper's default weights — the
-    /// pre-builder API.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `NetDiagnoser::builder()` and attach inputs explicitly"
-    )]
-    pub fn new(algorithm: Algorithm) -> Self {
-        NetDiagnoser::builder()
-            .algorithm(algorithm)
-            .allow_missing_inputs()
-            .build()
-    }
-
     /// The configured algorithm variant.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
@@ -312,38 +299,6 @@ impl<'a> NetDiagnoser<'a> {
                 Ok(nd_lg_recorded(obs, ip2as, feed, lg, self.weights, recorder))
             }
         }
-    }
-
-    /// Runs the configured diagnosis with per-call inputs — the
-    /// pre-builder API. Always lenient: absent inputs are substituted with
-    /// empty ones regardless of how the diagnoser was built.
-    #[deprecated(
-        since = "0.2.0",
-        note = "attach the feed and Looking Glass on the builder, then call \
-                `diagnose(obs, ip2as)`"
-    )]
-    pub fn diagnose_with(
-        &self,
-        obs: &Observations,
-        ip2as: &dyn IpToAs,
-        feed: Option<&RoutingFeed>,
-        lg: Option<&dyn LookingGlass>,
-    ) -> Diagnosis {
-        let mut builder = NetDiagnoser::builder()
-            .algorithm(self.algorithm)
-            .weights(self.weights)
-            .recorder(self.recorder.clone())
-            .allow_missing_inputs();
-        if let Some(feed) = feed.or(self.feed) {
-            builder = builder.routing_feed(feed);
-        }
-        if let Some(lg) = lg.or(self.lg) {
-            builder = builder.looking_glass(lg);
-        }
-        builder
-            .build()
-            .diagnose(obs, ip2as)
-            .expect("lenient diagnosis cannot fail")
     }
 }
 
@@ -479,21 +434,6 @@ mod tests {
         let nd = NetDiagnoser::default();
         assert_eq!(nd.algorithm(), Algorithm::NdEdge);
         assert_eq!(nd.weights(), Weights { a: 1, b: 1 });
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_builder_behaviour() {
-        let ip2as = ip2as();
-        let o = obs();
-        let old = NetDiagnoser::new(Algorithm::NdLg).diagnose_with(&o, &ip2as, None, None);
-        let new = NetDiagnoser::builder()
-            .algorithm(Algorithm::NdLg)
-            .allow_missing_inputs()
-            .build()
-            .diagnose(&o, &ip2as)
-            .unwrap();
-        assert_eq!(old.hypothesis_endpoints(), new.hypothesis_endpoints());
     }
 
     #[test]

@@ -7,11 +7,17 @@
 //! weighted failure/reroute scoring of §3.2 and the link clusters of §3.4)
 //! plus an exact branch-and-bound solver used as a test oracle and for the
 //! greedy-vs-exact ablation bench.
+//!
+//! All edge sets are dense [`EdgeBitSet`]s: membership is one word load and
+//! greedy scoring is popcount work, but iteration order (ascending edge id)
+//! matches the `BTreeSet` representation this replaced, so the greedy's
+//! tie-breaking — and therefore every hypothesis — is bit-identical.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use netdiag_obs::{names, RecorderHandle};
 
+use crate::bitset::EdgeBitSet;
 use crate::graph::EdgeId;
 
 /// Scoring weights: `score(ℓ) = a·|C(ℓ)| + b·|R(ℓ)|` (§3.2; the paper uses
@@ -33,17 +39,16 @@ impl Default for Weights {
 /// A hitting-set instance over graph edges.
 ///
 /// ```
-/// use std::collections::BTreeSet;
-/// use netdiagnoser::{EdgeId, HittingSetInstance, Weights};
+/// use netdiagnoser::{EdgeBitSet, EdgeId, HittingSetInstance, Weights};
 ///
 /// // Two broken paths share edge 0: the greedy explains both with it.
 /// let inst = HittingSetInstance {
 ///     failure_sets: vec![
-///         BTreeSet::from([EdgeId(0), EdgeId(1)]),
-///         BTreeSet::from([EdgeId(0), EdgeId(2)]),
+///         EdgeBitSet::from([EdgeId(0), EdgeId(1)]),
+///         EdgeBitSet::from([EdgeId(0), EdgeId(2)]),
 ///     ],
 ///     reroute_sets: vec![],
-///     candidates: BTreeSet::from([EdgeId(0), EdgeId(1), EdgeId(2)]),
+///     candidates: EdgeBitSet::from([EdgeId(0), EdgeId(1), EdgeId(2)]),
 ///     clusters: Default::default(),
 /// };
 /// let result = inst.greedy(Weights::default());
@@ -54,11 +59,11 @@ impl Default for Weights {
 #[derive(Clone, Debug, Default)]
 pub struct HittingSetInstance {
     /// Failure sets (must be hit; weight `a`).
-    pub failure_sets: Vec<BTreeSet<EdgeId>>,
+    pub failure_sets: Vec<EdgeBitSet>,
     /// Reroute sets (must be hit; weight `b`).
-    pub reroute_sets: Vec<BTreeSet<EdgeId>>,
+    pub reroute_sets: Vec<EdgeBitSet>,
     /// Candidate edges the hypothesis may draw from.
-    pub candidates: BTreeSet<EdgeId>,
+    pub candidates: EdgeBitSet,
     /// Link clusters (§3.4): for an unidentified link, the other links
     /// believed to be the same physical link. Covering one covers the
     /// failure sets of all cluster members.
@@ -77,15 +82,6 @@ pub struct GreedyResult {
 }
 
 impl HittingSetInstance {
-    /// The edges whose coverage `e` provides: itself plus its cluster.
-    fn coverage_group(&self, e: EdgeId) -> Vec<EdgeId> {
-        let mut g = vec![e];
-        if let Some(members) = self.clusters.get(&e) {
-            g.extend(members.iter().copied());
-        }
-        g
-    }
-
     /// The paper's greedy heuristic (Algorithm 1, extended with reroute
     /// sets and clusters). In each iteration *every* edge achieving the
     /// maximum score is added (Algorithm 1, lines 13–16). Stops when all
@@ -94,32 +90,58 @@ impl HittingSetInstance {
         self.greedy_recorded(weights, &RecorderHandle::noop())
     }
 
-    /// [`HittingSetInstance::greedy`] reporting `hs.greedy_iters` and the
-    /// `hs.candidates` instance size to `recorder`.
+    /// [`HittingSetInstance::greedy`] reporting `hs.greedy_iters`, the
+    /// `hs.candidates` instance size, and the bitset words touched by
+    /// scoring (`hitting_set.words_scanned`) to `recorder`.
     pub fn greedy_recorded(&self, weights: Weights, recorder: &RecorderHandle) -> GreedyResult {
         let mut unexplained_f: BTreeSet<usize> = (0..self.failure_sets.len()).collect();
         let mut unexplained_r: BTreeSet<usize> = (0..self.reroute_sets.len()).collect();
         let mut candidates = self.candidates.clone();
         let mut hypothesis = Vec::new();
         let mut iterations: u64 = 0;
+        let mut words_scanned: u64 = 0;
+
+        // Coverage bitsets, built only for clustered candidates (clusters
+        // are empty outside ND-LG): an unclustered edge covers via a single
+        // `contains`, a clustered one via a word-wise intersection.
+        let groups: BTreeMap<EdgeId, EdgeBitSet> = self
+            .clusters
+            .iter()
+            .map(|(&e, members)| {
+                let mut g: EdgeBitSet = members.iter().copied().collect();
+                g.insert(e);
+                (e, g)
+            })
+            .collect();
+        let hits = |set: &EdgeBitSet, e: EdgeId, words: &mut u64| -> bool {
+            match groups.get(&e) {
+                Some(g) => {
+                    *words += set.words().len().min(g.words().len()).max(1) as u64;
+                    set.intersects(g)
+                }
+                None => {
+                    *words += 1;
+                    set.contains(e)
+                }
+            }
+        };
 
         // Loop while work remains (Algorithm 1 line 7): some set is still
         // unexplained and candidates are left.
         #[allow(clippy::nonminimal_bool)] // mirrors the paper's condition
         while !candidates.is_empty() && !(unexplained_f.is_empty() && unexplained_r.is_empty()) {
             iterations += 1;
-            // Score every candidate.
+            // Score every candidate (ascending edge id, the BTreeSet order).
             let mut best_score = 0u64;
             let mut best: Vec<EdgeId> = Vec::new();
-            for &e in &candidates {
-                let group = self.coverage_group(e);
+            for e in candidates.iter() {
                 let c = unexplained_f
                     .iter()
-                    .filter(|&&i| group.iter().any(|g| self.failure_sets[i].contains(g)))
+                    .filter(|&&i| hits(&self.failure_sets[i], e, &mut words_scanned))
                     .count() as u64;
                 let r = unexplained_r
                     .iter()
-                    .filter(|&&i| group.iter().any(|g| self.reroute_sets[i].contains(g)))
+                    .filter(|&&i| hits(&self.reroute_sets[i], e, &mut words_scanned))
                     .count() as u64;
                 let score = u64::from(weights.a) * c + u64::from(weights.b) * r;
                 match score.cmp(&best_score) {
@@ -135,10 +157,9 @@ impl HittingSetInstance {
                 break; // remaining sets cannot be explained by any candidate
             }
             for e in best {
-                let group = self.coverage_group(e);
-                unexplained_f.retain(|&i| !group.iter().any(|g| self.failure_sets[i].contains(g)));
-                unexplained_r.retain(|&i| !group.iter().any(|g| self.reroute_sets[i].contains(g)));
-                candidates.remove(&e);
+                unexplained_f.retain(|&i| !hits(&self.failure_sets[i], e, &mut words_scanned));
+                unexplained_r.retain(|&i| !hits(&self.reroute_sets[i], e, &mut words_scanned));
+                candidates.remove(e);
                 hypothesis.push(e);
             }
         }
@@ -146,6 +167,7 @@ impl HittingSetInstance {
         if recorder.enabled() {
             recorder.add(names::HS_GREEDY_ITERS, iterations);
             recorder.observe(names::HS_CANDIDATES, self.candidates.len() as u64);
+            recorder.add(names::HS_WORDS_SCANNED, words_scanned);
         }
 
         GreedyResult {
@@ -161,21 +183,13 @@ impl HittingSetInstance {
     /// no hitting set exists within `max_size` — or when the node budget
     /// (10M expansions) runs out; use only on modest instances.
     pub fn exact(&self, max_size: usize) -> Option<Vec<EdgeId>> {
-        let all_sets: Vec<&BTreeSet<EdgeId>> = self
+        // Restrict each set to candidates; an empty restricted set is
+        // unhittable.
+        let sets: Vec<Vec<EdgeId>> = self
             .failure_sets
             .iter()
             .chain(self.reroute_sets.iter())
-            .collect();
-        // Restrict each set to candidates; an empty restricted set is
-        // unhittable.
-        let sets: Vec<Vec<EdgeId>> = all_sets
-            .iter()
-            .map(|s| {
-                s.iter()
-                    .copied()
-                    .filter(|e| self.candidates.contains(e))
-                    .collect()
-            })
+            .map(|s| s.iter().filter(|&e| self.candidates.contains(e)).collect())
             .collect();
         if sets.iter().any(|s: &Vec<EdgeId>| s.is_empty()) {
             return None;
@@ -236,7 +250,7 @@ mod tests {
         EdgeId(i)
     }
 
-    fn set(ids: &[u32]) -> BTreeSet<EdgeId> {
+    fn set(ids: &[u32]) -> EdgeBitSet {
         ids.iter().map(|&i| e(i)).collect()
     }
 
@@ -295,7 +309,7 @@ mod tests {
         };
         let r = inst.greedy(Weights::default());
         let h: BTreeSet<_> = r.hypothesis.iter().copied().collect();
-        assert_eq!(h, set(&[0, 1]));
+        assert_eq!(h, set(&[0, 1]).iter().collect());
         assert!(r.unexplained_reroutes.is_empty());
     }
 
@@ -358,5 +372,15 @@ mod tests {
         let r1 = inst.greedy(Weights::default());
         let r2 = inst.greedy(Weights::default());
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn words_scanned_reported() {
+        use netdiag_obs::RecorderHandle;
+        let inst = instance(&[&[0, 1], &[0, 2]], &[0, 1, 2]);
+        let (recorder, sink) = RecorderHandle::in_memory();
+        inst.greedy_recorded(Weights::default(), &recorder);
+        let report = sink.report();
+        assert!(report.counter("hitting_set.words_scanned") > 0);
     }
 }

@@ -72,6 +72,7 @@
 #![warn(missing_docs)]
 
 mod algorithms;
+mod bitset;
 pub mod detector;
 mod diagnosis;
 mod facade;
@@ -89,6 +90,7 @@ pub use algorithms::{
     nd_bgpigp, nd_bgpigp_recorded, nd_edge, nd_edge_recorded, nd_lg, nd_lg_recorded, tomo,
     tomo_recorded,
 };
+pub use bitset::EdgeBitSet;
 pub use detector::{Alarm, PersistenceFilter};
 pub use diagnosis::Diagnosis;
 pub use facade::{Algorithm, DiagnoseError, NetDiagnoser, NetDiagnoserBuilder};

@@ -8,6 +8,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use netdiag_topology::SensorId;
 
+use crate::bitset::EdgeBitSet;
 use crate::graph::{DiagGraph, Epoch, HopNode, PathRef, PhysId};
 use crate::hitting_set::HittingSetInstance;
 use crate::observation::{Hop, IpToAs, Observations, RoutingFeed};
@@ -22,7 +23,7 @@ pub struct PathSet {
     /// Index of the underlying path in the *before* snapshot.
     pub before_index: usize,
     /// The edges of the set.
-    pub edges: BTreeSet<crate::graph::EdgeId>,
+    pub edges: EdgeBitSet,
 }
 
 /// How to construct the problem (which paper features to enable).
@@ -78,9 +79,9 @@ pub struct Problem {
     /// the new path.
     pub reroute_sets: Vec<PathSet>,
     /// Edges proven up by working paths.
-    pub working_edges: BTreeSet<crate::graph::EdgeId>,
+    pub working_edges: EdgeBitSet,
     /// Candidate edges for the hypothesis.
-    pub candidates: BTreeSet<crate::graph::EdgeId>,
+    pub candidates: EdgeBitSet,
     /// Edge sequence of every before-snapshot path (aligned with
     /// `Observations::before.paths`).
     pub before_edges: Vec<Vec<crate::graph::EdgeId>>,
@@ -167,7 +168,7 @@ impl Problem {
         }
 
         // Working constraints.
-        let mut working_edges = BTreeSet::new();
+        let mut working_edges = EdgeBitSet::new();
         if opts.use_after {
             // Post-failure working paths prove their (new) edges up.
             for (j, p) in obs.after.paths.iter().enumerate() {
@@ -211,7 +212,7 @@ impl Problem {
                     .iter()
                     .map(|&e| graph.edge(e).phys())
                     .collect();
-                let removed: BTreeSet<crate::graph::EdgeId> = before_edges[i]
+                let removed: EdgeBitSet = before_edges[i]
                     .iter()
                     .copied()
                     .filter(|&e| {
@@ -231,14 +232,14 @@ impl Problem {
 
         // Candidate set: everything implicated, minus proven-up edges,
         // minus (optionally) unidentified links.
-        let mut candidates: BTreeSet<crate::graph::EdgeId> = failure_sets
+        let mut candidates: EdgeBitSet = failure_sets
             .iter()
-            .flat_map(|s| s.edges.iter().copied())
-            .chain(reroute_sets.iter().flat_map(|s| s.edges.iter().copied()))
+            .flat_map(|s| s.edges.iter())
+            .chain(reroute_sets.iter().flat_map(|s| s.edges.iter()))
             .collect();
         candidates.retain(|e| !working_edges.contains(e));
         if opts.ignore_unidentified {
-            candidates.retain(|&e| !graph.is_unidentified(e));
+            candidates.retain(|e| !graph.is_unidentified(e));
         }
 
         Problem {
@@ -296,10 +297,10 @@ impl Problem {
         if !self.forced.is_empty() {
             let forced = self.forced.clone();
             self.failure_sets
-                .retain(|s| !forced.iter().any(|e| s.edges.contains(e)));
+                .retain(|s| !forced.iter().any(|&e| s.edges.contains(e)));
             self.reroute_sets
-                .retain(|s| !forced.iter().any(|e| s.edges.contains(e)));
-            for e in &forced {
+                .retain(|s| !forced.iter().any(|&e| s.edges.contains(e)));
+            for &e in &forced {
                 self.candidates.remove(e);
             }
         }
@@ -345,7 +346,7 @@ impl Problem {
                         if into_neighbor && d.logical.is_some() {
                             continue;
                         }
-                        if set.edges.remove(&e) {
+                        if set.edges.remove(e) {
                             exonerated += 1;
                         }
                     }
@@ -353,15 +354,11 @@ impl Problem {
             }
         }
         // Candidates implicated by nothing anymore can be dropped.
-        let still_implicated: BTreeSet<crate::graph::EdgeId> = self
+        let still_implicated: EdgeBitSet = self
             .failure_sets
             .iter()
-            .flat_map(|s| s.edges.iter().copied())
-            .chain(
-                self.reroute_sets
-                    .iter()
-                    .flat_map(|s| s.edges.iter().copied()),
-            )
+            .flat_map(|s| s.edges.iter())
+            .chain(self.reroute_sets.iter().flat_map(|s| s.edges.iter()))
             .collect();
         self.candidates.retain(|e| still_implicated.contains(e));
 

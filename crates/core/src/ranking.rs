@@ -39,13 +39,13 @@ pub fn rank(diagnosis: &Diagnosis) -> Vec<RankedSuspect> {
                 .problem
                 .failure_sets
                 .iter()
-                .filter(|s| s.edges.contains(&edge))
+                .filter(|s| s.edges.contains(edge))
                 .count(),
             reroute_sets_hit: diagnosis
                 .problem
                 .reroute_sets
                 .iter()
-                .filter(|s| s.edges.contains(&edge))
+                .filter(|s| s.edges.contains(edge))
                 .count(),
             is_logical: diagnosis.graph().edge(edge).logical.is_some(),
         })

@@ -222,7 +222,7 @@ fn nd_edge_uses_reroute_sets() {
     let phys: BTreeSet<(HopNode, HopNode)> = rs
         .edges
         .iter()
-        .map(|&e| {
+        .map(|e| {
             let (a, b) = g.endpoints(e);
             (a, b)
         })
@@ -230,7 +230,7 @@ fn nd_edge_uses_reroute_sets() {
     assert!(phys.contains(&(HopNode::Ip(ip(5, 1, 1)), HopNode::Ip(ip(5, 3, 1)))));
     // Hypothesis must cover the reroute set (the failed y1-y3 link region).
     assert!(
-        d.hypothesis.iter().any(|e| rs.edges.contains(e)),
+        d.hypothesis.iter().any(|&e| rs.edges.contains(e)),
         "reroute set must be hit"
     );
     // Tomo, by contrast, wrongly exonerates y1->y3? No — y1->y3 is not on
@@ -557,13 +557,13 @@ fn section32_reroute_set_example_literal() {
     // The reroute set is exactly the two abandoned links: the edges into
     // h3 (l3) and h4 (l4). The edge into the destination host is shared
     // (same ingress) and the prefix l1, l2 are unchanged.
-    let targets: BTreeSet<HopNode> = rs.edges.iter().map(|&e| d.graph().endpoints(e).1).collect();
+    let targets: BTreeSet<HopNode> = rs.edges.iter().map(|e| d.graph().endpoints(e).1).collect();
     assert_eq!(
         targets,
         BTreeSet::from([HopNode::Ip(ip(9, 3, 1)), HopNode::Ip(ip(9, 4, 1))]),
         "reroute set must be exactly {{l3, l4}}"
     );
     // And the greedy must hit it (a failed link hides among l3/l4).
-    let hit = d.hypothesis.iter().any(|e| rs.edges.contains(e));
+    let hit = d.hypothesis.iter().any(|&e| rs.edges.contains(e));
     assert!(hit, "{:?}", d.hypothesis_endpoints());
 }

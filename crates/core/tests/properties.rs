@@ -7,18 +7,18 @@ use std::net::Ipv4Addr;
 use proptest::prelude::*;
 
 use netdiag_topology::AsId;
-use netdiagnoser::{metrics, scfs, EdgeId, HittingSetInstance, Weights};
+use netdiagnoser::{metrics, scfs, EdgeBitSet, EdgeId, HittingSetInstance, Weights};
 
 /// Random hitting-set instance: sets over a small universe, with all their
 /// elements as candidates.
 fn instance_strategy() -> impl Strategy<Value = HittingSetInstance> {
     proptest::collection::vec(proptest::collection::btree_set(0u32..20, 1..5), 1..8).prop_map(
         |sets| {
-            let failure_sets: Vec<BTreeSet<EdgeId>> = sets
+            let failure_sets: Vec<EdgeBitSet> = sets
                 .into_iter()
                 .map(|s| s.into_iter().map(EdgeId).collect())
                 .collect();
-            let candidates: BTreeSet<EdgeId> = failure_sets.iter().flatten().copied().collect();
+            let candidates: EdgeBitSet = failure_sets.iter().flat_map(|s| s.iter()).collect();
             HittingSetInstance {
                 failure_sets,
                 reroute_sets: Vec::new(),
@@ -41,10 +41,10 @@ proptest! {
         prop_assert!(r.unexplained_failures.is_empty());
         let h: BTreeSet<EdgeId> = r.hypothesis.iter().copied().collect();
         for set in &inst.failure_sets {
-            prop_assert!(set.iter().any(|e| h.contains(e)));
+            prop_assert!(set.iter().any(|e| h.contains(&e)));
         }
         // The hypothesis only draws from candidates.
-        prop_assert!(h.iter().all(|e| inst.candidates.contains(e)));
+        prop_assert!(h.iter().all(|&e| inst.candidates.contains(e)));
     }
 
     /// The exact solver returns a hitting set no larger than the greedy's,
@@ -59,7 +59,7 @@ proptest! {
         // Exact result is itself a hitting set.
         let h: BTreeSet<EdgeId> = exact.iter().copied().collect();
         for set in &inst.failure_sets {
-            prop_assert!(set.iter().any(|e| h.contains(e)));
+            prop_assert!(set.iter().any(|e| h.contains(&e)));
         }
     }
 
@@ -69,16 +69,16 @@ proptest! {
         let full = inst.exact(32).expect("hittable");
         let mut restricted = inst.clone();
         // Drop one candidate that is not the sole hitter of any set.
-        let removable = restricted.candidates.iter().copied().find(|e| {
+        let removable = restricted.candidates.iter().find(|&e| {
             restricted
                 .failure_sets
                 .iter()
                 .all(|s| !s.contains(e) || s.len() > 1)
         });
         if let Some(e) = removable {
-            restricted.candidates.remove(&e);
+            restricted.candidates.remove(e);
             for s in &mut restricted.failure_sets {
-                s.remove(&e);
+                s.remove(e);
             }
             if restricted.failure_sets.iter().all(|s| !s.is_empty()) {
                 let smaller = restricted.exact(32).expect("still hittable");

@@ -12,6 +12,14 @@
 //! `sample_size` timed samples, and prints min/median/mean wall-clock per
 //! iteration — enough to eyeball regressions and to keep `cargo bench`
 //! compiling and running offline.
+//!
+//! Two environment variables drive `scripts/bench.sh`:
+//!
+//! * `CRITERION_QUICK=1` caps every benchmark at 10 samples with short
+//!   warm-up/measurement budgets (a smoke-level run);
+//! * `CRITERION_JSON=<path>` appends one JSON line per benchmark
+//!   (`{"id", "samples", "min_ns", "median_ns", "mean_ns"}`) to `<path>`
+//!   in addition to the human-readable stdout line.
 
 #![forbid(unsafe_code)]
 
@@ -113,6 +121,18 @@ impl BenchmarkGroup<'_> {
             return self;
         }
 
+        // CRITERION_QUICK caps the budgets for smoke runs (bench.sh).
+        let quick = std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0" && !v.is_empty());
+        let (sample_size, warm_up_time, measurement_time) = if quick {
+            (
+                self.sample_size.min(10),
+                self.warm_up_time.min(Duration::from_millis(200)),
+                self.measurement_time.min(Duration::from_millis(800)),
+            )
+        } else {
+            (self.sample_size, self.warm_up_time, self.measurement_time)
+        };
+
         // Warm-up: run until the budget elapses (at least once).
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
@@ -120,7 +140,7 @@ impl BenchmarkGroup<'_> {
             elapsed: Duration::ZERO,
             iters: 0,
         };
-        while warm_iters == 0 || warm_start.elapsed() < self.warm_up_time {
+        while warm_iters == 0 || warm_start.elapsed() < warm_up_time {
             bencher.reset();
             f(&mut bencher);
             warm_iters += bencher.iters.max(1);
@@ -128,10 +148,10 @@ impl BenchmarkGroup<'_> {
 
         // Sampling: `sample_size` samples, stopping early only if the
         // measurement budget is exhausted (every benchmark gets >= 1).
-        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
         let sample_start = Instant::now();
-        for i in 0..self.sample_size {
-            if i > 0 && sample_start.elapsed() > self.measurement_time {
+        for i in 0..sample_size {
+            if i > 0 && sample_start.elapsed() > measurement_time {
                 break;
             }
             bencher.reset();
@@ -149,6 +169,24 @@ impl BenchmarkGroup<'_> {
             format_time(median),
             format_time(mean),
         );
+        if let Some(path) = std::env::var_os("CRITERION_JSON") {
+            use std::io::Write as _;
+            if let Ok(mut out) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(
+                    out,
+                    "{{\"id\":\"{}\",\"samples\":{},\"min_ns\":{:.0},\"median_ns\":{:.0},\"mean_ns\":{:.0}}}",
+                    full_id,
+                    per_iter.len(),
+                    min * 1e9,
+                    median * 1e9,
+                    mean * 1e9,
+                );
+            }
+        }
         self
     }
 

@@ -122,7 +122,7 @@ pub struct SimLookingGlass<'a> {
     /// The (post-failure) simulator whose BGP state answers queries.
     pub sim: &'a Sim,
     /// ASes offering a Looking Glass server.
-    pub available: BTreeSet<AsId>,
+    pub available: &'a BTreeSet<AsId>,
 }
 
 impl LookingGlass for SimLookingGlass<'_> {

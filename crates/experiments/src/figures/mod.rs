@@ -91,41 +91,108 @@ impl FigureOutput {
     }
 }
 
+/// Seed of the failure RNG for trial `t` of placement `p`. Every trial
+/// owns an independent RNG derived from `(base_seed, placement, trial)`,
+/// so trials may run on any thread in any order and still draw exactly
+/// the same failures.
+fn trial_seed(base_seed: u64, p: usize, t: usize) -> u64 {
+    base_seed
+        ^ 0xABCD
+        ^ (p as u64).wrapping_mul(0x85EB_CA6B)
+        ^ (t as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+}
+
 /// Runs the paper's standard experiment loop for one scenario: `placements`
 /// sensor placements, `failures_per_placement` unreachability-causing
 /// failures each.
 ///
-/// Placements are independent (each has its own seeds), so they run on
-/// separate threads; results are concatenated in placement order, keeping
-/// the output deterministic.
+/// Placements and trials are independent (each has its own derived seed),
+/// so both levels fan out across threads — one worker pool capped by
+/// `available_parallelism` pulls trials from a shared queue; results are
+/// assembled in `(placement, trial)` order, keeping the output
+/// deterministic and identical to [`collect_trials_sequential`].
 pub fn collect_trials(net: &Internet, cfg: &RunConfig, fc: &FigureConfig) -> Vec<TrialResult> {
-    let one_placement = |p: usize| -> Vec<TrialResult> {
-        let mut prng = StdRng::seed_from_u64(fc.base_seed ^ (p as u64).wrapping_mul(0x9E37_79B9));
-        let ctx = prepare_with(net, cfg, &mut prng, fc.recorder.clone());
-        let mut frng =
-            StdRng::seed_from_u64(fc.base_seed ^ 0xABCD ^ (p as u64).wrapping_mul(0x85EB_CA6B));
-        (0..fc.failures_per_placement)
-            .filter_map(|_| run_trial(&ctx, cfg, &mut frng))
-            .collect()
-    };
+    collect_trials_impl(net, cfg, fc, true)
+}
+
+/// Single-threaded reference implementation of [`collect_trials`]: same
+/// seeds, same trial order, no worker pool. Exists so tests and benches can
+/// check (and measure) that parallel collection changes nothing but
+/// wall-clock time.
+pub fn collect_trials_sequential(
+    net: &Internet,
+    cfg: &RunConfig,
+    fc: &FigureConfig,
+) -> Vec<TrialResult> {
+    collect_trials_impl(net, cfg, fc, false)
+}
+
+fn collect_trials_impl(
+    net: &Internet,
+    cfg: &RunConfig,
+    fc: &FigureConfig,
+    parallel: bool,
+) -> Vec<TrialResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
-        .min(fc.placements.max(1));
-    if threads <= 1 || fc.placements <= 1 {
-        return (0..fc.placements).flat_map(one_placement).collect();
-    }
-    let mut per_placement: Vec<Vec<TrialResult>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..fc.placements)
-            .map(|p| scope.spawn(move || one_placement(p)))
-            .collect();
-        per_placement = handles
+        .unwrap_or(1);
+
+    // Phase 1: prepare one context per placement (independent seeds).
+    let prepare_one = |p: usize| -> crate::runner::PlacementContext {
+        let mut prng = StdRng::seed_from_u64(fc.base_seed ^ (p as u64).wrapping_mul(0x9E37_79B9));
+        prepare_with(net, cfg, &mut prng, fc.recorder.clone())
+    };
+    let contexts: Vec<crate::runner::PlacementContext> =
+        if parallel && threads > 1 && fc.placements > 1 {
+            let prep = &prepare_one;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..fc.placements)
+                    .map(|p| scope.spawn(move || prep(p)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("placement worker panicked"))
+                    .collect()
+            })
+        } else {
+            (0..fc.placements).map(prepare_one).collect()
+        };
+
+    // Phase 2: run every (placement, trial) cell on the worker pool.
+    let total = fc.placements * fc.failures_per_placement;
+    let run_one = |idx: usize| -> Option<TrialResult> {
+        let p = idx / fc.failures_per_placement;
+        let t = idx % fc.failures_per_placement;
+        let mut rng = StdRng::seed_from_u64(trial_seed(fc.base_seed, p, t));
+        run_trial(&contexts[p], cfg, &mut rng)
+    };
+    let workers = threads.min(total.max(1));
+    let slots: Vec<Option<TrialResult>> = if !parallel || workers <= 1 {
+        (0..total).map(run_one).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<TrialResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= total {
+                        break;
+                    }
+                    let result = run_one(idx);
+                    *slots[idx].lock().expect("trial slot poisoned") = result;
+                });
+            }
+        });
+        slots
             .into_iter()
-            .map(|h| h.join().expect("placement worker panicked"))
-            .collect();
-    });
-    per_placement.into_iter().flatten().collect()
+            .map(|m| m.into_inner().expect("trial slot poisoned"))
+            .collect()
+    };
+    slots.into_iter().flatten().collect()
 }
 
 /// Collects a metric from trials into a CDF.

@@ -150,7 +150,13 @@ pub fn prepare_with(
         lg_pool[..n_lg.min(lg_pool.len())].iter().copied().collect();
     lg_available.insert(observer);
 
-    let mesh_before = probe_mesh(&sim, &sensors, &blocked);
+    // With no blocking the blocked-aware mesh is the plain mesh: reuse it
+    // instead of probing the same network a second time.
+    let mesh_before = if blocked.is_empty() {
+        plain_mesh
+    } else {
+        probe_mesh(&sim, &sensors, &blocked)
+    };
 
     PlacementContext {
         sim,
@@ -164,7 +170,7 @@ pub fn prepare_with(
 }
 
 /// Per-algorithm evaluations for one failure trial.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrialResult {
     /// The injected failure.
     pub failure: Failure,
@@ -197,9 +203,19 @@ const MAX_ATTEMPTS: usize = 200;
 pub fn run_trial(ctx: &PlacementContext, cfg: &RunConfig, rng: &mut StdRng) -> Option<TrialResult> {
     let topology = ctx.sim.topology();
     let recorder = ctx.sim.recorder().clone();
+    // One scratch simulator serves every sampling attempt: applying a
+    // failure only copies the per-AS/per-router state it touches (CoW), and
+    // a redraw rolls those copies back via the snapshot instead of cloning
+    // a fresh simulator.
+    let mut broken = ctx.sim.clone();
+    let baseline = broken.snapshot();
+    let mut first_attempt = true;
     for _ in 0..MAX_ATTEMPTS {
         let failure = sample_failure(&ctx.sim, &ctx.mesh_before, &ctx.sensors, cfg.failure, rng)?;
-        let mut broken = ctx.sim.clone();
+        if !first_attempt {
+            broken.restore(&baseline);
+        }
+        first_attempt = false;
         {
             let _inject = recorder.span(names::TRIAL_INJECT);
             apply_failure(&mut broken, &failure);
@@ -249,7 +265,7 @@ pub fn run_trial(ctx: &PlacementContext, cfg: &RunConfig, rng: &mut StdRng) -> O
             // report at all).
             let lg = SimLookingGlass {
                 sim: &ctx.sim,
-                available: ctx.lg_available.clone(),
+                available: &ctx.lg_available,
             };
             let d = nd_lg_recorded(&obs, &ip2as, &feed, &lg, cfg.weights, &recorder);
             Some(evaluate(topology, &truth, &d, &failed_sites))

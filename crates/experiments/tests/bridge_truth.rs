@@ -158,14 +158,16 @@ fn routing_feed_filters_igp_events_to_observer() {
 fn sim_looking_glass_respects_availability() {
     let (sim, sensors) = world();
     let dst = sensors.get(SensorId(1)).addr;
+    let every_as: BTreeSet<AsId> = [AsId(0), AsId(1), AsId(2)].into_iter().collect();
     let all = SimLookingGlass {
         sim: &sim,
-        available: [AsId(0), AsId(1), AsId(2)].into_iter().collect(),
+        available: &every_as,
     };
     assert!(all.as_path(AsId(1), dst).is_some());
+    let empty = BTreeSet::new();
     let none = SimLookingGlass {
         sim: &sim,
-        available: BTreeSet::new(),
+        available: &empty,
     };
     assert_eq!(none.as_path(AsId(1), dst), None);
 }

@@ -1,0 +1,38 @@
+//! Parallel trial collection must be a pure wall-clock optimisation:
+//! [`collect_trials`] (worker pool over placements x trials) and
+//! [`collect_trials_sequential`] (single thread, same derived seeds) must
+//! return identical results in identical order.
+
+use netdiag_experiments::figures::{collect_trials, collect_trials_sequential, FigureConfig};
+use netdiag_experiments::runner::RunConfig;
+use netdiag_experiments::sampling::FailureSpec;
+
+#[test]
+fn parallel_equals_sequential() {
+    let fc = FigureConfig::quick();
+    let net = fc.internet();
+    let cfg = RunConfig::default();
+    let par = collect_trials(&net, &cfg, &fc);
+    let seq = collect_trials_sequential(&net, &cfg, &fc);
+    assert_eq!(par, seq);
+    assert!(!par.is_empty(), "quick config must yield trials");
+}
+
+#[test]
+fn parallel_equals_sequential_with_blocking() {
+    // Blocking exercises the Looking-Glass branch of run_trial too.
+    let fc = FigureConfig {
+        placements: 2,
+        failures_per_placement: 3,
+        ..FigureConfig::default()
+    };
+    let net = fc.internet();
+    let cfg = RunConfig {
+        blocked_frac: 0.3,
+        failure: FailureSpec::Links(2),
+        ..RunConfig::default()
+    };
+    let par = collect_trials(&net, &cfg, &fc);
+    let seq = collect_trials_sequential(&net, &cfg, &fc);
+    assert_eq!(par, seq);
+}

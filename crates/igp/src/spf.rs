@@ -3,6 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use netdiag_obs::{names, RecorderHandle};
 use netdiag_topology::{AsId, LinkKind, RouterId, Topology};
@@ -197,9 +198,13 @@ fn dijkstra(
 }
 
 /// Per-AS IGP state for an entire topology.
+///
+/// Each AS's converged tables sit behind an [`Arc`], so cloning an `Igp`
+/// is O(#ASes) pointer bumps. A recompute replaces the affected AS's Arc
+/// wholesale; untouched ASes keep sharing their tables with every clone.
 #[derive(Clone, Debug)]
 pub struct Igp {
-    per_as: Vec<AsIgp>,
+    per_as: Vec<Arc<AsIgp>>,
 }
 
 impl Igp {
@@ -217,7 +222,7 @@ impl Igp {
         let per_as = topology
             .ases()
             .iter()
-            .map(|a| AsIgp::compute_recorded(topology, a.id, links, recorder))
+            .map(|a| Arc::new(AsIgp::compute_recorded(topology, a.id, links, recorder)))
             .collect();
         Igp { per_as }
     }
@@ -225,6 +230,21 @@ impl Igp {
     /// The converged state of one AS.
     pub fn of(&self, as_id: AsId) -> &AsIgp {
         &self.per_as[as_id.index()]
+    }
+
+    /// True when the AS's tables are shared with another `Igp` clone, i.e.
+    /// replacing them breaks copy-on-write sharing.
+    pub fn is_shared(&self, as_id: AsId) -> bool {
+        Arc::strong_count(&self.per_as[as_id.index()]) > 1
+    }
+
+    /// Forces every per-AS table to be uniquely owned (a full deep copy),
+    /// detaching this `Igp` from any sharing. Used to benchmark the cost
+    /// the CoW representation avoids.
+    pub fn unshare_all(&mut self) {
+        for a in &mut self.per_as {
+            Arc::make_mut(a);
+        }
     }
 
     /// Recomputes a single AS after its intra-domain link state changed.
@@ -240,7 +260,8 @@ impl Igp {
         links: &LinkState,
         recorder: &RecorderHandle,
     ) {
-        self.per_as[as_id.index()] = AsIgp::compute_recorded(topology, as_id, links, recorder);
+        self.per_as[as_id.index()] =
+            Arc::new(AsIgp::compute_recorded(topology, as_id, links, recorder));
     }
 
     /// Convenience: distance between two routers of the same AS.

@@ -33,5 +33,5 @@ pub use dataplane::{DataPath, ForwardOutcome, PathHop};
 pub use failures::{apply_failure, Failure};
 pub use looking_glass::looking_glass_query;
 pub use sensors::{probe_mesh, ProbeMesh, Sensor, SensorSet};
-pub use sim::{IgpLinkDown, Sim};
+pub use sim::{IgpLinkDown, Sim, SimSnapshot};
 pub use traceroute::{paris_traceroute, traceroute, ProbeHop, Traceroute};

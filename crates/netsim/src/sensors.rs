@@ -101,7 +101,7 @@ impl SensorSet {
 }
 
 /// A full mesh of traceroutes between all ordered sensor pairs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProbeMesh {
     /// Traceroutes in (src, dst) lexicographic order, src != dst.
     pub traceroutes: Vec<Traceroute>,

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use netdiag_bgp::{Bgp, Ctx, ExportDeny, ObservedMsg};
 use netdiag_igp::{Igp, LinkState};
-use netdiag_obs::RecorderHandle;
+use netdiag_obs::{names, RecorderHandle};
 use netdiag_topology::{AsId, LinkId, LinkKind, RouterId, Topology};
 
 /// An IGP "link down" event, as seen by the operator of the link's AS.
@@ -21,10 +21,29 @@ pub struct IgpLinkDown {
     pub as_id: AsId,
 }
 
+/// All mutable routing state of a [`Sim`], captured at one instant.
+///
+/// Taking a snapshot is cheap: per-AS IGP tables and per-router BGP RIBs
+/// live behind `Arc`s, so the capture is O(#ASes + #routers) pointer bumps.
+/// [`Sim::restore`] rolls the simulator back to the captured state, which
+/// lets one scratch simulator serve many failure experiments in a row
+/// instead of cloning a fresh simulator per experiment.
+#[derive(Clone)]
+pub struct SimSnapshot {
+    links: LinkState,
+    igp: Igp,
+    bgp: Bgp,
+    igp_events: Vec<IgpLinkDown>,
+    messages: u64,
+}
+
 /// A runnable network: static topology plus all dynamic routing state.
 ///
 /// `Sim` is `Clone`, so a converged healthy network can be snapshotted once
-/// and each failure experiment applied to a fresh copy.
+/// and each failure experiment applied to a fresh copy. Cloning is cheap
+/// (copy-on-write: shared state is only copied for the ASes/routers a
+/// mutation actually touches); [`Sim::deep_clone`] forces the full copy the
+/// seed implementation used to pay per clone.
 ///
 /// ```
 /// use std::sync::Arc;
@@ -86,6 +105,44 @@ impl Sim {
     /// The simulator's instrumentation sink.
     pub fn recorder(&self) -> &RecorderHandle {
         &self.recorder
+    }
+
+    /// Captures all mutable routing state (cheap: Arc bumps, no table
+    /// copies). Restore with [`Sim::restore`].
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            links: self.links.clone(),
+            igp: self.igp.clone(),
+            bgp: self.bgp.clone(),
+            igp_events: self.igp_events.clone(),
+            messages: self.messages,
+        }
+    }
+
+    /// Rolls all mutable routing state back to `snap`, undoing every
+    /// failure, repair and misconfiguration applied since the capture.
+    /// Topology, registered hosts and the recorder are immutable across
+    /// failure experiments and stay as they are.
+    pub fn restore(&mut self, snap: &SimSnapshot) {
+        self.links = snap.links.clone();
+        self.igp = snap.igp.clone();
+        self.bgp = snap.bgp.clone();
+        self.igp_events = snap.igp_events.clone();
+        self.messages = snap.messages;
+    }
+
+    /// A clone with every shared table forced into unique ownership — the
+    /// full deep copy the pre-CoW implementation paid for every clone.
+    /// Counted under `sim.snapshot.deep_copies`; kept for benchmarks and
+    /// equivalence tests.
+    pub fn deep_clone(&self) -> Self {
+        let mut copy = self.clone();
+        copy.igp.unshare_all();
+        copy.bgp.unshare_all();
+        if self.recorder.enabled() {
+            self.recorder.add(names::SIM_SNAPSHOT_DEEP_COPIES, 1);
+        }
+        copy
     }
 
     /// Originates the prefixes of the given ASes and converges.
@@ -154,6 +211,16 @@ impl Sim {
                 }
             }
         }
+        if self.recorder.enabled() {
+            let breaks = affected_ases
+                .iter()
+                .filter(|&&a| self.igp.is_shared(a))
+                .count();
+            if breaks > 0 {
+                self.recorder
+                    .add(names::SIM_SNAPSHOT_COW_BREAKS, breaks as u64);
+            }
+        }
         for &a in &affected_ases {
             self.igp
                 .recompute_as_recorded(&self.topology, a, &self.links, &self.recorder);
@@ -184,6 +251,9 @@ impl Sim {
         let link = self.topology.link(l);
         if link.kind == LinkKind::Intra {
             let as_id = self.topology.as_of_router(link.a);
+            if self.recorder.enabled() && self.igp.is_shared(as_id) {
+                self.recorder.add(names::SIM_SNAPSHOT_COW_BREAKS, 1);
+            }
             self.igp
                 .recompute_as_recorded(&self.topology, as_id, &self.links, &self.recorder);
         }

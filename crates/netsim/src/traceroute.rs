@@ -72,7 +72,7 @@ impl ProbeHop {
 }
 
 /// A complete traceroute measurement between two sensors.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Traceroute {
     /// Probing sensor.
     pub src: SensorId,

@@ -1,0 +1,105 @@
+//! Copy-on-write equivalence: a cloned `Sim` that shares per-AS IGP and
+//! per-router BGP state behind `Arc`s — and a scratch `Sim` rolled back via
+//! `snapshot`/`restore` between failure rounds — must be observationally
+//! identical to a fully deep-cloned simulator. "Observationally" means the
+//! probe mesh, the IGP link-down events, and the observed BGP messages
+//! (including withdrawals) match bit for bit.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use netdiag_bgp::ObservedKind;
+use netdiag_netsim::{probe_mesh, SensorSet, Sim};
+use netdiag_topology::builders::{build_internet, InternetConfig};
+use netdiag_topology::LinkId;
+
+fn world(seed: u64) -> (Sim, SensorSet) {
+    let net = build_internet(&InternetConfig::small(seed));
+    let topology = Arc::new(net.topology.clone());
+    let spec: Vec<_> = net.stubs[..4]
+        .iter()
+        .map(|s| (s.as_id, s.routers[0]))
+        .collect();
+    let sensors = SensorSet::place(&topology, &spec);
+    let mut sim = Sim::new(topology);
+    sensors.register(&mut sim);
+    sim.converge_for(&sensors.as_ids());
+    // Drain convergence chatter so both copies start from the same drained
+    // baseline, as the experiment runner does.
+    sim.take_observed();
+    sim.take_igp_events();
+    (sim, sensors)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One CoW scratch sim reused across failure rounds (restore between
+    /// rounds) reports exactly what a fresh deep clone would.
+    #[test]
+    fn cow_restore_matches_deep_clone(
+        seed in 0u64..200,
+        picks in proptest::collection::vec((0usize..1000, 1usize..=2), 1..4),
+    ) {
+        let (sim, sensors) = world(seed);
+        let links: Vec<LinkId> = sim.topology().links().iter().map(|l| l.id).collect();
+        let none = BTreeSet::new();
+
+        let mut cow = sim.clone();
+        let baseline = cow.snapshot();
+        let mut first = true;
+        for &(pick, width) in &picks {
+            let chosen: Vec<LinkId> = (0..width)
+                .map(|i| links[(pick + i * 7) % links.len()])
+                .collect();
+
+            let mut deep = sim.deep_clone();
+            deep.fail_links(&chosen);
+
+            if !first {
+                cow.restore(&baseline);
+            }
+            first = false;
+            cow.fail_links(&chosen);
+
+            let mesh_deep = probe_mesh(&deep, &sensors, &none);
+            let mesh_cow = probe_mesh(&cow, &sensors, &none);
+            prop_assert_eq!(&mesh_deep, &mesh_cow, "probe meshes diverged");
+
+            let ev_deep = deep.take_igp_events();
+            let ev_cow = cow.take_igp_events();
+            prop_assert_eq!(ev_deep, ev_cow, "IGP events diverged");
+
+            let obs_deep = deep.take_observed();
+            let obs_cow = cow.take_observed();
+            let wd = |k: ObservedKind| k == ObservedKind::Withdraw;
+            prop_assert_eq!(
+                obs_deep.iter().filter(|m| wd(m.kind)).count(),
+                obs_cow.iter().filter(|m| wd(m.kind)).count(),
+                "withdrawal counts diverged"
+            );
+            prop_assert_eq!(obs_deep, obs_cow, "observed BGP messages diverged");
+        }
+    }
+
+    /// Repairing the failed links on the CoW sim (instead of restoring)
+    /// also returns it to the healthy baseline's observable state.
+    #[test]
+    fn restore_returns_to_baseline(seed in 0u64..200, pick in 0usize..1000) {
+        let (sim, sensors) = world(seed);
+        let links: Vec<LinkId> = sim.topology().links().iter().map(|l| l.id).collect();
+        let none = BTreeSet::new();
+        let healthy = probe_mesh(&sim, &sensors, &none);
+
+        let mut cow = sim.clone();
+        let baseline = cow.snapshot();
+        cow.fail_link(links[pick % links.len()]);
+        cow.restore(&baseline);
+        let back = probe_mesh(&cow, &sensors, &none);
+        prop_assert_eq!(&healthy, &back, "restore must undo the failure");
+        prop_assert!(cow.take_igp_events().is_empty());
+        prop_assert!(cow.take_observed().is_empty());
+    }
+}

@@ -20,6 +20,14 @@ pub const BGP_DECISIONS: &str = "bgp.decisions";
 /// Counter: `Bgp::run` convergence rounds.
 pub const BGP_RUNS: &str = "bgp.runs";
 
+// --- sim: copy-on-write snapshots -------------------------------------------
+
+/// Counter: full deep copies of simulator state (`Sim::deep_clone`).
+pub const SIM_SNAPSHOT_DEEP_COPIES: &str = "sim.snapshot.deep_copies";
+/// Counter: copy-on-write breaks — shared per-AS IGP tables or per-router
+/// BGP state cloned because a mutation touched them.
+pub const SIM_SNAPSHOT_COW_BREAKS: &str = "sim.snapshot.cow_breaks";
+
 // --- probe: simulated measurements -----------------------------------------
 
 /// Counter: traceroutes rendered.
@@ -35,6 +43,8 @@ pub const PROBE_BLOCKED_HOPS: &str = "probe.blocked_hops";
 pub const HS_GREEDY_ITERS: &str = "hs.greedy_iters";
 /// Histogram: candidate-edge count per solved instance.
 pub const HS_CANDIDATES: &str = "hs.candidates";
+/// Counter: bitset words touched by greedy scoring (popcount loops).
+pub const HS_WORDS_SCANNED: &str = "hitting_set.words_scanned";
 
 // --- feed: routing-data integration (ND-bgpigp) -----------------------------
 

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the perf benchmark suite in quick mode and distils the medians into
+# BENCH_PR3.json at the repo root:
+#
+#   { "<bench id>": { "samples": N, "min_ns": ..., "median_ns": ..., "mean_ns": ... }, ... }
+#
+# Full-budget run (no quick caps): BENCH_QUICK=0 scripts/bench.sh
+# Extra benches (figures/micro/ablations too): BENCH_ALL=1 scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jsonl="$(mktemp)"
+trap 'rm -f "$jsonl"' EXIT
+
+quick="${BENCH_QUICK:-1}"
+export CRITERION_JSON="$jsonl"
+if [ "$quick" != "0" ]; then
+  export CRITERION_QUICK=1
+fi
+
+benches=(perf)
+if [ "${BENCH_ALL:-0}" != "0" ]; then
+  benches+=(micro ablations figures)
+fi
+for b in "${benches[@]}"; do
+  cargo bench -q -p netdiag-bench --bench "$b"
+done
+
+python3 - "$jsonl" BENCH_PR3.json <<'EOF'
+import json, sys
+
+out = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        out[rec.pop("id")] = rec
+with open(sys.argv[2], "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {sys.argv[2]} ({len(out)} benchmarks)")
+EOF

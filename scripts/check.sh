@@ -16,4 +16,7 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== bench smoke (quick mode) =="
+CRITERION_QUICK=1 cargo bench -q -p netdiag-bench --bench perf
+
 echo "all checks passed"

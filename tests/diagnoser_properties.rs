@@ -75,9 +75,9 @@ proptest! {
             // Hypothesis edges come from candidates/forced only.
             for &e in &d.hypothesis {
                 prop_assert!(
-                    d.problem.candidates.contains(&e)
+                    d.problem.candidates.contains(e)
                         || d.problem.forced.contains(&e)
-                        || !d.problem.working_edges.contains(&e),
+                        || !d.problem.working_edges.contains(e),
                     "hypothesis edge on a working path"
                 );
             }
@@ -92,7 +92,7 @@ proptest! {
                 let explained = !d.greedy.unexplained_failures.contains(&i);
                 if explained {
                     prop_assert!(
-                        set.edges.iter().any(|e| h.contains(e)),
+                        set.edges.iter().any(|e| h.contains(&e)),
                         "explained set not hit"
                     );
                 }
@@ -131,7 +131,7 @@ proptest! {
         // Some candidate edge maps to the failed link (it was probed at T-
         // and cannot be cleared by any T+ working path).
         let mut in_candidates = false;
-        for &e in &d.problem.candidates {
+        for e in d.problem.candidates.iter() {
             let (from, to) = d.graph().endpoints(e);
             if truth.link_of(from, to) == Some(failed) {
                 in_candidates = true;
