@@ -7,7 +7,7 @@
 //! message *received by one designated observer AS* — the control-plane feed
 //! the paper's ND-bgpigp algorithm consumes.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -97,13 +97,13 @@ pub struct ObservedMsg {
 #[derive(Clone, Debug, Default)]
 struct RouterState {
     /// Routes received per prefix, per session.
-    adj_in: HashMap<Prefix, BTreeMap<SessionId, Route>>,
+    adj_in: BTreeMap<Prefix, BTreeMap<SessionId, Route>>,
     /// Prefixes this router originates.
     originated: BTreeSet<Prefix>,
     /// Best route per prefix.
     loc_rib: BTreeMap<Prefix, Route>,
     /// Prefixes currently advertised per session.
-    adj_out: HashMap<SessionId, BTreeSet<Prefix>>,
+    adj_out: BTreeMap<SessionId, BTreeSet<Prefix>>,
 }
 
 /// Statistics from a convergence run.
@@ -632,7 +632,9 @@ impl Bgp {
                 continue;
             }
             let session = self.sessions.get(sid).clone();
-            let peer = session.other(r);
+            let peer = session
+                .other(r)
+                .expect("sid comes from r's session table, so r is an endpoint");
             let advertise: Option<RouteMsg> = best
                 .as_ref()
                 .and_then(|b| self.export(ctx, r, peer, sid, session.kind, b));

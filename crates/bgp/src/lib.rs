@@ -23,7 +23,7 @@
 //! communities, route reflection, aggregation, MRAI timers.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod engine;
 mod policy;

@@ -5,12 +5,12 @@
 //! outbound route filter at one router that stops announcing selected
 //! prefixes to one specific neighbor, while the link otherwise keeps working.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use netdiag_topology::{Prefix, RouterId};
 
 /// A single outbound deny rule: `at` stops announcing `prefix` to `peer`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ExportDeny {
     /// The misconfigured router.
     pub at: RouterId,
@@ -21,9 +21,13 @@ pub struct ExportDeny {
 }
 
 /// Set of active outbound deny rules.
+///
+/// Backed by a `BTreeSet` so [`ExportFilters::iter`] yields rules in a
+/// stable order — failure injection and reporting must not depend on
+/// hash order (lint: `hash-iter`).
 #[derive(Clone, Debug, Default)]
 pub struct ExportFilters {
-    denies: HashSet<ExportDeny>,
+    denies: BTreeSet<ExportDeny>,
 }
 
 impl ExportFilters {

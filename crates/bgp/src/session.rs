@@ -49,18 +49,14 @@ pub struct Session {
 }
 
 impl Session {
-    /// The endpoint opposite `r`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `r` is not an endpoint.
-    pub fn other(&self, r: RouterId) -> RouterId {
+    /// The endpoint opposite `r`, or `None` when `r` is not an endpoint.
+    pub fn other(&self, r: RouterId) -> Option<RouterId> {
         if r == self.a {
-            self.b
+            Some(self.b)
         } else if r == self.b {
-            self.a
+            Some(self.a)
         } else {
-            panic!("{r} is not an endpoint of {:?}", self.id)
+            None
         }
     }
 }
@@ -221,7 +217,8 @@ mod tests {
         let t = sample();
         let st = SessionTable::build(&t);
         let s = st.get(SessionId(0));
-        assert_eq!(s.other(s.a), s.b);
-        assert_eq!(s.other(s.b), s.a);
+        assert_eq!(s.other(s.a), Some(s.b));
+        assert_eq!(s.other(s.b), Some(s.a));
+        assert_eq!(s.other(RouterId(99)), None);
     }
 }

@@ -1,6 +1,8 @@
 //! End-to-end convergence tests for the BGP engine on small hand-built
 //! topologies: policy correctness, failover, withdrawals, misconfigurations.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use netdiag_bgp::{Bgp, Ctx, ExportDeny, ObservedKind};
 use netdiag_igp::{Igp, LinkState};
 use netdiag_topology::{AsId, AsKind, LinkRelationship, RouterId, Topology, TopologyBuilder};

@@ -1,6 +1,8 @@
 //! Decision-process tests: each rung of the BGP preference ladder is
 //! exercised in isolation on purpose-built topologies.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::sync::Arc;
 
 use netdiag_bgp::{Bgp, Ctx, RouteSource};

@@ -2,6 +2,8 @@
 //! convergence, valley-freeness, reachability, determinism, and failover
 //! consistency.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

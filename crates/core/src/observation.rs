@@ -81,7 +81,7 @@ impl Observations {
         self.sensors
             .iter()
             .find(|s| s.id == id)
-            .expect("unknown sensor")
+            .expect("sensor ids in observations come from the sensor table")
     }
 }
 

@@ -5,6 +5,8 @@
 //! `<as>`. Sensors: s1 in AS-A(1), s2 in AS-B(2), s3 in AS-C(3). Transit:
 //! AS-X(4) (the troubleshooter) and AS-Y(5).
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 

@@ -1,6 +1,8 @@
 //! Edge cases of the tomography-problem builder: degenerate observations
 //! must produce sane problems, never panics.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::net::Ipv4Addr;
 
 use netdiag_topology::{AsId, SensorId};

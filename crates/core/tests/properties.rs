@@ -1,6 +1,8 @@
 //! Property-based tests of the diagnoser core: hitting-set solver laws,
 //! SCFS invariants, metric bounds, and graph interning laws.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 

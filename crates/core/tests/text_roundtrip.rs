@@ -1,6 +1,8 @@
 //! Property-based roundtrip tests for the text interchange format: any
 //! observations/feed/LG dump must survive write -> parse unchanged.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::net::Ipv4Addr;
 
 use proptest::prelude::*;

@@ -22,6 +22,8 @@
 //!   in addition to the human-readable stdout line.
 
 #![forbid(unsafe_code)]
+// A benchmark harness reports to stdout; that is its interface.
+#![allow(clippy::print_stdout)]
 
 use std::hint;
 use std::time::{Duration, Instant};

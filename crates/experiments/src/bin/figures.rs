@@ -12,6 +12,8 @@
 //! every selected figure are written to FILE as a JSON run report and a
 //! summary section is printed.
 
+// A runnable demo talks to its user on stdout.
+#![allow(clippy::print_stdout)]
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;

@@ -19,6 +19,8 @@
 //! phase timings of the run (SPF runs, BGP messages, probes, greedy
 //! iterations, …) are written to FILE as a JSON run report.
 
+// A runnable demo talks to its user on stdout.
+#![allow(clippy::print_stdout)]
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::fs;

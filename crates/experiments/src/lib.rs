@@ -7,7 +7,7 @@
 //! one regenerator per paper figure; the `figures` binary drives them.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bridge;
 pub mod figures;

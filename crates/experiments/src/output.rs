@@ -15,7 +15,10 @@ pub struct Cdf {
 impl Cdf {
     /// Builds the CDF from raw samples.
     pub fn new(mut values: Vec<f64>) -> Self {
-        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN metrics"));
+        values.sort_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("figure metrics are finite, never NaN")
+        });
         Cdf { values }
     }
 

@@ -1,6 +1,8 @@
 //! Unit-level tests of the bridge (simulator -> diagnoser conversion) and
 //! the ground-truth evaluation mapping.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

@@ -5,6 +5,8 @@
 //! to verify the qualitative shapes; the `figures` binary runs the paper's
 //! full 1000.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use netdiag_experiments::placement::Placement;
 use netdiag_experiments::runner::{prepare, run_trial, RunConfig, TrialResult};
 use netdiag_experiments::sampling::FailureSpec;

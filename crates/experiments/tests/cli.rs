@@ -1,6 +1,8 @@
 //! Integration tests of the two command-line binaries, spawned as real
 //! processes (Cargo exposes their paths via `CARGO_BIN_EXE_*`).
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::fs;
 use std::path::PathBuf;
 use std::process::Command;

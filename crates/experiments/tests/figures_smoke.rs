@@ -1,6 +1,8 @@
 //! Structural smoke tests for every figure regenerator: each must run at a
 //! tiny trial count and emit tables with the documented shape.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use netdiag_experiments::figures::{self, FigureConfig, FigureOutput};
 
 fn tiny() -> FigureConfig {

@@ -3,6 +3,8 @@
 //! [`collect_trials_sequential`] (single thread, same derived seeds) must
 //! return identical results in identical order.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use netdiag_experiments::figures::{collect_trials, collect_trials_sequential, FigureConfig};
 use netdiag_experiments::runner::RunConfig;
 use netdiag_experiments::sampling::FailureSpec;

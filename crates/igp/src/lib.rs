@@ -16,7 +16,7 @@
 //! ≥ 1), independent of tie-breaking.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod spf;
 mod state;

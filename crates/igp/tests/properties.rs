@@ -2,6 +2,8 @@
 //! Floyd–Warshall reference, loop-freedom of hop-by-hop forwarding, and
 //! monotonicity under link failures.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 
 use netdiag_igp::{Igp, LinkState};

@@ -20,7 +20,7 @@
 //!   ([`Sim::take_igp_events`]).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod dataplane;
 mod failures;

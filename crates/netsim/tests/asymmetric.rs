@@ -2,6 +2,8 @@
 //! see different hop sequences per direction, and diagnosis still works
 //! (the diagnoser's directed-edge model was built for exactly this).
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

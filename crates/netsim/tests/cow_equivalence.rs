@@ -5,6 +5,8 @@
 //! probe mesh, the IGP link-down events, and the observed BGP messages
 //! (including withdrawals) match bit for bit.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

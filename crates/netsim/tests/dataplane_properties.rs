@@ -2,6 +2,8 @@
 //! ECMP consistency, Paris-traceroute completeness, and forward/flow
 //! agreement.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

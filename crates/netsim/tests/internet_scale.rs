@@ -1,5 +1,7 @@
 //! Scale smoke test on the paper's full 165-AS topology.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;

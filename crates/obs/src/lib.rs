@@ -24,7 +24,7 @@
 //! locally and flush one `add` per operation.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::collections::BTreeMap;
 use std::fmt;

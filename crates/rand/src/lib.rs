@@ -291,7 +291,11 @@ pub mod rngs {
         fn from_seed(seed: Self::Seed) -> Self {
             let mut key = [0u32; 8];
             for (i, chunk) in seed.chunks_exact(4).enumerate() {
-                key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+                key[i] = u32::from_le_bytes(
+                    chunk
+                        .try_into()
+                        .expect("chunks_exact(4) yields 4-byte chunks"),
+                );
             }
             StdRng {
                 key,

@@ -129,6 +129,8 @@ impl Link {
         } else if r == self.b {
             self.a
         } else {
+            // lint: allow(panic-macro): documented `# Panics` contract — a
+            // non-endpoint RouterId here is a caller bug, not an input error
             panic!("{r} is not an endpoint of link {}", self.id)
         }
     }
@@ -144,6 +146,8 @@ impl Link {
         } else if r == self.b {
             self.addr_b
         } else {
+            // lint: allow(panic-macro): documented `# Panics` contract — a
+            // non-endpoint RouterId here is a caller bug, not an input error
             panic!("{r} is not an endpoint of link {}", self.id)
         }
     }
@@ -164,6 +168,8 @@ impl Link {
         } else if r == self.b {
             self.weight_ba
         } else {
+            // lint: allow(panic-macro): documented `# Panics` contract — a
+            // non-endpoint RouterId here is a caller bug, not an input error
             panic!("{r} is not an endpoint of link {}", self.id)
         }
     }

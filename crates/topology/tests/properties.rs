@@ -1,6 +1,8 @@
 //! Property-based tests of the topology layer: generator invariants over
 //! random configurations and prefix/address-plan laws.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 

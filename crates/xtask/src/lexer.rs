@@ -1,0 +1,525 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! This is not a full lexer for the Rust grammar — it is exactly the
+//! subset the lint passes need: a stream of identifiers, literals and
+//! punctuation with **correct string/char/comment boundaries** and
+//! 1-based line numbers. Getting those boundaries right is the whole
+//! game: a lint that greps for `unwrap()` must not fire on the text
+//! `".unwrap()"` inside a string literal or a doc comment.
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw strings with arbitrary `#` fences (`r##"…"##`), byte and
+//! raw-byte strings, char literals (including escapes), lifetimes
+//! (`'a` vs `'a'`), raw identifiers (`r#match`), and loose numeric
+//! literals. The scanner never panics on any input — that property is
+//! enforced by a proptest corpus (`tests/lexer_props.rs`).
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `match`, raw `r#match` → `match`).
+    Ident,
+    /// String literal of any flavour; `text` holds the *unquoted* body.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`); `text` holds the name without the quote.
+    Lifetime,
+    /// Numeric literal, suffix included (`0x1f`, `1_000u64`, `2.5`).
+    Num,
+    /// Comment (line or block); `text` holds the body without delimiters.
+    Comment,
+    /// Any single punctuation character (`.`, `(`, `::` is two tokens).
+    Punct,
+}
+
+/// One scanned token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for which delimiters are stripped).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Is this a given punctuation character?
+    pub fn is_punct(&self, c: char) -> bool {
+        // Punct tokens hold exactly one char by construction.
+        self.kind == TokKind::Punct && self.text.starts_with(c)
+    }
+
+    /// Is this a given identifier?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Cursor over the source as a char vector.
+///
+/// Indexing goes through `get`, so a cursor position past the end reads
+/// as "no char" rather than panicking.
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Scans `src` into a token stream. Total: consumes every char, never
+/// panics; malformed input (unterminated strings, stray bytes) degrades
+/// to best-effort tokens rather than errors.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek_at(1) == Some('/') => {
+                cur.bump();
+                cur.bump();
+                let mut body = String::new();
+                while let Some(c) = cur.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    body.push(c);
+                    cur.bump();
+                }
+                out.push(Tok {
+                    kind: TokKind::Comment,
+                    text: body,
+                    line,
+                });
+            }
+            '/' if cur.peek_at(1) == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                let mut body = String::new();
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            body.push_str("/*");
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                            if depth > 0 {
+                                body.push_str("*/");
+                            }
+                        }
+                        (Some(c), _) => {
+                            body.push(c);
+                            cur.bump();
+                        }
+                        (None, _) => break, // unterminated: EOF closes it
+                    }
+                }
+                out.push(Tok {
+                    kind: TokKind::Comment,
+                    text: body,
+                    line,
+                });
+            }
+            '"' => {
+                cur.bump();
+                out.push(Tok {
+                    kind: TokKind::Str,
+                    text: scan_string_body(&mut cur),
+                    line,
+                });
+            }
+            'r' | 'b' if starts_prefixed_literal(&cur) => {
+                scan_prefixed_literal(&mut cur, &mut out, line);
+            }
+            '\'' => {
+                scan_quote(&mut cur, &mut out, line);
+            }
+            c if is_ident_start(c) => {
+                let mut name = String::new();
+                while let Some(c) = cur.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    name.push(c);
+                    cur.bump();
+                }
+                out.push(Tok {
+                    kind: TokKind::Ident,
+                    text: name,
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut body = String::new();
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c) {
+                        body.push(c);
+                        cur.bump();
+                    } else if c == '.'
+                        && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+                        && !body.contains('.')
+                    {
+                        // `1.5` continues the number; `1..n` does not.
+                        body.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok {
+                    kind: TokKind::Num,
+                    text: body,
+                    line,
+                });
+            }
+            c => {
+                cur.bump();
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// After an opening `"`, consumes through the closing quote, returning
+/// the raw body (escapes kept verbatim; `\"` does not close).
+fn scan_string_body(cur: &mut Cursor) -> String {
+    let mut body = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => {
+                body.push('\\');
+                if let Some(e) = cur.bump() {
+                    body.push(e);
+                }
+            }
+            c => body.push(c),
+        }
+    }
+    body
+}
+
+/// Does the cursor sit on `r"`, `r#`, `b"`, `b'`, `br"` or `br#` —
+/// i.e. a literal rather than the identifiers `r`/`b`?
+fn starts_prefixed_literal(cur: &Cursor) -> bool {
+    let (c0, c1) = (cur.peek(), cur.peek_at(1));
+    match (c0, c1) {
+        (Some('r'), Some('"' | '#')) => true,
+        (Some('b'), Some('"' | '\'')) => true,
+        (Some('b'), Some('r')) => matches!(cur.peek_at(2), Some('"' | '#')),
+        _ => false,
+    }
+}
+
+/// Scans `r…`/`b…` literals: raw strings with `#` fences, byte strings,
+/// byte chars, and raw identifiers (`r#match` emits an `Ident`).
+fn scan_prefixed_literal(cur: &mut Cursor, out: &mut Vec<Tok>, line: usize) {
+    let raw = cur.eat('r') || {
+        cur.eat('b');
+        cur.eat('r')
+    };
+    if raw {
+        let mut hashes = 0usize;
+        while cur.eat('#') {
+            hashes += 1;
+        }
+        if cur.eat('"') {
+            // Raw string: runs until `"` followed by `hashes` hashes.
+            let mut body = String::new();
+            'scan: while let Some(c) = cur.bump() {
+                if c == '"' {
+                    let mut seen = 0usize;
+                    while seen < hashes {
+                        if cur.peek() == Some('#') {
+                            cur.bump();
+                            seen += 1;
+                        } else {
+                            // Not the fence — the quote and hashes were body.
+                            body.push('"');
+                            for _ in 0..seen {
+                                body.push('#');
+                            }
+                            continue 'scan;
+                        }
+                    }
+                    break;
+                }
+                body.push(c);
+            }
+            out.push(Tok {
+                kind: TokKind::Str,
+                text: body,
+                line,
+            });
+        } else if hashes == 1 && cur.peek().is_some_and(is_ident_start) {
+            // Raw identifier `r#match`.
+            let mut name = String::new();
+            while let Some(c) = cur.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                name.push(c);
+                cur.bump();
+            }
+            out.push(Tok {
+                kind: TokKind::Ident,
+                text: name,
+                line,
+            });
+        } else {
+            // `r#` before something unexpected: emit the hashes as punct.
+            for _ in 0..hashes {
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "#".to_string(),
+                    line,
+                });
+            }
+        }
+    } else if cur.eat('b') {
+        if cur.eat('"') {
+            out.push(Tok {
+                kind: TokKind::Str,
+                text: scan_string_body(cur),
+                line,
+            });
+        } else if cur.peek() == Some('\'') {
+            scan_quote(cur, out, line);
+        }
+    }
+}
+
+/// Scans from a `'`: a char literal when it closes (`'x'`, `'\n'`),
+/// otherwise a lifetime (`'a`, `'static`).
+fn scan_quote(cur: &mut Cursor, out: &mut Vec<Tok>, line: usize) {
+    cur.eat('\'');
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: `'\n'`, `'\\'`, `'\u{1f600}'`.
+            cur.bump();
+            let mut body = String::from("\\");
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+                body.push(c);
+            }
+            out.push(Tok {
+                kind: TokKind::Char,
+                text: body,
+                line,
+            });
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char; `'a` (no closing quote) is a lifetime.
+            let mut name = String::new();
+            while let Some(c) = cur.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                name.push(c);
+                cur.bump();
+            }
+            if name.chars().count() == 1 && cur.peek() == Some('\'') {
+                cur.bump();
+                out.push(Tok {
+                    kind: TokKind::Char,
+                    text: name,
+                    line,
+                });
+            } else {
+                out.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: name,
+                    line,
+                });
+            }
+        }
+        Some(c) => {
+            // Non-identifier char literal: `'.'`, `'('`, `' '`.
+            cur.bump();
+            let closed = cur.eat('\'');
+            out.push(Tok {
+                kind: if closed {
+                    TokKind::Char
+                } else {
+                    TokKind::Punct
+                },
+                text: c.to_string(),
+                line,
+            });
+        }
+        None => out.push(Tok {
+            kind: TokKind::Punct,
+            text: "'".to_string(),
+            line,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            kinds("foo.bar()"),
+            vec![
+                (TokKind::Ident, "foo".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Ident, "bar".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_swallow_method_calls() {
+        let toks = lex(r#"let s = ".unwrap()"; s.len()"#);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == ".unwrap()"));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close() {
+        let toks = kinds(r#""a\"b" x"#);
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Str, "a\\\"b".into()),
+                (TokKind::Ident, "x".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r###"r#"has "quote" inside"# y"###);
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Str, "has \"quote\" inside".into()),
+                (TokKind::Ident, "y".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* x /* y */ z */ b");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "a".into()),
+                (TokKind::Comment, " x /* y */ z ".into()),
+                (TokKind::Ident, "b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("&'a str; 'x'; '\\n'; 'static");
+        assert!(toks.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokKind::Char, "x".into())));
+        assert!(toks.contains(&(TokKind::Char, "\\n".into())));
+        assert!(toks.contains(&(TokKind::Lifetime, "static".into())));
+    }
+
+    #[test]
+    fn raw_ident_is_ident() {
+        assert_eq!(kinds("r#match"), vec![(TokKind::Ident, "match".into())]);
+    }
+
+    #[test]
+    fn line_numbers_cross_strings_and_comments() {
+        let toks = lex("a\n\"x\ny\"\n/* c\nc */\nb");
+        let a = toks.iter().find(|t| t.is_ident("a")).map(|t| t.line);
+        let b = toks.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        assert_eq!(a, Some(1));
+        assert_eq!(b, Some(6));
+    }
+
+    #[test]
+    fn numbers_including_floats_and_ranges() {
+        let toks = kinds("1.5 + 0x1f + 1..n");
+        assert!(toks.contains(&(TokKind::Num, "1.5".into())));
+        assert!(toks.contains(&(TokKind::Num, "0x1f".into())));
+        assert!(toks.contains(&(TokKind::Num, "1".into())));
+        assert!(toks.contains(&(TokKind::Ident, "n".into())));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "/* open", "r##\"open", "'", "b'", "1.", "r#"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! `netdiag-xtask`: the workspace invariant checker.
+//!
+//! A dependency-free static analyzer enforcing repo-specific invariants
+//! that clippy cannot express:
+//!
+//! * **Determinism** — no hash-order iteration or ambient
+//!   clock/RNG/environment reads in the crates whose outputs must be
+//!   bit-reproducible (`hash-iter`, `nondet-source`).
+//! * **Panic-safety** — no `panic!`-family macros, `.unwrap()` or
+//!   undocumented `.expect(..)` in non-test library code (`panic-macro`,
+//!   `unwrap`), plus an advisory indexing lint (`slice-index`).
+//! * **Obs-name consistency** — every metric name passed to the
+//!   `netdiag-obs` recorder exists in `crates/obs/src/names.rs`, and
+//!   every vocabulary entry has a call site (`obs-unknown-name`,
+//!   `obs-dead-name`).
+//!
+//! Escape hatch: `// lint: allow(<id>): <justification>` on the flagged
+//! line or the line above; a directive without a justification is itself
+//! a finding (`bad-allow`). Run it with `cargo run -p netdiag-xtask --
+//! lint`; see `DESIGN.md` §10 for the full catalog.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod lints;
+pub mod workspace;
+
+pub use engine::{run, Finding, Level, Lint, Report, SrcFile};

@@ -1,0 +1,127 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! netdiag-xtask lint [--root DIR] [--deny ID]... [--warn ID]...
+//! netdiag-xtask list
+//! ```
+//!
+//! `lint` exits 0 when no deny-level finding exists, 1 otherwise, 2 on
+//! usage or I/O errors. Diagnostics are machine-readable, one per line:
+//! `path:line: [lint-id] message`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use netdiag_xtask::{engine, workspace, Level, Lint};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("netdiag-xtask: unknown command {other:?}");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: netdiag-xtask <lint [--root DIR] [--deny ID] [--warn ID] | list>");
+}
+
+fn list() {
+    println!("{:<18} {:<5} rationale", "id", "level");
+    for lint in Lint::ALL {
+        let level = match lint.default_level() {
+            Level::Deny => "deny",
+            Level::Warn => "warn",
+        };
+        println!("{:<18} {:<5} {}", lint.id(), level, lint.rationale());
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut overrides: BTreeMap<String, Level> = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let result = match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => {
+                    root = PathBuf::from(dir);
+                    Ok(())
+                }
+                None => Err("--root needs a directory".to_string()),
+            },
+            "--deny" | "--warn" => {
+                let level = if arg == "--deny" {
+                    Level::Deny
+                } else {
+                    Level::Warn
+                };
+                match it.next() {
+                    Some(id) if Lint::from_id(id).is_some() => {
+                        overrides.insert(id.clone(), level);
+                        Ok(())
+                    }
+                    Some(id) => Err(format!("unknown lint id {id:?}")),
+                    None => Err(format!("{arg} needs a lint id")),
+                }
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(msg) = result {
+            eprintln!("netdiag-xtask: {msg}");
+            usage();
+            return ExitCode::from(2);
+        }
+    }
+    if !workspace::is_workspace_root(&root) {
+        eprintln!(
+            "netdiag-xtask: {} is not the workspace root (crates/obs/src/names.rs \
+             not found); pass --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let files = match workspace::collect(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("netdiag-xtask: failed to read sources: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = engine::run(&files, &overrides);
+    for (finding, level) in &report.findings {
+        let tag = match level {
+            Level::Deny => "deny",
+            Level::Warn => "warn",
+        };
+        println!("{finding} [{tag}]");
+    }
+    let errors = report.errors().count();
+    let warnings = report.warnings().count();
+    println!(
+        "xtask lint: {} file(s) scanned, {errors} error(s), {warnings} warning(s)",
+        files.len()
+    );
+    if report.gates() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,10 @@
+//! Seeded-bad fixture: malformed allow directives.
+pub fn naked_allow(v: Option<u32>) -> u32 {
+    // lint: allow(unwrap)
+    v.unwrap()
+}
+
+pub fn unknown_id() -> u32 {
+    // lint: allow(no-such-lint): confidently wrong
+    7
+}

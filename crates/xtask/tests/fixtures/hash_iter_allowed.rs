@@ -1,0 +1,7 @@
+//! Seeded fixture: hash iteration behind a justified allow directive.
+use std::collections::HashMap;
+
+pub fn order_insensitive_sum(table: &HashMap<u32, u64>) -> u64 {
+    // lint: allow(hash-iter): summation is commutative; order cannot leak
+    table.values().sum()
+}

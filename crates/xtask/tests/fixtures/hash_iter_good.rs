@@ -1,0 +1,15 @@
+//! Seeded-good fixture: ordered containers iterate; hash containers only look up.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn ordered_dump(table: &BTreeMap<u32, String>) -> Vec<String> {
+    table.values().cloned().collect()
+}
+
+pub fn lookups_are_fine(index: &HashMap<u32, u32>, key: u32) -> Option<u32> {
+    index.get(&key).copied()
+}
+
+pub fn insert_only(mut cache: HashMap<u32, u32>) -> usize {
+    cache.insert(1, 2);
+    cache.len()
+}

@@ -1,0 +1,20 @@
+//! Seeded-bad fixture: ambient clock, RNG and environment reads.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t = Instant::now();
+    t.elapsed().as_nanos()
+}
+
+pub fn epoch() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+pub fn config() -> Option<String> {
+    std::env::var("NETDIAG_MODE").ok()
+}

@@ -1,0 +1,10 @@
+//! Seeded-good fixture: randomness flows from the seed, time is passed in.
+pub fn roll(seed: u64) -> u64 {
+    seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+}
+
+pub fn label() -> &'static str {
+    // The words Instant and now in prose (or "Instant::now()" quoted)
+    // must not trip the lint.
+    "call Instant::now() elsewhere"
+}

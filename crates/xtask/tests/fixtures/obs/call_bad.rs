@@ -1,0 +1,14 @@
+//! Seeded-bad fixture: rogue metric names.
+use crate::names;
+
+pub fn rogue_literal(recorder: &Recorder) {
+    recorder.add("rogue.name", 1);
+}
+
+pub fn unknown_const(recorder: &Recorder) {
+    recorder.observe(names::NOT_DEFINED, 2);
+}
+
+pub fn bare_unknown_const(recorder: &Recorder) {
+    recorder.add(ROGUE_BARE_CONST, 3);
+}

@@ -1,0 +1,15 @@
+//! Seeded-good fixture: call sites use the vocabulary.
+use crate::names;
+
+pub fn instrument(recorder: &Recorder) {
+    recorder.add(names::PROBES_SENT, 1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_ad_hoc_names() {
+        let (h, _rec) = recorder();
+        h.add("test.only", 1);
+    }
+}

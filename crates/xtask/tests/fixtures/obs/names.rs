@@ -1,0 +1,6 @@
+//! Fixture metric vocabulary.
+
+/// Counter: probes sent.
+pub const PROBES_SENT: &str = "probe.sent";
+/// Counter: never referenced anywhere — must be flagged dead.
+pub const DEAD_METRIC: &str = "dead.metric";

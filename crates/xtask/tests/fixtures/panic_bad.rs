@@ -1,0 +1,20 @@
+//! Seeded-bad fixture: panic-family macros in library code.
+pub fn explode(v: Option<u32>) -> u32 {
+    match v {
+        Some(x) if x > 0 => x,
+        Some(_) => panic!("zero is not allowed"),
+        None => todo!(),
+    }
+}
+
+pub fn later() {
+    unimplemented!()
+}
+
+pub fn cant_happen(flag: bool) -> u32 {
+    if flag {
+        1
+    } else {
+        unreachable!("flag is always true")
+    }
+}

@@ -1,0 +1,14 @@
+//! Seeded-good fixture: panics only in test code.
+pub fn lib_path(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        if 1 + 1 != 2 {
+            panic!("arithmetic broke");
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Seeded-bad fixture: direct indexing expressions.
+pub fn head(v: &[u32]) -> u32 {
+    v[0]
+}
+
+pub fn cell(m: &[Vec<u32>], i: usize, j: usize) -> u32 {
+    m[i][j]
+}

@@ -1,0 +1,22 @@
+//! Seeded-good fixture: checked access; brackets that are not indexing.
+pub fn head(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+#[derive(Clone, Copy)]
+pub struct Block {
+    pub words: u8,
+}
+
+pub fn zeros() -> [u8; 4] {
+    [0u8; 4]
+}
+
+pub fn build() -> Vec<u32> {
+    vec![1, 2, 3]
+}
+
+pub fn destructure(pair: [u32; 2]) -> u32 {
+    let [a, b] = pair;
+    a + b
+}

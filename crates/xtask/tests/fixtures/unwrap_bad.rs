@@ -1,0 +1,12 @@
+//! Seeded-bad fixture: unwraps and undocumented expects.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("oops")
+}
+
+pub fn third(v: &[u32], msg: &str) -> u32 {
+    *v.get(2).expect(msg)
+}

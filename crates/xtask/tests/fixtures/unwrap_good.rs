@@ -1,0 +1,19 @@
+//! Seeded-good fixture: documented expects; test code may unwrap.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().expect("caller guarantees a non-empty slice (validated at parse)")
+}
+
+pub fn not_code() -> &'static str {
+    ".unwrap() inside a string literal is not a call"
+}
+
+// A comment mentioning .unwrap() is not a call either.
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

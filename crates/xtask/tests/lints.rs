@@ -1,0 +1,313 @@
+//! Fixture corpus for every lint ID: each lint has at least one seeded
+//! bad source (findings fire, and gate the exit code) and one seeded
+//! good source (no findings), plus end-to-end runs of the real binary
+//! against seeded workspaces and against this repository itself.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use netdiag_xtask::engine::{run, Level, Lint, SrcFile};
+use netdiag_xtask::lints::run_one;
+
+fn fixture(name: &str) -> &'static str {
+    match name {
+        "hash_iter_bad" => include_str!("fixtures/hash_iter_bad.rs"),
+        "hash_iter_good" => include_str!("fixtures/hash_iter_good.rs"),
+        "hash_iter_allowed" => include_str!("fixtures/hash_iter_allowed.rs"),
+        "nondet_bad" => include_str!("fixtures/nondet_bad.rs"),
+        "nondet_good" => include_str!("fixtures/nondet_good.rs"),
+        "panic_bad" => include_str!("fixtures/panic_bad.rs"),
+        "panic_good" => include_str!("fixtures/panic_good.rs"),
+        "unwrap_bad" => include_str!("fixtures/unwrap_bad.rs"),
+        "unwrap_good" => include_str!("fixtures/unwrap_good.rs"),
+        "slice_index_bad" => include_str!("fixtures/slice_index_bad.rs"),
+        "slice_index_good" => include_str!("fixtures/slice_index_good.rs"),
+        "allow_bad" => include_str!("fixtures/allow_bad.rs"),
+        "obs_names" => include_str!("fixtures/obs/names.rs"),
+        "obs_call_bad" => include_str!("fixtures/obs/call_bad.rs"),
+        "obs_call_good" => include_str!("fixtures/obs/call_good.rs"),
+        other => panic!("unknown fixture {other}"),
+    }
+}
+
+fn lints_of(crate_name: &str, src: &str) -> Vec<Lint> {
+    run_one(crate_name, "fixture.rs", src)
+        .into_iter()
+        .map(|f| f.lint)
+        .collect()
+}
+
+// --- hash-iter ---------------------------------------------------------------
+
+#[test]
+fn hash_iter_bad_fires_on_every_iteration_site() {
+    let found = lints_of("netsim", fixture("hash_iter_bad"));
+    assert_eq!(
+        found.iter().filter(|&&l| l == Lint::HashIter).count(),
+        3,
+        "for-loop over .iter(), .keys() chain and for-over-set: {found:?}"
+    );
+}
+
+#[test]
+fn hash_iter_good_is_clean() {
+    assert!(lints_of("netsim", fixture("hash_iter_good")).is_empty());
+}
+
+#[test]
+fn hash_iter_allow_directive_suppresses_with_justification() {
+    assert!(lints_of("netsim", fixture("hash_iter_allowed")).is_empty());
+}
+
+#[test]
+fn hash_iter_does_not_apply_outside_deterministic_crates() {
+    assert!(!lints_of("netsim", fixture("hash_iter_bad")).is_empty());
+    assert!(lints_of("obs", fixture("hash_iter_bad"))
+        .iter()
+        .all(|&l| l != Lint::HashIter));
+}
+
+// --- nondet-source -----------------------------------------------------------
+
+#[test]
+fn nondet_bad_fires_on_clock_rng_and_env() {
+    let found = lints_of("core", fixture("nondet_bad"));
+    assert_eq!(
+        found.iter().filter(|&&l| l == Lint::NondetSource).count(),
+        4,
+        "Instant::now, SystemTime::now, thread_rng, std::env: {found:?}"
+    );
+}
+
+#[test]
+fn nondet_good_is_clean_including_strings_and_comments() {
+    assert!(lints_of("core", fixture("nondet_good")).is_empty());
+}
+
+// --- panic-macro -------------------------------------------------------------
+
+#[test]
+fn panic_bad_fires_on_all_four_macros() {
+    let found = lints_of("igp", fixture("panic_bad"));
+    assert_eq!(found.iter().filter(|&&l| l == Lint::PanicMacro).count(), 4);
+}
+
+#[test]
+fn panic_good_exempts_test_modules() {
+    assert!(lints_of("igp", fixture("panic_good")).is_empty());
+}
+
+// --- unwrap ------------------------------------------------------------------
+
+#[test]
+fn unwrap_bad_fires_on_unwrap_and_undocumented_expect() {
+    let found = lints_of("bgp", fixture("unwrap_bad"));
+    assert_eq!(
+        found.iter().filter(|&&l| l == Lint::Unwrap).count(),
+        3,
+        ".unwrap(), short .expect, non-literal .expect: {found:?}"
+    );
+}
+
+#[test]
+fn unwrap_good_accepts_documented_expect_and_test_unwraps() {
+    assert!(lints_of("bgp", fixture("unwrap_good")).is_empty());
+}
+
+// --- slice-index -------------------------------------------------------------
+
+#[test]
+fn slice_index_bad_fires_per_bracket() {
+    let found = lints_of("topology", fixture("slice_index_bad"));
+    // v[0] plus both brackets of m[i][j].
+    assert_eq!(found.iter().filter(|&&l| l == Lint::SliceIndex).count(), 3);
+}
+
+#[test]
+fn slice_index_good_ignores_types_literals_macros_and_patterns() {
+    assert!(lints_of("topology", fixture("slice_index_good")).is_empty());
+}
+
+#[test]
+fn slice_index_warns_by_default_but_gates_under_deny_override() {
+    let files = [SrcFile {
+        crate_name: "topology".to_string(),
+        path: "fixture.rs".to_string(),
+        src: fixture("slice_index_bad").to_string(),
+    }];
+    let default_run = run(&files, &BTreeMap::new());
+    assert!(!default_run.gates(), "advisory by default");
+    assert!(default_run.warnings().count() >= 3);
+
+    let mut overrides = BTreeMap::new();
+    overrides.insert("slice-index".to_string(), Level::Deny);
+    assert!(run(&files, &overrides).gates(), "gates when promoted");
+}
+
+// --- bad-allow ---------------------------------------------------------------
+
+#[test]
+fn allow_bad_flags_unjustified_and_unknown_directives() {
+    let found = lints_of("core", fixture("allow_bad"));
+    assert_eq!(found.iter().filter(|&&l| l == Lint::BadAllow).count(), 2);
+    // The unjustified directive does NOT suppress the unwrap it covers.
+    assert!(found.contains(&Lint::Unwrap));
+}
+
+// --- obs names ---------------------------------------------------------------
+
+fn obs_files(call_fixture: &str) -> Vec<SrcFile> {
+    vec![
+        SrcFile {
+            crate_name: "obs".to_string(),
+            path: "crates/obs/src/names.rs".to_string(),
+            src: fixture("obs_names").to_string(),
+        },
+        SrcFile {
+            crate_name: "netsim".to_string(),
+            path: "crates/netsim/src/probe.rs".to_string(),
+            src: fixture(call_fixture).to_string(),
+        },
+    ]
+}
+
+#[test]
+fn obs_bad_flags_rogue_literal_unknown_const_and_bare_const() {
+    let report = run(&obs_files("obs_call_bad"), &BTreeMap::new());
+    let unknown = report
+        .errors()
+        .filter(|f| f.lint == Lint::ObsUnknownName)
+        .count();
+    assert_eq!(unknown, 3, "literal, names:: path and bare const");
+    assert!(report.gates());
+}
+
+#[test]
+fn obs_good_passes_call_check_but_flags_the_dead_name() {
+    let report = run(&obs_files("obs_call_good"), &BTreeMap::new());
+    let findings: Vec<_> = report.errors().collect();
+    assert!(findings.iter().all(|f| f.lint != Lint::ObsUnknownName));
+    let dead: Vec<_> = findings
+        .iter()
+        .filter(|f| f.lint == Lint::ObsDeadName)
+        .collect();
+    assert_eq!(dead.len(), 1);
+    assert!(dead[0].message.contains("DEAD_METRIC"));
+    assert!(dead[0].file.ends_with("names.rs"));
+}
+
+#[test]
+fn every_lint_id_has_a_firing_fixture() {
+    // The corpus above covers the whole catalog; this guards against a
+    // new lint landing without fixtures.
+    let mut fired = std::collections::BTreeSet::new();
+    for (crate_name, fixture_name) in [
+        ("netsim", "hash_iter_bad"),
+        ("core", "nondet_bad"),
+        ("igp", "panic_bad"),
+        ("bgp", "unwrap_bad"),
+        ("topology", "slice_index_bad"),
+        ("core", "allow_bad"),
+    ] {
+        fired.extend(lints_of(crate_name, fixture(fixture_name)));
+    }
+    for f in run(&obs_files("obs_call_bad"), &BTreeMap::new())
+        .errors()
+        .chain(run(&obs_files("obs_call_good"), &BTreeMap::new()).errors())
+    {
+        fired.insert(f.lint);
+    }
+    for lint in Lint::ALL {
+        assert!(fired.contains(&lint), "no fixture fires {}", lint.id());
+    }
+}
+
+// --- end-to-end binary runs --------------------------------------------------
+
+/// Builds a throwaway workspace skeleton under the target tmp dir.
+fn seeded_workspace(tag: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("lint-ws-{tag}"));
+    if root.exists() {
+        std::fs::remove_dir_all(&root).expect("stale seeded workspace must be removable");
+    }
+    std::fs::create_dir_all(root.join("crates/obs/src")).expect("create obs src dir");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write Cargo.toml");
+    std::fs::write(
+        root.join("crates/obs/src/names.rs"),
+        fixture("obs_names").to_string() + "\n// keep fixture vocab alive\n",
+    )
+    .expect("write names.rs");
+    for (rel, body) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+            .expect("create fixture dir");
+        std::fs::write(path, body).expect("write fixture file");
+    }
+    root
+}
+
+fn run_binary_on(root: &Path) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_netdiag-xtask"))
+        .args(["lint", "--root"])
+        .arg(root)
+        // The seeded vocabulary has no call sites in these minimal
+        // workspaces; dead names are exercised by engine-level tests.
+        .args(["--warn", "obs-dead-name"])
+        .output()
+        .expect("spawn netdiag-xtask")
+}
+
+#[test]
+fn binary_exits_nonzero_on_each_seeded_bad_workspace() {
+    for (tag, bad) in [
+        ("hash", "hash_iter_bad"),
+        ("nondet", "nondet_bad"),
+        ("panic", "panic_bad"),
+        ("unwrap", "unwrap_bad"),
+        ("allow", "allow_bad"),
+        ("obs", "obs_call_bad"),
+    ] {
+        let root = seeded_workspace(tag, &[("crates/core/src/lib.rs", fixture(bad))]);
+        let out = run_binary_on(&root);
+        assert!(
+            !out.status.success(),
+            "{tag}: expected a gating exit code; stdout:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_a_clean_seeded_workspace() {
+    let root = seeded_workspace(
+        "clean",
+        &[
+            ("crates/core/src/lib.rs", fixture("hash_iter_good")),
+            ("crates/netsim/src/lib.rs", fixture("unwrap_good")),
+        ],
+    );
+    let out = run_binary_on(&root);
+    assert!(
+        out.status.success(),
+        "stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn binary_exits_zero_on_this_repository() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask sits two levels under the workspace root");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_netdiag-xtask"))
+        .args(["lint", "--root"])
+        .arg(root)
+        .output()
+        .expect("spawn netdiag-xtask");
+    assert!(
+        out.status.success(),
+        "the workspace gate is red:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -6,6 +6,8 @@
 //! cargo run --release --example blocked_traceroutes
 //! ```
 
+// A runnable demo talks to its user on stdout.
+#![allow(clippy::print_stdout)]
 use netdiagnoser_repro::experiments::placement::Placement;
 use netdiagnoser_repro::experiments::runner::{prepare, run_trial, RunConfig};
 use netdiagnoser_repro::experiments::sampling::FailureSpec;

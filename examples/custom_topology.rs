@@ -6,6 +6,8 @@
 //! cargo run --release --example custom_topology
 //! ```
 
+// A runnable demo talks to its user on stdout.
+#![allow(clippy::print_stdout)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

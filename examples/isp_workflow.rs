@@ -10,6 +10,8 @@
 //! cargo run --release --example isp_workflow
 //! ```
 
+// A runnable demo talks to its user on stdout.
+#![allow(clippy::print_stdout)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

@@ -6,6 +6,8 @@
 //! cargo run --release --example link_flap
 //! ```
 
+// A runnable demo talks to its user on stdout.
+#![allow(clippy::print_stdout)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -82,7 +84,7 @@ fn main() {
         alarm.persistent_pairs.len()
     );
 
-    let after = last_mesh.unwrap();
+    let after = last_mesh.expect("the flap loop ran at least one round");
     let obs = observations(&sensors, &baseline, &after);
     let ip2as = TruthIpToAs {
         topology: &topology,

@@ -7,6 +7,8 @@
 //! cargo run --release --example multipath
 //! ```
 
+// A runnable demo talks to its user on stdout.
+#![allow(clippy::print_stdout)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// A runnable demo talks to its user on stdout.
+#![allow(clippy::print_stdout)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

@@ -5,6 +5,8 @@
 //! cargo run --release --example scfs_tree
 //! ```
 
+// A runnable demo talks to its user on stdout.
+#![allow(clippy::print_stdout)]
 use netdiagnoser_repro::diagnoser::scfs;
 
 fn main() {

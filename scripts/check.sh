@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
+echo "== xtask lint (workspace invariants) =="
+cargo run -q -p netdiag-xtask -- lint
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

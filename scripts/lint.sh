@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Standalone invariant gate: runs the netdiag-xtask linter on the
+# workspace. Extra arguments are forwarded, e.g.
+#
+#   scripts/lint.sh --deny slice-index   # promote the advisory lint
+#   scripts/lint.sh --warn unwrap        # triage mode, never gates
+#
+# `cargo run -p netdiag-xtask -- list` prints the lint catalog.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run -q -p netdiag-xtask -- lint "$@"

@@ -2,6 +2,8 @@
 //! networks: structural invariants that must hold for every topology,
 //! placement and failure.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

@@ -1,6 +1,8 @@
 //! End-to-end workspace tests: the full pipeline from topology generation
 //! through diagnosis, plus determinism across the whole stack.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

@@ -2,6 +2,8 @@
 //! Figure 2 network is built, routed, misconfigured exactly as §3.1
 //! narrates, and the diagnoser must reach the paper's conclusions.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

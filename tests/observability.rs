@@ -1,6 +1,8 @@
 //! End-to-end instrumentation: a full trial on a small topology must leave
 //! nonzero counters in every layer of the run report.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use netdiag_experiments::runner::{prepare_with, run_trial, RunConfig};
 use netdiag_obs::{names, RecorderHandle};
 use netdiag_topology::builders::{build_internet, InternetConfig};

@@ -2,6 +2,8 @@
 //! evaluation topology: reachability, valley-freeness, loop-freedom, and
 //! traceroute/BGP consistency.
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

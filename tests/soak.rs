@@ -6,6 +6,8 @@
 //! cargo test --release --test soak -- --ignored --nocapture
 //! ```
 
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
