@@ -7,6 +7,9 @@
 //! * `hitting_set_btree_vs_bitset` — the greedy hitting set on the dense
 //!   `EdgeBitSet` representation vs a faithful `BTreeSet<EdgeId>`
 //!   reference (the representation this PR replaced);
+//! * `trace_overhead` — the production greedy with a `NoopRecorder` vs a
+//!   hook-free replica (the zero-cost guard scripts/bench.sh enforces)
+//!   and vs a live `TraceRecorder`;
 //! * `trials_parallel_speedup` — `collect_trials` (worker pool over
 //!   placements x trials) vs `collect_trials_sequential` at the quick
 //!   figure scale.
@@ -22,6 +25,7 @@ use rand::{Rng, SeedableRng};
 use netdiag_bench::Fixture;
 use netdiag_experiments::figures::{collect_trials, collect_trials_sequential, FigureConfig};
 use netdiag_experiments::runner::RunConfig;
+use netdiag_obs::RecorderHandle;
 use netdiagnoser::{EdgeBitSet, EdgeId, HittingSetInstance, Weights};
 
 fn bench_sim_clone(c: &mut Criterion) {
@@ -160,6 +164,105 @@ fn bench_hitting_set(c: &mut Criterion) {
     group.finish();
 }
 
+/// Replica of the greedy *before* trace hooks existed: identical loop,
+/// no recorder parameter at all. The `trace_overhead` group compares it
+/// against the production `greedy_recorded` to guard the zero-cost claim:
+/// with a `NoopRecorder`, the compiled-in event hooks must stay within
+/// noise of this baseline.
+fn greedy_bitset_untraced(inst: &HittingSetInstance, weights: Weights) -> Vec<EdgeId> {
+    let mut unexplained_f: BTreeSet<usize> = (0..inst.failure_sets.len()).collect();
+    let mut unexplained_r: BTreeSet<usize> = (0..inst.reroute_sets.len()).collect();
+    let mut candidates = inst.candidates.clone();
+    let mut hypothesis = Vec::new();
+    let mut words_scanned: u64 = 0;
+
+    let groups: BTreeMap<EdgeId, EdgeBitSet> = inst
+        .clusters
+        .iter()
+        .map(|(&e, members)| {
+            let mut g: EdgeBitSet = members.iter().copied().collect();
+            g.insert(e);
+            (e, g)
+        })
+        .collect();
+    let hits = |set: &EdgeBitSet, e: EdgeId, words: &mut u64| -> bool {
+        match groups.get(&e) {
+            Some(g) => {
+                *words += set.words().len().min(g.words().len()).max(1) as u64;
+                set.intersects(g)
+            }
+            None => {
+                *words += 1;
+                set.contains(e)
+            }
+        }
+    };
+
+    #[allow(clippy::nonminimal_bool)] // mirrors the production greedy's condition
+    while !candidates.is_empty() && !(unexplained_f.is_empty() && unexplained_r.is_empty()) {
+        let mut best_score = 0u64;
+        let mut best: Vec<EdgeId> = Vec::new();
+        for e in candidates.iter() {
+            let cf = unexplained_f
+                .iter()
+                .filter(|&&i| hits(&inst.failure_sets[i], e, &mut words_scanned))
+                .count() as u64;
+            let cr = unexplained_r
+                .iter()
+                .filter(|&&i| hits(&inst.reroute_sets[i], e, &mut words_scanned))
+                .count() as u64;
+            let score = u64::from(weights.a) * cf + u64::from(weights.b) * cr;
+            match score.cmp(&best_score) {
+                Ordering::Greater => {
+                    best_score = score;
+                    best = vec![e];
+                }
+                Ordering::Equal if score > 0 => best.push(e),
+                _ => {}
+            }
+        }
+        if best_score == 0 {
+            break;
+        }
+        for e in best {
+            unexplained_f.retain(|&i| !hits(&inst.failure_sets[i], e, &mut words_scanned));
+            unexplained_r.retain(|&i| !hits(&inst.reroute_sets[i], e, &mut words_scanned));
+            candidates.remove(e);
+            hypothesis.push(e);
+        }
+    }
+    black_box(words_scanned);
+    hypothesis
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let (bitset, _) = synthetic_pair(60, 40, 512, 11);
+    let noop = RecorderHandle::noop();
+    let (tracing, tracer) = RecorderHandle::tracing();
+    assert_eq!(
+        bitset.greedy_recorded(Weights::default(), &noop).hypothesis,
+        greedy_bitset_untraced(&bitset, Weights::default()),
+        "untraced replica must match the production greedy"
+    );
+    let mut group = c.benchmark_group("trace_overhead");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("untraced", |b| {
+        b.iter(|| greedy_bitset_untraced(black_box(&bitset), Weights::default()))
+    });
+    group.bench_function("noop", |b| {
+        b.iter(|| black_box(&bitset).greedy_recorded(Weights::default(), &noop))
+    });
+    group.bench_function("tracing", |b| {
+        let _scope = netdiag_obs::trial_scope(0, 0);
+        b.iter(|| black_box(&bitset).greedy_recorded(Weights::default(), &tracing))
+    });
+    group.finish();
+    drop(tracer);
+}
+
 fn bench_trials_parallel(c: &mut Criterion) {
     let fc = FigureConfig::quick();
     let net = fc.internet();
@@ -180,6 +283,7 @@ criterion_group!(
     benches,
     bench_sim_clone,
     bench_hitting_set,
+    bench_trace_overhead,
     bench_trials_parallel
 );
 criterion_main!(benches);

@@ -135,6 +135,9 @@ pub struct Bgp {
     observed: Vec<ObservedMsg>,
     seq: u64,
     recorder: RecorderHandle,
+    /// Cached `recorder.trace_enabled()` so the per-message event gate is
+    /// one branch, not a virtual call (set in [`Bgp::set_recorder`]).
+    trace_on: bool,
     /// Decision-process invocations since the last flush (batched so the
     /// hot path pays one integer add, not a virtual call).
     decisions: u64,
@@ -156,6 +159,7 @@ impl Bgp {
             observed: Vec::new(),
             seq: 0,
             recorder: RecorderHandle::noop(),
+            trace_on: false,
             decisions: 0,
             cow_breaks: 0,
         }
@@ -193,6 +197,7 @@ impl Bgp {
     /// Routes `bgp.*` metrics to `recorder` (counters flush at the end of
     /// each [`Bgp::run`]).
     pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.trace_on = recorder.trace_enabled();
         self.recorder = recorder;
     }
 
@@ -357,6 +362,15 @@ impl Bgp {
             LinkKind::Inter => {
                 // The eBGP session is back: both ends resend their best
                 // routes (a session reset triggers a full refresh).
+                if self.trace_on {
+                    self.recorder.event(names::EV_BGP_SESSION, || {
+                        netdiag_obs::EventPayload::new()
+                            .field("state", "up")
+                            .field("kind", "ebgp")
+                            .field("a", l.a.index())
+                            .field("b", l.b.index())
+                    });
+                }
                 for r in [l.a, l.b] {
                     self.readvertise_all(ctx, r);
                 }
@@ -406,6 +420,15 @@ impl Bgp {
     /// the affected prefixes at both endpoints.
     fn flush_session(&mut self, ctx: Ctx<'_>, sid: SessionId) {
         let s = self.sessions.get(sid).clone();
+        if self.trace_on {
+            self.recorder.event(names::EV_BGP_SESSION, || {
+                netdiag_obs::EventPayload::new()
+                    .field("state", "down")
+                    .field("kind", session_kind_str(s.kind))
+                    .field("a", s.a.index())
+                    .field("b", s.b.index())
+            });
+        }
         // Drop in-flight messages on the session (they would be discarded at
         // delivery anyway because the session is down).
         for r in [s.a, s.b] {
@@ -466,6 +489,20 @@ impl Bgp {
                 });
                 self.seq += 1;
             }
+        }
+        if self.trace_on {
+            self.recorder.event(names::EV_BGP_MESSAGE, || {
+                let (msg_kind, prefix) = match &msg.payload {
+                    Payload::Update(rm) => ("update", rm.prefix),
+                    Payload::Withdraw(p) => ("withdraw", *p),
+                };
+                netdiag_obs::EventPayload::new()
+                    .field("kind", msg_kind)
+                    .field("session", session_kind_str(kind))
+                    .field("from", msg.from.index())
+                    .field("to", msg.to.index())
+                    .field("prefix", prefix.to_string())
+            });
         }
 
         let Msg {
@@ -734,5 +771,13 @@ impl Bgp {
                 })
             }
         }
+    }
+}
+
+/// Stable session-kind label used in trace payloads.
+fn session_kind_str(kind: SessionKind) -> &'static str {
+    match kind {
+        SessionKind::Ebgp { .. } => "ebgp",
+        SessionKind::Ibgp => "ibgp",
     }
 }

@@ -26,11 +26,15 @@ pub fn tomo_recorded(
     ip2as: &dyn IpToAs,
     recorder: &RecorderHandle,
 ) -> Diagnosis {
-    let problem = Problem::build(obs, ip2as, BuildOptions::tomo());
+    recorder.event(names::EV_DIAG_START, || {
+        netdiag_obs::EventPayload::new().field("algorithm", "tomo")
+    });
+    let problem = Problem::build_recorded(obs, ip2as, BuildOptions::tomo(), recorder);
+    trace_problem(&problem, recorder);
     let greedy = problem
         .instance()
         .greedy_recorded(Weights { a: 1, b: 0 }, recorder);
-    finish(Diagnosis::new(problem, greedy), recorder)
+    finish(Diagnosis::new(problem, greedy), "tomo", recorder)
 }
 
 /// **ND-edge** (§3.1–§3.2): Tomo plus logical links (per-neighbor
@@ -47,9 +51,13 @@ pub fn nd_edge_recorded(
     weights: Weights,
     recorder: &RecorderHandle,
 ) -> Diagnosis {
-    let problem = Problem::build(obs, ip2as, BuildOptions::nd_edge());
+    recorder.event(names::EV_DIAG_START, || {
+        netdiag_obs::EventPayload::new().field("algorithm", "nd-edge")
+    });
+    let problem = Problem::build_recorded(obs, ip2as, BuildOptions::nd_edge(), recorder);
+    trace_problem(&problem, recorder);
     let greedy = problem.instance().greedy_recorded(weights, recorder);
-    finish(Diagnosis::new(problem, greedy), recorder)
+    finish(Diagnosis::new(problem, greedy), "nd-edge", recorder)
 }
 
 /// **ND-bgpigp** (§3.3): ND-edge refined with AS-X's control plane — IGP
@@ -72,10 +80,14 @@ pub fn nd_bgpigp_recorded(
     weights: Weights,
     recorder: &RecorderHandle,
 ) -> Diagnosis {
-    let mut problem = Problem::build(obs, ip2as, BuildOptions::nd_edge());
+    recorder.event(names::EV_DIAG_START, || {
+        netdiag_obs::EventPayload::new().field("algorithm", "nd-bgpigp")
+    });
+    let mut problem = Problem::build_recorded(obs, ip2as, BuildOptions::nd_edge(), recorder);
     problem.apply_feed_recorded(obs, feed, recorder);
+    trace_problem(&problem, recorder);
     let greedy = problem.instance().greedy_recorded(weights, recorder);
-    finish(Diagnosis::new(problem, greedy), recorder)
+    finish(Diagnosis::new(problem, greedy), "nd-bgpigp", recorder)
 }
 
 /// **ND-LG** (§3.4): ND-bgpigp extended to handle blocked traceroutes.
@@ -101,21 +113,93 @@ pub fn nd_lg_recorded(
     weights: Weights,
     recorder: &RecorderHandle,
 ) -> Diagnosis {
-    let mut problem = Problem::build(obs, ip2as, BuildOptions::nd_lg());
+    recorder.event(names::EV_DIAG_START, || {
+        netdiag_obs::EventPayload::new().field("algorithm", "nd-lg")
+    });
+    let mut problem = Problem::build_recorded(obs, ip2as, BuildOptions::nd_lg(), recorder);
     tag_unidentified_hops(&mut problem, obs, ip2as, lg);
     problem.apply_feed_recorded(obs, feed, recorder);
+    trace_problem(&problem, recorder);
     let mut instance = problem.instance();
     instance.clusters = build_clusters(&problem);
     let greedy = instance.greedy_recorded(weights, recorder);
-    finish(Diagnosis::new(problem, greedy), recorder)
+    finish(Diagnosis::new(problem, greedy), "nd-lg", recorder)
+}
+
+/// Emits the problem-shape trace event after construction (and feed
+/// refinement, where applicable): set counts, sensor-pair names, and an
+/// id→label table for every edge later events may reference.
+fn trace_problem(problem: &Problem, recorder: &RecorderHandle) {
+    recorder.event(names::EV_DIAG_PROBLEM, || {
+        let pair = |s: &crate::problem::PathSet| -> netdiag_obs::Value {
+            format!("s{}->s{}", s.src.index(), s.dst.index()).into()
+        };
+        let failure_pairs: Vec<netdiag_obs::Value> =
+            problem.failure_sets.iter().map(pair).collect();
+        let reroute_pairs: Vec<netdiag_obs::Value> =
+            problem.reroute_sets.iter().map(pair).collect();
+        let mut referenced: BTreeSet<EdgeId> = problem.candidates.iter().collect();
+        referenced.extend(problem.forced.iter().copied());
+        for s in problem
+            .failure_sets
+            .iter()
+            .chain(problem.reroute_sets.iter())
+        {
+            referenced.extend(s.edges.iter());
+        }
+        let edge_labels: Vec<netdiag_obs::Value> = referenced
+            .iter()
+            .map(|&e| {
+                netdiag_obs::Value::List(vec![e.index().into(), problem.graph.edge_label(e).into()])
+            })
+            .collect();
+        netdiag_obs::EventPayload::new()
+            .field("edges", problem.graph.edge_count())
+            .field("candidates", problem.candidates.len())
+            .field("failures", problem.failure_sets.len())
+            .field("reroutes", problem.reroute_sets.len())
+            .field("failure_pairs", failure_pairs)
+            .field("reroute_pairs", reroute_pairs)
+            .field("edge_labels", edge_labels)
+    });
 }
 
 /// Records the per-diagnosis counters once a hypothesis exists.
-fn finish(diagnosis: Diagnosis, recorder: &RecorderHandle) -> Diagnosis {
+fn finish(diagnosis: Diagnosis, algorithm: &'static str, recorder: &RecorderHandle) -> Diagnosis {
     if recorder.enabled() {
         recorder.add(names::DIAG_RUNS, 1);
         recorder.observe(names::DIAG_HYPOTHESIS_SIZE, diagnosis.len() as u64);
     }
+    recorder.event(names::EV_DIAG_DONE, || {
+        let ids: Vec<netdiag_obs::Value> = diagnosis
+            .hypothesis
+            .iter()
+            .map(|&e| e.index().into())
+            .collect();
+        let labels: Vec<netdiag_obs::Value> = diagnosis
+            .hypothesis
+            .iter()
+            .map(|&e| diagnosis.problem.graph.edge_label(e).into())
+            .collect();
+        let forced: Vec<netdiag_obs::Value> = diagnosis
+            .problem
+            .forced
+            .iter()
+            .map(|&e| e.index().into())
+            .collect();
+        let unexplained: Vec<netdiag_obs::Value> = diagnosis
+            .greedy
+            .unexplained_failures
+            .iter()
+            .map(|&i| i.into())
+            .collect();
+        netdiag_obs::EventPayload::new()
+            .field("algorithm", algorithm)
+            .field("hypothesis", ids)
+            .field("labels", labels)
+            .field("forced", forced)
+            .field("unexplained_failures", unexplained)
+    });
     diagnosis
 }
 

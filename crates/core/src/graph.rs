@@ -304,6 +304,35 @@ impl DiagGraph {
         let (a, b) = self.endpoints(e);
         matches!(a, HopNode::Uh(..)) || matches!(b, HopNode::Uh(..))
     }
+
+    /// Human-readable node label: the address, or `uh(b3@2)` for the
+    /// unidentified hop at position 2 of before-path 3.
+    pub fn node_label(&self, n: NodeId) -> String {
+        match self.node(n).key {
+            HopNode::Ip(addr) => addr.to_string(),
+            HopNode::Uh(pr, pos) => {
+                let epoch = match pr.epoch {
+                    Epoch::Before => 'b',
+                    Epoch::After => 'a',
+                };
+                format!("uh({epoch}{}@{pos})", pr.index)
+            }
+        }
+    }
+
+    /// Human-readable edge label in the paper's Figure 3 notation: plain
+    /// edges are `u->v`, the logical halves of an inter-domain traversal
+    /// annotated with next-AS `n` are `u->v(ASn)` and `v(ASn)->v`.
+    pub fn edge_label(&self, e: EdgeId) -> String {
+        let d = self.edge(e);
+        let from = self.node_label(d.from);
+        let to = self.node_label(d.to);
+        match d.logical {
+            None => format!("{from}->{to}"),
+            Some(LogicalPart::First(n)) => format!("{from}->{to}(AS{})", n.index()),
+            Some(LogicalPart::Second(n)) => format!("{to}(AS{})->{to}", n.index()),
+        }
+    }
 }
 
 #[cfg(test)]

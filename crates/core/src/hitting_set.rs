@@ -126,6 +126,14 @@ impl HittingSetInstance {
             }
         };
 
+        recorder.event(names::EV_HS_BEGIN, || {
+            netdiag_obs::EventPayload::new()
+                .field("candidates", self.candidates.len())
+                .field("failures", self.failure_sets.len())
+                .field("reroutes", self.reroute_sets.len())
+                .field("clusters", self.clusters.len())
+        });
+
         // Loop while work remains (Algorithm 1 line 7): some set is still
         // unexplained and candidates are left.
         #[allow(clippy::nonminimal_bool)] // mirrors the paper's condition
@@ -157,10 +165,39 @@ impl HittingSetInstance {
                 break; // remaining sets cannot be explained by any candidate
             }
             for e in best {
+                // Trace-only coverage capture *before* the retains, with a
+                // scratch counter so `words_scanned` stays identical with
+                // and without tracing.
+                let covered = recorder.trace_enabled().then(|| {
+                    let mut scratch = 0u64;
+                    let covered_f: Vec<netdiag_obs::Value> = unexplained_f
+                        .iter()
+                        .filter(|&&i| hits(&self.failure_sets[i], e, &mut scratch))
+                        .map(|&i| netdiag_obs::Value::from(i))
+                        .collect();
+                    let covered_r: Vec<netdiag_obs::Value> = unexplained_r
+                        .iter()
+                        .filter(|&&i| hits(&self.reroute_sets[i], e, &mut scratch))
+                        .map(|&i| netdiag_obs::Value::from(i))
+                        .collect();
+                    (covered_f, covered_r)
+                });
                 unexplained_f.retain(|&i| !hits(&self.failure_sets[i], e, &mut words_scanned));
                 unexplained_r.retain(|&i| !hits(&self.reroute_sets[i], e, &mut words_scanned));
                 candidates.remove(e);
                 hypothesis.push(e);
+                if let Some((covered_f, covered_r)) = covered {
+                    recorder.event(names::EV_HS_PICK, || {
+                        netdiag_obs::EventPayload::new()
+                            .field("iter", iterations)
+                            .field("edge", e.index())
+                            .field("score", best_score)
+                            .field("covered_failures", covered_f)
+                            .field("covered_reroutes", covered_r)
+                            .field("remaining_failures", unexplained_f.len())
+                            .field("remaining_reroutes", unexplained_r.len())
+                    });
+                }
             }
         }
 

@@ -95,6 +95,18 @@ pub struct Problem {
 impl Problem {
     /// Builds the problem from observations.
     pub fn build(obs: &Observations, ip2as: &dyn IpToAs, opts: BuildOptions) -> Problem {
+        Self::build_recorded(obs, ip2as, opts, &netdiag_obs::RecorderHandle::noop())
+    }
+
+    /// [`build`](Self::build), additionally emitting one
+    /// [`EV_DIAG_REROUTE_SET`](netdiag_obs::names::EV_DIAG_REROUTE_SET)
+    /// trace event per constructed reroute set.
+    pub fn build_recorded(
+        obs: &Observations,
+        ip2as: &dyn IpToAs,
+        opts: BuildOptions,
+        recorder: &netdiag_obs::RecorderHandle,
+    ) -> Problem {
         let mut graph = DiagGraph::new();
 
         // Expand the before-snapshot paths.
@@ -242,6 +254,22 @@ impl Problem {
             candidates.retain(|e| !graph.is_unidentified(e));
         }
 
+        if recorder.trace_enabled() {
+            for set in &reroute_sets {
+                recorder.event(netdiag_obs::names::EV_DIAG_REROUTE_SET, || {
+                    let excluded: Vec<netdiag_obs::Value> = set
+                        .edges
+                        .iter()
+                        .map(|e| graph.edge_label(e).into())
+                        .collect();
+                    netdiag_obs::EventPayload::new()
+                        .field("src", set.src.index())
+                        .field("dst", set.dst.index())
+                        .field("excluded", excluded)
+                });
+            }
+        }
+
         Problem {
             graph,
             failure_sets,
@@ -291,6 +319,13 @@ impl Problem {
                 .collect();
             hit.retain(|e| !self.forced.contains(e));
             for e in hit {
+                recorder.event(netdiag_obs::names::EV_FEED_FORCED, || {
+                    netdiag_obs::EventPayload::new()
+                        .field("edge", e.index())
+                        .field("label", self.graph.edge_label(e))
+                        .field("addr_a", ev.addr_a.to_string())
+                        .field("addr_b", ev.addr_b.to_string())
+                });
                 self.forced.push(e);
             }
         }
@@ -348,6 +383,13 @@ impl Problem {
                         }
                         if set.edges.remove(e) {
                             exonerated += 1;
+                            recorder.event(netdiag_obs::names::EV_FEED_EXONERATED, || {
+                                netdiag_obs::EventPayload::new()
+                                    .field("edge", e.index())
+                                    .field("label", self.graph.edge_label(e))
+                                    .field("neighbor", w.from_addr.to_string())
+                                    .field("prefix", w.prefix.to_string())
+                            });
                         }
                     }
                 }

@@ -13,11 +13,17 @@
 //!
 //! netdiag diagnose --dir DIR [--algo tomo|nd-edge|nd-bgpigp|nd-lg]
 //!     Reads a scenario directory and prints the diagnosis report.
+//!
+//! netdiag explain TRACE.jsonl [--placement P] [--trial N] [--algo A]
+//!     Replays a `--trace` event log into a per-hypothesis causal
+//!     narrative for one trial.
 //! ```
 //!
-//! Both subcommands accept `--profile FILE`: instrumentation counters and
-//! phase timings of the run (SPF runs, BGP messages, probes, greedy
-//! iterations, …) are written to FILE as a JSON run report.
+//! `simulate` and `diagnose` accept `--profile FILE` (instrumentation
+//! counters and phase timings as a JSON run report), `--trace FILE`
+//! (structured JSONL event log, replayable with `explain`) and
+//! `--trace-chrome FILE` (the same events as Chrome-trace JSON, loadable
+//! in Perfetto / `chrome://tracing`).
 
 // A runnable demo talks to its user on stdout.
 #![allow(clippy::print_stdout)]
@@ -33,10 +39,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use netdiag_experiments::bridge::{observations, routing_feed};
+use netdiag_experiments::explain::ExplainFilter;
 use netdiag_experiments::runner::{prepare_with, RunConfig};
 use netdiag_experiments::sampling::{sample_failure, FailureSpec};
 use netdiag_netsim::{apply_failure, looking_glass_query, probe_mesh};
-use netdiag_obs::{InMemoryRecorder, RecorderHandle};
+use netdiag_obs::{InMemoryRecorder, Recorder, RecorderHandle, TraceRecorder};
 use netdiag_topology::AsId;
 use netdiagnoser::text::{parse_feed, parse_observations, RecordedLookingGlass};
 use netdiagnoser::{report, Algorithm, IpToAs, NetDiagnoser};
@@ -45,31 +52,79 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  netdiag simulate --out DIR [--seed N] [--sensors N] \
          [--failure links:<x>|router|misconfig|misconfig+link] [--blocked FRAC] [--lg FRAC] \
-         [--topology FILE] [--profile FILE]\n  \
-         netdiag diagnose --dir DIR [--algo tomo|nd-edge|nd-bgpigp|nd-lg] [--profile FILE]"
+         [--topology FILE] [--profile FILE] [--trace FILE] [--trace-chrome FILE]\n  \
+         netdiag diagnose --dir DIR [--algo tomo|nd-edge|nd-bgpigp|nd-lg] [--profile FILE] \
+         [--trace FILE] [--trace-chrome FILE]\n  \
+         netdiag explain TRACE.jsonl [--placement P] [--trial N] \
+         [--algo tomo|nd-edge|nd-bgpigp|nd-lg]"
     );
     std::process::exit(2)
 }
 
-/// The recorder for a run: in-memory when `--profile` was given, else the
-/// free no-op.
-fn profile_recorder(args: &[String]) -> (RecorderHandle, Option<(PathBuf, Arc<InMemoryRecorder>)>) {
-    match get_flag(args, "--profile") {
-        Some(path) => {
-            let (handle, sink) = RecorderHandle::in_memory();
-            (handle, Some((PathBuf::from(path), sink)))
-        }
-        None => (RecorderHandle::noop(), None),
-    }
+/// Output sinks selected on the command line.
+struct RunSinks {
+    profile: Option<(PathBuf, Arc<InMemoryRecorder>)>,
+    tracer: Option<Arc<TraceRecorder>>,
+    trace_path: Option<PathBuf>,
+    chrome_path: Option<PathBuf>,
 }
 
-/// Writes the JSON run report when `--profile` was given.
-fn write_profile(profile: Option<(PathBuf, Arc<InMemoryRecorder>)>) -> Result<(), ExitCode> {
-    if let Some((path, sink)) = profile {
-        fs::write(&path, sink.report().to_json()).map_err(|e| {
+/// The recorder for a run: a fanout of the sinks selected by `--profile`,
+/// `--trace` and `--trace-chrome`, or the free no-op when none was given.
+fn run_recorder(args: &[String]) -> (RecorderHandle, RunSinks) {
+    let trace_path = get_flag(args, "--trace").map(PathBuf::from);
+    let chrome_path = get_flag(args, "--trace-chrome").map(PathBuf::from);
+    let profile = get_flag(args, "--profile")
+        .map(|path| (PathBuf::from(path), Arc::new(InMemoryRecorder::new())));
+    let tracer =
+        (trace_path.is_some() || chrome_path.is_some()).then(|| Arc::new(TraceRecorder::new()));
+    let mut sinks: Vec<Arc<dyn Recorder>> = Vec::new();
+    if let Some((_, sink)) = &profile {
+        sinks.push(Arc::clone(sink) as Arc<dyn Recorder>);
+    }
+    if let Some(t) = &tracer {
+        sinks.push(Arc::clone(t) as Arc<dyn Recorder>);
+    }
+    let handle = if sinks.is_empty() {
+        RecorderHandle::noop()
+    } else {
+        RecorderHandle::fanout(sinks)
+    };
+    (
+        handle,
+        RunSinks {
+            profile,
+            tracer,
+            trace_path,
+            chrome_path,
+        },
+    )
+}
+
+/// Writes whichever run reports and trace exports were requested.
+fn write_outputs(sinks: RunSinks) -> Result<(), ExitCode> {
+    fn write(path: &Path, contents: String) -> Result<(), ExitCode> {
+        fs::write(path, contents).map_err(|e| {
             eprintln!("cannot write {}: {e}", path.display());
             ExitCode::FAILURE
-        })?;
+        })
+    }
+    if let Some((path, sink)) = &sinks.profile {
+        write(path, sink.report().to_json())?;
+    }
+    if let Some(t) = &sinks.tracer {
+        if t.dropped() > 0 {
+            eprintln!(
+                "warning: trace ring overflowed, {} oldest events dropped",
+                t.dropped()
+            );
+        }
+        if let Some(path) = &sinks.trace_path {
+            write(path, t.to_jsonl())?;
+        }
+        if let Some(path) = &sinks.chrome_path {
+            write(path, t.to_chrome_trace())?;
+        }
     }
     Ok(())
 }
@@ -79,6 +134,7 @@ fn main() -> ExitCode {
     match args.next().as_deref() {
         Some("simulate") => simulate(args.collect()),
         Some("diagnose") => diagnose(args.collect()),
+        Some("explain") => explain_cmd(args.collect()),
         _ => usage(),
     }
 }
@@ -150,11 +206,15 @@ fn simulate(args: Vec<String>) -> ExitCode {
         ..Default::default()
     };
     let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
-    let (recorder, profile) = profile_recorder(&args);
-    let ctx = prepare_with(&net, &cfg, &mut rng, recorder);
+    let (recorder, sinks) = run_recorder(&args);
+    let ctx = {
+        let _trial = netdiag_obs::trial_scope(0, netdiag_obs::SETUP_TRIAL);
+        prepare_with(&net, &cfg, &mut rng, recorder)
+    };
     let topology = ctx.sim.topology();
 
     // Draw failures until one causes unreachability.
+    let _trial = netdiag_obs::trial_scope(0, 0);
     let mut frng = StdRng::seed_from_u64(seed ^ 0xF00D);
     let (failure, broken, after) = loop {
         let Some(failure) = sample_failure(
@@ -168,8 +228,14 @@ fn simulate(args: Vec<String>) -> ExitCode {
             return ExitCode::FAILURE;
         };
         let mut broken = ctx.sim.clone();
-        apply_failure(&mut broken, &failure);
-        let after = probe_mesh(&broken, &ctx.sensors, &ctx.blocked);
+        {
+            let _phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Inject);
+            apply_failure(&mut broken, &failure);
+        }
+        let after = {
+            let _phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Measure);
+            probe_mesh(&broken, &ctx.sensors, &ctx.blocked)
+        };
         if after.failed_count() > 0 {
             break (failure, broken, after);
         }
@@ -246,7 +312,7 @@ fn simulate(args: Vec<String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    if let Err(code) = write_profile(profile) {
+    if let Err(code) = write_outputs(sinks) {
         return code;
     }
     println!(
@@ -332,22 +398,26 @@ fn diagnose(args: Vec<String>) -> ExitCode {
     let Ok(algorithm) = algo.parse::<Algorithm>() else {
         usage()
     };
-    let (recorder, profile) = profile_recorder(&args);
-    let diagnosis = match NetDiagnoser::builder()
-        .algorithm(algorithm)
-        .routing_feed(&feed)
-        .looking_glass(&lg)
-        .recorder(recorder)
-        .build()
-        .diagnose(&obs, &ip2as)
-    {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("diagnosis failed: {e}");
-            return ExitCode::FAILURE;
+    let (recorder, sinks) = run_recorder(&args);
+    let diagnosis = {
+        let _trial = netdiag_obs::trial_scope(0, 0);
+        let _phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Diagnose);
+        match NetDiagnoser::builder()
+            .algorithm(algorithm)
+            .routing_feed(&feed)
+            .looking_glass(&lg)
+            .recorder(recorder)
+            .build()
+            .diagnose(&obs, &ip2as)
+        {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("diagnosis failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    if let Err(code) = write_profile(profile) {
+    if let Err(code) = write_outputs(sinks) {
         return code;
     }
     // Write through a fallible sink: a closed pipe (e.g. `| head`) must
@@ -364,4 +434,50 @@ fn diagnose(args: Vec<String>) -> ExitCode {
     use std::io::Write as _;
     let _ = std::io::stdout().write_all(out.as_bytes());
     ExitCode::SUCCESS
+}
+
+fn explain_cmd(args: Vec<String>) -> ExitCode {
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if matches!(a, "--placement" | "--trial" | "--algo") {
+            i += 2;
+        } else if a.starts_with("--") {
+            usage();
+        } else {
+            if file.is_some() {
+                usage();
+            }
+            file = Some(args[i].clone());
+            i += 1;
+        }
+    }
+    let file = file.unwrap_or_else(|| usage());
+    let parse_u32 = |flag: &str| -> Option<u32> {
+        get_flag(&args, flag).map(|v| v.parse().unwrap_or_else(|_| usage()))
+    };
+    let filter = ExplainFilter {
+        placement: parse_u32("--placement"),
+        trial: parse_u32("--trial"),
+        algo: get_flag(&args, "--algo"),
+    };
+    let trace = match fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match netdiag_experiments::explain::explain(&trace, &filter) {
+        Ok(narrative) => {
+            use std::io::Write as _;
+            let _ = std::io::stdout().write_all(narrative.as_bytes());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("explain: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

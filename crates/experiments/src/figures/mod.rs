@@ -142,6 +142,7 @@ fn collect_trials_impl(
 
     // Phase 1: prepare one context per placement (independent seeds).
     let prepare_one = |p: usize| -> crate::runner::PlacementContext {
+        let _trial = netdiag_obs::trial_scope(p as u32, netdiag_obs::SETUP_TRIAL);
         let mut prng = StdRng::seed_from_u64(fc.base_seed ^ (p as u64).wrapping_mul(0x9E37_79B9));
         prepare_with(net, cfg, &mut prng, fc.recorder.clone())
     };
@@ -166,6 +167,7 @@ fn collect_trials_impl(
     let run_one = |idx: usize| -> Option<TrialResult> {
         let p = idx / fc.failures_per_placement;
         let t = idx % fc.failures_per_placement;
+        let _trial = netdiag_obs::trial_scope(p as u32, t as u32);
         let mut rng = StdRng::seed_from_u64(trial_seed(fc.base_seed, p, t));
         run_trial(&contexts[p], cfg, &mut rng)
     };

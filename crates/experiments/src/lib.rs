@@ -10,6 +10,7 @@
 #![deny(missing_docs)]
 
 pub mod bridge;
+pub mod explain;
 pub mod figures;
 pub mod output;
 pub mod placement;

@@ -210,17 +210,24 @@ pub fn run_trial(ctx: &PlacementContext, cfg: &RunConfig, rng: &mut StdRng) -> O
     let mut broken = ctx.sim.clone();
     let baseline = broken.snapshot();
     let mut first_attempt = true;
-    for _ in 0..MAX_ATTEMPTS {
+    for attempt in 0..MAX_ATTEMPTS {
         let failure = sample_failure(&ctx.sim, &ctx.mesh_before, &ctx.sensors, cfg.failure, rng)?;
         if !first_attempt {
             broken.restore(&baseline);
         }
         first_attempt = false;
+        recorder.event(names::EV_TRIAL_ATTEMPT, || {
+            netdiag_obs::EventPayload::new()
+                .field("attempt", attempt)
+                .field("kind", failure_kind(&failure))
+        });
         {
+            let _phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Inject);
             let _inject = recorder.span(names::TRIAL_INJECT);
             apply_failure(&mut broken, &failure);
         }
         let mesh_after = {
+            let _phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Measure);
             let _measure = recorder.span(names::TRIAL_MEASURE);
             probe_mesh(&broken, &ctx.sensors, &ctx.blocked)
         };
@@ -241,6 +248,7 @@ pub fn run_trial(ctx: &PlacementContext, cfg: &RunConfig, rng: &mut StdRng) -> O
             .filter(|l| truth.probed_links().contains(l))
             .collect();
 
+        let diagnose_phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Diagnose);
         let diagnose_span = recorder.span(names::TRIAL_DIAGNOSE);
         let d_tomo = tomo_recorded(&obs, &ip2as, &recorder);
         let d_edge = nd_edge_recorded(&obs, &ip2as, cfg.weights, &recorder);
@@ -271,6 +279,7 @@ pub fn run_trial(ctx: &PlacementContext, cfg: &RunConfig, rng: &mut StdRng) -> O
             Some(evaluate(topology, &truth, &d, &failed_sites))
         };
         drop(diagnose_span);
+        drop(diagnose_phase);
 
         return Some(TrialResult {
             failed_paths: mesh_after.failed_count(),
@@ -284,4 +293,14 @@ pub fn run_trial(ctx: &PlacementContext, cfg: &RunConfig, rng: &mut StdRng) -> O
         });
     }
     None
+}
+
+/// Short event label for a failure class.
+fn failure_kind(f: &Failure) -> &'static str {
+    match f {
+        Failure::Links(_) => "links",
+        Failure::Router(_) => "router",
+        Failure::Misconfig(_) => "misconfig",
+        Failure::Combined(_) => "combined",
+    }
 }

@@ -1,0 +1,103 @@
+//! Trace determinism: the JSONL event log of a run must be byte-identical
+//! across repeated runs and across sequential vs parallel trial
+//! collection (events carry logical sequence numbers, never wall time),
+//! and the Chrome-trace export must be well-formed JSON.
+
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
+use netdiag_experiments::figures::{collect_trials, collect_trials_sequential, FigureConfig};
+use netdiag_experiments::runner::RunConfig;
+use netdiag_obs::json::{self, Json};
+use netdiag_obs::{RecorderHandle, TraceRecorder};
+
+fn traced_config() -> (FigureConfig, std::sync::Arc<TraceRecorder>) {
+    let (recorder, tracer) = RecorderHandle::tracing();
+    let fc = FigureConfig {
+        placements: 2,
+        failures_per_placement: 2,
+        recorder,
+        ..FigureConfig::default()
+    };
+    (fc, tracer)
+}
+
+#[test]
+fn two_runs_emit_byte_identical_jsonl() {
+    let (fc1, t1) = traced_config();
+    let net = fc1.internet();
+    let cfg = RunConfig::default();
+    collect_trials_sequential(&net, &cfg, &fc1);
+
+    let (fc2, t2) = traced_config();
+    collect_trials_sequential(&net, &cfg, &fc2);
+
+    assert_eq!(t1.dropped(), 0, "ring must not overflow in this config");
+    let jsonl = t1.to_jsonl();
+    assert!(!jsonl.is_empty(), "traced run must emit events");
+    assert_eq!(jsonl, t2.to_jsonl());
+}
+
+#[test]
+fn parallel_and_sequential_emit_byte_identical_jsonl() {
+    let (fc_seq, t_seq) = traced_config();
+    let net = fc_seq.internet();
+    let cfg = RunConfig::default();
+    let seq = collect_trials_sequential(&net, &cfg, &fc_seq);
+
+    let (fc_par, t_par) = traced_config();
+    let par = collect_trials(&net, &cfg, &fc_par);
+
+    assert_eq!(seq, par);
+    assert_eq!(t_seq.dropped(), 0);
+    assert_eq!(t_par.dropped(), 0);
+    assert_eq!(t_seq.to_jsonl(), t_par.to_jsonl());
+}
+
+#[test]
+fn chrome_trace_is_well_formed() {
+    let (fc, tracer) = traced_config();
+    let net = fc.internet();
+    collect_trials_sequential(&net, &RunConfig::default(), &fc);
+
+    let chrome = json::parse(&tracer.to_chrome_trace()).unwrap();
+    let events = chrome
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("ph field");
+        assert!(matches!(ph, "i" | "M"), "only instants and metadata: {ph}");
+        assert!(e.get("name").and_then(Json::as_str).is_some());
+        assert!(e.get("pid").and_then(Json::as_u64).is_some());
+        assert!(e.get("tid").and_then(Json::as_u64).is_some());
+        if ph == "i" {
+            assert!(e.get("ts").and_then(Json::as_u64).is_some());
+        }
+    }
+}
+
+#[test]
+fn jsonl_lines_parse_and_carry_trial_context() {
+    let (fc, tracer) = traced_config();
+    let net = fc.internet();
+    collect_trials_sequential(&net, &RunConfig::default(), &fc);
+
+    let jsonl = tracer.to_jsonl();
+    let mut diag_done = 0usize;
+    for line in jsonl.lines() {
+        let v = json::parse(line).unwrap();
+        assert!(v.get("name").and_then(Json::as_str).is_some());
+        assert!(v.get("seq").and_then(Json::as_u64).is_some());
+        assert!(
+            v.get("wall_us").is_none(),
+            "wall time is opt-in and must stay out of deterministic logs"
+        );
+        if v.get("name").and_then(Json::as_str) == Some("diag.done") {
+            diag_done += 1;
+            assert!(v.get("placement").and_then(Json::as_u64).is_some());
+            assert!(v.get("trial").and_then(Json::as_u64).is_some());
+        }
+    }
+    assert!(diag_done > 0, "every trial diagnoses at least once");
+}

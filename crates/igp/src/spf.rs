@@ -63,6 +63,12 @@ impl AsIgp {
             recorder.add(names::IGP_SPF_RUNS, n as u64);
             recorder.add(names::IGP_SETTLED_NODES, settled);
         }
+        recorder.event(names::EV_IGP_SPF, || {
+            netdiag_obs::EventPayload::new()
+                .field("as", as_id.index())
+                .field("routers", n)
+                .field("settled", settled)
+        });
 
         AsIgp {
             as_id,

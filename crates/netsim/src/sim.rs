@@ -203,6 +203,13 @@ impl Sim {
                 continue; // already down
             }
             let link = self.topology.link(l);
+            self.recorder.event(names::EV_SIM_LINK_FAIL, || {
+                netdiag_obs::EventPayload::new()
+                    .field("link", l.index())
+                    .field("kind", kind_str(link.kind))
+                    .field("a", link.a.index())
+                    .field("b", link.b.index())
+            });
             if link.kind == LinkKind::Intra {
                 let as_id = self.topology.as_of_router(link.a);
                 self.igp_events.push(IgpLinkDown { link: l, as_id });
@@ -249,6 +256,13 @@ impl Sim {
             return; // was already up
         }
         let link = self.topology.link(l);
+        self.recorder.event(names::EV_SIM_LINK_REPAIR, || {
+            netdiag_obs::EventPayload::new()
+                .field("link", l.index())
+                .field("kind", kind_str(link.kind))
+                .field("a", link.a.index())
+                .field("b", link.b.index())
+        });
         if link.kind == LinkKind::Intra {
             let as_id = self.topology.as_of_router(link.a);
             if self.recorder.enabled() && self.igp.is_shared(as_id) {
@@ -328,6 +342,14 @@ impl Sim {
     /// (convergence-cost statistics; resets never — compare snapshots).
     pub fn bgp_messages(&self) -> u64 {
         self.messages
+    }
+}
+
+/// Stable link-kind label used in trace payloads.
+fn kind_str(kind: LinkKind) -> &'static str {
+    match kind {
+        LinkKind::Intra => "intra",
+        LinkKind::Inter => "inter",
     }
 }
 

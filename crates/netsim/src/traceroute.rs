@@ -162,6 +162,20 @@ fn render_traceroute(
             .count();
         recorder.add(names::PROBE_BLOCKED_HOPS, stars as u64);
     }
+    recorder.event(netdiag_obs::names::EV_PROBE_TRACEROUTE, || {
+        let rendered: Vec<netdiag_obs::Value> = hops
+            .iter()
+            .map(|h| match h.addr() {
+                Some(addr) => netdiag_obs::Value::Str(addr.to_string()),
+                None => netdiag_obs::Value::Str("*".to_owned()),
+            })
+            .collect();
+        netdiag_obs::EventPayload::new()
+            .field("src", src.id.index())
+            .field("dst", dst.id.index())
+            .field("reached", reached)
+            .field("hops", rendered)
+    });
     Traceroute {
         src: src.id,
         dst: dst.id,

@@ -1,0 +1,278 @@
+//! Structured trace events: typed payloads and their JSON rendering.
+//!
+//! An [`Event`] is one causally meaningful step of a run — an SPF
+//! recompute, a BGP message delivery, a greedy hitting-set pick — stamped
+//! with the per-trial context `(placement, trial, phase)` and a logical
+//! sequence number from [`crate::trace`]. Payloads are ordered lists of
+//! typed `(key, value)` fields, so rendering is byte-stable: same run,
+//! same bytes.
+
+use crate::push_json_string;
+
+/// The phase of a trial an event was emitted in.
+///
+/// Phases mirror the span vocabulary (`trial.setup` … `trial.diagnose`):
+/// placement preparation and failure drawing happen in [`Phase::Setup`],
+/// the remaining phases are installed by the experiment runner around the
+/// corresponding trial steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Topology/control-plane setup, or failure-set sampling.
+    Setup,
+    /// Failure injection and reconvergence.
+    Inject,
+    /// Post-failure probe-mesh measurement.
+    Measure,
+    /// Diagnosis algorithm execution.
+    Diagnose,
+}
+
+impl Phase {
+    /// Stable lowercase name used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Setup => "setup",
+            Phase::Inject => "inject",
+            Phase::Measure => "measure",
+            Phase::Diagnose => "diagnose",
+        }
+    }
+}
+
+/// One typed payload field value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String (rendered with JSON escapes).
+    Str(String),
+    /// Ordered list of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    fn render(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(v) => push_json_string(out, v),
+            Value::List(vs) => {
+                out.push('[');
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(u64::try_from(v).unwrap_or(u64::MAX))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+
+/// An ordered list of `(key, value)` payload fields.
+///
+/// Field order is the emission-site order, which keeps rendering
+/// deterministic without sorting; builders chain [`EventPayload::field`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EventPayload(pub Vec<(&'static str, Value)>);
+
+impl EventPayload {
+    /// An empty payload.
+    pub fn new() -> Self {
+        EventPayload(Vec::new())
+    }
+
+    /// Appends one field (builder-style).
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.0.push((key, value.into()));
+        self
+    }
+
+    /// Looks up a field by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.0.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Renders as a compact JSON object in field order.
+    pub fn render(&self, out: &mut String) {
+        out.push('{');
+        for (i, (key, value)) in self.0.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(out, key);
+            out.push(':');
+            value.render(out);
+        }
+        out.push('}');
+    }
+}
+
+/// One structured trace event.
+///
+/// `placement`/`trial` use the sentinels [`crate::trace::NO_PLACEMENT`]
+/// and [`crate::trace::SETUP_TRIAL`] when emitted outside the matching
+/// scope; exporters render sentinels as JSON `null`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Registered `layer.event` name from [`crate::names`].
+    pub name: &'static str,
+    /// Placement (topology + sensor draw) index, or `NO_PLACEMENT`.
+    pub placement: u32,
+    /// Trial index within the placement, or `SETUP_TRIAL`.
+    pub trial: u32,
+    /// Trial phase the event belongs to.
+    pub phase: Phase,
+    /// Logical sequence number within the trial (resets per trial scope).
+    pub seq: u64,
+    /// Typed payload fields.
+    pub payload: EventPayload,
+}
+
+impl Event {
+    /// Deterministic export order: placements ascending, then trials with
+    /// the setup sentinel first (`wrapping_add` maps `u32::MAX` to 0),
+    /// then logical sequence.
+    pub(crate) fn sort_key(&self) -> (u32, u32, u64) {
+        (self.placement, self.trial.wrapping_add(1), self.seq)
+    }
+
+    /// Renders one JSONL line (no trailing newline). `wall_us`, when
+    /// captured by the exporter, is the only nondeterministic field.
+    pub fn render_jsonl(&self, out: &mut String, wall_us: Option<u64>) {
+        out.push_str("{\"name\":");
+        push_json_string(out, self.name);
+        out.push_str(",\"placement\":");
+        push_opt_id(out, self.placement);
+        out.push_str(",\"trial\":");
+        push_opt_id(out, self.trial);
+        out.push_str(",\"phase\":\"");
+        out.push_str(self.phase.as_str());
+        out.push_str("\",\"seq\":");
+        out.push_str(&self.seq.to_string());
+        if let Some(us) = wall_us {
+            out.push_str(",\"wall_us\":");
+            out.push_str(&us.to_string());
+        }
+        out.push_str(",\"payload\":");
+        self.payload.render(out);
+        out.push('}');
+    }
+}
+
+/// Renders a `u32` id, mapping the `u32::MAX` sentinel to `null`.
+fn push_opt_id(out: &mut String, id: u32) {
+    if id == u32::MAX {
+        out.push_str("null");
+    } else {
+        out.push_str(&id.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_renders_in_field_order() {
+        let p = EventPayload::new()
+            .field("b", 2u64)
+            .field("a", "x")
+            .field("neg", -3i64)
+            .field("ok", true)
+            .field("list", vec![Value::U64(1), Value::Str("*".into())]);
+        let mut s = String::new();
+        p.render(&mut s);
+        assert_eq!(
+            s,
+            "{\"b\":2,\"a\":\"x\",\"neg\":-3,\"ok\":true,\"list\":[1,\"*\"]}"
+        );
+    }
+
+    #[test]
+    fn jsonl_line_maps_sentinels_to_null() {
+        let ev = Event {
+            name: "hs.pick",
+            placement: u32::MAX,
+            trial: u32::MAX,
+            phase: Phase::Diagnose,
+            seq: 7,
+            payload: EventPayload::new().field("edge", 3u64),
+        };
+        let mut s = String::new();
+        ev.render_jsonl(&mut s, None);
+        assert_eq!(
+            s,
+            "{\"name\":\"hs.pick\",\"placement\":null,\"trial\":null,\
+             \"phase\":\"diagnose\",\"seq\":7,\"payload\":{\"edge\":3}}"
+        );
+    }
+
+    #[test]
+    fn setup_trial_sorts_before_trial_zero() {
+        let mk = |trial, seq| Event {
+            name: "x",
+            placement: 0,
+            trial,
+            phase: Phase::Setup,
+            seq,
+            payload: EventPayload::new(),
+        };
+        assert!(mk(u32::MAX, 9).sort_key() < mk(0, 0).sort_key());
+        assert!(mk(0, 1).sort_key() < mk(1, 0).sort_key());
+    }
+}

@@ -22,6 +22,13 @@
 //! [`RunReport`] — no serde). Instrumented code holds a cheap
 //! [`RecorderHandle`] (a clonable `Arc<dyn Recorder>`); hot loops batch
 //! locally and flush one `add` per operation.
+//!
+//! Beyond aggregates, the crate is also a tracing substrate: structured
+//! [`Event`]s ([`Recorder::event`]) carry per-trial context and logical
+//! sequence numbers (see [`trace`]) into the bounded-ring
+//! [`TraceRecorder`], which exports deterministic JSONL and
+//! Chrome-trace/Perfetto JSON. [`FanoutRecorder`] composes metrics and
+//! tracing sinks behind one handle.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -31,7 +38,13 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+pub mod event;
+pub mod json;
 pub mod names;
+pub mod trace;
+
+pub use event::{Event, EventPayload, Phase, Value};
+pub use trace::{phase_scope, trial_scope, TraceRecorder, NO_PLACEMENT, SETUP_TRIAL};
 
 /// Sink for instrumentation events.
 ///
@@ -53,6 +66,19 @@ pub trait Recorder: Send + Sync {
 
     /// Records one completed span of `nanos` wall-clock under `name`.
     fn record_span(&self, name: &'static str, nanos: u64);
+
+    /// Is this recorder collecting structured trace events?
+    ///
+    /// Separate from [`Recorder::enabled`] so a pure metrics run pays
+    /// nothing for tracing and vice versa; instrumented code goes
+    /// through [`RecorderHandle::event`], which builds payloads only
+    /// when this returns `true`.
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    /// Records one structured trace [`Event`] (default: dropped).
+    fn event(&self, _event: Event) {}
 }
 
 /// The default recorder: drops everything, costs nothing.
@@ -69,6 +95,11 @@ impl Recorder for NoopRecorder {
 }
 
 /// Aggregated statistics of one histogram or span series.
+///
+/// Alongside count/sum/min/max, every series keeps a fixed 65-slot
+/// log2-bucketed histogram (slot 0 = zeros, slot `b` = values in
+/// `[2^(b-1), 2^b)`), from which [`SeriesStats::percentile`] derives
+/// p50/p90/p99 without storing observations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SeriesStats {
     /// Number of observations.
@@ -79,6 +110,16 @@ pub struct SeriesStats {
     pub min: u64,
     /// Largest observed value.
     pub max: u64,
+    buckets: [u64; 65],
+}
+
+/// Log2 bucket index: 0 for value 0, else `64 - leading_zeros`.
+fn log2_bucket(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
 }
 
 impl SeriesStats {
@@ -87,15 +128,45 @@ impl SeriesStats {
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        self.buckets[log2_bucket(value)] += 1;
     }
 
     fn new(value: u64) -> Self {
+        let mut buckets = [0u64; 65];
+        buckets[log2_bucket(value)] = 1;
         SeriesStats {
             count: 1,
             sum: value,
             min: value,
             max: value,
+            buckets,
         }
+    }
+
+    /// Approximate `pct`-th percentile (`0 < pct <= 100`).
+    ///
+    /// Returns the upper bound of the log2 bucket holding the
+    /// rank-`ceil(count * pct / 100)` observation, clamped into
+    /// `[min, max]` — exact for repeated values, within a factor of two
+    /// otherwise, and always a value the series could have contained.
+    pub fn percentile(&self, pct: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = self.count.saturating_mul(pct).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = match b {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << b) - 1,
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -199,6 +270,17 @@ impl RecorderHandle {
         (RecorderHandle(recorder.clone()), recorder)
     }
 
+    /// Creates a default-capacity trace recorder and a handle feeding it.
+    pub fn tracing() -> (Self, Arc<TraceRecorder>) {
+        let recorder = Arc::new(TraceRecorder::new());
+        (RecorderHandle(recorder.clone()), recorder)
+    }
+
+    /// Fans one handle out to several sinks (e.g. metrics + trace).
+    pub fn fanout(sinks: Vec<Arc<dyn Recorder>>) -> Self {
+        RecorderHandle(Arc::new(FanoutRecorder::new(sinks)))
+    }
+
     /// Is the underlying recorder collecting?
     #[inline]
     pub fn enabled(&self) -> bool {
@@ -230,6 +312,113 @@ impl RecorderHandle {
             handle: self,
             name,
             start: self.0.enabled().then(Instant::now),
+        }
+    }
+
+    /// Is the underlying recorder collecting trace events?
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.0.trace_enabled()
+    }
+
+    /// Emits a structured trace event under the current trial context.
+    ///
+    /// The payload closure runs only when a tracing sink is attached, so
+    /// untraced hot paths pay one virtual `trace_enabled()` call and
+    /// never build the payload. The event is stamped with the
+    /// thread-local `(placement, trial, phase)` context and the next
+    /// logical sequence number (see [`trace`]).
+    #[inline]
+    pub fn event<F>(&self, name: &'static str, payload: F)
+    where
+        F: FnOnce() -> EventPayload,
+    {
+        if self.0.trace_enabled() {
+            let (placement, trial, phase, seq) = trace::stamp();
+            self.0.event(Event {
+                name,
+                placement,
+                trial,
+                phase,
+                seq,
+                payload: payload(),
+            });
+        }
+    }
+}
+
+/// Broadcasts to several recorders so one run can aggregate metrics and
+/// collect a trace at the same time.
+///
+/// Each call is routed only to the sinks that want it: metrics to
+/// `enabled()` sinks, events to `trace_enabled()` sinks (cloning the
+/// event for all but the last taker).
+pub struct FanoutRecorder {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl FanoutRecorder {
+    /// Wraps a set of sinks.
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> Self {
+        FanoutRecorder { sinks }
+    }
+}
+
+impl fmt::Debug for FanoutRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FanoutRecorder")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Recorder for FanoutRecorder {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.add(name, delta);
+            }
+        }
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.observe(name, value);
+            }
+        }
+    }
+
+    fn record_span(&self, name: &'static str, nanos: u64) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.record_span(name, nanos);
+            }
+        }
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.trace_enabled())
+    }
+
+    fn event(&self, event: Event) {
+        let mut pending = Some(event);
+        let last = self.sinks.iter().rposition(|s| s.trace_enabled());
+        for (i, sink) in self.sinks.iter().enumerate() {
+            if !sink.trace_enabled() {
+                continue;
+            }
+            if Some(i) == last {
+                if let Some(event) = pending.take() {
+                    sink.event(event);
+                }
+            } else if let Some(event) = pending.as_ref() {
+                sink.event(event.clone());
+            }
         }
     }
 }
@@ -279,7 +468,9 @@ pub struct RunReport {
 }
 
 /// Version tag written into every report, bumped on shape changes.
-pub const REPORT_VERSION: u32 = 1;
+///
+/// Version 2 added p50/p90/p99 percentiles to every series.
+pub const REPORT_VERSION: u32 = 2;
 
 impl RunReport {
     /// The value of counter `name`, zero when never incremented.
@@ -331,11 +522,15 @@ impl RunReport {
                 out.push_str("\n    ");
                 push_json_string(&mut out, name);
                 out.push_str(&format!(
-                    ": {{\"count\": {}, \"sum{u}\": {}, \"min{u}\": {}, \"max{u}\": {}}}",
+                    ": {{\"count\": {}, \"sum{u}\": {}, \"min{u}\": {}, \"max{u}\": {}, \
+                     \"p50{u}\": {}, \"p90{u}\": {}, \"p99{u}\": {}}}",
                     s.count,
                     s.sum,
                     s.min,
                     s.max,
+                    s.percentile(50),
+                    s.percentile(90),
+                    s.percentile(99),
                     u = unit_suffix,
                 ));
             }
@@ -351,7 +546,7 @@ impl RunReport {
 }
 
 /// Appends `s` as a JSON string literal (quotes + escapes).
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -402,15 +597,40 @@ mod tests {
             h.observe("h.v", v);
         }
         let s = *rec.report().histogram("h.v").unwrap();
-        assert_eq!(
-            s,
-            SeriesStats {
-                count: 3,
-                sum: 22,
-                min: 3,
-                max: 12
-            }
-        );
+        assert_eq!((s.count, s.sum, s.min, s.max), (3, 22, 3, 12));
+    }
+
+    #[test]
+    fn percentiles_are_exact_for_repeated_values_and_bounded_otherwise() {
+        let (h, rec) = RecorderHandle::in_memory();
+        for _ in 0..100 {
+            h.observe("flat", 4);
+        }
+        let s = *rec.report().histogram("flat").unwrap();
+        assert_eq!((s.percentile(50), s.percentile(99)), (4, 4));
+
+        let (h, rec) = RecorderHandle::in_memory();
+        for v in 1..=100u64 {
+            h.observe("ramp", v);
+        }
+        let s = *rec.report().histogram("ramp").unwrap();
+        // Log2 buckets: each percentile lands within a factor of two of
+        // the exact answer and inside [min, max].
+        for (pct, exact) in [(50u64, 50u64), (90, 90), (99, 99)] {
+            let p = s.percentile(pct);
+            assert!(p >= s.min && p <= s.max);
+            assert!(p >= exact / 2 && p <= exact * 2, "p{pct}={p} vs {exact}");
+        }
+        assert!(s.percentile(50) <= s.percentile(90));
+        assert!(s.percentile(90) <= s.percentile(99));
+    }
+
+    #[test]
+    fn percentile_of_empty_series_is_zero() {
+        let (h, rec) = RecorderHandle::in_memory();
+        h.observe("one", 0);
+        let s = *rec.report().histogram("one").unwrap();
+        assert_eq!(s.percentile(50), 0);
     }
 
     #[test]
@@ -448,15 +668,19 @@ mod tests {
             let _g = h.span("phase");
         }
         let json = rec.report().to_json();
-        assert!(json.starts_with("{\n  \"version\": 1,\n"));
+        assert!(json.starts_with("{\n  \"version\": 2,\n"));
         // Counters are in lexicographic order regardless of insertion.
         let a = json.find("\"a.first\": 1").unwrap();
         let b = json.find("\"b.second\": 2").unwrap();
         assert!(a < b);
         assert!(json.contains("\"histograms\""));
-        assert!(json.contains("\"sizes\": {\"count\": 1, \"sum\": 4, \"min\": 4, \"max\": 4}"));
+        assert!(json.contains(
+            "\"sizes\": {\"count\": 1, \"sum\": 4, \"min\": 4, \"max\": 4, \
+             \"p50\": 4, \"p90\": 4, \"p99\": 4}"
+        ));
         assert!(json.contains("\"spans\""));
         assert!(json.contains("\"count\": 1, \"sum_ns\": "));
+        assert!(json.contains("\"p99_ns\": "));
         assert!(json.ends_with("}\n"));
         // Balanced braces (cheap well-formedness check without a parser).
         let open = json.matches('{').count();
@@ -478,6 +702,40 @@ mod tests {
         let mut s = String::new();
         push_json_string(&mut s, "a\"b\\c\nd");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn event_payload_closure_never_runs_without_a_tracing_sink() {
+        // Noop and in-memory recorders have trace_enabled() == false, so
+        // the payload builder must not even run.
+        for h in [RecorderHandle::noop(), RecorderHandle::in_memory().0] {
+            assert!(!h.trace_enabled());
+            h.event(names::EV_HS_PICK, || unreachable!("payload built"));
+        }
+    }
+
+    #[test]
+    fn fanout_routes_metrics_and_events_to_interested_sinks() {
+        let metrics = Arc::new(InMemoryRecorder::new());
+        let trace_a = Arc::new(TraceRecorder::new());
+        let trace_b = Arc::new(TraceRecorder::new());
+        let h = RecorderHandle::fanout(vec![metrics.clone(), trace_a.clone(), trace_b.clone()]);
+        assert!(h.enabled() && h.trace_enabled());
+        h.add("c", 2);
+        h.event(names::EV_HS_PICK, || {
+            EventPayload::new().field("edge", 1u64)
+        });
+        assert_eq!(metrics.report().counter("c"), 2);
+        assert_eq!(trace_a.len(), 1);
+        // Both tracing sinks got the (cloned) event.
+        assert_eq!(trace_a.events(), trace_b.events());
+    }
+
+    #[test]
+    fn fanout_of_noops_stays_fully_disabled() {
+        let h = RecorderHandle::fanout(vec![Arc::new(NoopRecorder), Arc::new(NoopRecorder)]);
+        assert!(!h.enabled());
+        assert!(!h.trace_enabled());
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! The workspace's metric vocabulary.
+//! The workspace's metric and trace-event vocabulary.
 //!
 //! Names follow a `layer.metric` scheme so reports group naturally when
 //! sorted. Every instrumented crate pulls its constants from here — the
 //! single place a future perf PR looks to see what is already measured.
+//!
+//! Structured trace events (the `EV_*` constants) share the registry so
+//! the xtask `obs-unknown-name`/`obs-dead-name` lints keep the trace
+//! vocabulary honest exactly like metric names.
 
 // --- igp: link-state SPF ---------------------------------------------------
 
@@ -70,3 +74,44 @@ pub const TRIAL_MEASURE: &str = "trial.measure";
 pub const TRIAL_DIAGNOSE: &str = "trial.diagnose";
 /// Span: topology + control-plane setup of one placement.
 pub const TRIAL_SETUP: &str = "trial.setup";
+
+// --- trace events: causal per-trial streams ----------------------------------
+//
+// Emitted through `RecorderHandle::event` with typed payloads; payload
+// fields are documented at the emission site. `layer.event` naming keeps
+// them sorted next to the layer's metrics.
+
+/// Event: one AS-wide SPF recompute (payload: as id, routers, settled).
+pub const EV_IGP_SPF: &str = "igp.spf_recompute";
+/// Event: one BGP message delivered (payload: kind, from, to, prefix).
+pub const EV_BGP_MESSAGE: &str = "bgp.message";
+/// Event: a BGP session changed state (payload: state, endpoints).
+pub const EV_BGP_SESSION: &str = "bgp.session_state";
+/// Event: one traceroute rendered (payload: src, dst, reached, hops
+/// with `*` for blocked answers).
+pub const EV_PROBE_TRACEROUTE: &str = "probe.traceroute";
+/// Event: one physical link failed in the simulator.
+pub const EV_SIM_LINK_FAIL: &str = "sim.link_fail";
+/// Event: one physical link repaired in the simulator.
+pub const EV_SIM_LINK_REPAIR: &str = "sim.link_repair";
+/// Event: a diagnosis algorithm started (payload: algorithm).
+pub const EV_DIAG_START: &str = "diag.start";
+/// Event: problem instance built (payload: candidate/failure/reroute
+/// counts, pair names and edge labels for replay).
+pub const EV_DIAG_PROBLEM: &str = "diag.problem_built";
+/// Event: one reroute set constructed (payload: pair, excluded edges).
+pub const EV_DIAG_REROUTE_SET: &str = "diag.reroute_set";
+/// Event: diagnosis finished (payload: algorithm, hypothesis labels,
+/// forced edges, unexplained failure pairs).
+pub const EV_DIAG_DONE: &str = "diag.done";
+/// Event: an IGP link-down message forced an edge into the hypothesis.
+pub const EV_FEED_FORCED: &str = "feed.igp_forced";
+/// Event: a BGP withdrawal exonerated an edge from failure sets.
+pub const EV_FEED_EXONERATED: &str = "feed.bgp_exonerated";
+/// Event: greedy hitting set started (payload: candidates, failures).
+pub const EV_HS_BEGIN: &str = "hs.begin";
+/// Event: greedy picked one edge (payload: iteration, edge, score,
+/// newly covered failure/reroute observation indices, remaining).
+pub const EV_HS_PICK: &str = "hs.pick";
+/// Event: the runner drew (or redrew) a candidate failure for a trial.
+pub const EV_TRIAL_ATTEMPT: &str = "trial.attempt";

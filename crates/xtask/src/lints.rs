@@ -406,11 +406,11 @@ impl NameRegistry {
     }
 }
 
-/// Recorder methods whose first argument is a metric name.
-const RECORDER_METHODS: [&str; 3] = ["add", "observe", "span"];
+/// Recorder methods whose first argument is a metric or event name.
+const RECORDER_METHODS: [&str; 4] = ["add", "observe", "span", "event"];
 
-/// Checks `.add(..)` / `.observe(..)` / `.span(..)` first arguments
-/// against the vocabulary and collects which names are used.
+/// Checks `.add(..)` / `.observe(..)` / `.span(..)` / `.event(..)` first
+/// arguments against the vocabulary and collects which names are used.
 fn obs_call_sites(
     p: &PreparedFile<'_>,
     names: &NameRegistry,

@@ -12,3 +12,7 @@ pub fn unknown_const(recorder: &Recorder) {
 pub fn bare_unknown_const(recorder: &Recorder) {
     recorder.add(ROGUE_BARE_CONST, 3);
 }
+
+pub fn rogue_event(recorder: &Recorder) {
+    recorder.event("rogue.event", EventPayload::new);
+}

@@ -13,3 +13,7 @@ mod tests {
         h.add("test.only", 1);
     }
 }
+
+pub fn instrument_event(recorder: &Recorder) {
+    recorder.event(names::EV_SPF, EventPayload::new);
+}

@@ -4,3 +4,5 @@
 pub const PROBES_SENT: &str = "probe.sent";
 /// Counter: never referenced anywhere — must be flagged dead.
 pub const DEAD_METRIC: &str = "dead.metric";
+/// Event: one SPF recompute.
+pub const EV_SPF: &str = "igp.spf";

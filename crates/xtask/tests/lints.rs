@@ -178,7 +178,10 @@ fn obs_bad_flags_rogue_literal_unknown_const_and_bare_const() {
         .errors()
         .filter(|f| f.lint == Lint::ObsUnknownName)
         .count();
-    assert_eq!(unknown, 3, "literal, names:: path and bare const");
+    assert_eq!(
+        unknown, 4,
+        "literal, names:: path, bare const and event literal"
+    );
     assert!(report.gates());
 }
 

@@ -41,4 +41,16 @@ with open(sys.argv[2], "w") as f:
     json.dump(out, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {sys.argv[2]} ({len(out)} benchmarks)")
+
+# Overhead guard: compiled-in trace hooks behind a NoopRecorder must stay
+# within noise of the hook-free replica of the same greedy.
+base = out.get("trace_overhead/untraced")
+noop = out.get("trace_overhead/noop")
+if base and noop:
+    ratio = noop["median_ns"] / base["median_ns"]
+    print(f"trace overhead guard: noop/untraced median ratio = {ratio:.3f}")
+    if ratio > 1.35:
+        sys.exit(f"noop tracing overhead {ratio:.3f}x exceeds the 1.35x noise budget")
+else:
+    sys.exit("trace_overhead benchmarks missing from the run")
 EOF

@@ -22,4 +22,17 @@ cargo test -q
 echo "== bench smoke (quick mode) =="
 CRITERION_QUICK=1 cargo bench -q -p netdiag-bench --bench perf
 
+echo "== trace smoke (simulate -> diagnose --trace -> explain) =="
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+# cargo run (not ./target/release/netdiag): the tier-1 build above only
+# covers the root package, not the experiments bins.
+netdiag() { cargo run -q --release -p netdiag-experiments --bin netdiag -- "$@"; }
+netdiag simulate --out "$tracedir/scn" --seed 3
+netdiag diagnose --dir "$tracedir/scn" --algo nd-bgpigp \
+    --trace "$tracedir/diag.jsonl" --trace-chrome "$tracedir/diag.chrome.json"
+test -s "$tracedir/diag.jsonl"
+test -s "$tracedir/diag.chrome.json"
+netdiag explain "$tracedir/diag.jsonl" | head -n 20
+
 echo "all checks passed"

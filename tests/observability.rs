@@ -61,9 +61,37 @@ fn trial_populates_every_layer_of_the_run_report() {
 
     // The JSON serialization carries the same numbers.
     let json = report.to_json();
-    assert!(json.contains("\"version\": 1"), "{json}");
+    assert!(json.contains("\"version\": 2"), "{json}");
     assert!(json.contains("\"igp.spf_runs\""), "{json}");
     assert!(json.contains("\"trial.diagnose\""), "{json}");
+    assert!(
+        json.contains("\"p99\""),
+        "histograms carry percentiles: {json}"
+    );
+}
+
+#[test]
+fn traced_trial_replays_into_an_explanation() {
+    let net = build_internet(&InternetConfig::small(3));
+    let cfg = RunConfig::default();
+    let (recorder, tracer) = RecorderHandle::tracing();
+
+    let _scope = netdiag_obs::trial_scope(0, 0);
+    let mut rng = StdRng::seed_from_u64(11);
+    let ctx = prepare_with(&net, &cfg, &mut rng, recorder);
+    let mut frng = StdRng::seed_from_u64(12);
+    run_trial(&ctx, &cfg, &mut frng).expect("a failure trial runs");
+
+    let narrative = netdiag_experiments::explain::explain(
+        &tracer.to_jsonl(),
+        &netdiag_experiments::explain::ExplainFilter {
+            algo: Some("nd-edge".into()),
+            ..Default::default()
+        },
+    )
+    .expect("trace explains");
+    assert!(narrative.contains("--- nd-edge ---"), "{narrative}");
+    assert!(narrative.contains("hypothesis"), "{narrative}");
 }
 
 #[test]
