@@ -2,23 +2,31 @@
 //! work:
 //!
 //! * `sim_clone_vs_snapshot` — deep-copying the 165-AS simulator vs the
-//!   CoW `Sim::clone` (Arc bumps) vs a failure + `snapshot`/`restore`
-//!   round-trip on one scratch simulator;
+//!   CoW `Sim::clone` (Arc bumps), plus the failure/rollback costs the
+//!   trial runner actually pays: the full-reconvergence round trip
+//!   (`snapshot_fail_restore`, PR3 semantics on the PR3 worst-case
+//!   link), the incremental round trip (`incremental_fail_restore`,
+//!   delta-SPF + scoped replay on the median-blast-radius probed link,
+//!   plus a `_worst` variant on the PR3 link), and the two costs those
+//!   round trips conflate, reported separately (`restore_only`,
+//!   `reconverge_only`);
 //! * `hitting_set_btree_vs_bitset` — the greedy hitting set on the dense
 //!   `EdgeBitSet` representation vs a faithful `BTreeSet<EdgeId>`
 //!   reference (the representation this PR replaced);
 //! * `trace_overhead` — the production greedy with a `NoopRecorder` vs a
 //!   hook-free replica (the zero-cost guard scripts/bench.sh enforces)
 //!   and vs a live `TraceRecorder`;
-//! * `trials_parallel_speedup` — `collect_trials` (worker pool over
-//!   placements x trials) vs `collect_trials_sequential` at the quick
-//!   figure scale.
+//! * `trials_parallel_speedup` — `collect_trials` (worker pool with
+//!   per-worker persistent scratch sims, incremental reconvergence and
+//!   the replay memo) vs `collect_trials_sequential` (the frozen PR3
+//!   reference: fresh clone + full reconvergence per trial) at
+//!   2 placements x 100 failures.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,9 +36,35 @@ use netdiag_experiments::runner::RunConfig;
 use netdiag_obs::RecorderHandle;
 use netdiagnoser::{EdgeBitSet, EdgeId, HittingSetInstance, Weights};
 
+/// The probed link whose failure generates the median number of BGP
+/// messages — the cost of a *typical* trial draw.
+///
+/// The first traceroute link (`traceroutes[0].links()[0]`) used by the
+/// PR3-era benches is a sensor's own uplink: failing it withdraws the
+/// sensor's prefix network-wide, a blast radius ~3x the probed-link
+/// median. It stays the subject of `snapshot_fail_restore` so BENCH
+/// files remain comparable, while the `incremental_*` benches measure
+/// the representative draw the trial runner actually samples. Message
+/// counts are deterministic, so so is the link choice.
+fn median_probed_link(fx: &Fixture) -> netdiag_topology::LinkId {
+    let probed = netdiag_experiments::sampling::probed_links(&fx.mesh);
+    let mut costed: Vec<(u64, netdiag_topology::LinkId)> = probed
+        .iter()
+        .map(|&l| {
+            let mut s = fx.sim.clone();
+            let before = s.bgp_messages();
+            s.fail_link(l);
+            (s.bgp_messages() - before, l)
+        })
+        .collect();
+    costed.sort();
+    costed[costed.len() / 2].1
+}
+
 fn bench_sim_clone(c: &mut Criterion) {
     let fx = Fixture::paper_scale();
     let link = fx.mesh.traceroutes[0].links()[0];
+    let typical = median_probed_link(&fx);
     let mut group = c.benchmark_group("sim_clone_vs_snapshot");
     group
         .sample_size(30)
@@ -45,13 +79,61 @@ fn bench_sim_clone(c: &mut Criterion) {
             s
         })
     });
+    // Round trips on a persistent scratch sim, the shape the trial
+    // runner drives. `snapshot_fail_restore` keeps its PR3 semantics
+    // (full per-AS SPF recompute + whole-AS refresh) AND its PR3 link
+    // (worst case) so BENCH_PR*.json files stay comparable; the
+    // `incremental_*` benches run the production path (delta-SPF +
+    // scoped BGP replay) on the median-blast-radius probed link (see
+    // `median_probed_link`), with `_worst` on the PR3 link for contrast.
     let mut scratch = fx.sim.clone();
     let snap = scratch.snapshot();
     group.bench_function("snapshot_fail_restore", |b| {
         b.iter(|| {
-            scratch.fail_link(black_box(link));
+            scratch.fail_links_full(&[black_box(link)]);
             scratch.restore(&snap);
         })
+    });
+    let mut scratch_inc = fx.sim.clone();
+    let snap_inc = scratch_inc.snapshot();
+    group.bench_function("incremental_fail_restore", |b| {
+        b.iter(|| {
+            scratch_inc.fail_link(black_box(typical));
+            scratch_inc.restore(&snap_inc);
+        })
+    });
+    group.bench_function("incremental_fail_restore_worst", |b| {
+        b.iter(|| {
+            scratch_inc.fail_link(black_box(link));
+            scratch_inc.restore(&snap_inc);
+        })
+    });
+    // The round trips conflate rollback with reconvergence; these report
+    // each cost alone (the setup half runs untimed).
+    let snap_base = fx.sim.snapshot();
+    group.bench_function("restore_only", |b| {
+        b.iter_batched(
+            || {
+                let mut s = fx.sim.clone();
+                s.fail_link(typical);
+                s
+            },
+            |mut s| {
+                s.restore(&snap_base);
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("reconverge_only", |b| {
+        b.iter_batched(
+            || fx.sim.clone(),
+            |mut s| {
+                s.fail_link(black_box(typical));
+                s
+            },
+            BatchSize::SmallInput,
+        )
     });
     group.finish();
 }
@@ -264,14 +346,22 @@ fn bench_trace_overhead(c: &mut Criterion) {
 }
 
 fn bench_trials_parallel(c: &mut Criterion) {
-    let fc = FigureConfig::quick();
+    // Scale where the trial pool, the per-worker scratch sims and the
+    // replay memo actually pay off (the quick 3x5 grid of earlier BENCH
+    // files was too small to amortize anything — both legs spent their
+    // time in per-placement setup).
+    let fc = FigureConfig {
+        placements: 2,
+        failures_per_placement: 100,
+        ..FigureConfig::default()
+    };
     let net = fc.internet();
     let cfg = RunConfig::default();
     let mut group = c.benchmark_group("trials_parallel_speedup");
     group
         .sample_size(10)
         .warm_up_time(Duration::from_secs(1))
-        .measurement_time(Duration::from_secs(8));
+        .measurement_time(Duration::from_secs(20));
     group.bench_function("sequential", |b| {
         b.iter(|| collect_trials_sequential(&net, &cfg, &fc))
     });

@@ -7,17 +7,19 @@
 //! message *received by one designated observer AS* — the control-plane feed
 //! the paper's ND-bgpigp algorithm consumes.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::borrow::Cow;
+use std::collections::{BTreeSet, VecDeque};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
-use netdiag_igp::{Igp, LinkState};
+use netdiag_igp::{Igp, LinkState, SpfDelta};
 use netdiag_obs::{names, RecorderHandle};
 use netdiag_topology::{AsId, LinkId, LinkKind, Prefix, RouterId, Topology};
 
 use crate::policy::{ExportDeny, ExportFilters};
-use crate::route::{local_pref_for, Route, RouteSource};
+use crate::route::{local_pref_for, AsPath, Route, RouteSource};
 use crate::session::{SessionId, SessionKind, SessionTable};
+use crate::vecmap::{VecMap, VecSet};
 
 /// Read-only routing context threaded through engine operations.
 #[derive(Clone, Copy)]
@@ -36,7 +38,8 @@ pub struct RouteMsg {
     /// Destination prefix.
     pub prefix: Prefix,
     /// AS path (already prepended by the sender on eBGP sessions).
-    pub as_path: Vec<AsId>,
+    /// Inline ([`AsPath`]): forwarding it is a memcpy, not a refcount.
+    pub as_path: AsPath,
     /// iBGP-only: sender-assigned local preference.
     pub local_pref: u32,
     /// iBGP-only: the egress border router.
@@ -94,16 +97,27 @@ pub struct ObservedMsg {
 }
 
 /// Per-router BGP state.
+///
+/// All tables are sorted vectors ([`VecMap`]/[`VecSet`]), not `BTreeMap`s:
+/// the failure/restore hot loop clones and drops one of these on every
+/// copy-on-write break, and a handful of contiguous buffers copy an order
+/// of magnitude faster than a forest of tree nodes. Iteration stays in
+/// ascending key order, so message ordering is exactly what the
+/// `BTreeMap` representation produced.
 #[derive(Clone, Debug, Default)]
 struct RouterState {
     /// Routes received per prefix, per session.
-    adj_in: BTreeMap<Prefix, BTreeMap<SessionId, Route>>,
+    adj_in: VecMap<Prefix, VecMap<SessionId, Route>>,
     /// Prefixes this router originates.
-    originated: BTreeSet<Prefix>,
+    originated: VecSet<Prefix>,
     /// Best route per prefix.
-    loc_rib: BTreeMap<Prefix, Route>,
+    loc_rib: VecMap<Prefix, Route>,
     /// Prefixes currently advertised per session.
-    adj_out: BTreeMap<SessionId, BTreeSet<Prefix>>,
+    adj_out: VecMap<SessionId, VecSet<Prefix>>,
+    /// Replay index: the prefixes present in `adj_in` per session, so a
+    /// session flush touches exactly its own prefixes instead of scanning
+    /// the whole Adj-RIB-In. Entries are removed when they empty out.
+    adj_in_by_session: VecMap<SessionId, VecSet<Prefix>>,
 }
 
 /// Statistics from a convergence run.
@@ -143,6 +157,13 @@ pub struct Bgp {
     decisions: u64,
     /// Copy-on-write breaks since the last flush (batched like `decisions`).
     cow_breaks: u64,
+    /// Prefixes visited by scoped replay since the last flush (batched).
+    replay_prefixes: u64,
+    /// Cached per-session liveness (1 = up). `None` falls back to the
+    /// ground-truth recomputation in [`SessionTable::is_up`]; when `Some`,
+    /// the owner (the simulator layer) must keep it in sync with link and
+    /// IGP state — a `debug_assert` cross-checks every read.
+    live: Option<Vec<u8>>,
 }
 
 impl Bgp {
@@ -162,6 +183,79 @@ impl Bgp {
             trace_on: false,
             decisions: 0,
             cow_breaks: 0,
+            replay_prefixes: 0,
+            live: None,
+        }
+    }
+
+    /// Session liveness through the cache when present (one byte load on
+    /// the hot path), falling back to the ground-truth recomputation.
+    #[inline]
+    fn sess_up(&self, ctx: Ctx<'_>, sid: SessionId) -> bool {
+        match &self.live {
+            Some(v) => {
+                let up = v[sid.index()] != 0;
+                debug_assert_eq!(
+                    up,
+                    self.sessions.is_up(sid, ctx.topology, ctx.igp, ctx.links),
+                    "stale session-liveness cache for {sid:?}"
+                );
+                up
+            }
+            None => self.sessions.is_up(sid, ctx.topology, ctx.igp, ctx.links),
+        }
+    }
+
+    /// (Re)builds the session-liveness cache from link and IGP state.
+    pub fn recompute_liveness(&mut self, ctx: Ctx<'_>) {
+        let v = (0..self.sessions.sessions().len())
+            .map(|i| {
+                u8::from(
+                    self.sessions
+                        .is_up(SessionId(i as u32), ctx.topology, ctx.igp, ctx.links),
+                )
+            })
+            .collect();
+        self.live = Some(v);
+    }
+
+    /// Drops the liveness cache; reads fall back to ground truth until
+    /// [`Bgp::recompute_liveness`] runs again.
+    pub fn invalidate_liveness(&mut self) {
+        self.live = None;
+    }
+
+    /// True when the liveness cache is present.
+    pub fn has_liveness(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// Marks one session down in the liveness cache (no-op without a
+    /// cache). Failures only ever *degrade* liveness, so the incremental
+    /// failure path keeps the cache valid with point updates; repairs must
+    /// rebuild it via [`Bgp::recompute_liveness`].
+    pub fn set_session_down(&mut self, sid: SessionId) {
+        if let Some(v) = &mut self.live {
+            v[sid.index()] = 0;
+        }
+    }
+
+    /// Marks the eBGP session riding each given link down in the cache.
+    pub fn mark_links_down(&mut self, links: &[LinkId]) {
+        for &l in links {
+            if let Some(sid) = self.sessions.ebgp_on_link(l) {
+                self.set_session_down(sid);
+            }
+        }
+    }
+
+    /// Marks the iBGP sessions of the given same-AS router pairs down in
+    /// the cache (the pairs come from [`SpfDelta::lost_pairs`]).
+    pub fn mark_pairs_down(&mut self, pairs: &[(RouterId, RouterId)]) {
+        for &(a, b) in pairs {
+            if let Some(sid) = self.sessions.ibgp_between(a, b) {
+                self.set_session_down(sid);
+            }
         }
     }
 
@@ -264,6 +358,11 @@ impl Bgp {
                     .add(names::SIM_SNAPSHOT_COW_BREAKS, self.cow_breaks);
                 self.cow_breaks = 0;
             }
+            if self.replay_prefixes > 0 {
+                self.recorder
+                    .add(names::BGP_REPLAY_PREFIXES_SCOPED, self.replay_prefixes);
+                self.replay_prefixes = 0;
+            }
         }
         stats
     }
@@ -301,12 +400,62 @@ impl Bgp {
         match l.kind {
             LinkKind::Inter => {
                 if let Some(sid) = self.sessions.ebgp_on_link(link) {
+                    self.set_session_down(sid);
                     self.flush_session(ctx, sid);
                 }
             }
             LinkKind::Intra => {
                 let as_id = ctx.topology.as_of_router(l.a);
                 self.refresh_as(ctx, as_id);
+            }
+        }
+    }
+
+    /// Flushes the eBGP session riding a failed inter-domain link. The
+    /// liveness cache must already mark the session down (see
+    /// [`Bgp::mark_links_down`]); this only replays the affected prefixes.
+    pub fn fail_ebgp_link(&mut self, ctx: Ctx<'_>, link: LinkId) {
+        if let Some(sid) = self.sessions.ebgp_on_link(link) {
+            self.flush_session(ctx, sid);
+        }
+    }
+
+    /// Scoped variant of [`Bgp::refresh_as`] driven by a delta-SPF result:
+    /// flushes exactly the iBGP sessions that just died
+    /// ([`SpfDelta::lost_pairs`]) and replays the decision process only on
+    /// routers whose IGP distance vector changed
+    /// ([`SpfDelta::dirty_sources`]).
+    ///
+    /// Queues the exact same messages as a full `refresh_as`: a skipped
+    /// router has an unchanged distance vector, unchanged session
+    /// liveness and an untouched Adj-RIB-In, so every one of its
+    /// re-decisions would return "no change" and enqueue nothing; flushes
+    /// of long-dead sessions are no-ops because their state was already
+    /// removed when they died. The liveness cache must already reflect
+    /// the dead sessions (see [`Bgp::mark_pairs_down`]).
+    pub fn refresh_as_scoped(&mut self, ctx: Ctx<'_>, delta: &SpfDelta) {
+        let mut dead: Vec<SessionId> = delta
+            .lost_pairs
+            .iter()
+            .filter_map(|&(a, b)| self.sessions.ibgp_between(a, b))
+            .collect();
+        dead.sort_unstable();
+        for sid in dead {
+            self.flush_session(ctx, sid);
+        }
+        for &r in &delta.dirty_sources {
+            let prefixes: BTreeSet<Prefix> = self
+                .state(r)
+                .adj_in
+                .keys()
+                .chain(self.state(r).loc_rib.keys())
+                .copied()
+                .collect();
+            self.replay_prefixes += prefixes.len() as u64;
+            for prefix in prefixes {
+                if self.decide(ctx, r, prefix) {
+                    self.propagate(ctx, r, prefix);
+                }
             }
         }
     }
@@ -419,7 +568,7 @@ impl Bgp {
     /// Removes all adj-in/adj-out state of a dead session and reconverges
     /// the affected prefixes at both endpoints.
     fn flush_session(&mut self, ctx: Ctx<'_>, sid: SessionId) {
-        let s = self.sessions.get(sid).clone();
+        let s = *self.sessions.get(sid);
         if self.trace_on {
             self.recorder.event(names::EV_BGP_SESSION, || {
                 netdiag_obs::EventPayload::new()
@@ -436,22 +585,26 @@ impl Bgp {
             // break copy-on-write sharing.
             let touched = {
                 let state = self.state(r);
-                state.adj_out.contains_key(&sid)
-                    || state
-                        .adj_in
-                        .values()
-                        .any(|by_session| by_session.contains_key(&sid))
+                state.adj_out.contains_key(&sid) || state.adj_in_by_session.contains_key(&sid)
             };
             if !touched {
                 continue;
             }
             let state = self.state_mut(r);
             state.adj_out.remove(&sid);
-            let affected: Vec<Prefix> = state
-                .adj_in
-                .iter_mut()
-                .filter_map(|(p, by_session)| by_session.remove(&sid).map(|_| *p))
-                .collect();
+            // The replay index hands us exactly the prefixes learned on
+            // this session (prefix-ordered), replacing a full Adj-RIB-In
+            // scan.
+            let affected: Vec<Prefix> = match state.adj_in_by_session.remove(&sid) {
+                Some(set) => set.into_iter().collect(),
+                None => Vec::new(),
+            };
+            for p in &affected {
+                if let Some(by_session) = state.adj_in.get_mut(p) {
+                    by_session.remove(&sid);
+                }
+            }
+            self.replay_prefixes += affected.len() as u64;
             for prefix in affected {
                 if self.decide(ctx, r, prefix) {
                     self.propagate(ctx, r, prefix);
@@ -462,10 +615,7 @@ impl Bgp {
 
     /// Delivers one message.
     fn deliver(&mut self, ctx: Ctx<'_>, msg: Msg) {
-        if !self
-            .sessions
-            .is_up(msg.session, ctx.topology, ctx.igp, ctx.links)
-        {
+        if !self.sess_up(ctx, msg.session) {
             return; // lost with the session
         }
         let kind = self.sessions.get(msg.session).kind;
@@ -516,11 +666,12 @@ impl Bgp {
                 let prefix = rm.prefix;
                 match self.import(ctx, to, from, session, rm, kind) {
                     Some(route) => {
-                        self.state_mut(to)
-                            .adj_in
-                            .entry(prefix)
-                            .or_default()
-                            .insert(session, route);
+                        let state = self.state_mut(to);
+                        state.adj_in.entry_or_default(prefix).insert(session, route);
+                        state
+                            .adj_in_by_session
+                            .entry_or_default(session)
+                            .insert(prefix);
                     }
                     None => {
                         // Loop-rejected update acts as a withdraw of any
@@ -549,8 +700,15 @@ impl Bgp {
             .get(&prefix)
             .is_some_and(|by_session| by_session.contains_key(&session));
         if present {
-            if let Some(by_session) = self.state_mut(to).adj_in.get_mut(&prefix) {
+            let state = self.state_mut(to);
+            if let Some(by_session) = state.adj_in.get_mut(&prefix) {
                 by_session.remove(&session);
+            }
+            if let Some(set) = state.adj_in_by_session.get_mut(&session) {
+                set.remove(&prefix);
+                if set.is_empty() {
+                    state.adj_in_by_session.remove(&session);
+                }
             }
         }
     }
@@ -607,8 +765,8 @@ impl Bgp {
         self.decisions += 1;
         let state = self.state(r);
         let as_id = ctx.topology.as_of_router(r);
-        let best: Option<Route> = if state.originated.contains(&prefix) {
-            Some(Route::originated(prefix, r))
+        let best: Option<Cow<'_, Route>> = if state.originated.contains(&prefix) {
+            Some(Cow::Owned(Route::originated(prefix, r)))
         } else {
             state
                 .adj_in
@@ -616,7 +774,7 @@ impl Bgp {
                 .into_iter()
                 .flatten()
                 .filter(|(sid, route)| {
-                    self.sessions.is_up(**sid, ctx.topology, ctx.igp, ctx.links)
+                    self.sess_up(ctx, **sid)
                         && (route.ebgp_learned || ctx.igp.of(as_id).reachable(r, route.egress))
                 })
                 .max_by_key(|(sid, route)| {
@@ -638,37 +796,40 @@ impl Bgp {
                         std::cmp::Reverse(sid.0),
                     )
                 })
-                .map(|(_, route)| route.clone())
+                .map(|(_, route)| Cow::Borrowed(route))
         };
 
-        // Only take write access when the entry actually changes, so a
-        // no-op re-decision (the common case in `refresh_as`) keeps the
-        // router's state shared.
-        let changed = self.state(r).loc_rib.get(&prefix) != best.as_ref();
-        if changed {
-            let state = self.state_mut(r);
-            match best {
-                Some(route) => {
-                    state.loc_rib.insert(prefix, route);
-                }
-                None => {
-                    state.loc_rib.remove(&prefix);
-                }
+        // Only clone the winning route and take write access when the
+        // entry actually changes, so a no-op re-decision (the common case
+        // in `refresh_as` and in withdraw storms that leave the best
+        // route alone) costs no allocation and keeps the router's state
+        // shared.
+        if state.loc_rib.get(&prefix) == best.as_deref() {
+            return false;
+        }
+        let best = best.map(Cow::into_owned);
+        let state = self.state_mut(r);
+        match best {
+            Some(route) => {
+                state.loc_rib.insert(prefix, route);
+            }
+            None => {
+                state.loc_rib.remove(&prefix);
             }
         }
-        changed
+        true
     }
 
     /// Synchronizes every session's Adj-RIB-Out with the current best route
     /// of `r` for `prefix`, queueing updates/withdraws.
     fn propagate(&mut self, ctx: Ctx<'_>, r: RouterId, prefix: Prefix) {
         let best = self.state(r).loc_rib.get(&prefix).cloned();
-        let session_ids: Vec<SessionId> = self.sessions.of_router(r).to_vec();
-        for sid in session_ids {
-            if !self.sessions.is_up(sid, ctx.topology, ctx.igp, ctx.links) {
+        let sessions = Arc::clone(&self.sessions);
+        for &sid in sessions.of_router(r) {
+            if !self.sess_up(ctx, sid) {
                 continue;
             }
-            let session = self.sessions.get(sid).clone();
+            let session = *sessions.get(sid);
             let peer = session
                 .other(r)
                 .expect("sid comes from r's session table, so r is an endpoint");
@@ -685,8 +846,7 @@ impl Bgp {
                     if !had {
                         self.state_mut(r)
                             .adj_out
-                            .entry(sid)
-                            .or_default()
+                            .entry_or_default(sid)
                             .insert(prefix);
                     }
                     self.queue.push_back(Msg {
@@ -734,7 +894,7 @@ impl Bgp {
                 }
                 Some(RouteMsg {
                     prefix: b.prefix,
-                    as_path: b.as_path.clone(),
+                    as_path: b.as_path,
                     local_pref: b.local_pref,
                     egress: r,
                     source: b.source,
@@ -759,12 +919,9 @@ impl Bgp {
                 if self.filters.is_denied(r, peer, b.prefix) {
                     return None; // misconfiguration
                 }
-                let mut as_path = Vec::with_capacity(b.as_path.len() + 1);
-                as_path.push(my_as);
-                as_path.extend_from_slice(&b.as_path);
                 Some(RouteMsg {
                     prefix: b.prefix,
-                    as_path,
+                    as_path: b.as_path.prepended(my_as),
                     local_pref: 0,
                     egress: r,
                     source: b.source,

@@ -29,8 +29,9 @@ mod engine;
 mod policy;
 mod route;
 mod session;
+mod vecmap;
 
 pub use engine::{Bgp, Ctx, Msg, ObservedKind, ObservedMsg, Payload, RouteMsg, RunStats};
 pub use policy::{ExportDeny, ExportFilters};
-pub use route::{local_pref_for, Route, RouteSource, LOCAL_PREF_ORIGINATED};
+pub use route::{local_pref_for, AsPath, Route, RouteSource, LOCAL_PREF_ORIGINATED};
 pub use session::{Session, SessionId, SessionKind, SessionTable};

@@ -36,7 +36,7 @@ pub enum SessionKind {
 }
 
 /// A BGP session between two routers.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct Session {
     /// Identifier.
     pub id: SessionId,
@@ -67,6 +67,9 @@ pub struct SessionTable {
     sessions: Vec<Session>,
     /// Sessions incident to each router, indexed by router id.
     by_router: Vec<Vec<SessionId>>,
+    /// eBGP session riding each link, indexed by link id (`None` for
+    /// intra-domain links).
+    by_link: Vec<Option<SessionId>>,
 }
 
 impl SessionTable {
@@ -75,20 +78,23 @@ impl SessionTable {
     pub fn build(topology: &Topology) -> Self {
         let mut sessions = Vec::new();
         let mut by_router = vec![Vec::new(); topology.router_count()];
+        let mut by_link = vec![None; topology.link_count()];
         let mut push = |sessions: &mut Vec<Session>, a: RouterId, b: RouterId, kind| {
             let id = SessionId(sessions.len() as u32);
             sessions.push(Session { id, a, b, kind });
             by_router[a.index()].push(id);
             by_router[b.index()].push(id);
+            id
         };
         for link in topology.links() {
             if link.kind == LinkKind::Inter {
-                push(
+                let id = push(
                     &mut sessions,
                     link.a,
                     link.b,
                     SessionKind::Ebgp { link: link.id },
                 );
+                by_link[link.id.index()] = Some(id);
             }
         }
         for asn in topology.ases() {
@@ -101,6 +107,7 @@ impl SessionTable {
         SessionTable {
             sessions,
             by_router,
+            by_link,
         }
     }
 
@@ -136,11 +143,15 @@ impl SessionTable {
 
     /// The eBGP session riding `link`, if any.
     pub fn ebgp_on_link(&self, link: LinkId) -> Option<SessionId> {
-        // eBGP sessions are created first, in link order; scan is fine.
-        self.sessions
-            .iter()
-            .find(|s| matches!(s.kind, SessionKind::Ebgp { link: l } if l == link))
-            .map(|s| s.id)
+        self.by_link[link.index()]
+    }
+
+    /// The iBGP session between two routers of the same AS, if any.
+    pub fn ibgp_between(&self, a: RouterId, b: RouterId) -> Option<SessionId> {
+        self.by_router[a.index()].iter().copied().find(|&id| {
+            let s = &self.sessions[id.index()];
+            s.kind == SessionKind::Ibgp && s.other(a) == Some(b)
+        })
     }
 }
 

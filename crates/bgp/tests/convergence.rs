@@ -55,7 +55,9 @@ impl Net {
 
     fn as_path(&self, r: RouterId, dst_as: AsId) -> Option<Vec<AsId>> {
         let prefix = self.topology.as_node(dst_as).prefix;
-        self.bgp.best_route(r, &prefix).map(|rt| rt.as_path.clone())
+        self.bgp
+            .best_route(r, &prefix)
+            .map(|rt| rt.as_path.to_vec())
     }
 }
 
@@ -372,8 +374,8 @@ fn originate_subset_matches_full_origination() {
     let s_prefix = t.as_node(AsId(3)).prefix;
     for r in routers {
         assert_eq!(
-            full.bgp.best_route(r, &s_prefix).map(|x| x.as_path.clone()),
-            bgp.best_route(r, &s_prefix).map(|x| x.as_path.clone()),
+            full.bgp.best_route(r, &s_prefix).map(|x| x.as_path),
+            bgp.best_route(r, &s_prefix).map(|x| x.as_path),
             "paths toward S differ at {r}"
         );
     }

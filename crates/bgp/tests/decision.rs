@@ -61,7 +61,7 @@ fn customer_route_beats_shorter_peer_route() {
     let (_, _, bgp) = converge(&t);
     let route = bgp.best_route(xr, &dst_prefix(&t, d)).unwrap();
     assert_eq!(
-        route.as_path,
+        route.as_path.to_vec(),
         vec![c1, c2, d],
         "longer customer route must beat shorter peer route"
     );
@@ -92,7 +92,11 @@ fn shorter_as_path_wins_among_equals() {
     let (_, _, bgp) = converge(&t);
     for r in [x1, x2] {
         let route = bgp.best_route(r, &dst_prefix(&t, d)).unwrap();
-        assert_eq!(route.as_path, vec![d], "direct path is shorter at {r}");
+        assert_eq!(
+            route.as_path.to_vec(),
+            vec![d],
+            "direct path is shorter at {r}"
+        );
     }
 }
 
@@ -192,7 +196,10 @@ fn withdrawal_falls_back_to_next_best() {
     let t = Arc::new(b.build().unwrap());
     let (mut links, igp, mut bgp) = converge(&t);
     let prefix = dst_prefix(&t, d);
-    assert_eq!(bgp.best_route(xr, &prefix).unwrap().as_path, vec![d]);
+    assert_eq!(
+        bgp.best_route(xr, &prefix).unwrap().as_path.to_vec(),
+        vec![d]
+    );
 
     // Fail X's direct customer link; X falls back to the peer route.
     let l = t.link_between(xr, dr).unwrap();
@@ -205,6 +212,6 @@ fn withdrawal_falls_back_to_next_best() {
     bgp.handle_link_down(ctx, l);
     bgp.run(ctx);
     let fallback = bgp.best_route(xr, &prefix).unwrap();
-    assert_eq!(fallback.as_path, vec![p, d]);
+    assert_eq!(fallback.as_path.to_vec(), vec![p, d]);
     let _ = RouterId(0);
 }

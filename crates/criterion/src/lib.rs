@@ -217,6 +217,33 @@ impl Bencher {
         self.iters += 1;
         drop(black_box(out));
     }
+
+    /// Runs `setup` untimed, then times `routine` on its output — for
+    /// benchmarks whose per-iteration state preparation must stay out of
+    /// the measurement (upstream `iter_batched`).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(black_box(out));
+    }
+}
+
+/// Upstream-compatible batch-size hint. The in-tree harness runs one
+/// setup + one routine per measured call either way, so this only keeps
+/// call sites source-compatible with real criterion.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Setup output is cheap to hold many of (upstream batches these).
+    SmallInput,
+    /// Setup output is expensive; upstream runs one at a time.
+    LargeInput,
 }
 
 fn format_time(secs: f64) -> String {

@@ -3,7 +3,7 @@
 //! ```text
 //! figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|claims|ablations|robustness|scalability|summary|all>
 //!         [--placements N] [--failures N] [--seed S] [--out DIR] [--quick]
-//!         [--profile FILE]
+//!         [--threads N] [--profile FILE]
 //! ```
 //!
 //! Defaults match the paper (10 placements x 100 failures per scenario).
@@ -27,7 +27,8 @@ type FigureFn = fn(&FigureConfig) -> Vec<FigureOutput>;
 fn usage() -> ! {
     eprintln!(
         "usage: figures <fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|claims|ablations|robustness|scalability|summary|all> \
-         [--placements N] [--failures N] [--seed S] [--out DIR] [--quick] [--profile FILE]"
+         [--placements N] [--failures N] [--seed S] [--out DIR] [--quick] [--threads N] \
+         [--profile FILE]"
     );
     std::process::exit(2)
 }
@@ -60,6 +61,12 @@ fn main() -> ExitCode {
             }
             "--seed" => {
                 fc.base_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                fc.threads = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())

@@ -17,6 +17,13 @@
 //! netdiag explain TRACE.jsonl [--placement P] [--trial N] [--algo A]
 //!     Replays a `--trace` event log into a per-hypothesis causal
 //!     narrative for one trial.
+//!
+//! netdiag trials [--placements N] [--failures N] [--seed N]
+//!                [--failure SPEC] [--blocked FRAC] [--lg FRAC]
+//!                [--threads N]
+//!     Runs the paper's placement x failure experiment loop on the trial
+//!     worker pool and prints per-algorithm accuracy means. `--threads`
+//!     caps the pool (default: available parallelism).
 //! ```
 //!
 //! `simulate` and `diagnose` accept `--profile FILE` (instrumentation
@@ -56,7 +63,10 @@ fn usage() -> ! {
          netdiag diagnose --dir DIR [--algo tomo|nd-edge|nd-bgpigp|nd-lg] [--profile FILE] \
          [--trace FILE] [--trace-chrome FILE]\n  \
          netdiag explain TRACE.jsonl [--placement P] [--trial N] \
-         [--algo tomo|nd-edge|nd-bgpigp|nd-lg]"
+         [--algo tomo|nd-edge|nd-bgpigp|nd-lg]\n  \
+         netdiag trials [--placements N] [--failures N] [--seed N] \
+         [--failure links:<x>|router|misconfig|misconfig+link] [--blocked FRAC] [--lg FRAC] \
+         [--threads N]"
     );
     std::process::exit(2)
 }
@@ -135,6 +145,7 @@ fn main() -> ExitCode {
         Some("simulate") => simulate(args.collect()),
         Some("diagnose") => diagnose(args.collect()),
         Some("explain") => explain_cmd(args.collect()),
+        Some("trials") => trials(args.collect()),
         _ => usage(),
     }
 }
@@ -143,6 +154,86 @@ fn get_flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses a `--failure` value (`links:<x>`, `router`, `misconfig`,
+/// `misconfig+link`); `None` means the default single link failure.
+fn parse_failure_spec(value: Option<&str>) -> FailureSpec {
+    match value {
+        None => FailureSpec::Links(1),
+        Some("router") => FailureSpec::Router,
+        Some("misconfig") => FailureSpec::Misconfig,
+        Some("misconfig+link") => FailureSpec::MisconfigPlusLink,
+        Some(s) => match s.strip_prefix("links:").and_then(|x| x.parse().ok()) {
+            Some(x) => FailureSpec::Links(x),
+            None => usage(),
+        },
+    }
+}
+
+/// `netdiag trials`: the placement x failure experiment loop on the
+/// worker pool, summarised as per-algorithm accuracy means.
+fn trials(args: Vec<String>) -> ExitCode {
+    let parse_or_usage = |flag: &str, default: usize| -> usize {
+        get_flag(&args, flag).map_or(default, |v| v.parse().unwrap_or_else(|_| usage()))
+    };
+    let seed: u64 = get_flag(&args, "--seed").map_or(1, |v| v.parse().unwrap_or_else(|_| usage()));
+    let blocked: f64 =
+        get_flag(&args, "--blocked").map_or(0.0, |v| v.parse().unwrap_or_else(|_| usage()));
+    let lg_frac: f64 =
+        get_flag(&args, "--lg").map_or(1.0, |v| v.parse().unwrap_or_else(|_| usage()));
+    let fc = netdiag_experiments::figures::FigureConfig {
+        placements: parse_or_usage("--placements", 10),
+        failures_per_placement: parse_or_usage("--failures", 100),
+        base_seed: seed,
+        topology_seed: seed,
+        threads: parse_or_usage("--threads", 0),
+        ..Default::default()
+    };
+    let cfg = RunConfig {
+        failure: parse_failure_spec(get_flag(&args, "--failure").as_deref()),
+        blocked_frac: blocked,
+        lg_frac,
+        ..Default::default()
+    };
+    let net = fc.internet();
+    let t0 = std::time::Instant::now();
+    let trials = netdiag_experiments::figures::collect_trials(&net, &cfg, &fc);
+    let elapsed = t0.elapsed();
+    if trials.is_empty() {
+        eprintln!("no unreachability-causing failures could be drawn");
+        return ExitCode::FAILURE;
+    }
+    let mean = |f: &dyn Fn(&netdiag_experiments::runner::TrialResult) -> Option<f64>| -> String {
+        let vals: Vec<f64> = trials.iter().filter_map(f).collect();
+        if vals.is_empty() {
+            "-".into()
+        } else {
+            format!("{:.3}", vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    };
+    println!(
+        "{} trials ({} placements x {} failures) in {elapsed:.1?}",
+        trials.len(),
+        fc.placements,
+        fc.failures_per_placement
+    );
+    println!("algorithm   sensitivity  specificity");
+    for (name, get) in [
+        (
+            "tomo",
+            &(|t: &netdiag_experiments::runner::TrialResult| Some(t.tomo))
+                as &dyn Fn(&netdiag_experiments::runner::TrialResult) -> Option<_>,
+        ),
+        ("nd-edge", &|t| Some(t.nd_edge)),
+        ("nd-bgpigp", &|t| Some(t.nd_bgpigp)),
+        ("nd-lg", &|t| t.nd_lg),
+    ] {
+        let sens = mean(&|t| get(t).map(|e| e.sensitivity));
+        let spec = mean(&|t| get(t).map(|e| e.specificity));
+        println!("{name:<11} {sens:>11}  {spec:>11}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn simulate(args: Vec<String>) -> ExitCode {
@@ -154,16 +245,7 @@ fn simulate(args: Vec<String>) -> ExitCode {
         get_flag(&args, "--blocked").map_or(0.0, |v| v.parse().unwrap_or_else(|_| usage()));
     let lg_frac: f64 =
         get_flag(&args, "--lg").map_or(1.0, |v| v.parse().unwrap_or_else(|_| usage()));
-    let failure_spec = match get_flag(&args, "--failure").as_deref() {
-        None => FailureSpec::Links(1),
-        Some("router") => FailureSpec::Router,
-        Some("misconfig") => FailureSpec::Misconfig,
-        Some("misconfig+link") => FailureSpec::MisconfigPlusLink,
-        Some(s) => match s.strip_prefix("links:").and_then(|x| x.parse().ok()) {
-            Some(x) => FailureSpec::Links(x),
-            None => usage(),
-        },
-    };
+    let failure_spec = parse_failure_spec(get_flag(&args, "--failure").as_deref());
 
     let net = match get_flag(&args, "--topology") {
         None => netdiag_topology::builders::build_internet(

@@ -16,14 +16,16 @@ pub mod fig9;
 pub mod robustness;
 pub mod scalability;
 
-use netdiag_obs::RecorderHandle;
+use netdiag_obs::{names, RecorderHandle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use netdiag_topology::builders::{build_internet, Internet, InternetConfig};
 
 use crate::output::{Cdf, Table};
-use crate::runner::{prepare_with, run_trial, RunConfig, TrialResult};
+use crate::runner::{
+    prepare_with, run_trial_reference, run_trial_with, RunConfig, TrialResult, TrialScratch,
+};
 
 /// How much work a figure regeneration does.
 #[derive(Clone, Debug)]
@@ -36,6 +38,9 @@ pub struct FigureConfig {
     pub topology_seed: u64,
     /// Base seed for placements and failures.
     pub base_seed: u64,
+    /// Worker threads for trial collection; `0` (the default) means
+    /// available parallelism. The CLI `--threads` flag sets this.
+    pub threads: usize,
     /// Instrumentation sink shared by every placement and trial (no-op by
     /// default).
     pub recorder: RecorderHandle,
@@ -48,6 +53,7 @@ impl Default for FigureConfig {
             failures_per_placement: 100,
             topology_seed: 1,
             base_seed: 7,
+            threads: 0,
             recorder: RecorderHandle::noop(),
         }
     }
@@ -102,99 +108,157 @@ fn trial_seed(base_seed: u64, p: usize, t: usize) -> u64 {
         ^ (t as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
 }
 
-/// Runs the paper's standard experiment loop for one scenario: `placements`
-/// sensor placements, `failures_per_placement` unreachability-causing
-/// failures each.
-///
-/// Placements and trials are independent (each has its own derived seed),
-/// so both levels fan out across threads — one worker pool capped by
-/// `available_parallelism` pulls trials from a shared queue; results are
-/// assembled in `(placement, trial)` order, keeping the output
-/// deterministic and identical to [`collect_trials_sequential`].
-pub fn collect_trials(net: &Internet, cfg: &RunConfig, fc: &FigureConfig) -> Vec<TrialResult> {
-    collect_trials_impl(net, cfg, fc, true)
+/// The worker count a config resolves to: `fc.threads`, or available
+/// parallelism when 0.
+fn resolved_threads(fc: &FigureConfig) -> usize {
+    if fc.threads > 0 {
+        fc.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
 }
 
-/// Single-threaded reference implementation of [`collect_trials`]: same
-/// seeds, same trial order, no worker pool. Exists so tests and benches can
-/// check (and measure) that parallel collection changes nothing but
-/// wall-clock time.
-pub fn collect_trials_sequential(
+/// Phase 1 of a collection: one [`PlacementContext`](crate::runner::PlacementContext)
+/// per placement, each from its own derived seed, prepared on up to
+/// `threads` workers (preparation order does not matter — the seeds make
+/// every context independent of scheduling).
+fn prepare_contexts(
     net: &Internet,
     cfg: &RunConfig,
     fc: &FigureConfig,
-) -> Vec<TrialResult> {
-    collect_trials_impl(net, cfg, fc, false)
-}
-
-fn collect_trials_impl(
-    net: &Internet,
-    cfg: &RunConfig,
-    fc: &FigureConfig,
-    parallel: bool,
-) -> Vec<TrialResult> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-
-    // Phase 1: prepare one context per placement (independent seeds).
+    threads: usize,
+) -> Vec<crate::runner::PlacementContext> {
     let prepare_one = |p: usize| -> crate::runner::PlacementContext {
         let _trial = netdiag_obs::trial_scope(p as u32, netdiag_obs::SETUP_TRIAL);
         let mut prng = StdRng::seed_from_u64(fc.base_seed ^ (p as u64).wrapping_mul(0x9E37_79B9));
         prepare_with(net, cfg, &mut prng, fc.recorder.clone())
     };
-    let contexts: Vec<crate::runner::PlacementContext> =
-        if parallel && threads > 1 && fc.placements > 1 {
-            let prep = &prepare_one;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..fc.placements)
-                    .map(|p| scope.spawn(move || prep(p)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("placement worker panicked"))
-                    .collect()
-            })
-        } else {
-            (0..fc.placements).map(prepare_one).collect()
-        };
-
-    // Phase 2: run every (placement, trial) cell on the worker pool.
-    let total = fc.placements * fc.failures_per_placement;
-    let run_one = |idx: usize| -> Option<TrialResult> {
-        let p = idx / fc.failures_per_placement;
-        let t = idx % fc.failures_per_placement;
-        let _trial = netdiag_obs::trial_scope(p as u32, t as u32);
-        let mut rng = StdRng::seed_from_u64(trial_seed(fc.base_seed, p, t));
-        run_trial(&contexts[p], cfg, &mut rng)
-    };
-    let workers = threads.min(total.max(1));
-    let slots: Vec<Option<TrialResult>> = if !parallel || workers <= 1 {
-        (0..total).map(run_one).collect()
-    } else {
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<TrialResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    if threads > 1 && fc.placements > 1 {
+        let prep = &prepare_one;
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= total {
-                        break;
-                    }
-                    let result = run_one(idx);
-                    *slots[idx].lock().expect("trial slot poisoned") = result;
-                });
+            let handles: Vec<_> = (0..fc.placements)
+                .map(|p| scope.spawn(move || prep(p)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("placement worker panicked"))
+                .collect()
+        })
+    } else {
+        (0..fc.placements).map(prepare_one).collect()
+    }
+}
+
+/// Runs the paper's standard experiment loop for one scenario: `placements`
+/// sensor placements, `failures_per_placement` unreachability-causing
+/// failures each — on the production path (incremental reconvergence,
+/// per-worker persistent scratch simulators, per-placement replay memo).
+///
+/// Work is distributed as a work-stealing pool over placement x trial
+/// units: worker `w` starts at placement `w % placements` and drains it
+/// with one persistent [`TrialScratch`] (restores between trials are `Arc`
+/// bumps; only a placement switch rebuilds the scratch), then steals
+/// trials from the next placements (`trial.pool.steal` counts those).
+/// Every trial owns an independent seeded RNG and writes to its
+/// `(placement, trial)` slot, so the output is deterministic and identical
+/// to [`collect_trials_sequential`] regardless of scheduling —
+/// `tests/parallel_parity.rs` enforces exactly that.
+pub fn collect_trials(net: &Internet, cfg: &RunConfig, fc: &FigureConfig) -> Vec<TrialResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let threads = resolved_threads(fc);
+    let contexts = prepare_contexts(net, cfg, fc, threads);
+
+    let fpp = fc.failures_per_placement;
+    let total = fc.placements * fpp;
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = threads.min(total);
+    if workers <= 1 {
+        // One worker: same loop without the pool machinery (placement
+        // order, persistent scratch per placement).
+        let mut out: Vec<Option<TrialResult>> = Vec::with_capacity(total);
+        for (p, ctx) in contexts.iter().enumerate() {
+            let mut scratch = TrialScratch::new(ctx);
+            for t in 0..fpp {
+                let _trial = netdiag_obs::trial_scope(p as u32, t as u32);
+                let mut rng = StdRng::seed_from_u64(trial_seed(fc.base_seed, p, t));
+                out.push(run_trial_with(ctx, cfg, &mut rng, &mut scratch));
             }
-        });
-        slots
-            .into_iter()
-            .map(|m| m.into_inner().expect("trial slot poisoned"))
-            .collect()
-    };
-    slots.into_iter().flatten().collect()
+        }
+        return out.into_iter().flatten().collect();
+    }
+
+    // Per-placement claim counters: a worker claims trial `t` of placement
+    // `p` by incrementing `next[p]`. Draining one placement before moving
+    // on keeps scratch simulators (and the replay memo's locality) warm.
+    let next: Vec<AtomicUsize> = (0..fc.placements).map(|_| AtomicUsize::new(0)).collect();
+    let slots: Vec<Mutex<Option<TrialResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let next = &next;
+            let slots = &slots;
+            let contexts = &contexts;
+            scope.spawn(move || {
+                let home = w % fc.placements;
+                let mut scratch: Option<(usize, TrialScratch)> = None;
+                for off in 0..fc.placements {
+                    let p = (home + off) % fc.placements;
+                    loop {
+                        let t = next[p].fetch_add(1, Ordering::Relaxed);
+                        if t >= fpp {
+                            break; // placement drained: move (steal) on
+                        }
+                        if off > 0 && fc.recorder.enabled() {
+                            fc.recorder.add(names::TRIAL_POOL_STEAL, 1);
+                        }
+                        if scratch.as_ref().map(|(sp, _)| *sp) != Some(p) {
+                            scratch = Some((p, TrialScratch::new(&contexts[p])));
+                        }
+                        let (_, sc) = scratch
+                            .as_mut()
+                            .expect("scratch installed for this placement");
+                        let _trial = netdiag_obs::trial_scope(p as u32, t as u32);
+                        let mut rng = StdRng::seed_from_u64(trial_seed(fc.base_seed, p, t));
+                        let result = run_trial_with(&contexts[p], cfg, &mut rng, sc);
+                        *slots[p * fpp + t].lock().expect("trial slot poisoned") = result;
+                    }
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .filter_map(|m| m.into_inner().expect("trial slot poisoned"))
+        .collect()
+}
+
+/// Single-threaded full-reconvergence baseline of [`collect_trials`]: same
+/// derived seeds, same trial order, but every trial runs on
+/// [`run_trial_reference`] (fresh clone + snapshot per trial, full IGP/BGP
+/// reconvergence per attempt, no memo) — the frozen pre-incremental
+/// behavior. Tests use it as the parity oracle; benches measure the
+/// production pool against it.
+pub fn collect_trials_sequential(
+    net: &Internet,
+    cfg: &RunConfig,
+    fc: &FigureConfig,
+) -> Vec<TrialResult> {
+    let contexts = prepare_contexts(net, cfg, fc, 1);
+    let mut out: Vec<Option<TrialResult>> =
+        Vec::with_capacity(fc.placements * fc.failures_per_placement);
+    for (p, ctx) in contexts.iter().enumerate() {
+        for t in 0..fc.failures_per_placement {
+            let _trial = netdiag_obs::trial_scope(p as u32, t as u32);
+            let mut rng = StdRng::seed_from_u64(trial_seed(fc.base_seed, p, t));
+            out.push(run_trial_reference(ctx, cfg, &mut rng));
+        }
+    }
+    out.into_iter().flatten().collect()
 }
 
 /// Collects a metric from trials into a CDF.

@@ -3,13 +3,15 @@
 //! placement, many [`run_trial`] calls per context — matching the paper's
 //! "10 random sensor placements and 100 failures per placement".
 
-use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
-use netdiag_netsim::{apply_failure, probe_mesh, Failure, ProbeMesh, SensorSet, Sim};
+use netdiag_netsim::{
+    apply_failure, apply_failure_full, probe_mesh, Failure, ProbeMesh, SensorSet, Sim, SimSnapshot,
+};
 use netdiag_obs::{names, RecorderHandle};
 use netdiag_topology::builders::Internet;
 use netdiag_topology::{AsId, LinkId};
@@ -17,7 +19,7 @@ use netdiagnoser::{nd_bgpigp_recorded, nd_edge_recorded, nd_lg_recorded, tomo_re
 
 use crate::bridge::{observations, routing_feed, SimLookingGlass, TruthIpToAs};
 use crate::placement::{place_sensors, Placement};
-use crate::sampling::{sample_failure, FailureSpec};
+use crate::sampling::{probed_links, sample_failure, sample_failure_from, FailureSpec};
 use crate::truth::{evaluate, mesh_diagnosability, Evaluation, TruthMap};
 
 /// Where the troubleshooting AS (AS-X) sits in the hierarchy (§5.3
@@ -82,6 +84,17 @@ pub struct PlacementContext {
     pub mesh_before: ProbeMesh,
     /// Diagnosability `D(G)` of the unblocked pre-failure mesh.
     pub diagnosability: f64,
+    /// Distinct links of `mesh_before` (the failure-sampling universe),
+    /// computed once here instead of once per sampling attempt.
+    pub probed_links: Vec<LinkId>,
+    /// Completed-trial memo keyed by injected failure: the troubleshooter
+    /// is deterministic, so a failure drawn a second time (common at paper
+    /// scale, where hundreds of draws hit the same few hundred probed
+    /// links) replays the recorded outcome instead of re-simulating.
+    /// `None` records "fully rerouted — redraw". Bypassed whenever an
+    /// instrumentation recorder is live, so traces and profiles still see
+    /// every trial's real work.
+    replay: Mutex<BTreeMap<Vec<u64>, Option<TrialResult>>>,
 }
 
 /// Prepares a placement on a generated internet.
@@ -158,6 +171,7 @@ pub fn prepare_with(
         probe_mesh(&sim, &sensors, &blocked)
     };
 
+    let probed = probed_links(&mesh_before);
     PlacementContext {
         sim,
         sensors,
@@ -166,6 +180,8 @@ pub fn prepare_with(
         lg_available,
         mesh_before,
         diagnosability,
+        probed_links: probed,
+        replay: Mutex::new(BTreeMap::new()),
     }
 }
 
@@ -197,16 +213,145 @@ pub struct TrialResult {
 /// paper, which counts only unreachability-causing failures).
 const MAX_ATTEMPTS: usize = 200;
 
+/// Per-placement scratch state of the production trial loop: one CoW clone
+/// of the healthy simulator plus its snapshot, reused across every trial
+/// and sampling attempt of the placement (a worker rebuilds it only when
+/// it switches placements). Restoring between attempts is a handful of
+/// `Arc` bumps; injecting is the incremental reconvergence path.
+pub struct TrialScratch {
+    sim: Sim,
+    baseline: SimSnapshot,
+    dirty: bool,
+}
+
+impl TrialScratch {
+    /// Clones the placement's healthy simulator and snapshots it.
+    pub fn new(ctx: &PlacementContext) -> Self {
+        let sim = ctx.sim.clone();
+        let baseline = sim.snapshot();
+        TrialScratch {
+            sim,
+            baseline,
+            dirty: false,
+        }
+    }
+}
+
+/// Memo key of a failure, for the per-placement replay memo. Only classes
+/// whose identity is a plain id tuple are memoized; misconfigurations (and
+/// combinations containing them) carry prefixes and always re-simulate.
+fn failure_key(f: &Failure) -> Option<Vec<u64>> {
+    match f {
+        Failure::Links(ls) => Some(
+            std::iter::once(0u64)
+                .chain(ls.iter().map(|l| l.index() as u64))
+                .collect(),
+        ),
+        Failure::Router(r) => Some(vec![1, r.index() as u64]),
+        Failure::Misconfig(_) | Failure::Combined(_) => None,
+    }
+}
+
 /// Runs one failure trial: samples failures until one causes
 /// unreachability, then diagnoses and scores. Returns `None` if no
 /// unreachability-causing failure of the class could be drawn.
+///
+/// Convenience wrapper over [`run_trial_with`] that builds a fresh
+/// [`TrialScratch`] for this one trial; loops should hold a scratch per
+/// placement and call [`run_trial_with`] directly.
 pub fn run_trial(ctx: &PlacementContext, cfg: &RunConfig, rng: &mut StdRng) -> Option<TrialResult> {
-    let topology = ctx.sim.topology();
+    let mut scratch = TrialScratch::new(ctx);
+    run_trial_with(ctx, cfg, rng, &mut scratch)
+}
+
+/// The production trial loop: persistent scratch simulator, incremental
+/// reconvergence ([`apply_failure`]), and the placement's replay memo.
+/// Produces results identical to [`run_trial_reference`] for the same
+/// RNG seed — `tests/parallel_parity.rs` holds the two against each other.
+pub fn run_trial_with(
+    ctx: &PlacementContext,
+    cfg: &RunConfig,
+    rng: &mut StdRng,
+    scratch: &mut TrialScratch,
+) -> Option<TrialResult> {
     let recorder = ctx.sim.recorder().clone();
-    // One scratch simulator serves every sampling attempt: applying a
-    // failure only copies the per-AS/per-router state it touches (CoW), and
-    // a redraw rolls those copies back via the snapshot instead of cloning
-    // a fresh simulator.
+    // With a live recorder every trial must do (and report) its real work
+    // — counters, spans, and trace events alike — so the memo only serves
+    // runs without any instrumentation sink.
+    let memo_live = !recorder.enabled() && !recorder.trace_enabled();
+    for attempt in 0..MAX_ATTEMPTS {
+        let failure = sample_failure_from(
+            &ctx.sim,
+            &ctx.probed_links,
+            &ctx.mesh_before,
+            &ctx.sensors,
+            cfg.failure,
+            rng,
+        )?;
+        let key = if memo_live {
+            failure_key(&failure)
+        } else {
+            None
+        };
+        if let Some(k) = &key {
+            let memo = ctx.replay.lock().expect("replay memo poisoned");
+            match memo.get(k) {
+                Some(Some(result)) => return Some(result.clone()),
+                Some(None) => continue, // known fully-rerouted: redraw
+                None => {}
+            }
+        }
+        recorder.event(names::EV_TRIAL_ATTEMPT, || {
+            netdiag_obs::EventPayload::new()
+                .field("attempt", attempt)
+                .field("kind", failure_kind(&failure))
+        });
+        if scratch.dirty {
+            scratch.sim.restore(&scratch.baseline);
+        }
+        scratch.dirty = true;
+        {
+            let _phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Inject);
+            let _inject = recorder.span(names::TRIAL_INJECT);
+            apply_failure(&mut scratch.sim, &failure);
+        }
+        let mesh_after = {
+            let _phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Measure);
+            let _measure = recorder.span(names::TRIAL_MEASURE);
+            probe_mesh(&scratch.sim, &ctx.sensors, &ctx.blocked)
+        };
+        if mesh_after.failed_count() == 0 {
+            if let Some(k) = key {
+                ctx.replay
+                    .lock()
+                    .expect("replay memo poisoned")
+                    .insert(k, None);
+            }
+            continue; // fully rerouted: no unreachability, redraw
+        }
+        let result = score_trial(ctx, cfg, &mut scratch.sim, failure, mesh_after, &recorder);
+        if let Some(k) = key {
+            ctx.replay
+                .lock()
+                .expect("replay memo poisoned")
+                .insert(k, Some(result.clone()));
+        }
+        return Some(result);
+    }
+    None
+}
+
+/// The pre-incremental trial loop, frozen as the behavioral baseline: a
+/// fresh clone + snapshot per call, full reconvergence per attempt
+/// ([`apply_failure_full`]), per-attempt probed-set recomputation, and no
+/// memo. [`collect_trials_sequential`](crate::figures::collect_trials_sequential)
+/// runs on this path; benches measure the production loop against it.
+pub fn run_trial_reference(
+    ctx: &PlacementContext,
+    cfg: &RunConfig,
+    rng: &mut StdRng,
+) -> Option<TrialResult> {
+    let recorder = ctx.sim.recorder().clone();
     let mut broken = ctx.sim.clone();
     let baseline = broken.snapshot();
     let mut first_attempt = true;
@@ -224,7 +369,7 @@ pub fn run_trial(ctx: &PlacementContext, cfg: &RunConfig, rng: &mut StdRng) -> O
         {
             let _phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Inject);
             let _inject = recorder.span(names::TRIAL_INJECT);
-            apply_failure(&mut broken, &failure);
+            apply_failure_full(&mut broken, &failure);
         }
         let mesh_after = {
             let _phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Measure);
@@ -234,65 +379,86 @@ pub fn run_trial(ctx: &PlacementContext, cfg: &RunConfig, rng: &mut StdRng) -> O
         if mesh_after.failed_count() == 0 {
             continue; // fully rerouted: no unreachability, redraw
         }
-
-        let observed = broken.take_observed();
-        let igp_events = broken.take_igp_events();
-        let obs = observations(&ctx.sensors, &ctx.mesh_before, &mesh_after);
-        let feed = routing_feed(topology, ctx.observer, &observed, &igp_events);
-        let truth = TruthMap::build(topology, &ctx.mesh_before, &mesh_after);
-        let ip2as = TruthIpToAs { topology };
-
-        let failed_sites: BTreeSet<LinkId> = failure
-            .all_failure_sites(&ctx.sim)
-            .into_iter()
-            .filter(|l| truth.probed_links().contains(l))
-            .collect();
-
-        let diagnose_phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Diagnose);
-        let diagnose_span = recorder.span(names::TRIAL_DIAGNOSE);
-        let d_tomo = tomo_recorded(&obs, &ip2as, &recorder);
-        let d_edge = nd_edge_recorded(&obs, &ip2as, cfg.weights, &recorder);
-        let d_bgpigp = nd_bgpigp_recorded(&obs, &ip2as, &feed, cfg.weights, &recorder);
-
-        let router_detected = match failure {
-            Failure::Router(r) => {
-                let links: BTreeSet<LinkId> = topology.router(r).links.iter().copied().collect();
-                let hyp = truth.hypothesis_links(&d_edge);
-                Some(hyp.intersection(&links).next().is_some())
-            }
-            _ => None,
-        };
-
-        let nd_lg_eval = if ctx.blocked.is_empty() {
-            None
-        } else {
-            // The troubleshooting system records Looking Glass AS paths
-            // alongside its periodic baseline mesh, so UH mapping of the
-            // pre-failure paths uses the pre-failure LG views (after the
-            // failure, sources toward dead destinations have no AS path to
-            // report at all).
-            let lg = SimLookingGlass {
-                sim: &ctx.sim,
-                available: &ctx.lg_available,
-            };
-            let d = nd_lg_recorded(&obs, &ip2as, &feed, &lg, cfg.weights, &recorder);
-            Some(evaluate(topology, &truth, &d, &failed_sites))
-        };
-        drop(diagnose_span);
-        drop(diagnose_phase);
-
-        return Some(TrialResult {
-            failed_paths: mesh_after.failed_count(),
-            tomo: evaluate(topology, &truth, &d_tomo, &failed_sites),
-            nd_edge: evaluate(topology, &truth, &d_edge, &failed_sites),
-            nd_bgpigp: evaluate(topology, &truth, &d_bgpigp, &failed_sites),
-            nd_lg: nd_lg_eval,
-            router_detected,
+        return Some(score_trial(
+            ctx,
+            cfg,
+            &mut broken,
             failure,
-            failed_sites,
-        });
+            mesh_after,
+            &recorder,
+        ));
     }
     None
+}
+
+/// Shared tail of a successful trial: drains the broken simulator's
+/// observation buffers, runs every diagnosis algorithm, and scores them
+/// against ground truth. Identical for the production and reference loops.
+fn score_trial(
+    ctx: &PlacementContext,
+    cfg: &RunConfig,
+    broken: &mut Sim,
+    failure: Failure,
+    mesh_after: ProbeMesh,
+    recorder: &RecorderHandle,
+) -> TrialResult {
+    let topology = ctx.sim.topology();
+    let observed = broken.take_observed();
+    let igp_events = broken.take_igp_events();
+    let obs = observations(&ctx.sensors, &ctx.mesh_before, &mesh_after);
+    let feed = routing_feed(topology, ctx.observer, &observed, &igp_events);
+    let truth = TruthMap::build(topology, &ctx.mesh_before, &mesh_after);
+    let ip2as = TruthIpToAs { topology };
+
+    let failed_sites: BTreeSet<LinkId> = failure
+        .all_failure_sites(&ctx.sim)
+        .into_iter()
+        .filter(|l| truth.probed_links().contains(l))
+        .collect();
+
+    let diagnose_phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Diagnose);
+    let diagnose_span = recorder.span(names::TRIAL_DIAGNOSE);
+    let d_tomo = tomo_recorded(&obs, &ip2as, recorder);
+    let d_edge = nd_edge_recorded(&obs, &ip2as, cfg.weights, recorder);
+    let d_bgpigp = nd_bgpigp_recorded(&obs, &ip2as, &feed, cfg.weights, recorder);
+
+    let router_detected = match failure {
+        Failure::Router(r) => {
+            let links: BTreeSet<LinkId> = topology.router(r).links.iter().copied().collect();
+            let hyp = truth.hypothesis_links(&d_edge);
+            Some(hyp.intersection(&links).next().is_some())
+        }
+        _ => None,
+    };
+
+    let nd_lg_eval = if ctx.blocked.is_empty() {
+        None
+    } else {
+        // The troubleshooting system records Looking Glass AS paths
+        // alongside its periodic baseline mesh, so UH mapping of the
+        // pre-failure paths uses the pre-failure LG views (after the
+        // failure, sources toward dead destinations have no AS path to
+        // report at all).
+        let lg = SimLookingGlass {
+            sim: &ctx.sim,
+            available: &ctx.lg_available,
+        };
+        let d = nd_lg_recorded(&obs, &ip2as, &feed, &lg, cfg.weights, recorder);
+        Some(evaluate(topology, &truth, &d, &failed_sites))
+    };
+    drop(diagnose_span);
+    drop(diagnose_phase);
+
+    TrialResult {
+        failed_paths: mesh_after.failed_count(),
+        tomo: evaluate(topology, &truth, &d_tomo, &failed_sites),
+        nd_edge: evaluate(topology, &truth, &d_edge, &failed_sites),
+        nd_bgpigp: evaluate(topology, &truth, &d_bgpigp, &failed_sites),
+        nd_lg: nd_lg_eval,
+        router_detected,
+        failure,
+        failed_sites,
+    }
 }
 
 /// Short event label for a failure class.

@@ -25,6 +25,15 @@ pub enum FailureSpec {
     MisconfigPlusLink,
 }
 
+/// The distinct links appearing in a probe mesh, ascending — the failure
+/// sampling universe ("we simulate link failures by randomly breaking x
+/// links in E"). Hoisted out of [`sample_failure`] so a trial loop can
+/// compute it once per placement instead of once per sampling attempt.
+pub fn probed_links(mesh: &ProbeMesh) -> Vec<LinkId> {
+    let set: BTreeSet<LinkId> = mesh.traceroutes.iter().flat_map(|t| t.links()).collect();
+    set.into_iter().collect()
+}
+
 /// Samples a failure of the given class from the probed topology.
 ///
 /// Returns `None` when the class cannot be instantiated (e.g. no suitable
@@ -36,10 +45,19 @@ pub fn sample_failure(
     spec: FailureSpec,
     rng: &mut StdRng,
 ) -> Option<Failure> {
-    let probed: Vec<LinkId> = {
-        let set: BTreeSet<LinkId> = mesh.traceroutes.iter().flat_map(|t| t.links()).collect();
-        set.into_iter().collect()
-    };
+    sample_failure_from(sim, &probed_links(mesh), mesh, sensors, spec, rng)
+}
+
+/// [`sample_failure`] with the probed-link universe precomputed (it must
+/// equal `probed_links(mesh)`); draws are identical to [`sample_failure`].
+pub fn sample_failure_from(
+    sim: &Sim,
+    probed: &[LinkId],
+    mesh: &ProbeMesh,
+    sensors: &SensorSet,
+    spec: FailureSpec,
+    rng: &mut StdRng,
+) -> Option<Failure> {
     if probed.is_empty() {
         return None;
     }
@@ -48,7 +66,7 @@ pub fn sample_failure(
             if probed.len() < x {
                 return None;
             }
-            let mut links = probed;
+            let mut links = probed.to_vec();
             links.shuffle(rng);
             links.truncate(x);
             Some(Failure::Links(links))
@@ -70,10 +88,10 @@ pub fn sample_failure(
             Some(Failure::Router(routers[rng.gen_range(0..routers.len())]))
         }
         FailureSpec::Misconfig => {
-            sample_misconfig(sim, &probed, sensors, rng).map(Failure::Misconfig)
+            sample_misconfig(sim, probed, sensors, rng).map(Failure::Misconfig)
         }
         FailureSpec::MisconfigPlusLink => {
-            let denies = sample_misconfig(sim, &probed, sensors, rng)?;
+            let denies = sample_misconfig(sim, probed, sensors, rng)?;
             let misconfig_link = sim
                 .topology()
                 .link_between(denies[0].at, denies[0].peer)

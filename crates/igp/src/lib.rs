@@ -21,5 +21,5 @@
 mod spf;
 mod state;
 
-pub use spf::{AsIgp, Igp};
+pub use spf::{AsIgp, Igp, SpfDelta};
 pub use state::LinkState;

@@ -6,12 +6,81 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use netdiag_obs::{names, RecorderHandle};
-use netdiag_topology::{AsId, LinkKind, RouterId, Topology};
+use netdiag_topology::{AsId, LinkId, LinkKind, RouterId, Topology};
 
 use crate::state::LinkState;
 
 /// Distance value for "unreachable".
 const INF: u64 = u64::MAX;
+
+/// Router-id → local-index mapping for one AS.
+///
+/// Generated topologies allocate each AS's routers as one contiguous id
+/// range, so the common case resolves with a base-offset subtraction —
+/// no hashing on the (very hot) `dist`/`reachable` path. A `HashMap`
+/// fallback keeps hand-built topologies with interleaved ids working.
+#[derive(Clone, Debug)]
+struct LocalIndex {
+    base: u32,
+    n: u32,
+    map: Option<HashMap<RouterId, usize>>,
+}
+
+impl LocalIndex {
+    fn build(routers: &[RouterId]) -> Self {
+        let base = routers.first().map_or(0, |r| r.0);
+        let contiguous = routers
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.0 == base + i as u32);
+        let map = if contiguous {
+            None
+        } else {
+            Some(routers.iter().enumerate().map(|(i, &r)| (r, i)).collect())
+        };
+        LocalIndex {
+            base,
+            n: routers.len() as u32,
+            map,
+        }
+    }
+
+    /// Local index of `r`, or `None` when `r` is not in this AS.
+    #[inline]
+    fn get(&self, r: RouterId) -> Option<usize> {
+        match &self.map {
+            None => {
+                let off = r.0.wrapping_sub(self.base);
+                (off < self.n).then_some(off as usize)
+            }
+            Some(m) => m.get(&r).copied(),
+        }
+    }
+
+    /// Local index of `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is not a router of this AS.
+    #[inline]
+    fn of(&self, r: RouterId) -> usize {
+        self.get(r).expect("router does not belong to this AS")
+    }
+}
+
+/// Result of an incremental SPF update ([`Igp::delta_fail_links_recorded`]).
+#[derive(Clone, Debug, Default)]
+pub struct SpfDelta {
+    /// Routers whose distance vector changed. The BGP decision process
+    /// only consults per-source distances, so it must be replayed for
+    /// exactly these routers (and no others).
+    pub dirty_sources: Vec<RouterId>,
+    /// Router pairs `(a, b)` with `a < b` that lost intra-AS
+    /// reachability — their iBGP session just died.
+    pub lost_pairs: Vec<(RouterId, RouterId)>,
+    /// Number of single-source SPF runs the delta actually performed.
+    pub recomputed: usize,
+}
 
 /// Converged SPF state for one AS: all-pairs distances and first hops over
 /// the AS's *up* intra-domain links.
@@ -19,7 +88,7 @@ const INF: u64 = u64::MAX;
 pub struct AsIgp {
     as_id: AsId,
     routers: Vec<RouterId>,
-    local: HashMap<RouterId, usize>,
+    local: LocalIndex,
     /// `dist[i][j]`: shortest-path weight from routers[i] to routers[j].
     dist: Vec<Vec<u64>>,
     /// `next_hop[i][j]`: first router on the path from routers[i] to
@@ -42,8 +111,7 @@ impl AsIgp {
         recorder: &RecorderHandle,
     ) -> Self {
         let routers = topology.as_node(as_id).routers.clone();
-        let local: HashMap<RouterId, usize> =
-            routers.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+        let local = LocalIndex::build(&routers);
         let n = routers.len();
         let mut dist = vec![vec![INF; n]; n];
         let mut next_hop = vec![vec![None; n]; n];
@@ -90,7 +158,7 @@ impl AsIgp {
     ///
     /// Panics if either router is not in this AS.
     pub fn dist(&self, from: RouterId, to: RouterId) -> Option<u64> {
-        let d = self.dist[self.local[&from]][self.local[&to]];
+        let d = self.dist[self.local.of(from)][self.local.of(to)];
         (d != INF).then_some(d)
     }
 
@@ -102,7 +170,7 @@ impl AsIgp {
     ///
     /// Panics if either router is not in this AS.
     pub fn next_hop(&self, from: RouterId, to: RouterId) -> Option<RouterId> {
-        self.next_hop[self.local[&from]][self.local[&to]]
+        self.next_hop[self.local.of(from)][self.local.of(to)]
     }
 
     /// True if an intra-AS path currently exists between the two routers.
@@ -135,7 +203,7 @@ impl AsIgp {
                 let link = topology.link(link_id);
                 link.kind == LinkKind::Intra
                     && links.is_up(link_id)
-                    && self.local.contains_key(&v)
+                    && self.local.get(v).is_some()
                     && self
                         .dist(v, to)
                         .is_some_and(|rest| u64::from(link.weight_from(from)) + rest == total)
@@ -151,6 +219,43 @@ impl AsIgp {
     pub fn routers(&self) -> &[RouterId] {
         &self.routers
     }
+
+    /// Local indices of sources whose shortest-path DAG traverses any of
+    /// the `failed` links — the cone that must be recomputed.
+    ///
+    /// Exact, not conservative: relative to the pre-failure distance
+    /// matrix, some shortest path from source `s` uses edge `(u, v)` iff
+    /// the edge is *tight* from `s` (`dist[s][u] + w(u→v) == dist[s][v]`
+    /// or the reverse orientation). Sources outside the cone keep every
+    /// one of their old shortest paths, so their distances, deterministic
+    /// first hops and ECMP sets are all provably unchanged.
+    fn affected_sources(&self, topology: &Topology, failed: &[LinkId]) -> Vec<usize> {
+        let mut hit = vec![false; self.routers.len()];
+        for &lid in failed {
+            let link = topology.link(lid);
+            if link.kind != LinkKind::Intra {
+                continue;
+            }
+            let (Some(ul), Some(vl)) = (self.local.get(link.a), self.local.get(link.b)) else {
+                continue;
+            };
+            let w_uv = u64::from(link.weight_from(link.a));
+            let w_vu = u64::from(link.weight_from(link.b));
+            for (i, row) in self.dist.iter().enumerate() {
+                if hit[i] {
+                    continue;
+                }
+                let (du, dv) = (row[ul], row[vl]);
+                if (du != INF && du + w_uv == dv) || (dv != INF && dv + w_vu == du) {
+                    hit[i] = true;
+                }
+            }
+        }
+        hit.iter()
+            .enumerate()
+            .filter_map(|(i, &h)| h.then_some(i))
+            .collect()
+    }
 }
 
 /// Single-source Dijkstra over up intra-links, writing distances and first
@@ -162,12 +267,12 @@ impl AsIgp {
 fn dijkstra(
     topology: &Topology,
     links: &LinkState,
-    local: &HashMap<RouterId, usize>,
+    local: &LocalIndex,
     src: RouterId,
     dist_row: &mut [u64],
     nh_row: &mut [Option<RouterId>],
 ) -> u64 {
-    let src_local = local[&src];
+    let src_local = local.of(src);
     dist_row[src_local] = 0;
     // (Reverse(dist), router, first_hop)
     let mut heap: BinaryHeap<(Reverse<u64>, RouterId, Option<RouterId>)> = BinaryHeap::new();
@@ -176,7 +281,7 @@ fn dijkstra(
     let mut settled: u64 = 0;
 
     while let Some((Reverse(d), u, first)) = heap.pop() {
-        let ul = local[&u];
+        let ul = local.of(u);
         if done[ul] {
             continue;
         }
@@ -190,7 +295,7 @@ fn dijkstra(
             }
             let w = link.weight_from(u);
             debug_assert!(w >= 1, "IGP weights must be >= 1");
-            let Some(&vl) = local.get(&v) else { continue };
+            let Some(vl) = local.get(v) else { continue };
             let nd = d + u64::from(w);
             if nd < dist_row[vl] {
                 dist_row[vl] = nd;
@@ -268,6 +373,75 @@ impl Igp {
     ) {
         self.per_as[as_id.index()] =
             Arc::new(AsIgp::compute_recorded(topology, as_id, links, recorder));
+    }
+
+    /// Incrementally updates one AS after the given links went down,
+    /// recomputing only the cone of sources whose shortest-path DAG used
+    /// a failed edge.
+    ///
+    /// Produces the exact same tables as [`Igp::recompute_as_recorded`]
+    /// (same distances, same deterministic tie-breaks, same ECMP sets) —
+    /// unaffected sources keep all their old shortest paths, so skipping
+    /// them is lossless. When *no* source is affected the shared per-AS
+    /// table is left untouched: no copy-on-write break, no allocation.
+    ///
+    /// Only valid for link *failures* (distances can only grow); repairs
+    /// must go through a full recompute.
+    pub fn delta_fail_links_recorded(
+        &mut self,
+        topology: &Topology,
+        as_id: AsId,
+        links: &LinkState,
+        failed: &[LinkId],
+        recorder: &RecorderHandle,
+    ) -> SpfDelta {
+        let affected = self.per_as[as_id.index()].affected_sources(topology, failed);
+        if affected.is_empty() {
+            return SpfDelta::default();
+        }
+        let a = Arc::make_mut(&mut self.per_as[as_id.index()]);
+        let mut delta = SpfDelta {
+            recomputed: affected.len(),
+            ..SpfDelta::default()
+        };
+        let n = a.routers.len();
+        let mut old_dist = vec![INF; n];
+        let mut settled: u64 = 0;
+        for &i in &affected {
+            let src = a.routers[i];
+            old_dist.copy_from_slice(&a.dist[i]);
+            a.dist[i].fill(INF);
+            a.next_hop[i].fill(None);
+            settled += dijkstra(
+                topology,
+                links,
+                &a.local,
+                src,
+                &mut a.dist[i],
+                &mut a.next_hop[i],
+            );
+            if a.dist[i] != old_dist {
+                delta.dirty_sources.push(src);
+                for (j, (&new_d, &old_d)) in a.dist[i].iter().zip(old_dist.iter()).enumerate() {
+                    if old_d != INF && new_d == INF && src < a.routers[j] {
+                        delta.lost_pairs.push((src, a.routers[j]));
+                    }
+                }
+            }
+        }
+        if recorder.enabled() {
+            recorder.add(names::IGP_SPF_RUNS, affected.len() as u64);
+            recorder.add(names::IGP_SETTLED_NODES, settled);
+            recorder.add(names::IGP_SPF_DELTA_NODES, delta.recomputed as u64);
+        }
+        recorder.event(names::EV_IGP_SPF, || {
+            netdiag_obs::EventPayload::new()
+                .field("as", as_id.index())
+                .field("routers", n)
+                .field("settled", settled)
+                .field("delta", delta.recomputed)
+        });
+        delta
     }
 
     /// Convenience: distance between two routers of the same AS.
@@ -364,6 +538,92 @@ mod tests {
         links.set_down(LinkId(0));
         igp.recompute_as(&t, AsId(0), &links);
         assert_eq!(igp.of(AsId(0)).dist(r0, r1), Some(4));
+    }
+
+    #[test]
+    fn delta_fail_matches_full_recompute() {
+        let (t, routers) = diamond();
+        for lid in 0..4u32 {
+            let mut links = LinkState::all_up(&t);
+            let mut inc = Igp::compute(&t, &links);
+            links.set_down(LinkId(lid));
+            let delta = inc.delta_fail_links_recorded(
+                &t,
+                AsId(0),
+                &links,
+                &[LinkId(lid)],
+                &netdiag_obs::RecorderHandle::noop(),
+            );
+            let full = Igp::compute(&t, &links);
+            for &a in &routers {
+                for &b in &routers {
+                    assert_eq!(inc.of(AsId(0)).dist(a, b), full.of(AsId(0)).dist(a, b));
+                    assert_eq!(
+                        inc.of(AsId(0)).next_hop(a, b),
+                        full.of(AsId(0)).next_hop(a, b)
+                    );
+                    assert_eq!(
+                        inc.of(AsId(0)).next_hops(&t, &links, a, b),
+                        full.of(AsId(0)).next_hops(&t, &links, a, b)
+                    );
+                }
+            }
+            assert!(delta.recomputed > 0, "every diamond edge is on some tree");
+            assert!(delta.lost_pairs.is_empty(), "diamond stays connected");
+        }
+    }
+
+    #[test]
+    fn delta_skips_unused_edge_without_cow_break() {
+        // Triangle where the r0-r2 edge (weight 5) is on no shortest path.
+        let mut b = TopologyBuilder::new();
+        let a = b.add_as(AsKind::Core, "A");
+        let r0 = b.add_router(a, "r0");
+        let r1 = b.add_router(a, "r1");
+        let r2 = b.add_router(a, "r2");
+        b.add_intra_link(r0, r1, 1);
+        b.add_intra_link(r1, r2, 1);
+        let unused = b.add_intra_link(r0, r2, 5);
+        let t = b.build().unwrap();
+        let mut links = LinkState::all_up(&t);
+        let mut inc = Igp::compute(&t, &links);
+        let shared = inc.clone();
+        links.set_down(unused);
+        let delta = inc.delta_fail_links_recorded(
+            &t,
+            AsId(0),
+            &links,
+            &[unused],
+            &netdiag_obs::RecorderHandle::noop(),
+        );
+        assert_eq!(delta.recomputed, 0);
+        assert!(delta.dirty_sources.is_empty());
+        assert!(inc.is_shared(AsId(0)), "no-op delta must not break CoW");
+        assert_eq!(inc.of(AsId(0)).dist(r0, r2), Some(2));
+        drop(shared);
+    }
+
+    #[test]
+    fn delta_reports_lost_pairs_on_partition() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_as(AsKind::Core, "A");
+        let r0 = b.add_router(a, "r0");
+        let r1 = b.add_router(a, "r1");
+        let l = b.add_intra_link(r0, r1, 5);
+        let t = b.build().unwrap();
+        let mut links = LinkState::all_up(&t);
+        let mut inc = Igp::compute(&t, &links);
+        links.set_down(l);
+        let delta = inc.delta_fail_links_recorded(
+            &t,
+            AsId(0),
+            &links,
+            &[l],
+            &netdiag_obs::RecorderHandle::noop(),
+        );
+        assert_eq!(delta.lost_pairs, vec![(r0, r1)]);
+        assert_eq!(delta.dirty_sources, vec![r0, r1]);
+        assert!(!inc.of(AsId(0)).reachable(r0, r1));
     }
 
     #[test]

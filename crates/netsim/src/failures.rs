@@ -58,7 +58,7 @@ impl Failure {
     }
 }
 
-/// Applies a failure to the simulator and reconverges.
+/// Applies a failure to the simulator and reconverges (incremental path).
 pub fn apply_failure(sim: &mut Sim, failure: &Failure) {
     match failure {
         Failure::Links(ls) => sim.fail_links(ls),
@@ -67,6 +67,25 @@ pub fn apply_failure(sim: &mut Sim, failure: &Failure) {
         Failure::Combined(fs) => {
             for f in fs {
                 apply_failure(sim, f);
+            }
+        }
+    }
+}
+
+/// [`apply_failure`] through the full-reconvergence reference path
+/// ([`Sim::fail_links_full`]); the sequential baseline experiments and the
+/// incremental-equivalence proptests use this as the oracle.
+pub fn apply_failure_full(sim: &mut Sim, failure: &Failure) {
+    match failure {
+        Failure::Links(ls) => sim.fail_links_full(ls),
+        Failure::Router(r) => {
+            let links = sim.topology().router(*r).links.clone();
+            sim.fail_links_full(&links);
+        }
+        Failure::Misconfig(rules) => sim.misconfigure(rules),
+        Failure::Combined(fs) => {
+            for f in fs {
+                apply_failure_full(sim, f);
             }
         }
     }

@@ -30,7 +30,7 @@ mod sim;
 mod traceroute;
 
 pub use dataplane::{DataPath, ForwardOutcome, PathHop};
-pub use failures::{apply_failure, Failure};
+pub use failures::{apply_failure, apply_failure_full, Failure};
 pub use looking_glass::looking_glass_query;
 pub use sensors::{probe_mesh, ProbeMesh, Sensor, SensorSet};
 pub use sim::{IgpLinkDown, Sim, SimSnapshot};

@@ -6,7 +6,7 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 use netdiag_bgp::{Bgp, Ctx, ExportDeny, ObservedMsg};
-use netdiag_igp::{Igp, LinkState};
+use netdiag_igp::{Igp, LinkState, SpfDelta};
 use netdiag_obs::{names, RecorderHandle};
 use netdiag_topology::{AsId, LinkId, LinkKind, RouterId, Topology};
 
@@ -90,6 +90,11 @@ impl Sim {
         let igp = Igp::compute_recorded(&topology, &links, &recorder);
         let mut bgp = Bgp::new(&topology);
         bgp.set_recorder(recorder.clone());
+        bgp.recompute_liveness(Ctx {
+            topology: &topology,
+            igp: &igp,
+            links: &links,
+        });
         Sim {
             topology,
             links,
@@ -194,9 +199,104 @@ impl Sim {
         self.hosts.get(&addr).copied()
     }
 
-    /// Fails a set of links simultaneously and reconverges: link state
-    /// first, then IGP for every affected AS, then BGP.
+    /// Fails a set of links simultaneously and reconverges *incrementally*:
+    /// delta-SPF recomputes only the cone of routers whose shortest-path
+    /// DAG used a failed edge, and BGP replays the decision process only
+    /// for the sessions/routers the delta actually touched.
+    ///
+    /// Byte-identical to the full path ([`Sim::fail_links_full`]) in every
+    /// observable: RIBs, forwarding, observed eBGP stream, IGP events.
+    /// The cow_equivalence proptests hold the two paths against each
+    /// other.
     pub fn fail_links(&mut self, failed: &[LinkId]) {
+        // Phase 1: link state + failure events, same order as the full
+        // path.
+        let mut affected_ases = Vec::new();
+        let mut downed = Vec::new();
+        for &l in failed {
+            if !self.links.set_down(l) {
+                continue; // already down
+            }
+            downed.push(l);
+            let link = self.topology.link(l);
+            self.recorder.event(names::EV_SIM_LINK_FAIL, || {
+                netdiag_obs::EventPayload::new()
+                    .field("link", l.index())
+                    .field("kind", kind_str(link.kind))
+                    .field("a", link.a.index())
+                    .field("b", link.b.index())
+            });
+            if link.kind == LinkKind::Intra {
+                let as_id = self.topology.as_of_router(link.a);
+                self.igp_events.push(IgpLinkDown { link: l, as_id });
+                if !affected_ases.contains(&as_id) {
+                    affected_ases.push(as_id);
+                }
+            }
+        }
+        // Phase 2: delta-SPF per affected AS. A delta that recomputes
+        // nothing leaves the shared tables untouched, so copy-on-write
+        // breaks are counted only when work actually happened.
+        let mut deltas: Vec<(AsId, SpfDelta)> = Vec::with_capacity(affected_ases.len());
+        for &a in &affected_ases {
+            let was_shared = self.igp.is_shared(a);
+            let delta = self.igp.delta_fail_links_recorded(
+                &self.topology,
+                a,
+                &self.links,
+                &downed,
+                &self.recorder,
+            );
+            if was_shared && delta.recomputed > 0 && self.recorder.enabled() {
+                self.recorder.add(names::SIM_SNAPSHOT_COW_BREAKS, 1);
+            }
+            deltas.push((a, delta));
+        }
+        // Phase 3: degrade the session-liveness cache *before* any BGP
+        // replay, so every liveness read during the replay sees the
+        // post-failure truth (failures only take sessions down).
+        let ctx = Ctx {
+            topology: &self.topology,
+            igp: &self.igp,
+            links: &self.links,
+        };
+        if !self.bgp.has_liveness() {
+            self.bgp.recompute_liveness(ctx);
+        }
+        self.bgp.mark_links_down(&downed);
+        for (_, d) in &deltas {
+            self.bgp.mark_pairs_down(&d.lost_pairs);
+        }
+        // Phase 4: scoped BGP replay in the original link order; an AS's
+        // scoped refresh runs once, at its first failed intra link.
+        let mut refreshed: Vec<AsId> = Vec::new();
+        for &l in &downed {
+            let link = self.topology.link(l);
+            match link.kind {
+                LinkKind::Inter => self.bgp.fail_ebgp_link(ctx, l),
+                LinkKind::Intra => {
+                    let as_id = self.topology.as_of_router(link.a);
+                    if !refreshed.contains(&as_id) {
+                        refreshed.push(as_id);
+                        let delta = deltas
+                            .iter()
+                            .find(|(a, _)| *a == as_id)
+                            .map(|(_, d)| d)
+                            .expect("every failed intra link's AS has a delta");
+                        self.bgp.refresh_as_scoped(ctx, delta);
+                    }
+                }
+            }
+        }
+        self.messages += self.bgp.run(ctx).messages;
+    }
+
+    /// The pre-incremental failure path, kept as the behavioral oracle:
+    /// full per-AS SPF recompute and whole-AS BGP refresh for every
+    /// failed link. [`Sim::fail_links`] must produce byte-identical
+    /// observables; equivalence proptests compare the two.
+    pub fn fail_links_full(&mut self, failed: &[LinkId]) {
+        self.bgp.invalidate_liveness();
         let mut affected_ases = Vec::new();
         for &l in failed {
             if !self.links.set_down(l) {
@@ -276,6 +376,9 @@ impl Sim {
             igp: &self.igp,
             links: &self.links,
         };
+        // Repairs can bring sessions back up, which point updates cannot
+        // express — rebuild the liveness cache from the ground truth.
+        self.bgp.recompute_liveness(ctx);
         self.bgp.handle_link_up(ctx, l);
         self.messages += self.bgp.run(ctx).messages;
     }

@@ -14,6 +14,9 @@
 pub const IGP_SPF_RUNS: &str = "igp.spf_runs";
 /// Counter: nodes settled across all SPF runs.
 pub const IGP_SETTLED_NODES: &str = "igp.settled_nodes";
+/// Counter: sources recomputed by delta-SPF (the affected cone — compare
+/// against `igp.spf_runs` to see how much work the delta path skipped).
+pub const IGP_SPF_DELTA_NODES: &str = "igp.spf.delta_nodes";
 
 // --- bgp: message-driven convergence ---------------------------------------
 
@@ -23,6 +26,9 @@ pub const BGP_MSGS: &str = "bgp.msgs";
 pub const BGP_DECISIONS: &str = "bgp.decisions";
 /// Counter: `Bgp::run` convergence rounds.
 pub const BGP_RUNS: &str = "bgp.runs";
+/// Counter: prefixes inspected by scoped BGP replay after a failure (the
+/// per-session adj-in index keeps this far below a full-table refresh).
+pub const BGP_REPLAY_PREFIXES_SCOPED: &str = "bgp.replay.prefixes_scoped";
 
 // --- sim: copy-on-write snapshots -------------------------------------------
 
@@ -74,6 +80,9 @@ pub const TRIAL_MEASURE: &str = "trial.measure";
 pub const TRIAL_DIAGNOSE: &str = "trial.diagnose";
 /// Span: topology + control-plane setup of one placement.
 pub const TRIAL_SETUP: &str = "trial.setup";
+/// Counter: trial units a pool worker stole from another placement's
+/// queue after draining its own.
+pub const TRIAL_POOL_STEAL: &str = "trial.pool.steal";
 
 // --- trace events: causal per-trial streams ----------------------------------
 //

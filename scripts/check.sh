@@ -19,8 +19,17 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
-echo "== bench smoke (quick mode) =="
-CRITERION_QUICK=1 cargo bench -q -p netdiag-bench --bench perf
+echo "== bench + perf gates (full budget) =="
+# scripts/bench.sh runs the perf bench, rewrites BENCH_PR6.json and applies
+# the regression / incremental / pool / trace-overhead guards. The gate
+# uses the full measurement budget (~1 extra minute): the quick-mode
+# 10-sample minima swing by ±30% on a busy box, which a 1.25x regression
+# budget cannot tolerate.
+BENCH_QUICK=0 scripts/bench.sh
+
+echo "== trial pool smoke (netdiag trials --threads) =="
+cargo run -q --release -p netdiag-experiments --bin netdiag -- \
+    trials --placements 2 --failures 2 --threads 2
 
 echo "== trace smoke (simulate -> diagnose --trace -> explain) =="
 tracedir="$(mktemp -d)"
