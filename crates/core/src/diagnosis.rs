@@ -18,6 +18,9 @@ pub struct Diagnosis {
     /// The full hypothesis set: IGP-forced edges first, then the greedy
     /// selection.
     pub hypothesis: Vec<EdgeId>,
+    /// Count of failure sets the greedy solver left unexplained, cached at
+    /// construction so hot report/scoring paths never re-touch the set.
+    unexplained: usize,
 }
 
 impl Diagnosis {
@@ -25,10 +28,12 @@ impl Diagnosis {
     pub fn new(problem: Problem, greedy: GreedyResult) -> Self {
         let mut hypothesis = problem.forced.clone();
         hypothesis.extend(greedy.hypothesis.iter().copied());
+        let unexplained = greedy.unexplained_failures.len();
         Diagnosis {
             problem,
             greedy,
             hypothesis,
+            unexplained,
         }
     }
 
@@ -55,9 +60,10 @@ impl Diagnosis {
             .collect()
     }
 
-    /// Number of failure sets the algorithm could not explain.
+    /// Number of failure sets the algorithm could not explain (cached at
+    /// construction).
     pub fn unexplained_failures(&self) -> usize {
-        self.greedy.unexplained_failures.len()
+        self.unexplained
     }
 
     /// Size of the hypothesis set.

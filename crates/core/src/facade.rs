@@ -1,20 +1,30 @@
 //! A one-stop configuration facade over the four algorithms — convenient
-//! for downstream users who pick the variant at runtime (the CLI and the
-//! experiment harness go through it too).
+//! for downstream users who pick the variant at runtime (the CLI, the
+//! experiment harness and the serve daemon go through it too).
 //!
 //! The entry point is [`NetDiagnoser::builder`]: configure the algorithm,
 //! weights and optional inputs once, then call
-//! [`diagnose`](NetDiagnoser::diagnose) per incident. Algorithms that
-//! depend on an input refuse to run without it ([`DiagnoseError`]) unless
+//! [`diagnose`](NetDiagnoser::diagnose) (or
+//! [`report`](NetDiagnoser::report)) per incident. Algorithms that depend
+//! on an input refuse to run without it ([`DiagnoseError`]) unless
 //! [`allow_missing_inputs`](NetDiagnoserBuilder::allow_missing_inputs)
 //! opts back into the lenient empty-substitute behaviour.
+//!
+//! The builder *owns* its inputs (behind [`Arc`], so sharing is cheap): a
+//! built [`NetDiagnoser`] is `Send + Sync + 'static` and can be cloned
+//! into worker threads or held for the lifetime of a daemon — the reason
+//! the old borrowing setters were retired.
 
-use netdiag_obs::RecorderHandle;
+use std::sync::Arc;
+
+use netdiag_obs::{names, RecorderHandle};
 
 use crate::algorithms::{nd_bgpigp_recorded, nd_edge_recorded, nd_lg_recorded, tomo_recorded};
+use crate::config::DiagnosticsConfig;
 use crate::diagnosis::Diagnosis;
 use crate::hitting_set::Weights;
 use crate::observation::{IpToAs, LookingGlass, Observations, RoutingFeed};
+use crate::report::DiagnosticReport;
 
 /// Which diagnosis algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -124,51 +134,85 @@ impl LookingGlass for NoLg {
 /// Configures a [`NetDiagnoser`].
 ///
 /// Created by [`NetDiagnoser::builder`]; every setter consumes and returns
-/// the builder so a diagnoser is assembled in one expression.
+/// the builder so a diagnoser is assembled in one expression. Inputs are
+/// stored owned (behind [`Arc`]), so the built diagnoser is
+/// `Send + Sync + 'static`.
 #[derive(Clone, Default)]
-pub struct NetDiagnoserBuilder<'a> {
-    algorithm: Algorithm,
-    weights: Weights,
-    feed: Option<&'a RoutingFeed>,
-    lg: Option<&'a dyn LookingGlass>,
+pub struct NetDiagnoserBuilder {
+    config: DiagnosticsConfig,
+    feed: Option<Arc<RoutingFeed>>,
+    lg: Option<Arc<dyn LookingGlass + Send + Sync>>,
     recorder: RecorderHandle,
-    allow_missing_inputs: bool,
 }
 
-impl std::fmt::Debug for NetDiagnoserBuilder<'_> {
+impl std::fmt::Debug for NetDiagnoserBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetDiagnoserBuilder")
-            .field("algorithm", &self.algorithm)
-            .field("weights", &self.weights)
+            .field("config", &self.config)
             .field("feed", &self.feed.is_some())
             .field("looking_glass", &self.lg.is_some())
-            .field("allow_missing_inputs", &self.allow_missing_inputs)
             .finish()
     }
 }
 
-impl<'a> NetDiagnoserBuilder<'a> {
+impl NetDiagnoserBuilder {
     /// Selects the algorithm variant (default: [`Algorithm::NdEdge`]).
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
-        self.algorithm = algorithm;
+        self.config.algorithm = algorithm;
         self
     }
 
     /// Sets the greedy scoring weights (§3.2; default `a = b = 1`).
     pub fn weights(mut self, weights: Weights) -> Self {
-        self.weights = weights;
+        self.config.weights = weights;
+        self
+    }
+
+    /// Replaces the whole diagnostics configuration — algorithm, weights,
+    /// lenient-input flag and reporting thresholds in one value (see
+    /// [`DiagnosticsConfig`]). Later individual setters still apply on
+    /// top.
+    pub fn config(mut self, config: DiagnosticsConfig) -> Self {
+        self.config = config;
         self
     }
 
     /// Attaches AS-X's control-plane feed (consumed by
     /// [`Algorithm::NdBgpIgp`] and [`Algorithm::NdLg`]).
-    pub fn routing_feed(mut self, feed: &'a RoutingFeed) -> Self {
-        self.feed = Some(feed);
+    ///
+    /// Accepts the feed by value or already shared
+    /// (`Arc<RoutingFeed>`) — either way the diagnoser owns it.
+    pub fn routing_feed(mut self, feed: impl Into<Arc<RoutingFeed>>) -> Self {
+        self.feed = Some(feed.into());
         self
     }
 
-    /// Attaches a Looking Glass oracle (consumed by [`Algorithm::NdLg`]).
-    pub fn looking_glass(mut self, lg: &'a dyn LookingGlass) -> Self {
+    /// Borrowing shim for one release: clones the feed behind the
+    /// reference.
+    #[deprecated(
+        since = "0.2.0",
+        note = "the builder owns its inputs now; pass the feed by value \
+                (`routing_feed(feed)`) or share it (`routing_feed(Arc::new(feed))`). \
+                For a Looking Glass borrow, wrap the owned value instead — a \
+                `&dyn` borrow cannot outlive the request that made it."
+    )]
+    pub fn routing_feed_ref(self, feed: &RoutingFeed) -> Self {
+        self.routing_feed(feed.clone())
+    }
+
+    /// Attaches a Looking Glass oracle (consumed by [`Algorithm::NdLg`]),
+    /// taking ownership.
+    pub fn looking_glass<L>(mut self, lg: L) -> Self
+    where
+        L: LookingGlass + Send + Sync + 'static,
+    {
+        self.lg = Some(Arc::new(lg));
+        self
+    }
+
+    /// Attaches an already-shared Looking Glass (e.g. one long-lived
+    /// oracle serving many concurrent diagnosers).
+    pub fn looking_glass_shared(mut self, lg: Arc<dyn LookingGlass + Send + Sync>) -> Self {
         self.lg = Some(lg);
         self
     }
@@ -185,76 +229,77 @@ impl<'a> NetDiagnoserBuilder<'a> {
     /// no Looking Glass) is configured, substituting an ISP that observed
     /// nothing — the behaviour of the old constructor API.
     pub fn allow_missing_inputs(mut self) -> Self {
-        self.allow_missing_inputs = true;
+        self.config.allow_missing_inputs = true;
         self
     }
 
     /// Finishes the configuration.
-    pub fn build(self) -> NetDiagnoser<'a> {
+    pub fn build(self) -> NetDiagnoser {
         NetDiagnoser {
-            algorithm: self.algorithm,
-            weights: self.weights,
+            config: self.config,
             feed: self.feed,
             lg: self.lg,
             recorder: self.recorder,
-            allow_missing_inputs: self.allow_missing_inputs,
         }
     }
 }
 
 /// A configured troubleshooter.
 ///
+/// Owns its inputs, so it is `Send + Sync + 'static`: clone it into
+/// worker threads, store it in a daemon, run diagnoses concurrently.
+///
 /// ```
 /// use netdiagnoser::{Algorithm, NetDiagnoser, RoutingFeed};
-/// let feed = RoutingFeed::default();
 /// let nd = NetDiagnoser::builder()
 ///     .algorithm(Algorithm::NdBgpIgp)
-///     .routing_feed(&feed)
+///     .routing_feed(RoutingFeed::default())
 ///     .build();
 /// assert_eq!(nd.algorithm(), Algorithm::NdBgpIgp);
 /// ```
 #[derive(Clone)]
-pub struct NetDiagnoser<'a> {
-    algorithm: Algorithm,
-    weights: Weights,
-    feed: Option<&'a RoutingFeed>,
-    lg: Option<&'a dyn LookingGlass>,
+pub struct NetDiagnoser {
+    config: DiagnosticsConfig,
+    feed: Option<Arc<RoutingFeed>>,
+    lg: Option<Arc<dyn LookingGlass + Send + Sync>>,
     recorder: RecorderHandle,
-    allow_missing_inputs: bool,
 }
 
-impl std::fmt::Debug for NetDiagnoser<'_> {
+impl std::fmt::Debug for NetDiagnoser {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetDiagnoser")
-            .field("algorithm", &self.algorithm)
-            .field("weights", &self.weights)
+            .field("config", &self.config)
             .field("feed", &self.feed.is_some())
             .field("looking_glass", &self.lg.is_some())
-            .field("allow_missing_inputs", &self.allow_missing_inputs)
             .finish()
     }
 }
 
-impl Default for NetDiagnoser<'_> {
+impl Default for NetDiagnoser {
     fn default() -> Self {
         NetDiagnoser::builder().build()
     }
 }
 
-impl<'a> NetDiagnoser<'a> {
+impl NetDiagnoser {
     /// Starts configuring a troubleshooter.
-    pub fn builder() -> NetDiagnoserBuilder<'a> {
+    pub fn builder() -> NetDiagnoserBuilder {
         NetDiagnoserBuilder::default()
     }
 
     /// The configured algorithm variant.
     pub fn algorithm(&self) -> Algorithm {
-        self.algorithm
+        self.config.algorithm
     }
 
     /// The configured greedy scoring weights.
     pub fn weights(&self) -> Weights {
-        self.weights
+        self.config.weights
+    }
+
+    /// The full diagnostics configuration.
+    pub fn config(&self) -> &DiagnosticsConfig {
+        &self.config
     }
 
     /// Runs the configured diagnosis.
@@ -273,39 +318,56 @@ impl<'a> NetDiagnoser<'a> {
         ip2as: &dyn IpToAs,
     ) -> Result<Diagnosis, DiagnoseError> {
         let recorder = &self.recorder;
+        let algorithm = self.config.algorithm;
+        let weights = self.config.weights;
         let empty_feed = RoutingFeed::default();
-        let feed = match (self.feed, self.allow_missing_inputs) {
+        let feed: &RoutingFeed = match (&self.feed, self.config.allow_missing_inputs) {
             (Some(feed), _) => feed,
             (None, true) => &empty_feed,
-            (None, false) => match self.algorithm {
+            (None, false) => match algorithm {
                 Algorithm::Tomo | Algorithm::NdEdge => &empty_feed,
                 Algorithm::NdBgpIgp | Algorithm::NdLg => {
-                    return Err(DiagnoseError::MissingFeed {
-                        algorithm: self.algorithm,
-                    })
+                    return Err(DiagnoseError::MissingFeed { algorithm })
                 }
             },
         };
-        match self.algorithm {
+        match algorithm {
             Algorithm::Tomo => Ok(tomo_recorded(obs, ip2as, recorder)),
-            Algorithm::NdEdge => Ok(nd_edge_recorded(obs, ip2as, self.weights, recorder)),
-            Algorithm::NdBgpIgp => Ok(nd_bgpigp_recorded(obs, ip2as, feed, self.weights, recorder)),
+            Algorithm::NdEdge => Ok(nd_edge_recorded(obs, ip2as, weights, recorder)),
+            Algorithm::NdBgpIgp => Ok(nd_bgpigp_recorded(obs, ip2as, feed, weights, recorder)),
             Algorithm::NdLg => {
-                let lg: &dyn LookingGlass = match (self.lg, self.allow_missing_inputs) {
-                    (Some(lg), _) => lg,
+                let lg: &dyn LookingGlass = match (&self.lg, self.config.allow_missing_inputs) {
+                    (Some(lg), _) => lg.as_ref(),
                     (None, true) => &NoLg,
                     (None, false) => return Err(DiagnoseError::MissingLookingGlass),
                 };
-                Ok(nd_lg_recorded(obs, ip2as, feed, lg, self.weights, recorder))
+                Ok(nd_lg_recorded(obs, ip2as, feed, lg, weights, recorder))
             }
         }
+    }
+
+    /// Runs the configured diagnosis and structures the result as a
+    /// [`DiagnosticReport`] under this diagnoser's thresholds
+    /// ([`DiagnosticsConfig`]). Same failure modes as
+    /// [`diagnose`](Self::diagnose).
+    pub fn report(
+        &self,
+        obs: &Observations,
+        ip2as: &dyn IpToAs,
+    ) -> Result<DiagnosticReport, DiagnoseError> {
+        let diagnosis = self.diagnose(obs, ip2as)?;
+        let report = DiagnosticReport::from_diagnosis(&diagnosis, &self.config);
+        self.recorder.add(names::REPORT_BUILDS, 1);
+        self.recorder
+            .observe(names::REPORT_ISSUES, report.issues.len() as u64);
+        Ok(report)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::observation::{Hop, IpToAsFn, ProbePath, SensorMeta, Snapshot};
+    use crate::observation::{Hop, IpToAsFn, LookingGlassFn, ProbePath, SensorMeta, Snapshot};
     use netdiag_topology::{AsId, SensorId};
     use proptest::prelude::*;
     use std::net::Ipv4Addr;
@@ -405,10 +467,9 @@ mod tests {
     fn ndlg_refuses_to_run_without_a_looking_glass() {
         let ip2as = ip2as();
         let o = obs();
-        let feed = RoutingFeed::default();
         let err = NetDiagnoser::builder()
             .algorithm(Algorithm::NdLg)
-            .routing_feed(&feed)
+            .routing_feed(RoutingFeed::default())
             .build()
             .diagnose(&o, &ip2as)
             .unwrap_err();
@@ -419,10 +480,9 @@ mod tests {
     fn configured_feed_is_used() {
         let ip2as = ip2as();
         let o = obs();
-        let feed = RoutingFeed::default();
         let d = NetDiagnoser::builder()
             .algorithm(Algorithm::NdBgpIgp)
-            .routing_feed(&feed)
+            .routing_feed(RoutingFeed::default())
             .build()
             .diagnose(&o, &ip2as)
             .unwrap();
@@ -430,10 +490,63 @@ mod tests {
     }
 
     #[test]
+    fn feed_can_be_shared_or_passed_through_the_deprecated_shim() {
+        let ip2as = ip2as();
+        let o = obs();
+        let shared = std::sync::Arc::new(RoutingFeed::default());
+        let d = NetDiagnoser::builder()
+            .algorithm(Algorithm::NdBgpIgp)
+            .routing_feed(std::sync::Arc::clone(&shared))
+            .build()
+            .diagnose(&o, &ip2as)
+            .unwrap();
+        #[allow(deprecated)]
+        let d2 = NetDiagnoser::builder()
+            .algorithm(Algorithm::NdBgpIgp)
+            .routing_feed_ref(&shared)
+            .build()
+            .diagnose(&o, &ip2as)
+            .unwrap();
+        assert_eq!(d.hypothesis, d2.hypothesis);
+    }
+
+    #[test]
     fn default_is_ndedge_with_paper_weights() {
         let nd = NetDiagnoser::default();
         assert_eq!(nd.algorithm(), Algorithm::NdEdge);
         assert_eq!(nd.weights(), Weights { a: 1, b: 1 });
+    }
+
+    #[test]
+    fn config_travels_whole_and_setters_layer_on_top() {
+        let cfg = DiagnosticsConfig {
+            algorithm: Algorithm::Tomo,
+            max_issues: 3,
+            ..Default::default()
+        };
+        let nd = NetDiagnoser::builder()
+            .config(cfg)
+            .algorithm(Algorithm::NdEdge)
+            .build();
+        assert_eq!(nd.algorithm(), Algorithm::NdEdge);
+        assert_eq!(nd.config().max_issues, 3);
+    }
+
+    #[test]
+    fn built_diagnoser_is_send_sync_and_static() {
+        fn assert_send_sync_static<T: Send + Sync + 'static>(_: &T) {}
+        let nd = NetDiagnoser::builder()
+            .algorithm(Algorithm::NdLg)
+            .routing_feed(RoutingFeed::default())
+            .looking_glass(LookingGlassFn(|from, _| Some(vec![from])))
+            .build();
+        assert_send_sync_static(&nd);
+        // And it actually crosses a thread boundary, diagnosing there.
+        let handle = std::thread::spawn(move || {
+            let d = nd.diagnose(&obs(), &ip2as()).unwrap();
+            d.len()
+        });
+        assert!(handle.join().unwrap() > 0);
     }
 
     #[test]
@@ -453,5 +566,25 @@ mod tests {
             .histogram(netdiag_obs::names::DIAG_HYPOTHESIS_SIZE)
             .expect("hypothesis size observed");
         assert_eq!(h.sum, d.len() as u64);
+    }
+
+    #[test]
+    fn report_method_applies_config_and_records_counters() {
+        let (recorder, sink) = RecorderHandle::in_memory();
+        let ip2as = ip2as();
+        let o = obs();
+        let report = NetDiagnoser::builder()
+            .recorder(recorder)
+            .build()
+            .report(&o, &ip2as)
+            .unwrap();
+        assert!(!report.issues.is_empty());
+        assert_eq!(report.algorithm, Algorithm::NdEdge);
+        let run = sink.report();
+        assert_eq!(run.counter(netdiag_obs::names::REPORT_BUILDS), 1);
+        let h = run
+            .histogram(netdiag_obs::names::REPORT_ISSUES)
+            .expect("issue count observed");
+        assert_eq!(h.sum, report.issues.len() as u64);
     }
 }

@@ -73,6 +73,7 @@
 
 mod algorithms;
 mod bitset;
+pub mod config;
 pub mod detector;
 mod diagnosis;
 mod facade;
@@ -91,6 +92,7 @@ pub use algorithms::{
     tomo_recorded,
 };
 pub use bitset::EdgeBitSet;
+pub use config::DiagnosticsConfig;
 pub use detector::{Alarm, PersistenceFilter};
 pub use diagnosis::Diagnosis;
 pub use facade::{Algorithm, DiagnoseError, NetDiagnoser, NetDiagnoserBuilder};
@@ -103,6 +105,10 @@ pub use observation::{
     RoutingFeed, SensorMeta, Snapshot, WithdrawalObs,
 };
 pub use problem::{BuildOptions, PathSet, Problem};
+pub use report::{
+    DiagnosticReport, Issue, IssueCategory, IssueDetail, ReportCounters, Severity,
+    REPORT_SCHEMA_VERSION,
+};
 pub use scfs::scfs;
 
 // Re-exported so downstream users can attach a recorder without naming the

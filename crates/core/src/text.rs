@@ -18,6 +18,8 @@
 //! <as> <as> ...` recording the answer each AS's Looking Glass gave for a
 //! destination.
 //!
+//! **IP-to-AS map** (`ip2as.txt`): one `ip2as <addr> <as>` per line.
+//!
 //! Lines starting with `#` are comments everywhere.
 
 use std::collections::BTreeMap;
@@ -27,8 +29,8 @@ use std::net::Ipv4Addr;
 use netdiag_topology::{AsId, Prefix, SensorId};
 
 use crate::observation::{
-    Hop, IgpLinkDownObs, LookingGlass, Observations, ProbePath, RoutingFeed, SensorMeta, Snapshot,
-    WithdrawalObs,
+    Hop, IgpLinkDownObs, IpToAs, LookingGlass, Observations, ProbePath, RoutingFeed, SensorMeta,
+    Snapshot, WithdrawalObs,
 };
 
 /// A parse failure with its line number.
@@ -283,6 +285,68 @@ impl LookingGlass for RecordedLookingGlass {
     }
 }
 
+/// An IP-to-AS mapping service backed by a recorded dump.
+#[derive(Clone, Debug, Default)]
+pub struct RecordedIpToAs {
+    map: BTreeMap<Ipv4Addr, AsId>,
+}
+
+impl RecordedIpToAs {
+    /// An empty recording.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one mapping.
+    pub fn record(&mut self, addr: Ipv4Addr, as_id: AsId) {
+        self.map.insert(addr, as_id);
+    }
+
+    /// Number of recorded mappings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Serializes the dump.
+    pub fn write(&self) -> String {
+        let mut out = String::from("# ip2as <addr> <as>\n");
+        for (addr, as_id) in &self.map {
+            let _ = writeln!(out, "ip2as {addr} {}", as_id.0);
+        }
+        out
+    }
+
+    /// Parses a dump.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let mut ip2as = RecordedIpToAs::new();
+        for (n, line) in lines(text) {
+            if line.is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts.as_slice() {
+                ["ip2as", addr, asn] => ip2as.record(
+                    addr.parse().map_err(|_| err(n, "bad address"))?,
+                    asn.parse().map(AsId).map_err(|_| err(n, "bad AS id"))?,
+                ),
+                _ => return Err(err(n, format!("unrecognized ip2as line: {line:?}"))),
+            }
+        }
+        Ok(ip2as)
+    }
+}
+
+impl IpToAs for RecordedIpToAs {
+    fn as_of(&self, addr: Ipv4Addr) -> Option<AsId> {
+        self.map.get(&addr).copied()
+    }
+}
+
 /// Serializes complete observations into (sensors, before, after) texts.
 pub fn write_observations(obs: &Observations) -> (String, String, String) {
     (
@@ -387,6 +451,18 @@ mod tests {
             Some(vec![AsId(1), AsId(5), AsId(2)])
         );
         assert_eq!(parsed.as_path(AsId(9), Ipv4Addr::new(10, 2, 0, 1)), None);
+    }
+
+    #[test]
+    fn ip2as_roundtrip_and_lookup() {
+        let mut map = RecordedIpToAs::new();
+        map.record(Ipv4Addr::new(10, 1, 0, 1), AsId(1));
+        map.record(Ipv4Addr::new(10, 2, 0, 1), AsId(2));
+        let parsed = RecordedIpToAs::parse(&map.write()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.as_of(Ipv4Addr::new(10, 2, 0, 1)), Some(AsId(2)));
+        assert_eq!(parsed.as_of(Ipv4Addr::new(10, 9, 0, 1)), None);
+        assert_eq!(RecordedIpToAs::parse("ip2as nope 1").unwrap_err().line, 1);
     }
 
     #[test]

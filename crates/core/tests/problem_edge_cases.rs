@@ -150,6 +150,44 @@ fn single_hop_paths_are_handled() {
 }
 
 #[test]
+fn unexplained_count_is_pinned_on_a_mixed_scenario() {
+    // Regression pin for the count cached at `Diagnosis` construction:
+    // one failed path with candidate links (explained by the greedy
+    // cover) and one with none (unexplainable) must report exactly 1 —
+    // not 0 (cache never filled) and not 2 (cache counting all failures).
+    let a = |x: u8, y: u8| Ipv4Addr::new(10, x, 0, y);
+    let obs = Observations {
+        sensors: sensors(3),
+        before: Snapshot {
+            paths: vec![
+                path(
+                    0,
+                    1,
+                    vec![Hop::Addr(a(1, 1)), Hop::Addr(a(2, 1)), Hop::Addr(a(2, 200))],
+                    true,
+                ),
+                path(0, 2, vec![Hop::Addr(a(1, 1))], true),
+            ],
+        },
+        after: Snapshot {
+            paths: vec![
+                path(0, 1, vec![Hop::Addr(a(1, 1))], false),
+                path(0, 2, vec![Hop::Addr(a(1, 1))], false),
+            ],
+        },
+    };
+    let d = nd_edge(&obs, &ip2as(), Weights::default());
+    assert!(!d.is_empty(), "the explainable failure yields a suspect");
+    assert_eq!(d.unexplained_failures(), 1);
+    // The structured report mirrors the cached value.
+    let report = netdiagnoser::DiagnosticReport::from_diagnosis(
+        &d,
+        &netdiagnoser::DiagnosticsConfig::default(),
+    );
+    assert_eq!(report.counters.unexplained_failures, 1);
+}
+
+#[test]
 fn unmapped_addresses_fall_back_to_plain_edges() {
     // ip2as knows nothing: logical expansion must degrade gracefully to
     // physical edges.

@@ -1,0 +1,145 @@
+//! Wire-format tests for [`DiagnosticReport`]: a golden JSON document
+//! pinning the schema byte-for-byte, round-trips through the parser,
+//! and version gating. A serialization change that breaks these breaks
+//! every stored report and every daemon client — bump
+//! `REPORT_SCHEMA_VERSION` instead.
+
+// Test code: unwrap on a broken fixture is the correct failure mode.
+#![allow(clippy::unwrap_used)]
+
+use netdiagnoser::{
+    Algorithm, DiagnosticReport, Issue, IssueCategory, IssueDetail, ReportCounters, Severity,
+    REPORT_SCHEMA_VERSION,
+};
+
+/// One report exercising every issue category and detail shape.
+fn full_report() -> DiagnosticReport {
+    DiagnosticReport {
+        schema: REPORT_SCHEMA_VERSION,
+        algorithm: Algorithm::NdBgpIgp,
+        severity: Severity::Critical,
+        confidence: 0.75,
+        counters: ReportCounters {
+            failed_paths: 4,
+            rerouted_paths: 2,
+            probed_links: 9,
+            suspect_links: 3,
+            suspect_ases: 2,
+            unexplained_failures: 1,
+        },
+        issues: vec![
+            Issue {
+                severity: Severity::Critical,
+                category: IssueCategory::LinkFailure,
+                confidence: 1.0,
+                message: "dead wire".to_owned(),
+                detail: IssueDetail::Link {
+                    from: "10.1.0.1".to_owned(),
+                    to: "10.2.0.1".to_owned(),
+                    failed_explained: 3,
+                    rerouted_explained: 1,
+                    misconfig_toward: None,
+                    igp_confirmed: true,
+                },
+            },
+            Issue {
+                severity: Severity::Error,
+                category: IssueCategory::ExportMisconfig,
+                confidence: 0.5,
+                message: "bad export".to_owned(),
+                detail: IssueDetail::Link {
+                    from: "10.2.0.1".to_owned(),
+                    to: "10.3.0.1".to_owned(),
+                    failed_explained: 1,
+                    rerouted_explained: 0,
+                    misconfig_toward: Some("AS7".to_owned()),
+                    igp_confirmed: false,
+                },
+            },
+            Issue {
+                severity: Severity::Warning,
+                category: IssueCategory::UnidentifiedLinks,
+                confidence: 0.25,
+                message: "hidden hops".to_owned(),
+                detail: IssueDetail::UnidentifiedGroup {
+                    count: 1,
+                    as_candidates: vec!["AS3".to_owned(), "AS5".to_owned()],
+                },
+            },
+            Issue {
+                severity: Severity::Warning,
+                category: IssueCategory::UnexplainedFailures,
+                confidence: 1.0,
+                message: "1 path unexplained".to_owned(),
+                detail: IssueDetail::Unexplained { count: 1 },
+            },
+            Issue {
+                severity: Severity::Info,
+                category: IssueCategory::SuspectAses,
+                confidence: 1.0,
+                message: "suspect ASes: AS3, AS7".to_owned(),
+                detail: IssueDetail::AsSummary {
+                    ases: vec!["AS3".to_owned(), "AS7".to_owned()],
+                },
+            },
+        ],
+    }
+}
+
+/// The exact wire form of [`full_report`] under schema version 1.
+const GOLDEN: &str = concat!(
+    r#"{"schema":1,"algorithm":"nd-bgpigp","severity":"critical","confidence":0.75,"#,
+    r#""counters":{"failed_paths":4,"rerouted_paths":2,"probed_links":9,"suspect_links":3,"#,
+    r#""suspect_ases":2,"unexplained_failures":1},"issues":["#,
+    r#"{"severity":"critical","category":"link-failure","confidence":1,"message":"dead wire","#,
+    r#""link":{"from":"10.1.0.1","to":"10.2.0.1","failed_explained":3,"rerouted_explained":1,"#,
+    r#""misconfig_toward":null,"igp_confirmed":true}},"#,
+    r#"{"severity":"error","category":"export-misconfig","confidence":0.5,"message":"bad export","#,
+    r#""link":{"from":"10.2.0.1","to":"10.3.0.1","failed_explained":1,"rerouted_explained":0,"#,
+    r#""misconfig_toward":"AS7","igp_confirmed":false}},"#,
+    r#"{"severity":"warning","category":"unidentified-links","confidence":0.25,"#,
+    r#""message":"hidden hops","unidentified":{"count":1,"as_candidates":["AS3","AS5"]}},"#,
+    r#"{"severity":"warning","category":"unexplained-failures","confidence":1,"#,
+    r#""message":"1 path unexplained","unexplained":{"count":1}},"#,
+    r#"{"severity":"info","category":"suspect-ases","confidence":1,"#,
+    r#""message":"suspect ASes: AS3, AS7","ases":["AS3","AS7"]}"#,
+    r#"]}"#
+);
+
+#[test]
+fn golden_json_is_stable() {
+    assert_eq!(full_report().to_json(), GOLDEN);
+}
+
+#[test]
+fn golden_json_parses_back_to_the_same_report() {
+    let parsed = DiagnosticReport::from_json(GOLDEN).expect("golden document parses");
+    assert_eq!(parsed, full_report());
+}
+
+#[test]
+fn round_trip_survives_awkward_strings() {
+    let mut report = full_report();
+    report.issues[0].message = "tabs\tnewlines\nquotes \"q\" backslash \\ unicode \u{1}".into();
+    let parsed = DiagnosticReport::from_json(&report.to_json()).expect("escaped JSON parses");
+    assert_eq!(parsed, report);
+}
+
+#[test]
+fn future_schema_versions_are_rejected_with_a_clear_error() {
+    let json = GOLDEN.replace(r#""schema":1"#, r#""schema":2"#);
+    let err = DiagnosticReport::from_json(&json).unwrap_err();
+    assert!(err.contains("schema 2"), "{err}");
+    assert!(err.contains("this build reads 1"), "{err}");
+}
+
+#[test]
+fn truncated_documents_error_instead_of_defaulting() {
+    for broken in [
+        r#"{"schema":1}"#,
+        r#"{"schema":1,"algorithm":"nd-edge","severity":"info","confidence":1}"#,
+        &GOLDEN.replace(r#""igp_confirmed":true"#, r#""igp_confirmed":1"#),
+    ] {
+        assert!(DiagnosticReport::from_json(broken).is_err(), "{broken}");
+    }
+}

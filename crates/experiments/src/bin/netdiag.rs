@@ -12,7 +12,11 @@
 //!     checking answers).
 //!
 //! netdiag diagnose --dir DIR [--algo tomo|nd-edge|nd-bgpigp|nd-lg]
-//!     Reads a scenario directory and prints the diagnosis report.
+//!                  [--json] [--min-confidence F] [--max-issues N]
+//!     Reads a scenario directory and prints the diagnosis report —
+//!     the flat text by default, or the versioned `DiagnosticReport`
+//!     JSON with `--json`. The threshold flags feed the report's
+//!     `DiagnosticsConfig` (drop weak findings, cap the issue list).
 //!
 //! netdiag explain TRACE.jsonl [--placement P] [--trial N] [--algo A]
 //!     Replays a `--trace` event log into a per-hypothesis causal
@@ -34,7 +38,7 @@
 
 // A runnable demo talks to its user on stdout.
 #![allow(clippy::print_stdout)]
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::fs;
 use std::net::Ipv4Addr;
@@ -51,16 +55,16 @@ use netdiag_experiments::runner::{prepare_with, RunConfig};
 use netdiag_experiments::sampling::{sample_failure, FailureSpec};
 use netdiag_netsim::{apply_failure, looking_glass_query, probe_mesh};
 use netdiag_obs::{InMemoryRecorder, Recorder, RecorderHandle, TraceRecorder};
-use netdiag_topology::AsId;
-use netdiagnoser::text::{parse_feed, parse_observations, RecordedLookingGlass};
-use netdiagnoser::{report, Algorithm, IpToAs, NetDiagnoser};
+use netdiagnoser::text::{parse_feed, parse_observations, RecordedIpToAs, RecordedLookingGlass};
+use netdiagnoser::{Algorithm, DiagnosticsConfig, NetDiagnoser};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  netdiag simulate --out DIR [--seed N] [--sensors N] \
          [--failure links:<x>|router|misconfig|misconfig+link] [--blocked FRAC] [--lg FRAC] \
          [--topology FILE] [--profile FILE] [--trace FILE] [--trace-chrome FILE]\n  \
-         netdiag diagnose --dir DIR [--algo tomo|nd-edge|nd-bgpigp|nd-lg] [--profile FILE] \
+         netdiag diagnose --dir DIR [--algo tomo|nd-edge|nd-bgpigp|nd-lg] [--json] \
+         [--min-confidence F] [--max-issues N] [--profile FILE] \
          [--trace FILE] [--trace-chrome FILE]\n  \
          netdiag explain TRACE.jsonl [--placement P] [--trial N] \
          [--algo tomo|nd-edge|nd-bgpigp|nd-lg]\n  \
@@ -406,32 +410,6 @@ fn simulate(args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// IP-to-AS service parsed from `ip2as.txt`.
-struct FileIpToAs {
-    map: BTreeMap<Ipv4Addr, AsId>,
-}
-
-impl FileIpToAs {
-    fn parse(text: &str) -> Self {
-        let mut map = BTreeMap::new();
-        for line in text.lines() {
-            let parts: Vec<&str> = line.split_whitespace().collect();
-            if let ["ip2as", addr, asn] = parts.as_slice() {
-                if let (Ok(a), Ok(n)) = (addr.parse(), asn.parse()) {
-                    map.insert(a, AsId(n));
-                }
-            }
-        }
-        FileIpToAs { map }
-    }
-}
-
-impl IpToAs for FileIpToAs {
-    fn as_of(&self, addr: Ipv4Addr) -> Option<AsId> {
-        self.map.get(&addr).copied()
-    }
-}
-
 fn read(dir: &Path, name: &str) -> Result<String, ExitCode> {
     fs::read_to_string(dir.join(name)).map_err(|e| {
         eprintln!("cannot read {}: {e}", dir.join(name).display());
@@ -475,24 +453,40 @@ fn diagnose(args: Vec<String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let ip2as = FileIpToAs::parse(&ip2as_txt);
+    let ip2as = match RecordedIpToAs::parse(&ip2as_txt) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("ip2as parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let Ok(algorithm) = algo.parse::<Algorithm>() else {
         usage()
     };
+    let as_json = args.iter().any(|a| a == "--json");
+    let mut config = DiagnosticsConfig::for_algorithm(algorithm);
+    if let Some(f) = get_flag(&args, "--min-confidence") {
+        let Ok(min) = f.parse::<f64>() else { usage() };
+        config.min_confidence = min;
+    }
+    if let Some(n) = get_flag(&args, "--max-issues") {
+        let Ok(max) = n.parse::<usize>() else { usage() };
+        config.max_issues = max;
+    }
     let (recorder, sinks) = run_recorder(&args);
-    let diagnosis = {
+    let report = {
         let _trial = netdiag_obs::trial_scope(0, 0);
         let _phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Diagnose);
         match NetDiagnoser::builder()
-            .algorithm(algorithm)
-            .routing_feed(&feed)
-            .looking_glass(&lg)
+            .config(config)
+            .routing_feed(feed)
+            .looking_glass(lg)
             .recorder(recorder)
             .build()
-            .diagnose(&obs, &ip2as)
+            .report(&obs, &ip2as)
         {
-            Ok(d) => d,
+            Ok(r) => r,
             Err(e) => {
                 eprintln!("diagnosis failed: {e}");
                 return ExitCode::FAILURE;
@@ -505,7 +499,12 @@ fn diagnose(args: Vec<String>) -> ExitCode {
     // Write through a fallible sink: a closed pipe (e.g. `| head`) must
     // end the program quietly, not panic.
     let mut out = String::new();
-    out.push_str(&report::render(&diagnosis));
+    if as_json {
+        out.push_str(&report.to_json());
+        out.push('\n');
+    } else {
+        out.push_str(&report.to_string());
+    }
     if let Ok(truth) = read(&dir, "truth.txt") {
         out.push_str("--- ground truth (truth.txt) ---\n");
         for line in truth.lines().filter(|l| l.starts_with("failed")) {

@@ -8,7 +8,7 @@
 //!   approximation is good enough; comparing hypothesis sizes against the
 //!   exact minimum on the real instances quantifies the gap.
 
-use netdiagnoser::{BuildOptions, Problem, Weights};
+use netdiagnoser::{BuildOptions, DiagnosticsConfig, Problem, Weights};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,7 +34,10 @@ fn weight_sweep(fc: &FigureConfig) -> FigureOutput {
     for (a, b) in WEIGHTS {
         let cfg = RunConfig {
             failure: FailureSpec::Links(3),
-            weights: Weights { a, b },
+            diagnostics: DiagnosticsConfig {
+                weights: Weights { a, b },
+                ..Default::default()
+            },
             ..Default::default()
         };
         let trials = collect_trials(&net, &cfg, fc);

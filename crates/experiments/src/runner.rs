@@ -15,7 +15,9 @@ use netdiag_netsim::{
 use netdiag_obs::{names, RecorderHandle};
 use netdiag_topology::builders::Internet;
 use netdiag_topology::{AsId, LinkId};
-use netdiagnoser::{nd_bgpigp_recorded, nd_edge_recorded, nd_lg_recorded, tomo_recorded, Weights};
+use netdiagnoser::{
+    nd_bgpigp_recorded, nd_edge_recorded, nd_lg_recorded, tomo_recorded, DiagnosticsConfig,
+};
 
 use crate::bridge::{observations, routing_feed, SimLookingGlass, TruthIpToAs};
 use crate::placement::{place_sensors, Placement};
@@ -49,8 +51,10 @@ pub struct RunConfig {
     pub blocked_frac: f64,
     /// Fraction of probed ASes providing a Looking Glass.
     pub lg_frac: f64,
-    /// Greedy scoring weights.
-    pub weights: Weights,
+    /// Diagnosis tunables (greedy weights and reporting thresholds),
+    /// shared by every algorithm scored in a trial. The `algorithm`
+    /// field is ignored here — `score_trial` runs all four variants.
+    pub diagnostics: DiagnosticsConfig,
 }
 
 impl Default for RunConfig {
@@ -62,7 +66,7 @@ impl Default for RunConfig {
             failure: FailureSpec::Links(1),
             blocked_frac: 0.0,
             lg_frac: 1.0,
-            weights: Weights::default(),
+            diagnostics: DiagnosticsConfig::default(),
         }
     }
 }
@@ -419,8 +423,8 @@ fn score_trial(
     let diagnose_phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Diagnose);
     let diagnose_span = recorder.span(names::TRIAL_DIAGNOSE);
     let d_tomo = tomo_recorded(&obs, &ip2as, recorder);
-    let d_edge = nd_edge_recorded(&obs, &ip2as, cfg.weights, recorder);
-    let d_bgpigp = nd_bgpigp_recorded(&obs, &ip2as, &feed, cfg.weights, recorder);
+    let d_edge = nd_edge_recorded(&obs, &ip2as, cfg.diagnostics.weights, recorder);
+    let d_bgpigp = nd_bgpigp_recorded(&obs, &ip2as, &feed, cfg.diagnostics.weights, recorder);
 
     let router_detected = match failure {
         Failure::Router(r) => {
@@ -443,7 +447,7 @@ fn score_trial(
             sim: &ctx.sim,
             available: &ctx.lg_available,
         };
-        let d = nd_lg_recorded(&obs, &ip2as, &feed, &lg, cfg.weights, recorder);
+        let d = nd_lg_recorded(&obs, &ip2as, &feed, &lg, cfg.diagnostics.weights, recorder);
         Some(evaluate(topology, &truth, &d, &failed_sites))
     };
     drop(diagnose_span);

@@ -281,6 +281,13 @@ impl RecorderHandle {
         RecorderHandle(Arc::new(FanoutRecorder::new(sinks)))
     }
 
+    /// The underlying recorder as a shareable sink — for composing this
+    /// handle into a [`fanout`](Self::fanout) alongside extra sinks (e.g.
+    /// a per-request trace recorder on top of the daemon's metrics).
+    pub fn sink(&self) -> Arc<dyn Recorder> {
+        Arc::clone(&self.0)
+    }
+
     /// Is the underlying recorder collecting?
     #[inline]
     pub fn enabled(&self) -> bool {

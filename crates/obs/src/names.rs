@@ -70,6 +70,29 @@ pub const DIAG_RUNS: &str = "diag.runs";
 /// Histogram: hypothesis-set size per diagnosis.
 pub const DIAG_HYPOTHESIS_SIZE: &str = "diag.hypothesis_size";
 
+// --- report: structured diagnostic reports ----------------------------------
+
+/// Counter: structured `DiagnosticReport`s built from diagnoses.
+pub const REPORT_BUILDS: &str = "report.builds";
+/// Histogram: issue count per built report.
+pub const REPORT_ISSUES: &str = "report.issues";
+
+// --- serve: the diagnosis daemon --------------------------------------------
+
+/// Counter: client connections accepted by the daemon.
+pub const SERVE_CONNECTIONS: &str = "serve.connections";
+/// Counter: protocol requests handled (any op, success or error).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Counter: requests answered with an error response.
+pub const SERVE_ERRORS: &str = "serve.errors";
+/// Span: one diagnose request, from dequeue to serialized response.
+pub const SERVE_REQUEST: &str = "serve.request";
+/// Histogram: pool queue depth sampled at each submission.
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Histogram: client-observed request latency (nanoseconds) from the
+/// load harness (`netdiag-serve bench`).
+pub const SERVE_CLIENT_LATENCY: &str = "serve.client_latency";
+
 // --- trial: experiment-runner phases (span names) ---------------------------
 
 /// Span: failure injection + reconvergence of one trial.

@@ -1,0 +1,262 @@
+//! The daemon's converged baseline: topology, healthy control plane and
+//! `T-` probe mesh, prepared once at startup and shared (read-only) by
+//! every request.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use netdiag_experiments::bridge::{routing_feed, sensor_metas, to_snapshot};
+use netdiag_experiments::runner::{prepare_with, PlacementContext, RunConfig};
+use netdiag_experiments::sampling::{sample_failure, FailureSpec};
+use netdiag_netsim::{apply_failure, looking_glass_query, probe_mesh, Sim};
+use netdiag_obs::RecorderHandle;
+use netdiag_topology::builders::{build_internet, InternetConfig};
+use netdiag_topology::{AsId, Topology};
+use netdiagnoser::text::{write_feed, write_snapshot};
+use netdiagnoser::{IpToAs, LookingGlass, SensorMeta, Snapshot};
+
+/// Daemon configuration: how the baseline is generated and how much
+/// concurrent work the request pool accepts.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Seed for topology generation and sensor placement.
+    pub seed: u64,
+    /// Number of sensors in the baseline mesh (paper default: 10).
+    pub n_sensors: usize,
+    /// Worker threads for the diagnosis pool; `0` means available
+    /// parallelism.
+    pub workers: usize,
+    /// Queue capacity of the pool; submissions beyond it are rejected
+    /// with an overload error (backpressure). `0` means the default (64).
+    pub queue: usize,
+    /// Instrumentation sink for `serve.*` metrics and the simulator's
+    /// own counters.
+    pub recorder: RecorderHandle,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            seed: 1,
+            n_sensors: 10,
+            workers: 0,
+            queue: 0,
+            recorder: RecorderHandle::noop(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The worker count this config resolves to.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// The queue capacity this config resolves to.
+    pub fn resolved_queue(&self) -> usize {
+        if self.queue > 0 {
+            self.queue
+        } else {
+            64
+        }
+    }
+}
+
+/// The converged state every request diagnoses against.
+///
+/// Owns the healthy simulator (copy-on-write clones are a few µs), the
+/// topology, and the serialized defaults a request may omit: the sensor
+/// directory, the `T-` snapshot, and the oracles (IP-to-AS from the
+/// topology, Looking Glass answered live by the simulator).
+pub struct Baseline {
+    ctx: PlacementContext,
+    topology: Arc<Topology>,
+    sensors: Vec<SensorMeta>,
+    before: Snapshot,
+}
+
+impl Baseline {
+    /// Generates the topology, converges it and measures the `T-` mesh.
+    /// This is the daemon's startup cost; requests only read the result.
+    pub fn prepare(config: &ServeConfig) -> Baseline {
+        let net = build_internet(&InternetConfig {
+            seed: config.seed,
+            ..Default::default()
+        });
+        let run = RunConfig {
+            n_sensors: config.n_sensors.min(net.stubs.len()),
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xBEEF);
+        let ctx = {
+            let _trial = netdiag_obs::trial_scope(0, netdiag_obs::SETUP_TRIAL);
+            prepare_with(&net, &run, &mut rng, config.recorder.clone())
+        };
+        let topology = ctx.sim.topology_arc();
+        let sensors = sensor_metas(&ctx.sensors);
+        let before = to_snapshot(&ctx.mesh_before);
+        Baseline {
+            ctx,
+            topology,
+            sensors,
+            before,
+        }
+    }
+
+    /// The healthy converged simulator.
+    pub fn sim(&self) -> &Sim {
+        &self.ctx.sim
+    }
+
+    /// The shared topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
+    }
+
+    /// The troubleshooting AS (AS-X).
+    pub fn observer(&self) -> AsId {
+        self.ctx.observer
+    }
+
+    /// The default sensor directory (requests without `sensors`).
+    pub fn sensors(&self) -> &[SensorMeta] {
+        &self.sensors
+    }
+
+    /// The default `T-` snapshot (requests without `before`).
+    pub fn before(&self) -> &Snapshot {
+        &self.before
+    }
+
+    /// A Looking Glass answered live by a copy-on-write clone of the
+    /// converged simulator — the default when a request uploads no
+    /// recorded `lg` dump. Owned, so it outlives the request that made
+    /// it (the facade requires `Send + Sync + 'static` inputs).
+    pub fn looking_glass(&self) -> BaselineLookingGlass {
+        BaselineLookingGlass {
+            sim: self.ctx.sim.clone(),
+            available: self.ctx.lg_available.clone(),
+        }
+    }
+
+    /// The ground-truth IP-to-AS oracle — the default when a request
+    /// uploads no `ip2as` map.
+    pub fn ip_to_as(&self) -> TopologyIpToAs {
+        TopologyIpToAs {
+            topology: Arc::clone(&self.topology),
+        }
+    }
+
+    /// Samples one unreachability-causing link failure against this
+    /// baseline and renders the request inputs a client would upload:
+    /// the post-failure snapshot and AS-X's routing-feed delta. Used by
+    /// the load harness and tests; `None` if no sampled failure breaks
+    /// any path (practically impossible on the generated topology).
+    pub fn sample_scenario(&self, seed: u64) -> Option<Scenario> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        // Bounded redraws: a sampled failure may be fully rerouted.
+        for _ in 0..64 {
+            let failure = sample_failure(
+                &self.ctx.sim,
+                &self.ctx.mesh_before,
+                &self.ctx.sensors,
+                FailureSpec::Links(1),
+                &mut rng,
+            )?;
+            let mut broken = self.ctx.sim.clone();
+            apply_failure(&mut broken, &failure);
+            let after = probe_mesh(&broken, &self.ctx.sensors, &self.ctx.blocked);
+            if after.failed_count() == 0 {
+                continue;
+            }
+            let observed = broken.take_observed();
+            let igp_events = broken.take_igp_events();
+            let feed = routing_feed(&self.topology, self.ctx.observer, &observed, &igp_events);
+            return Some(Scenario {
+                after: write_snapshot(&to_snapshot(&after)),
+                feed: write_feed(&feed),
+            });
+        }
+        None
+    }
+}
+
+/// Request inputs sampled from the baseline (see
+/// [`Baseline::sample_scenario`]).
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The post-failure (`T+`) snapshot, serialized.
+    pub after: String,
+    /// AS-X's routing-feed delta, serialized.
+    pub feed: String,
+}
+
+/// Looking Glass over an owned simulator clone (see
+/// [`Baseline::looking_glass`]).
+pub struct BaselineLookingGlass {
+    sim: Sim,
+    available: BTreeSet<AsId>,
+}
+
+impl LookingGlass for BaselineLookingGlass {
+    fn as_path(&self, from_as: AsId, dst: Ipv4Addr) -> Option<Vec<AsId>> {
+        if !self.available.contains(&from_as) {
+            return None;
+        }
+        looking_glass_query(&self.sim, from_as, dst)
+    }
+}
+
+/// IP-to-AS oracle over the shared topology (see [`Baseline::ip_to_as`]).
+pub struct TopologyIpToAs {
+    topology: Arc<Topology>,
+}
+
+impl IpToAs for TopologyIpToAs {
+    fn as_of(&self, addr: Ipv4Addr) -> Option<AsId> {
+        self.topology.as_of_ip(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ServeConfig {
+        ServeConfig {
+            seed: 7,
+            n_sensors: 6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn baseline_prepares_and_samples_a_breaking_scenario() {
+        let baseline = Baseline::prepare(&small_config());
+        assert_eq!(baseline.sensors().len(), 6);
+        assert!(!baseline.before().paths.is_empty());
+        let scenario = baseline.sample_scenario(3).expect("scenario sampled");
+        assert!(scenario.after.contains("failed"));
+    }
+
+    #[test]
+    fn default_oracles_answer() {
+        let baseline = Baseline::prepare(&small_config());
+        let ip2as = baseline.ip_to_as();
+        let sensor = &baseline.sensors()[0];
+        assert_eq!(ip2as.as_of(sensor.addr), Some(sensor.as_id));
+        let lg = baseline.looking_glass();
+        // AS-X always has Looking Glass data for reachable sensors.
+        assert!(lg.as_path(baseline.observer(), sensor.addr).is_some());
+    }
+}

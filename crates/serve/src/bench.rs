@@ -1,0 +1,209 @@
+//! Closed-loop load harness behind `netdiag-serve bench`.
+//!
+//! Starts an in-process daemon on a loopback port, samples one
+//! failure scenario from its baseline, then drives it with N client
+//! threads each issuing M diagnose requests back-to-back. Every
+//! response is validated (protocol `ok`, parseable
+//! [`DiagnosticReport`](netdiagnoser::DiagnosticReport)); per-request
+//! wall latency lands both in the shared in-memory recorder (as
+//! `serve.client_latency`, nanoseconds) and in an exact sorted sample
+//! for the reported percentiles.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use netdiag_obs::{names, RecorderHandle, RunReport};
+use netdiagnoser::{Algorithm, DiagnosticReport};
+
+use crate::baseline::{Baseline, ServeConfig};
+use crate::client::Client;
+use crate::proto::{write_diagnose_request, DiagnoseJob};
+use crate::server::{Endpoint, Server};
+
+/// Load-harness parameters.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests per client (closed loop: next request after the
+    /// previous response).
+    pub requests: usize,
+    /// Baseline + scenario seed.
+    pub seed: u64,
+    /// Worker threads for the daemon pool (`0` = available parallelism).
+    pub workers: usize,
+    /// Daemon queue capacity (`0` = default).
+    pub queue: usize,
+    /// Algorithm every request runs.
+    pub algo: Algorithm,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            clients: 8,
+            requests: 25,
+            seed: 1,
+            workers: 0,
+            queue: 0,
+            algo: Algorithm::default(),
+        }
+    }
+}
+
+/// What one bench run measured.
+pub struct BenchResults {
+    /// Requests that completed with a valid report.
+    pub completed: u64,
+    /// Requests that errored (protocol errors, overload rejections,
+    /// unparseable reports).
+    pub errors: u64,
+    /// Wall time of the request phase (excludes baseline convergence).
+    pub elapsed_secs: f64,
+    /// Completed requests per second.
+    pub req_per_sec: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 90th-percentile request latency, microseconds.
+    pub p90_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// The daemon's full metrics report (serve.* counters, queue-depth
+    /// and latency histograms, diagnosis counters) for the PR 5 sinks.
+    pub report: RunReport,
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted_ns.len() as f64 - 1.0)).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1_000.0
+}
+
+/// Runs the harness to completion. Errors are setup failures (bind,
+/// scenario sampling); request-level failures are counted, not fatal.
+pub fn run(config: &BenchConfig) -> Result<BenchResults, String> {
+    let (recorder, sink) = RecorderHandle::in_memory();
+    let serve = ServeConfig {
+        seed: config.seed,
+        workers: config.workers,
+        queue: config.queue,
+        recorder: recorder.clone(),
+        ..Default::default()
+    };
+    let baseline = Arc::new(Baseline::prepare(&serve));
+    let scenario = baseline
+        .sample_scenario(config.seed)
+        .ok_or("no sampled failure broke a path; try another seed")?;
+    let handle =
+        Server::start_with_baseline(serve, Endpoint::Tcp("127.0.0.1:0".to_owned()), baseline)?;
+    let addr = handle
+        .tcp_addr()
+        .ok_or("TCP endpoint did not resolve an address")?
+        .to_string();
+
+    let job = DiagnoseJob {
+        algo: config.algo,
+        after: scenario.after,
+        feed: Some(scenario.feed),
+        ..Default::default()
+    };
+
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for client_idx in 0..config.clients.max(1) {
+        let addr = addr.clone();
+        let recorder = recorder.clone();
+        let requests = config.requests.max(1);
+        let line = write_diagnose_request(client_idx as u64, &job);
+        threads.push(std::thread::spawn(move || {
+            let mut latencies_ns: Vec<u64> = Vec::with_capacity(requests);
+            let mut errors = 0u64;
+            let Ok(mut client) = Client::connect_tcp(&addr) else {
+                return (latencies_ns, requests as u64);
+            };
+            for _ in 0..requests {
+                let t0 = Instant::now();
+                let response = client.request_line(&line);
+                let ns = t0.elapsed().as_nanos() as u64;
+                match response {
+                    Ok(response) if response_is_valid(&response) => {
+                        recorder.observe(names::SERVE_CLIENT_LATENCY, ns);
+                        latencies_ns.push(ns);
+                    }
+                    _ => errors += 1,
+                }
+            }
+            (latencies_ns, errors)
+        }));
+    }
+
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for thread in threads {
+        let (lats, errs) = thread
+            .join()
+            .map_err(|_| "a bench client thread panicked".to_owned())?;
+        latencies_ns.extend(lats);
+        errors += errs;
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    handle.stop();
+
+    latencies_ns.sort_unstable();
+    let completed = latencies_ns.len() as u64;
+    Ok(BenchResults {
+        completed,
+        errors,
+        elapsed_secs,
+        req_per_sec: if elapsed_secs > 0.0 {
+            completed as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+        p50_us: percentile_us(&latencies_ns, 50.0),
+        p90_us: percentile_us(&latencies_ns, 90.0),
+        p99_us: percentile_us(&latencies_ns, 99.0),
+        report: sink.report(),
+    })
+}
+
+/// A response counts as completed when the protocol says `ok` and the
+/// embedded report parses against the current schema.
+fn response_is_valid(line: &str) -> bool {
+    let Ok(v) = netdiag_obs::json::parse(line) else {
+        return false;
+    };
+    if !matches!(v.get("ok"), Some(netdiag_obs::json::Json::Bool(true))) {
+        return false;
+    }
+    match v.get("report") {
+        Some(report) => DiagnosticReport::from_json_value(report).is_ok(),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_bench_completes_all_requests() {
+        let results = run(&BenchConfig {
+            clients: 2,
+            requests: 3,
+            seed: 5,
+            workers: 2,
+            ..Default::default()
+        })
+        .expect("bench harness runs to completion");
+        assert_eq!(results.completed, 6);
+        assert_eq!(results.errors, 0);
+        assert!(results.p99_us >= results.p50_us);
+        assert!(results
+            .report
+            .histogram(names::SERVE_CLIENT_LATENCY)
+            .is_some());
+    }
+}

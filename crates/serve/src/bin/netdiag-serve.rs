@@ -1,0 +1,302 @@
+//! `netdiag-serve` — run, query, load-test and stop the diagnosis
+//! daemon.
+//!
+//! ```text
+//! netdiag-serve run [--listen ADDR | --unix PATH] [--seed N]
+//!                   [--sensors N] [--workers N] [--queue N]
+//!                   [--profile FILE]
+//!     Converges a baseline and serves diagnose requests until a
+//!     `shutdown` request arrives. Prints the bound endpoint on the
+//!     first line (`listening <addr>`). `--profile` writes the daemon's
+//!     run report (serve.* counters + histograms) on shutdown.
+//!
+//! netdiag-serve request (--connect ADDR | --unix PATH) --dir DIR
+//!                       [--algo NAME] [--json] [--explain]
+//!     Uploads a scenario directory (after.txt required; sensors.txt,
+//!     before.txt, feed.txt, lg.txt, ip2as.txt attached when present)
+//!     and prints the returned report text — byte-identical to
+//!     `netdiag diagnose --dir DIR` on the same inputs — or the
+//!     versioned report JSON with `--json`.
+//!
+//! netdiag-serve bench [--clients N] [--requests N] [--seed N]
+//!                     [--workers N] [--queue N] [--algo NAME]
+//!                     [--profile FILE]
+//!     Closed-loop load harness against an in-process daemon; prints
+//!     throughput and p50/p90/p99 latency.
+//!
+//! netdiag-serve stop (--connect ADDR | --unix PATH)
+//!     Asks a running daemon to shut down.
+//! ```
+
+// A daemon front end talks to its user on stdout.
+#![allow(clippy::print_stdout)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use netdiag_obs::json::{parse, Json};
+use netdiag_obs::{InMemoryRecorder, RecorderHandle};
+use netdiag_serve::bench::{run as run_bench, BenchConfig};
+use netdiag_serve::proto::{write_diagnose_request, DiagnoseJob};
+use netdiag_serve::{Client, Endpoint, ServeConfig, Server};
+use netdiagnoser::{Algorithm, DiagnosticReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  netdiag-serve run [--listen ADDR | --unix PATH] [--seed N] [--sensors N] \
+         [--workers N] [--queue N] [--profile FILE]\n  \
+         netdiag-serve request (--connect ADDR | --unix PATH) --dir DIR \
+         [--algo tomo|nd-edge|nd-bgpigp|nd-lg] [--json] [--explain]\n  \
+         netdiag-serve bench [--clients N] [--requests N] [--seed N] [--workers N] \
+         [--queue N] [--algo NAME] [--profile FILE]\n  \
+         netdiag-serve stop (--connect ADDR | --unix PATH)"
+    );
+    std::process::exit(2)
+}
+
+fn get_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn num_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match get_flag(args, name) {
+        None => default,
+        Some(raw) => match raw.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("bad value for {name}: {raw}");
+                std::process::exit(2)
+            }
+        },
+    }
+}
+
+fn algo_flag(args: &[String]) -> Algorithm {
+    match get_flag(args, "--algo") {
+        None => Algorithm::default(),
+        Some(name) => match name.parse() {
+            Ok(algo) => algo,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2)
+            }
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("request") => cmd_request(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("stop") => cmd_stop(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn endpoint_from(args: &[String]) -> Endpoint {
+    match (get_flag(args, "--listen"), get_flag(args, "--unix")) {
+        (Some(_), Some(_)) => {
+            eprintln!("--listen and --unix are mutually exclusive");
+            std::process::exit(2)
+        }
+        (None, Some(path)) => Endpoint::Unix(PathBuf::from(path)),
+        (addr, None) => Endpoint::Tcp(addr.unwrap_or_else(|| "127.0.0.1:4915".to_owned())),
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let profile_path = get_flag(args, "--profile").map(PathBuf::from);
+    let sink = profile_path
+        .is_some()
+        .then(|| Arc::new(InMemoryRecorder::new()));
+    let recorder = match &sink {
+        Some(sink) => {
+            RecorderHandle::fanout(vec![Arc::clone(sink) as Arc<dyn netdiag_obs::Recorder>])
+        }
+        None => RecorderHandle::noop(),
+    };
+    let config = ServeConfig {
+        seed: num_flag(args, "--seed", 1u64),
+        n_sensors: num_flag(args, "--sensors", 10usize),
+        workers: num_flag(args, "--workers", 0usize),
+        queue: num_flag(args, "--queue", 0usize),
+        recorder,
+    };
+    let endpoint = endpoint_from(args);
+    eprintln!(
+        "converging baseline (seed {}, {} sensors)...",
+        config.seed, config.n_sensors
+    );
+    let handle = match Server::start(config, endpoint.clone()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match (&endpoint, handle.tcp_addr()) {
+        (_, Some(addr)) => println!("listening {addr}"),
+        (Endpoint::Unix(path), None) => println!("listening {}", path.display()),
+        (Endpoint::Tcp(addr), None) => println!("listening {addr}"),
+    }
+    handle.join();
+    if let (Some(path), Some(sink)) = (profile_path, sink) {
+        if let Err(e) = std::fs::write(&path, sink.report().to_json()) {
+            eprintln!("write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn connect(args: &[String]) -> Client {
+    let made = match (get_flag(args, "--connect"), get_flag(args, "--unix")) {
+        (Some(addr), None) => Client::connect_tcp(&addr),
+        (None, Some(path)) => Client::connect_unix(Path::new(&path)),
+        _ => usage(),
+    };
+    match made {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("connect: {e}");
+            std::process::exit(1)
+        }
+    }
+}
+
+/// Reads a scenario file, `None` when absent (the daemon's baseline
+/// fills it in).
+fn optional_file(dir: &Path, name: &str) -> Option<String> {
+    std::fs::read_to_string(dir.join(name)).ok()
+}
+
+fn cmd_request(args: &[String]) -> ExitCode {
+    let Some(dir) = get_flag(args, "--dir").map(PathBuf::from) else {
+        usage()
+    };
+    let after = match std::fs::read_to_string(dir.join("after.txt")) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("read {}: {e}", dir.join("after.txt").display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let job = DiagnoseJob {
+        algo: algo_flag(args),
+        after,
+        sensors: optional_file(&dir, "sensors.txt"),
+        before: optional_file(&dir, "before.txt"),
+        feed: optional_file(&dir, "feed.txt"),
+        lg: optional_file(&dir, "lg.txt"),
+        ip2as: optional_file(&dir, "ip2as.txt"),
+        min_confidence: num_flag(args, "--min-confidence", 0.0f64),
+        max_issues: num_flag(args, "--max-issues", 0usize),
+        explain: args.iter().any(|a| a == "--explain"),
+    };
+    let mut client = connect(args);
+    let response = match client.request_line(&write_diagnose_request(1, &job)) {
+        Ok(response) => response,
+        Err(e) => {
+            eprintln!("request: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let v = match parse(&response) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bad response JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !matches!(v.get("ok"), Some(Json::Bool(true))) {
+        let message = v.get("error").and_then(Json::as_str).unwrap_or("unknown");
+        eprintln!("daemon error: {message}");
+        return ExitCode::FAILURE;
+    }
+    if args.iter().any(|a| a == "--json") {
+        let report = v
+            .get("report")
+            .ok_or_else(|| "response carried no report".to_owned())
+            .and_then(DiagnosticReport::from_json_value);
+        match report {
+            Ok(report) => println!("{}", report.to_json()),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match v.get("text").and_then(Json::as_str) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("response carried no text");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if job.explain {
+        if let Some(narrative) = v.get("explain").and_then(Json::as_str) {
+            println!("--- explain ---");
+            print!("{narrative}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let config = BenchConfig {
+        clients: num_flag(args, "--clients", 8usize),
+        requests: num_flag(args, "--requests", 25usize),
+        seed: num_flag(args, "--seed", 1u64),
+        workers: num_flag(args, "--workers", 0usize),
+        queue: num_flag(args, "--queue", 0usize),
+        algo: algo_flag(args),
+    };
+    eprintln!(
+        "bench: {} clients x {} requests, algo {}",
+        config.clients, config.requests, config.algo
+    );
+    let results = match run_bench(&config) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "completed {} requests ({} errors) in {:.3}s",
+        results.completed, results.errors, results.elapsed_secs
+    );
+    println!("throughput {:.0} req/s", results.req_per_sec);
+    println!(
+        "latency p50 {:.0}us  p90 {:.0}us  p99 {:.0}us",
+        results.p50_us, results.p90_us, results.p99_us
+    );
+    if let Some(path) = get_flag(args, "--profile") {
+        if let Err(e) = std::fs::write(&path, results.report.to_json()) {
+            eprintln!("write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("profile written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_stop(args: &[String]) -> ExitCode {
+    let mut client = connect(args);
+    match client.request_line(r#"{"op":"shutdown"}"#) {
+        Ok(response) => {
+            println!("{response}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stop: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

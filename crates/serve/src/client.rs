@@ -1,0 +1,90 @@
+//! A small blocking client for the daemon's line protocol, used by the
+//! `netdiag-serve` CLI subcommands, the bench harness and the tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+enum Transport {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+/// One connection to a running daemon.
+pub struct Client {
+    writer: Transport,
+    reader: BufReader<Transport>,
+}
+
+impl Client {
+    /// Connects over TCP, e.g. `127.0.0.1:4915`.
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // One logical message spans several writes (payload, then the
+        // line terminator); Nagle + delayed ACK would stall each
+        // request ~40-90ms waiting to coalesce them.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(Transport::Tcp(stream.try_clone()?));
+        Ok(Client {
+            writer: Transport::Tcp(stream),
+            reader,
+        })
+    }
+
+    /// Connects over a Unix domain socket.
+    pub fn connect_unix(path: &Path) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let reader = BufReader::new(Transport::Unix(stream.try_clone()?));
+        Ok(Client {
+            writer: Transport::Unix(stream),
+            reader,
+        })
+    }
+
+    /// Sends one request line and blocks for the response line.
+    /// `line` must not contain a newline (the protocol is one object
+    /// per line); the trailing newline is added here.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before responding",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+}
+
+impl std::io::Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            Transport::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.write(buf),
+            Transport::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.flush(),
+            Transport::Unix(s) => s.flush(),
+        }
+    }
+}

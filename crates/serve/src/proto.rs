@@ -1,0 +1,307 @@
+//! The daemon's wire protocol: one JSON object per line, in both
+//! directions.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op":"diagnose","id":1,"algo":"nd-bgpigp","after":"path 0 1 failed\n...",
+//!  "feed":"withdraw 10.0.0.1 10.2.0.0/16\n","explain":true}
+//! ```
+//!
+//! * `op` — `"diagnose"` (default), `"ping"`, `"stats"` or `"shutdown"`.
+//! * `id` — echoed verbatim in the response (default `0`).
+//! * `algo` — algorithm name (default `"nd-edge"`).
+//! * `after` — the post-failure snapshot in the `after.txt` text format
+//!   (required for `diagnose`: this is the uploaded probe matrix).
+//! * `sensors`, `before` — optional sensor directory / `T-` snapshot
+//!   texts; the daemon's converged baseline fills in whichever is
+//!   missing.
+//! * `feed` — optional routing-feed delta (`feed.txt` format; default:
+//!   an empty feed).
+//! * `lg` — optional recorded Looking Glass dump (`lg.txt` format;
+//!   default: the baseline simulator answers queries live).
+//! * `ip2as` — optional IP-to-AS map (`ip2as.txt` format; default: the
+//!   baseline topology).
+//! * `min_confidence`, `max_issues` — per-request
+//!   [`DiagnosticsConfig`](netdiagnoser::DiagnosticsConfig) thresholds.
+//! * `explain` — when `true`, the response carries a causal narrative
+//!   replayed from the request's own trace stream.
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"id":1,"ok":true,"report":{...},"text":"=== NetDiagnoser report ===..."}
+//! {"id":1,"ok":false,"error":"after: parse error ..."}
+//! ```
+//!
+//! `report` is the versioned
+//! [`DiagnosticReport`](netdiagnoser::DiagnosticReport) JSON; `text` is
+//! its `Display` rendering, byte-identical to `netdiag diagnose` on the
+//! same inputs.
+
+use netdiag_obs::json::{parse, Json};
+use netdiagnoser::Algorithm;
+
+/// One parsed client request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Liveness probe.
+    Ping {
+        /// Echo id.
+        id: u64,
+    },
+    /// Daemon counters snapshot.
+    Stats {
+        /// Echo id.
+        id: u64,
+    },
+    /// Stop the daemon (answered before the listener closes).
+    Shutdown {
+        /// Echo id.
+        id: u64,
+    },
+    /// Run a diagnosis.
+    Diagnose {
+        /// Echo id.
+        id: u64,
+        /// The diagnosis inputs.
+        job: Box<DiagnoseJob>,
+    },
+}
+
+/// The inputs of one diagnosis request (see the module docs for the
+/// field semantics; `None` means "use the daemon's baseline default").
+#[derive(Clone, Debug, Default)]
+pub struct DiagnoseJob {
+    /// Algorithm to run.
+    pub algo: Algorithm,
+    /// Post-failure snapshot text (required).
+    pub after: String,
+    /// Sensor directory text.
+    pub sensors: Option<String>,
+    /// Pre-failure snapshot text.
+    pub before: Option<String>,
+    /// Routing-feed delta text.
+    pub feed: Option<String>,
+    /// Recorded Looking Glass dump text.
+    pub lg: Option<String>,
+    /// IP-to-AS map text.
+    pub ip2as: Option<String>,
+    /// Minimum per-issue confidence to report.
+    pub min_confidence: f64,
+    /// Issue cap (`0` = unlimited).
+    pub max_issues: usize,
+    /// Attach a causal narrative to the response.
+    pub explain: bool,
+}
+
+/// Parses one request line. Unknown fields are ignored (forward
+/// compatibility); a missing or unknown `op` and missing required
+/// fields are errors.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+    let id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let op = v.get("op").and_then(Json::as_str).unwrap_or("diagnose");
+    match op {
+        "ping" => Ok(Request::Ping { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "diagnose" => {
+            let text_field = |key: &str| -> Option<String> {
+                v.get(key).and_then(Json::as_str).map(str::to_owned)
+            };
+            let algo = match v.get("algo").and_then(Json::as_str) {
+                None => Algorithm::default(),
+                Some(name) => name.parse::<Algorithm>()?,
+            };
+            let after = text_field("after")
+                .ok_or_else(|| "diagnose needs \"after\" (the uploaded probe matrix)".to_owned())?;
+            let num_field = |key: &str| -> Option<f64> {
+                match v.get(key) {
+                    Some(Json::Num(n)) => Some(*n),
+                    _ => None,
+                }
+            };
+            Ok(Request::Diagnose {
+                id,
+                job: Box::new(DiagnoseJob {
+                    algo,
+                    after,
+                    sensors: text_field("sensors"),
+                    before: text_field("before"),
+                    feed: text_field("feed"),
+                    lg: text_field("lg"),
+                    ip2as: text_field("ip2as"),
+                    min_confidence: num_field("min_confidence").unwrap_or(0.0),
+                    max_issues: v.get("max_issues").and_then(Json::as_u64).unwrap_or(0) as usize,
+                    explain: matches!(v.get("explain"), Some(Json::Bool(true))),
+                }),
+            })
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Serializes a diagnose request line from its parts (the client-side
+/// mirror of [`parse_request`]; `None` fields are omitted).
+pub fn write_diagnose_request(id: u64, job: &DiagnoseJob) -> String {
+    let mut out = format!(
+        "{{\"op\":\"diagnose\",\"id\":{id},\"algo\":\"{}\"",
+        job.algo
+    );
+    let mut field = |key: &str, value: &Option<String>| {
+        if let Some(text) = value {
+            out.push_str(",\"");
+            out.push_str(key);
+            out.push_str("\":");
+            push_json_string(&mut out, text);
+        }
+    };
+    field("sensors", &job.sensors);
+    field("before", &job.before);
+    field("after", &Some(job.after.clone()));
+    field("feed", &job.feed);
+    field("lg", &job.lg);
+    field("ip2as", &job.ip2as);
+    if job.min_confidence > 0.0 {
+        out.push_str(&format!(",\"min_confidence\":{}", job.min_confidence));
+    }
+    if job.max_issues > 0 {
+        out.push_str(&format!(",\"max_issues\":{}", job.max_issues));
+    }
+    if job.explain {
+        out.push_str(",\"explain\":true");
+    }
+    out.push('}');
+    out
+}
+
+/// A successful diagnose response line. `report_json` must already be
+/// valid JSON (it is embedded verbatim).
+pub fn diagnose_response(id: u64, report_json: &str, text: &str, explain: Option<&str>) -> String {
+    let mut out = format!("{{\"id\":{id},\"ok\":true,\"report\":{report_json},\"text\":");
+    push_json_string(&mut out, text);
+    if let Some(narrative) = explain {
+        out.push_str(",\"explain\":");
+        push_json_string(&mut out, narrative);
+    }
+    out.push('}');
+    out
+}
+
+/// An error response line.
+pub fn error_response(id: u64, message: &str) -> String {
+    let mut out = format!("{{\"id\":{id},\"ok\":false,\"error\":");
+    push_json_string(&mut out, message);
+    out.push('}');
+    out
+}
+
+/// A bare `{"id":N,"ok":true, <extra>}` response (ping/stats/shutdown);
+/// `extra` must be empty or a valid `"key":value,...` fragment.
+pub fn ok_response(id: u64, extra: &str) -> String {
+    if extra.is_empty() {
+        format!("{{\"id\":{id},\"ok\":true}}")
+    } else {
+        format!("{{\"id\":{id},\"ok\":true,{extra}}}")
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_ops() {
+        assert!(matches!(
+            parse_request(r#"{"op":"ping","id":7}"#),
+            Ok(Request::Ping { id: 7 })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#),
+            Ok(Request::Stats { id: 0 })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown","id":1}"#),
+            Ok(Request::Shutdown { id: 1 })
+        ));
+        assert!(parse_request(r#"{"op":"nope"}"#).is_err());
+        assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn diagnose_round_trips_through_its_writer() {
+        let job = DiagnoseJob {
+            algo: Algorithm::NdBgpIgp,
+            after: "path 0 1 failed\n*\n".into(),
+            feed: Some("withdraw 10.0.0.1 10.2.0.0/16\n".into()),
+            min_confidence: 0.5,
+            max_issues: 3,
+            explain: true,
+            ..Default::default()
+        };
+        let line = write_diagnose_request(42, &job);
+        let Ok(Request::Diagnose { id, job: parsed }) = parse_request(&line) else {
+            panic!("diagnose line must parse: {line}");
+        };
+        assert_eq!(id, 42);
+        assert_eq!(parsed.algo, Algorithm::NdBgpIgp);
+        assert_eq!(parsed.after, job.after);
+        assert_eq!(parsed.feed, job.feed);
+        assert_eq!(parsed.sensors, None);
+        assert_eq!(parsed.min_confidence, 0.5);
+        assert_eq!(parsed.max_issues, 3);
+        assert!(parsed.explain);
+    }
+
+    #[test]
+    fn diagnose_without_after_is_rejected() {
+        let err = parse_request(r#"{"op":"diagnose"}"#).unwrap_err();
+        assert!(err.contains("after"));
+    }
+
+    #[test]
+    fn responses_are_valid_json() {
+        for line in [
+            diagnose_response(
+                1,
+                r#"{"schema":1}"#,
+                "two\nlines \"quoted\"",
+                Some("because"),
+            ),
+            error_response(2, "bad \\ things"),
+            ok_response(3, ""),
+            ok_response(4, "\"pong\":true"),
+        ] {
+            let v = netdiag_obs::json::parse(&line).expect("response line parses as JSON");
+            assert!(v.get("id").is_some());
+        }
+    }
+
+    #[test]
+    fn escaping_round_trips_control_characters() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\u{1}b\tc\nd\"e\\f");
+        let v = netdiag_obs::json::parse(&out).expect("escaped string parses");
+        assert_eq!(v.as_str(), Some("a\u{1}b\tc\nd\"e\\f"));
+    }
+}

@@ -1,0 +1,490 @@
+//! The daemon: listeners, connection handling and the diagnose path.
+//!
+//! One thread accepts connections; each connection gets a thread that
+//! reads request lines and writes response lines in order (per-client
+//! FIFO). Diagnose requests are dispatched onto the bounded
+//! [`WorkerPool`] — concurrency comes from multiple connections, and
+//! overload surfaces as an immediate error response instead of latency
+//! collapse. Shutdown (remote `shutdown` op or [`ServerHandle::stop`])
+//! drains in-flight work and joins every thread.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use netdiag_experiments::explain::{explain, ExplainFilter};
+use netdiag_obs::{names, Recorder, RecorderHandle, TraceRecorder};
+use netdiagnoser::text::{
+    parse_feed, parse_sensors, parse_snapshot, RecordedIpToAs, RecordedLookingGlass,
+};
+use netdiagnoser::{
+    DiagnosticsConfig, IpToAs, NetDiagnoser, NetDiagnoserBuilder, Observations, RoutingFeed,
+};
+
+use crate::baseline::{Baseline, ServeConfig};
+use crate::pool::WorkerPool;
+use crate::proto::{self, diagnose_response, error_response, ok_response, DiagnoseJob, Request};
+
+/// Where the daemon listens.
+#[derive(Clone, Debug)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    Tcp(String),
+    /// A Unix domain socket path (removed on shutdown).
+    Unix(PathBuf),
+}
+
+/// The endpoint actually bound (TCP resolves port 0 here).
+#[derive(Clone, Debug)]
+enum Bound {
+    Tcp(SocketAddr),
+    Unix(PathBuf),
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                // Responses are written payload-then-newline; without
+                // nodelay, Nagle + delayed ACK stalls every reply.
+                let _ = s.set_nodelay(true);
+                Conn::Tcp(s)
+            }),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+/// One accepted client connection (TCP or Unix).
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+
+    /// Closes both halves, unblocking any thread parked in a read.
+    fn shutdown_both(&self) {
+        match self {
+            Conn::Tcp(s) => drop(s.shutdown(std::net::Shutdown::Both)),
+            Conn::Unix(s) => drop(s.shutdown(std::net::Shutdown::Both)),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Shared daemon state: the baseline, the pool, counters and the stop
+/// flag.
+struct ServerCtx {
+    baseline: Arc<Baseline>,
+    pool: WorkerPool,
+    recorder: RecorderHandle,
+    bound: Bound,
+    /// Socket closers for every live connection; drained at shutdown to
+    /// unblock threads parked in client reads.
+    conns: Mutex<Vec<Conn>>,
+    stop: AtomicBool,
+    seq: AtomicU64,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ServerCtx {
+    fn note_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.recorder.add(names::SERVE_ERRORS, 1);
+    }
+
+    /// Wakes the blocking `accept` so the loop can observe `stop`.
+    fn wake_accept(&self) {
+        match &self.bound {
+            Bound::Tcp(addr) => drop(TcpStream::connect(addr)),
+            Bound::Unix(path) => drop(UnixStream::connect(path)),
+        }
+    }
+}
+
+/// The daemon entry point; see [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Prepares the baseline, binds `endpoint` and starts serving on
+    /// background threads. Returns immediately with a handle.
+    pub fn start(config: ServeConfig, endpoint: Endpoint) -> Result<ServerHandle, String> {
+        let baseline = Arc::new(Baseline::prepare(&config));
+        Server::start_with_baseline(config, endpoint, baseline)
+    }
+
+    /// [`start`](Self::start) with an already-prepared baseline (shared
+    /// by tests and the bench harness to avoid re-converging).
+    pub fn start_with_baseline(
+        config: ServeConfig,
+        endpoint: Endpoint,
+        baseline: Arc<Baseline>,
+    ) -> Result<ServerHandle, String> {
+        let (listener, bound) = match &endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+                let local = l
+                    .local_addr()
+                    .map_err(|e| format!("local_addr on {addr}: {e}"))?;
+                (Listener::Tcp(l), Bound::Tcp(local))
+            }
+            Endpoint::Unix(path) => {
+                // A stale socket file from a crashed daemon blocks bind.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)
+                    .map_err(|e| format!("bind {}: {e}", path.display()))?;
+                (Listener::Unix(l), Bound::Unix(path.clone()))
+            }
+        };
+        let pool = WorkerPool::new(
+            config.resolved_workers(),
+            config.resolved_queue(),
+            config.recorder.clone(),
+        );
+        let ctx = Arc::new(ServerCtx {
+            baseline,
+            pool,
+            recorder: config.recorder.clone(),
+            bound,
+            conns: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        let accept_ctx = Arc::clone(&ctx);
+        let accept = std::thread::spawn(move || accept_loop(&listener, &accept_ctx));
+        Ok(ServerHandle {
+            ctx,
+            accept: Some(accept),
+        })
+    }
+}
+
+fn accept_loop(listener: &Listener, ctx: &Arc<ServerCtx>) {
+    let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    loop {
+        let conn = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                if ctx.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if ctx.stop.load(Ordering::SeqCst) {
+            break; // the wake-up connection, or late arrivals
+        }
+        if let Ok(closer) = conn.try_clone() {
+            ctx.conns
+                .lock()
+                .expect("connection closer list mutex poisoned")
+                .push(closer);
+        }
+        let conn_ctx = Arc::clone(ctx);
+        let handle = std::thread::spawn(move || handle_connection(conn, &conn_ctx));
+        handlers
+            .lock()
+            .expect("connection handle list mutex poisoned")
+            .push(handle);
+    }
+    // Force-close every live connection: threads parked in a client
+    // read would otherwise keep the join below waiting forever.
+    {
+        let mut conns = ctx
+            .conns
+            .lock()
+            .expect("connection closer list mutex poisoned");
+        for conn in conns.drain(..) {
+            conn.shutdown_both();
+        }
+    }
+    let joined: Vec<JoinHandle<()>> = {
+        let mut handlers = handlers
+            .lock()
+            .expect("connection handle list mutex poisoned");
+        handlers.drain(..).collect()
+    };
+    for handle in joined {
+        let _ = handle.join();
+    }
+    ctx.pool.shutdown();
+    if let Bound::Unix(path) = &ctx.bound {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+fn handle_connection(conn: Conn, ctx: &Arc<ServerCtx>) {
+    ctx.connections.fetch_add(1, Ordering::Relaxed);
+    ctx.recorder.add(names::SERVE_CONNECTIONS, 1);
+    let Ok(read_half) = conn.try_clone() else {
+        return;
+    };
+    let mut writer = conn;
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, initiate_shutdown) = respond(&line, ctx);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if initiate_shutdown {
+            // Trip the flag only after the acknowledgement is on the
+            // wire — the accept loop force-closes sockets on its way
+            // out, and the client deserves its response first.
+            ctx.stop.store(true, Ordering::SeqCst);
+            ctx.wake_accept();
+            break;
+        }
+        if ctx.stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// Produces the response line for one request line; the boolean asks
+/// the connection loop to start daemon shutdown after writing it.
+fn respond(line: &str, ctx: &Arc<ServerCtx>) -> (String, bool) {
+    ctx.requests.fetch_add(1, Ordering::Relaxed);
+    ctx.recorder.add(names::SERVE_REQUESTS, 1);
+    let request = match proto::parse_request(line) {
+        Ok(request) => request,
+        Err(e) => {
+            ctx.note_error();
+            return (error_response(0, &e), false);
+        }
+    };
+    match request {
+        Request::Ping { id } => (ok_response(id, "\"pong\":true"), false),
+        Request::Stats { id } => {
+            let extra = format!(
+                "\"stats\":{{\"connections\":{},\"requests\":{},\"errors\":{},\"diagnoses\":{}}}",
+                ctx.connections.load(Ordering::Relaxed),
+                ctx.requests.load(Ordering::Relaxed),
+                ctx.errors.load(Ordering::Relaxed),
+                ctx.seq.load(Ordering::Relaxed),
+            );
+            (ok_response(id, &extra), false)
+        }
+        Request::Shutdown { id } => (ok_response(id, "\"stopping\":true"), true),
+        Request::Diagnose { id, job } => {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let job_ctx = Arc::clone(ctx);
+            let seq = ctx.seq.fetch_add(1, Ordering::Relaxed);
+            let submitted = ctx.pool.submit(Box::new(move || {
+                let response = match handle_diagnose(&job_ctx, seq, id, &job) {
+                    Ok(response) => response,
+                    Err(e) => {
+                        job_ctx.note_error();
+                        error_response(id, &e)
+                    }
+                };
+                let _ = reply_tx.send(response);
+            }));
+            let response = match submitted {
+                Ok(()) => reply_rx
+                    .recv()
+                    .unwrap_or_else(|_| error_response(id, "worker dropped the request")),
+                Err(full) => {
+                    ctx.note_error();
+                    error_response(id, &full.to_string())
+                }
+            };
+            (response, false)
+        }
+    }
+}
+
+/// Runs one diagnosis on a worker thread: resolve inputs against the
+/// baseline, build an owned diagnoser, structure the report, optionally
+/// replay the request's own trace into a narrative.
+fn handle_diagnose(
+    ctx: &Arc<ServerCtx>,
+    seq: u64,
+    id: u64,
+    job: &DiagnoseJob,
+) -> Result<String, String> {
+    let _span = ctx.recorder.span(names::SERVE_REQUEST);
+    let _trial = netdiag_obs::trial_scope(seq as u32, 0);
+    let _phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Diagnose);
+
+    // Per-request trace stream for `explain`, fanned out on top of the
+    // daemon's own metrics sink.
+    let tracer = job.explain.then(|| Arc::new(TraceRecorder::new()));
+    let recorder = match &tracer {
+        Some(t) => RecorderHandle::fanout(vec![
+            ctx.recorder.sink(),
+            Arc::clone(t) as Arc<dyn Recorder>,
+        ]),
+        None => ctx.recorder.clone(),
+    };
+
+    let baseline = &ctx.baseline;
+    let sensors = match &job.sensors {
+        Some(text) => parse_sensors(text).map_err(|e| format!("sensors: {e}"))?,
+        None => baseline.sensors().to_vec(),
+    };
+    let before = match &job.before {
+        Some(text) => parse_snapshot(text).map_err(|e| format!("before: {e}"))?,
+        None => baseline.before().clone(),
+    };
+    let after = parse_snapshot(&job.after).map_err(|e| format!("after: {e}"))?;
+    let obs = Observations {
+        sensors,
+        before,
+        after,
+    };
+    let feed = match &job.feed {
+        Some(text) => parse_feed(text).map_err(|e| format!("feed: {e}"))?,
+        None => RoutingFeed::default(),
+    };
+    let config = DiagnosticsConfig {
+        algorithm: job.algo,
+        min_confidence: job.min_confidence,
+        max_issues: job.max_issues,
+        ..Default::default()
+    };
+    let builder = NetDiagnoser::builder()
+        .config(config)
+        .routing_feed(feed)
+        .recorder(recorder);
+    let builder: NetDiagnoserBuilder = match &job.lg {
+        Some(text) => {
+            let lg = RecordedLookingGlass::parse(text).map_err(|e| format!("lg: {e}"))?;
+            builder.looking_glass(lg)
+        }
+        None => builder.looking_glass(baseline.looking_glass()),
+    };
+    let ip2as: Box<dyn IpToAs> = match &job.ip2as {
+        Some(text) => Box::new(RecordedIpToAs::parse(text).map_err(|e| format!("ip2as: {e}"))?),
+        None => Box::new(baseline.ip_to_as()),
+    };
+
+    let report = builder
+        .build()
+        .report(&obs, ip2as.as_ref())
+        .map_err(|e| e.to_string())?;
+    let narrative = tracer.map(|t| {
+        explain(
+            &t.to_jsonl(),
+            &ExplainFilter {
+                placement: Some(seq as u32),
+                trial: Some(0),
+                algo: None,
+            },
+        )
+        .unwrap_or_else(|e| format!("no narrative: {e}"))
+    });
+    Ok(diagnose_response(
+        id,
+        &report.to_json(),
+        &report.to_string(),
+        narrative.as_deref(),
+    ))
+}
+
+/// A running daemon.
+///
+/// Dropping the handle without calling [`stop`](Self::stop) or
+/// [`join`](Self::join) stops the daemon (blocking until threads
+/// drain), so tests cannot leak listeners.
+pub struct ServerHandle {
+    ctx: Arc<ServerCtx>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address (`None` for Unix endpoints) — resolves
+    /// port 0 requests.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match &self.ctx.bound {
+            Bound::Tcp(addr) => Some(*addr),
+            Bound::Unix(_) => None,
+        }
+    }
+
+    /// The baseline this daemon serves (tests and the bench harness
+    /// sample request scenarios from it).
+    pub fn baseline(&self) -> &Arc<Baseline> {
+        &self.ctx.baseline
+    }
+
+    /// Requests shutdown and blocks until every thread has drained.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    /// Blocks until the daemon is shut down remotely (`shutdown` op).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    fn stop_inner(&mut self) {
+        self.ctx.stop.store(true, Ordering::SeqCst);
+        self.ctx.wake_accept();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_inner();
+        }
+    }
+}

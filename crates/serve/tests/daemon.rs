@@ -1,0 +1,239 @@
+//! End-to-end daemon tests: protocol ops over a loopback socket, byte
+//! parity with the in-process facade, and concurrent clients.
+
+use std::sync::Arc;
+
+use netdiag_obs::json::{parse, Json};
+use netdiag_serve::proto::{write_diagnose_request, DiagnoseJob};
+use netdiag_serve::{Baseline, Client, Endpoint, ServeConfig, Server};
+use netdiagnoser::text::parse_snapshot;
+use netdiagnoser::{
+    Algorithm, DiagnosticReport, NetDiagnoser, Observations, REPORT_SCHEMA_VERSION,
+};
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        seed: 7,
+        n_sensors: 6,
+        workers: 2,
+        ..Default::default()
+    }
+}
+
+fn start_daemon() -> (netdiag_serve::ServerHandle, Arc<Baseline>, String) {
+    let baseline = Arc::new(Baseline::prepare(&test_config()));
+    let handle = Server::start_with_baseline(
+        test_config(),
+        Endpoint::Tcp("127.0.0.1:0".to_owned()),
+        Arc::clone(&baseline),
+    )
+    .expect("daemon binds a loopback port");
+    let addr = handle
+        .tcp_addr()
+        .expect("TCP endpoint resolves")
+        .to_string();
+    (handle, baseline, addr)
+}
+
+#[test]
+fn ping_stats_and_shutdown_round_trip() {
+    let (handle, _baseline, addr) = start_daemon();
+    let mut client = Client::connect_tcp(&addr).expect("client connects");
+
+    let pong = client
+        .request_line(r#"{"op":"ping","id":9}"#)
+        .expect("ping answered");
+    let v = parse(&pong).expect("ping response is JSON");
+    assert_eq!(v.get("id").and_then(Json::as_u64), Some(9));
+    assert!(matches!(v.get("pong"), Some(Json::Bool(true))));
+
+    let stats = client
+        .request_line(r#"{"op":"stats","id":10}"#)
+        .expect("stats answered");
+    let v = parse(&stats).expect("stats response is JSON");
+    let stats = v.get("stats").expect("stats object present");
+    assert!(stats.get("requests").and_then(Json::as_u64).unwrap_or(0) >= 1);
+
+    let bye = client
+        .request_line(r#"{"op":"shutdown","id":11}"#)
+        .expect("shutdown answered");
+    let v = parse(&bye).expect("shutdown response is JSON");
+    assert!(matches!(v.get("stopping"), Some(Json::Bool(true))));
+    handle.join();
+}
+
+#[test]
+fn diagnose_reports_match_the_in_process_facade_byte_for_byte() {
+    let (handle, baseline, addr) = start_daemon();
+    let scenario = baseline.sample_scenario(3).expect("scenario sampled");
+
+    // What the daemon says.
+    let job = DiagnoseJob {
+        algo: Algorithm::NdBgpIgp,
+        after: scenario.after.clone(),
+        feed: Some(scenario.feed.clone()),
+        ..Default::default()
+    };
+    let mut client = Client::connect_tcp(&addr).expect("client connects");
+    let response = client
+        .request_line(&write_diagnose_request(5, &job))
+        .expect("diagnose answered");
+    let v = parse(&response).expect("diagnose response is JSON");
+    assert!(matches!(v.get("ok"), Some(Json::Bool(true))), "{response}");
+    assert_eq!(v.get("id").and_then(Json::as_u64), Some(5));
+    let daemon_text = v
+        .get("text")
+        .and_then(Json::as_str)
+        .expect("text rendering present")
+        .to_owned();
+    let report = DiagnosticReport::from_json_value(v.get("report").expect("report present"))
+        .expect("report parses against the current schema");
+    assert_eq!(report.schema, REPORT_SCHEMA_VERSION);
+
+    // What the batch facade says on the same inputs.
+    let obs = Observations {
+        sensors: baseline.sensors().to_vec(),
+        before: baseline.before().clone(),
+        after: parse_snapshot(&scenario.after).expect("after parses"),
+    };
+    let feed = netdiagnoser::text::parse_feed(&scenario.feed).expect("feed parses");
+    let local = NetDiagnoser::builder()
+        .algorithm(Algorithm::NdBgpIgp)
+        .routing_feed(feed)
+        .looking_glass(baseline.looking_glass())
+        .build()
+        .report(&obs, &baseline.ip_to_as())
+        .expect("in-process diagnosis runs");
+    assert_eq!(daemon_text, local.to_string());
+    assert_eq!(report.to_json(), local.to_json());
+    handle.stop();
+}
+
+#[test]
+fn concurrent_clients_all_get_valid_reports() {
+    let (handle, baseline, addr) = start_daemon();
+    let scenario = baseline.sample_scenario(11).expect("scenario sampled");
+    let mut threads = Vec::new();
+    for i in 0..4u64 {
+        let addr = addr.clone();
+        let job = DiagnoseJob {
+            after: scenario.after.clone(),
+            feed: Some(scenario.feed.clone()),
+            ..Default::default()
+        };
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(&addr).expect("client connects");
+            for round in 0..3u64 {
+                let id = i * 100 + round;
+                let response = client
+                    .request_line(&write_diagnose_request(id, &job))
+                    .expect("diagnose answered");
+                let v = parse(&response).expect("response is JSON");
+                assert!(matches!(v.get("ok"), Some(Json::Bool(true))), "{response}");
+                assert_eq!(v.get("id").and_then(Json::as_u64), Some(id));
+                DiagnosticReport::from_json_value(v.get("report").expect("report present"))
+                    .expect("report parses");
+            }
+        }));
+    }
+    for thread in threads {
+        thread.join().expect("client thread succeeds");
+    }
+    handle.stop();
+}
+
+#[test]
+fn explain_requests_carry_a_narrative() {
+    let (handle, baseline, addr) = start_daemon();
+    let scenario = baseline.sample_scenario(3).expect("scenario sampled");
+    let job = DiagnoseJob {
+        after: scenario.after,
+        feed: Some(scenario.feed),
+        explain: true,
+        ..Default::default()
+    };
+    let mut client = Client::connect_tcp(&addr).expect("client connects");
+    let response = client
+        .request_line(&write_diagnose_request(1, &job))
+        .expect("diagnose answered");
+    let v = parse(&response).expect("response is JSON");
+    assert!(matches!(v.get("ok"), Some(Json::Bool(true))), "{response}");
+    let narrative = v
+        .get("explain")
+        .and_then(Json::as_str)
+        .expect("narrative attached");
+    assert!(!narrative.is_empty());
+    handle.stop();
+}
+
+#[test]
+fn bad_requests_get_structured_errors_and_the_daemon_survives() {
+    let (handle, _baseline, addr) = start_daemon();
+    let mut client = Client::connect_tcp(&addr).expect("client connects");
+    for line in [
+        "not json at all",
+        r#"{"op":"diagnose","id":2}"#,
+        r#"{"op":"diagnose","id":3,"after":"garbage input"}"#,
+    ] {
+        let response = client.request_line(line).expect("error answered");
+        let v = parse(&response).expect("error response is JSON");
+        assert!(matches!(v.get("ok"), Some(Json::Bool(false))), "{response}");
+        assert!(v.get("error").and_then(Json::as_str).is_some());
+    }
+    // The connection still works afterwards.
+    let pong = client
+        .request_line(r#"{"op":"ping","id":4}"#)
+        .expect("ping after errors");
+    assert!(matches!(
+        parse(&pong).expect("JSON").get("pong"),
+        Some(Json::Bool(true))
+    ));
+    handle.stop();
+}
+
+#[test]
+fn unix_socket_endpoint_serves_and_cleans_up() {
+    let dir = std::env::temp_dir().join(format!("netdiag-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir for the socket");
+    let path = dir.join("daemon.sock");
+    let handle = Server::start(test_config(), Endpoint::Unix(path.clone()))
+        .expect("daemon binds a unix socket");
+    let mut client = Client::connect_unix(&path).expect("client connects over unix");
+    let pong = client
+        .request_line(r#"{"op":"ping","id":1}"#)
+        .expect("ping answered");
+    assert!(matches!(
+        parse(&pong).expect("JSON").get("pong"),
+        Some(Json::Bool(true))
+    ));
+    handle.stop();
+    assert!(!path.exists(), "socket file removed on shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn strict_algorithms_error_without_a_feed() {
+    // nd-bgpigp with no uploaded feed runs against an EMPTY default
+    // feed (lenient daemon default), but still succeeds — the error
+    // path is a malformed feed.
+    let (handle, baseline, addr) = start_daemon();
+    let scenario = baseline.sample_scenario(3).expect("scenario sampled");
+    let job = DiagnoseJob {
+        algo: Algorithm::NdBgpIgp,
+        after: scenario.after,
+        feed: Some("not a feed line".to_owned()),
+        ..Default::default()
+    };
+    let mut client = Client::connect_tcp(&addr).expect("client connects");
+    let response = client
+        .request_line(&write_diagnose_request(1, &job))
+        .expect("answered");
+    let v = parse(&response).expect("response is JSON");
+    assert!(matches!(v.get("ok"), Some(Json::Bool(false))), "{response}");
+    assert!(v
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("error message")
+        .contains("feed"));
+    handle.stop();
+}

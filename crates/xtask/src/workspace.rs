@@ -1,6 +1,6 @@
 //! Maps the on-disk workspace to the engine's file model.
 //!
-//! Scope: the seven library crates plus the root package's `src/`.
+//! Scope: the eight library crates plus the root package's `src/`.
 //! Excluded by design: `src/bin/` (CLIs own the process — env args,
 //! wall-clock progress and stdout are their job), integration `tests/`
 //! and `benches/` (test code may unwrap), the vendored dependency stubs
@@ -15,13 +15,14 @@ use crate::engine::SrcFile;
 
 /// Library crates under `crates/` that the lints cover, as
 /// `(directory name, crate name used for lint scoping)`.
-pub const LINTED_CRATES: [(&str, &str); 7] = [
+pub const LINTED_CRATES: [(&str, &str); 8] = [
     ("bgp", "bgp"),
     ("core", "core"),
     ("experiments", "experiments"),
     ("igp", "igp"),
     ("netsim", "netsim"),
     ("obs", "obs"),
+    ("serve", "serve"),
     ("topology", "topology"),
 ];
 

@@ -96,7 +96,14 @@ fn main() {
         );
 
         let obs = observations(&ctx.sensors, &ctx.mesh_before, &after);
-        let feed = routing_feed(&topology, ctx.observer, &observed, &igp_events);
+        // The builder owns its feed (Arc), so the algorithms share one
+        // allocation instead of each cloning the NOC's view.
+        let feed = std::sync::Arc::new(routing_feed(
+            &topology,
+            ctx.observer,
+            &observed,
+            &igp_events,
+        ));
         let ip2as = TruthIpToAs {
             topology: &topology,
         };
@@ -107,7 +114,7 @@ fn main() {
         let diagnose = |algorithm| {
             NetDiagnoser::builder()
                 .algorithm(algorithm)
-                .routing_feed(&feed)
+                .routing_feed(std::sync::Arc::clone(&feed))
                 .build()
                 .diagnose(&obs, &ip2as)
                 .expect("the feed is attached")

@@ -44,4 +44,36 @@ test -s "$tracedir/diag.jsonl"
 test -s "$tracedir/diag.chrome.json"
 netdiag explain "$tracedir/diag.jsonl" | head -n 20
 
+echo "== serve smoke (daemon round-trip + batch parity) =="
+servedir="$tracedir/serve"
+mkdir -p "$servedir"
+serve() { cargo run -q --release -p netdiag-serve --bin netdiag-serve -- "$@"; }
+# Build up front so the background `run` is listening, not compiling.
+cargo build -q --release -p netdiag-serve
+serve_pid=""
+trap 'if [ -n "$serve_pid" ]; then kill "$serve_pid" 2>/dev/null || true; fi; rm -rf "$tracedir"' EXIT
+serve run --listen 127.0.0.1:0 --seed 3 --sensors 8 > "$servedir/run.out" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 150); do
+    addr="$(sed -n 's/^listening //p' "$servedir/run.out")"
+    [ -n "$addr" ] && break
+    sleep 0.2
+done
+test -n "$addr"
+# Structured response: a current-schema DiagnosticReport comes back.
+serve request --connect "$addr" --dir "$tracedir/scn" --algo nd-bgpigp --json \
+    | grep -q '"schema":1'
+# Parity: the daemon's text rendering is byte-identical to the batch CLI
+# on the same scenario files (ground-truth appendix stripped).
+serve request --connect "$addr" --dir "$tracedir/scn" --algo nd-bgpigp \
+    > "$servedir/daemon.txt"
+netdiag diagnose --dir "$tracedir/scn" --algo nd-bgpigp \
+    | sed '/^--- ground truth/,$d' > "$servedir/batch.txt"
+diff -u "$servedir/batch.txt" "$servedir/daemon.txt"
+# Clean remote shutdown.
+serve stop --connect "$addr" | grep -q '"stopping":true'
+wait "$serve_pid"
+serve_pid=""
+
 echo "all checks passed"
