@@ -6,19 +6,31 @@
 //! export-filter (misconfiguration) changes, and can record every eBGP
 //! message *received by one designated observer AS* — the control-plane feed
 //! the paper's ND-bgpigp algorithm consumes.
+//!
+//! # Flat substrate
+//!
+//! All hot-path state is indexed by a dense *prefix id* (pid): the engine
+//! interns every AS prefix into one sorted table at construction, so
+//! per-router RIBs are flat arrays indexed by pid instead of sorted maps
+//! keyed by [`Prefix`] (whose inserts memmove O(prefixes) entries). AS
+//! paths are interned into a shared [`PathPool`] — messages and stored
+//! routes carry a `u32` path id — and per-session policy inputs (AS
+//! membership, business relationship) are precomputed once, so the
+//! message loop performs no topology lookups and no allocation per
+//! message. Public accessors still speak [`Prefix`] and [`Route`];
+//! routes are materialized on demand.
 
-use std::borrow::Cow;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 use netdiag_igp::{Igp, LinkState, SpfDelta};
 use netdiag_obs::{names, RecorderHandle};
-use netdiag_topology::{AsId, LinkId, LinkKind, Prefix, RouterId, Topology};
+use netdiag_topology::{AsId, LinkId, LinkKind, PeerKind, Prefix, RouterId, Topology};
 
 use crate::policy::{ExportDeny, ExportFilters};
-use crate::route::{local_pref_for, AsPath, Route, RouteSource};
-use crate::session::{SessionId, SessionKind, SessionTable};
+use crate::route::{local_pref_for, AsPath, Route, RouteSource, LOCAL_PREF_ORIGINATED};
+use crate::session::{Session, SessionId, SessionKind, SessionTable};
 use crate::vecmap::{VecMap, VecSet};
 
 /// Read-only routing context threaded through engine operations.
@@ -32,42 +44,335 @@ pub struct Ctx<'a> {
     pub links: &'a LinkState,
 }
 
-/// Route attributes carried in an `Update`.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct RouteMsg {
-    /// Destination prefix.
-    pub prefix: Prefix,
-    /// AS path (already prepended by the sender on eBGP sessions).
-    /// Inline ([`AsPath`]): forwarding it is a memcpy, not a refcount.
-    pub as_path: AsPath,
+/// Dense prefix id: index into the engine's sorted prefix table.
+type Pid = u32;
+
+/// Sentinel for "no link" in a stored route.
+const NO_LINK: u32 = u32::MAX;
+/// Sentinel for "no session" (locally originated) in a stored route.
+const NO_SESSION: u32 = u32::MAX;
+/// Path id of the empty AS path (always interned first).
+const PATH_EMPTY: u32 = 0;
+
+/// [`RouteSource`] packed into one byte for [`StoredRoute`].
+const SRC_ORIGINATED: u8 = 0;
+const SRC_CUSTOMER: u8 = 1;
+const SRC_PEER: u8 = 2;
+const SRC_PROVIDER: u8 = 3;
+
+fn pack_source(s: RouteSource) -> u8 {
+    match s {
+        RouteSource::Originated => SRC_ORIGINATED,
+        RouteSource::External(PeerKind::Customer) => SRC_CUSTOMER,
+        RouteSource::External(PeerKind::Peer) => SRC_PEER,
+        RouteSource::External(PeerKind::Provider) => SRC_PROVIDER,
+    }
+}
+
+fn unpack_source(v: u8) -> RouteSource {
+    match v {
+        SRC_ORIGINATED => RouteSource::Originated,
+        SRC_CUSTOMER => RouteSource::External(PeerKind::Customer),
+        SRC_PEER => RouteSource::External(PeerKind::Peer),
+        _ => RouteSource::External(PeerKind::Provider),
+    }
+}
+
+/// Interned AS paths, shared by every router of an engine.
+///
+/// Append-only: path ids stay valid for the lifetime of the pool, so a
+/// snapshot restored over a grown pool still resolves every id. Lives
+/// behind an `Arc` with copy-on-write mutation, so engine clones share it
+/// until one interns a path the pool has not seen.
+#[derive(Clone, Debug)]
+struct PathPool {
+    /// Reverse index; point lookups only, never iterated.
+    ids: HashMap<AsPath, u32>,
+    paths: Vec<AsPath>,
+}
+
+impl PathPool {
+    fn new() -> Self {
+        let mut ids = HashMap::new();
+        ids.insert(AsPath::EMPTY, PATH_EMPTY);
+        PathPool {
+            ids,
+            paths: vec![AsPath::EMPTY],
+        }
+    }
+
+    #[inline]
+    fn get(&self, id: u32) -> &AsPath {
+        &self.paths[id as usize]
+    }
+}
+
+/// A route as stored in the flat RIBs: 24 bytes, every attribute either
+/// inline or derivable (`learned_from` peer = the session's other
+/// endpoint; the prefix = the pid of the slot it occupies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct StoredRoute {
+    /// Interned AS path ([`PathPool`] id).
+    path: u32,
+    /// Border router of the local AS where traffic exits.
+    egress: RouterId,
+    /// Inter-domain exit link ([`NO_LINK`] unless eBGP-learned here).
+    link: u32,
+    /// Session the route was learned on ([`NO_SESSION`] = originated).
+    session: u32,
+    /// Relationship-derived local preference.
+    local_pref: u32,
+    /// Cached AS-path length (decision-process hot read).
+    path_len: u8,
+    /// Packed [`RouteSource`].
+    source: u8,
+    /// 1 when learned over eBGP at this router.
+    ebgp: u8,
+}
+
+impl StoredRoute {
+    /// A locally-originated route at border router `at`.
+    fn originated(at: RouterId) -> Self {
+        StoredRoute {
+            path: PATH_EMPTY,
+            egress: at,
+            link: NO_LINK,
+            session: NO_SESSION,
+            local_pref: LOCAL_PREF_ORIGINATED,
+            path_len: 0,
+            source: SRC_ORIGINATED,
+            ebgp: 0,
+        }
+    }
+}
+
+/// Routes received for one prefix at one router, keyed by session.
+///
+/// Valley-free exports mean a router hears a given prefix from only a
+/// handful of neighbors, so two slots live inline and the rare overflow
+/// spills to a boxed vector: the common path allocates nothing and the
+/// cell stays 64 bytes.
+#[derive(Clone, Debug)]
+struct AdjCell {
+    len: u32,
+    inline: [StoredRoute; AdjCell::INLINE],
+    // Box<Vec>, not Vec: an inline Vec is 24 bytes against the Box's 8,
+    // and the pointer is only ever chased on the rare spilled cell.
+    #[allow(clippy::box_collection)]
+    spill: Option<Box<Vec<StoredRoute>>>,
+}
+
+impl Default for AdjCell {
+    fn default() -> Self {
+        AdjCell {
+            len: 0,
+            inline: [StoredRoute::originated(RouterId(0)); AdjCell::INLINE],
+            spill: None,
+        }
+    }
+}
+
+impl AdjCell {
+    const INLINE: usize = 2;
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn inline_len(&self) -> usize {
+        (self.len as usize).min(Self::INLINE)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &StoredRoute> {
+        self.inline[..self.inline_len()]
+            .iter()
+            .chain(self.spill.iter().flat_map(|s| s.iter()))
+    }
+
+    fn get(&self, session: u32) -> Option<&StoredRoute> {
+        self.iter().find(|sr| sr.session == session)
+    }
+
+    /// Inserts or replaces the route learned on `sr.session`.
+    fn upsert(&mut self, sr: StoredRoute) {
+        let il = self.inline_len();
+        if let Some(slot) = self.inline[..il]
+            .iter_mut()
+            .find(|e| e.session == sr.session)
+        {
+            *slot = sr;
+            return;
+        }
+        if let Some(spill) = &mut self.spill {
+            if let Some(slot) = spill.iter_mut().find(|e| e.session == sr.session) {
+                *slot = sr;
+                return;
+            }
+        }
+        if il < Self::INLINE {
+            self.inline[il] = sr;
+        } else {
+            self.spill.get_or_insert_with(Default::default).push(sr);
+        }
+        self.len += 1;
+    }
+
+    /// Removes the route learned on `session`; false when absent.
+    fn remove(&mut self, session: u32) -> bool {
+        let il = self.inline_len();
+        if let Some(i) = self.inline[..il].iter().position(|e| e.session == session) {
+            // Shift the inline tail left and refill the freed slot from
+            // the spill, keeping the inline region packed.
+            self.inline.copy_within(i + 1..il, i);
+            if let Some(spill) = &mut self.spill {
+                if !spill.is_empty() {
+                    self.inline[Self::INLINE - 1] = spill.remove(0);
+                }
+                if spill.is_empty() {
+                    self.spill = None;
+                }
+            }
+            self.len -= 1;
+            return true;
+        }
+        if let Some(spill) = &mut self.spill {
+            if let Some(i) = spill.iter().position(|e| e.session == session) {
+                spill.remove(i);
+                if spill.is_empty() {
+                    self.spill = None;
+                }
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Rewrites every stored path id through `tr` (shard merge).
+    fn map_paths(&mut self, tr: &dyn Fn(u32) -> u32) {
+        let il = self.inline_len();
+        for e in &mut self.inline[..il] {
+            e.path = tr(e.path);
+        }
+        if let Some(spill) = &mut self.spill {
+            for e in spill.iter_mut() {
+                e.path = tr(e.path);
+            }
+        }
+    }
+}
+
+/// A dense bitset over prefix ids with a maintained cardinality.
+#[derive(Clone, Debug, Default)]
+struct PidSet {
+    words: Vec<u64>,
+    count: u32,
+}
+
+impl PidSet {
+    fn contains(&self, pid: Pid) -> bool {
+        self.words
+            .get((pid / 64) as usize)
+            .is_some_and(|w| w & (1 << (pid % 64)) != 0)
+    }
+
+    fn insert(&mut self, pid: Pid) -> bool {
+        let w = (pid / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (pid % 64);
+        if self.words[w] & bit != 0 {
+            return false;
+        }
+        self.words[w] |= bit;
+        self.count += 1;
+        true
+    }
+
+    fn remove(&mut self, pid: Pid) -> bool {
+        let w = (pid / 64) as usize;
+        let bit = 1u64 << (pid % 64);
+        if w >= self.words.len() || self.words[w] & bit == 0 {
+            return false;
+        }
+        self.words[w] &= !bit;
+        self.count -= 1;
+        true
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Set bits in ascending pid order.
+    fn iter(&self) -> impl Iterator<Item = Pid> + '_ {
+        // Clearing the lowest set bit each step yields bits in ascending
+        // order; zero never enters the sequence, so `b - 1` cannot
+        // underflow.
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            std::iter::successors((bits != 0).then_some(bits), |&b| {
+                let next = b & (b - 1);
+                (next != 0).then_some(next)
+            })
+            .map(move |b| w as u32 * 64 + b.trailing_zeros())
+        })
+    }
+}
+
+/// Per-session policy inputs, precomputed at engine construction so the
+/// import/export hot paths never consult the topology's relationship
+/// table or router-to-AS mapping.
+#[derive(Clone, Copy, Debug)]
+struct SessMeta {
+    /// AS of endpoint `a`.
+    a_as: AsId,
+    /// AS of endpoint `b`.
+    b_as: AsId,
+    /// eBGP only: relationship from `a`'s perspective.
+    rel_at_a: PeerKind,
+    /// eBGP only: relationship from `b`'s perspective.
+    rel_at_b: PeerKind,
+    /// True for eBGP sessions.
+    ebgp: bool,
+}
+
+/// Route attributes carried in an `Update`, in interned form: the prefix
+/// travels as a pid and the AS path (already prepended by the sender on
+/// eBGP sessions) as a [`PathPool`] id, so forwarding a message is a
+/// small fixed-size copy.
+#[derive(Clone, Copy, Debug)]
+struct RouteMsg {
+    pid: Pid,
+    path: u32,
+    path_len: u8,
     /// iBGP-only: sender-assigned local preference.
-    pub local_pref: u32,
+    local_pref: u32,
     /// iBGP-only: the egress border router.
-    pub egress: RouterId,
-    /// iBGP-only: how the route entered the AS.
-    pub source: RouteSource,
+    egress: RouterId,
+    /// iBGP-only: how the route entered the AS (packed).
+    source: u8,
 }
 
 /// Message payload.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Payload {
+#[derive(Clone, Copy, Debug)]
+enum Payload {
     /// Announce (or implicitly replace) a route.
     Update(RouteMsg),
     /// Withdraw the route for a prefix.
-    Withdraw(Prefix),
+    Withdraw(Pid),
 }
 
 /// A queued BGP message.
-#[derive(Clone, Debug)]
-pub struct Msg {
-    /// Session the message rides on.
-    pub session: SessionId,
-    /// Sending router.
-    pub from: RouterId,
-    /// Receiving router.
-    pub to: RouterId,
-    /// Update or withdraw.
-    pub payload: Payload,
+#[derive(Clone, Copy, Debug)]
+struct Msg {
+    session: SessionId,
+    from: RouterId,
+    to: RouterId,
+    payload: Payload,
 }
 
 /// Kind of an observed message.
@@ -96,28 +401,36 @@ pub struct ObservedMsg {
     pub seq: u64,
 }
 
-/// Per-router BGP state.
+/// Per-router BGP state, flat over the dense prefix space.
 ///
-/// All tables are sorted vectors ([`VecMap`]/[`VecSet`]), not `BTreeMap`s:
-/// the failure/restore hot loop clones and drops one of these on every
-/// copy-on-write break, and a handful of contiguous buffers copy an order
-/// of magnitude faster than a forest of tree nodes. Iteration stays in
-/// ascending key order, so message ordering is exactly what the
-/// `BTreeMap` representation produced.
+/// `adj_in` and `loc_rib` are arrays indexed by pid — no sorted-map
+/// memmove on insert, no allocation per message. The per-session tables
+/// are bitsets over pids. The whole struct sits behind an `Arc` for
+/// copy-on-write engine clones.
 #[derive(Clone, Debug, Default)]
 struct RouterState {
-    /// Routes received per prefix, per session.
-    adj_in: VecMap<Prefix, VecMap<SessionId, Route>>,
-    /// Prefixes this router originates.
-    originated: VecSet<Prefix>,
-    /// Best route per prefix.
-    loc_rib: VecMap<Prefix, Route>,
-    /// Prefixes currently advertised per session.
-    adj_out: VecMap<SessionId, VecSet<Prefix>>,
-    /// Replay index: the prefixes present in `adj_in` per session, so a
+    /// Routes received per prefix (by pid), per session.
+    adj_in: Vec<AdjCell>,
+    /// Pids this router originates.
+    originated: VecSet<Pid>,
+    /// Best route per prefix (by pid).
+    loc_rib: Vec<Option<StoredRoute>>,
+    /// Pids currently advertised per session.
+    adj_out: VecMap<SessionId, PidSet>,
+    /// Replay index: the pids present in `adj_in` per session, so a
     /// session flush touches exactly its own prefixes instead of scanning
     /// the whole Adj-RIB-In. Entries are removed when they empty out.
-    adj_in_by_session: VecMap<SessionId, VecSet<Prefix>>,
+    adj_in_by_session: VecMap<SessionId, PidSet>,
+}
+
+impl RouterState {
+    fn sized(prefixes: usize) -> Self {
+        RouterState {
+            adj_in: vec![AdjCell::default(); prefixes],
+            loc_rib: vec![None; prefixes],
+            ..Default::default()
+        }
+    }
 }
 
 /// Statistics from a convergence run.
@@ -127,8 +440,9 @@ pub struct RunStats {
     pub messages: u64,
 }
 
-/// Safety cap on processed messages per `run` (a correct configuration
-/// converges far below this; hitting it indicates a policy dispute loop).
+/// Base safety cap on processed messages per `run` (a correct
+/// configuration converges far below this; hitting it indicates a policy
+/// dispute loop). Scaled with topology size at engine construction.
 const MAX_MESSAGES_PER_RUN: u64 = 200_000_000;
 
 /// The BGP simulator for a whole topology.
@@ -136,12 +450,19 @@ const MAX_MESSAGES_PER_RUN: u64 = 200_000_000;
 /// Per-router state sits behind [`Arc`]s so a `Bgp` clone is O(#routers)
 /// pointer bumps; mutation goes through [`Bgp::state_mut`], which clones a
 /// router's RIBs only when they are still shared with another engine clone
-/// (copy-on-write). The session table is immutable after construction and
-/// shared outright.
+/// (copy-on-write). The session table, prefix table and per-session policy
+/// metadata are immutable after construction and shared outright; the
+/// path pool is append-only and copy-on-write.
 #[derive(Clone, Debug)]
 pub struct Bgp {
     /// The session table (public for inspection; immutable after build).
     pub sessions: Arc<SessionTable>,
+    /// Sorted prefix table; pid = index (immutable after build).
+    prefixes: Arc<Vec<Prefix>>,
+    /// Per-session policy inputs (immutable after build).
+    sess_meta: Arc<Vec<SessMeta>>,
+    /// Interned AS paths (append-only, copy-on-write).
+    paths: Arc<PathPool>,
     routers: Vec<Arc<RouterState>>,
     filters: ExportFilters,
     queue: VecDeque<Msg>,
@@ -159,6 +480,8 @@ pub struct Bgp {
     cow_breaks: u64,
     /// Prefixes visited by scoped replay since the last flush (batched).
     replay_prefixes: u64,
+    /// Message cap for one `run`, scaled with topology size.
+    msg_cap: u64,
     /// Cached per-session liveness (1 = up). `None` falls back to the
     /// ground-truth recomputation in [`SessionTable::is_up`]; when `Some`,
     /// the owner (the simulator layer) must keep it in sync with link and
@@ -169,10 +492,49 @@ pub struct Bgp {
 impl Bgp {
     /// Creates the engine with empty RIBs and no routes originated.
     pub fn new(topology: &Topology) -> Self {
+        let sessions = Arc::new(SessionTable::build(topology));
+        let mut prefixes: Vec<Prefix> = topology.ases().iter().map(|a| a.prefix).collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        let n_prefixes = prefixes.len();
+        let sess_meta: Vec<SessMeta> = sessions
+            .sessions()
+            .iter()
+            .map(|s| {
+                let a_as = topology.as_of_router(s.a);
+                let b_as = topology.as_of_router(s.b);
+                let (rel_at_a, rel_at_b, ebgp) = match s.kind {
+                    SessionKind::Ebgp { .. } => (
+                        topology
+                            .relationship(a_as, b_as)
+                            .expect("eBGP neighbors must have a relationship"),
+                        topology
+                            .relationship(b_as, a_as)
+                            .expect("eBGP neighbors must have a relationship"),
+                        true,
+                    ),
+                    // The relationship fields are never read on iBGP
+                    // sessions; any value serves as the placeholder.
+                    SessionKind::Ibgp => (PeerKind::Peer, PeerKind::Peer, false),
+                };
+                SessMeta {
+                    a_as,
+                    b_as,
+                    rel_at_a,
+                    rel_at_b,
+                    ebgp,
+                }
+            })
+            .collect();
+        let msg_cap =
+            MAX_MESSAGES_PER_RUN.max(sess_meta.len() as u64 * n_prefixes.max(1) as u64 * 64);
         Bgp {
-            sessions: Arc::new(SessionTable::build(topology)),
+            sessions,
+            prefixes: Arc::new(prefixes),
+            sess_meta: Arc::new(sess_meta),
+            paths: Arc::new(PathPool::new()),
             routers: (0..topology.router_count())
-                .map(|_| Arc::new(RouterState::default()))
+                .map(|_| Arc::new(RouterState::sized(n_prefixes)))
                 .collect(),
             filters: ExportFilters::new(),
             queue: VecDeque::new(),
@@ -184,8 +546,28 @@ impl Bgp {
             decisions: 0,
             cow_breaks: 0,
             replay_prefixes: 0,
+            msg_cap,
             live: None,
         }
+    }
+
+    /// The pid of `prefix`, when it belongs to the engine's prefix space.
+    #[inline]
+    fn pid_of(&self, prefix: &Prefix) -> Option<Pid> {
+        self.prefixes.binary_search(prefix).ok().map(|i| i as u32)
+    }
+
+    /// Interns `path`, returning its stable id. Breaks pool sharing only
+    /// when the path is genuinely new to this engine.
+    fn intern_path(&mut self, path: AsPath) -> u32 {
+        if let Some(&id) = self.paths.ids.get(&path) {
+            return id;
+        }
+        let pool = Arc::make_mut(&mut self.paths);
+        let id = pool.paths.len() as u32;
+        pool.ids.insert(path, id);
+        pool.paths.push(path);
+        id
     }
 
     /// Session liveness through the cache when present (one byte load on
@@ -300,6 +682,15 @@ impl Bgp {
         std::mem::take(&mut self.observed)
     }
 
+    /// Whether a sharded run would be observationally equivalent to the
+    /// sequential one. The final RIBs always are (per-prefix
+    /// independence), but the observer tap and the trace recorder expose
+    /// the sequential delivery *order*, so sharding is gated off while
+    /// either is attached.
+    pub fn can_shard(&self) -> bool {
+        self.observer.is_none() && !self.trace_on
+    }
+
     /// Currently installed export filters.
     pub fn filters(&self) -> &ExportFilters {
         &self.filters
@@ -310,7 +701,9 @@ impl Bgp {
     /// call [`Bgp::run`] afterwards.
     pub fn originate_as(&mut self, ctx: Ctx<'_>, as_id: AsId) {
         let asn = ctx.topology.as_node(as_id);
-        let prefix = asn.prefix;
+        let pid = self
+            .pid_of(&asn.prefix)
+            .expect("every AS prefix is interned at engine construction");
         let originators: Vec<RouterId> = asn
             .routers
             .iter()
@@ -318,9 +711,9 @@ impl Bgp {
             .filter(|&r| asn.routers.len() == 1 || ctx.topology.is_border_router(r))
             .collect();
         for r in originators {
-            self.state_mut(r).originated.insert(prefix);
-            if self.decide(ctx, r, prefix) {
-                self.propagate(ctx, r, prefix);
+            self.state_mut(r).originated.insert(pid);
+            if self.decide(ctx, r, pid) {
+                self.propagate(ctx, r, pid);
             }
         }
     }
@@ -343,7 +736,7 @@ impl Bgp {
         while let Some(msg) = self.queue.pop_front() {
             stats.messages += 1;
             assert!(
-                stats.messages <= MAX_MESSAGES_PER_RUN,
+                stats.messages <= self.msg_cap,
                 "BGP did not converge: policy dispute?"
             );
             self.deliver(ctx, msg);
@@ -367,24 +760,179 @@ impl Bgp {
         stats
     }
 
+    /// [`Bgp::run`] with the message plane partitioned by prefix across
+    /// `threads` workers. Callers must check [`Bgp::can_shard`] first.
+    ///
+    /// Routing toward one prefix never reads another prefix's state in
+    /// this model, so the queued messages are split into contiguous pid
+    /// ranges, each range converges in an independent copy-on-write fork
+    /// of the engine, and the forks' pid columns are merged back (with
+    /// path-pool translation) in shard order. The merged fixed point is
+    /// byte-identical to the sequential run's — per-prefix state is
+    /// disjoint, and each shard's FIFO order equals the sequential
+    /// delivery order restricted to its own prefixes — and the total
+    /// message count matches exactly.
+    pub fn run_sharded(&mut self, ctx: Ctx<'_>, threads: usize) -> RunStats {
+        assert!(self.can_shard(), "sharding is gated by Bgp::can_shard");
+        let n_prefixes = self.prefixes.len();
+        let threads = threads.clamp(1, n_prefixes.max(1));
+        if threads <= 1 {
+            return self.run(ctx);
+        }
+        // Contiguous pid ranges: shard k owns [bounds[k], bounds[k + 1]).
+        let bounds: Vec<usize> = (0..=threads).map(|i| i * n_prefixes / threads).collect();
+        let shard_of = |pid: Pid| bounds.partition_point(|&b| b <= pid as usize) - 1;
+        let mut queues: Vec<VecDeque<Msg>> = vec![VecDeque::new(); threads];
+        for msg in self.queue.drain(..) {
+            let pid = match msg.payload {
+                Payload::Update(rm) => rm.pid,
+                Payload::Withdraw(pid) => pid,
+            };
+            queues[shard_of(pid)].push_back(msg);
+        }
+        let base_paths = self.paths.paths.len();
+        // Pre-fork state pointers: a worker whose router Arc still matches
+        // never wrote to that router, so there is nothing to merge from it
+        // (comparing against `self`'s current Arcs would not work — merging
+        // an earlier shard already replaces them).
+        let base_arcs: Vec<*const RouterState> = self.routers.iter().map(Arc::as_ptr).collect();
+        let mut workers: Vec<Bgp> = queues
+            .into_iter()
+            .map(|queue| {
+                let mut w = self.clone();
+                w.queue = queue;
+                // Counters merge back explicitly below; workers must not
+                // flush them to the shared recorder mid-run.
+                w.recorder = RecorderHandle::noop();
+                w.trace_on = false;
+                w
+            })
+            .collect();
+        let stats: Vec<RunStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .iter_mut()
+                .map(|w| scope.spawn(move || w.run(ctx)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("BGP shard worker panicked"))
+                .collect()
+        });
+        let mut total = RunStats::default();
+        for (k, w) in workers.into_iter().enumerate() {
+            total.messages += stats[k].messages;
+            self.decisions += w.decisions;
+            // Translate paths the worker interned after the fork point into
+            // this engine's pool, in shard order (deterministic).
+            let xlat: Vec<u32> = (base_paths..w.paths.paths.len())
+                .map(|id| self.intern_path(w.paths.paths[id]))
+                .collect();
+            let tr = move |id: u32| {
+                if (id as usize) < base_paths {
+                    id
+                } else {
+                    xlat[id as usize - base_paths]
+                }
+            };
+            let (lo, hi) = (bounds[k] as u32, bounds[k + 1] as u32);
+            for (ri, arc) in w.routers.iter().enumerate() {
+                if Arc::as_ptr(arc) == base_arcs[ri] {
+                    continue;
+                }
+                let src = Arc::clone(arc);
+                let dst = self.state_mut(RouterId(ri as u32));
+                for pid in lo..hi {
+                    let mut cell = src.adj_in[pid as usize].clone();
+                    cell.map_paths(&tr);
+                    dst.adj_in[pid as usize] = cell;
+                    dst.loc_rib[pid as usize] = src.loc_rib[pid as usize].map(|mut sr| {
+                        sr.path = tr(sr.path);
+                        sr
+                    });
+                }
+                merge_bit_range(&mut dst.adj_out, &src.adj_out, lo, hi, false);
+                merge_bit_range(
+                    &mut dst.adj_in_by_session,
+                    &src.adj_in_by_session,
+                    lo,
+                    hi,
+                    true,
+                );
+            }
+        }
+        if self.recorder.enabled() {
+            self.recorder.add(names::BGP_RUNS, 1);
+            self.recorder.add(names::BGP_MSGS, total.messages);
+            self.recorder.add(names::BGP_DECISIONS, self.decisions);
+            self.decisions = 0;
+            if self.cow_breaks > 0 {
+                self.recorder
+                    .add(names::SIM_SNAPSHOT_COW_BREAKS, self.cow_breaks);
+                self.cow_breaks = 0;
+            }
+        }
+        total
+    }
+
+    /// Materializes a stored route into the public [`Route`] shape.
+    fn materialize(&self, r: RouterId, pid: Pid, sr: StoredRoute) -> Route {
+        Route {
+            prefix: self.prefixes[pid as usize],
+            as_path: *self.paths.get(sr.path),
+            egress: sr.egress,
+            ebgp_link: (sr.link != NO_LINK).then_some(LinkId(sr.link)),
+            local_pref: sr.local_pref,
+            source: unpack_source(sr.source),
+            learned_from: (sr.session != NO_SESSION).then(|| {
+                let sid = SessionId(sr.session);
+                let peer = self
+                    .sessions
+                    .get(sid)
+                    .other(r)
+                    .expect("a stored session has the owning router as an endpoint");
+                (sid, peer)
+            }),
+            ebgp_learned: sr.ebgp != 0,
+        }
+    }
+
     /// The best route of `r` for exactly `prefix`.
-    pub fn best_route(&self, r: RouterId, prefix: &Prefix) -> Option<&Route> {
-        self.state(r).loc_rib.get(prefix)
+    pub fn best_route(&self, r: RouterId, prefix: &Prefix) -> Option<Route> {
+        let pid = self.pid_of(prefix)?;
+        self.state(r).loc_rib[pid as usize].map(|sr| self.materialize(r, pid, sr))
     }
 
     /// Longest-prefix-match lookup in `r`'s Loc-RIB.
-    pub fn lookup(&self, r: RouterId, dst: Ipv4Addr) -> Option<&Route> {
-        self.state(r)
-            .loc_rib
-            .iter()
-            .filter(|(p, _)| p.contains(dst))
-            .max_by_key(|(p, _)| p.len())
-            .map(|(_, route)| route)
+    pub fn lookup(&self, r: RouterId, dst: Ipv4Addr) -> Option<Route> {
+        let state = self.state(r);
+        let mut best: Option<(Pid, StoredRoute)> = None;
+        for (i, slot) in state.loc_rib.iter().enumerate() {
+            let Some(sr) = slot else { continue };
+            let p = self.prefixes[i];
+            if !p.contains(dst) {
+                continue;
+            }
+            // Distinct prefixes of equal length cannot both contain `dst`,
+            // so `<=` never actually breaks a tie; it mirrors the old
+            // last-max semantics all the same.
+            if best.is_none_or(|(bp, _)| self.prefixes[bp as usize].len() <= p.len()) {
+                best = Some((i as u32, *sr));
+            }
+        }
+        best.map(|(pid, sr)| self.materialize(r, pid, sr))
     }
 
-    /// Iterates over `r`'s Loc-RIB (prefix-ordered).
-    pub fn loc_rib(&self, r: RouterId) -> impl Iterator<Item = (&Prefix, &Route)> {
-        self.state(r).loc_rib.iter()
+    /// Iterates over `r`'s Loc-RIB (prefix-ordered), materializing each
+    /// route on demand.
+    pub fn loc_rib(&self, r: RouterId) -> impl Iterator<Item = (Prefix, Route)> + '_ {
+        let state = self.state(r);
+        state
+            .loc_rib
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, slot)| {
+                slot.map(|sr| (self.prefixes[i], self.materialize(r, i as u32, sr)))
+            })
     }
 
     /// Reacts to a link going down (the [`LinkState`] must already reflect
@@ -444,18 +992,27 @@ impl Bgp {
             self.flush_session(ctx, sid);
         }
         for &r in &delta.dirty_sources {
-            let prefixes: BTreeSet<Prefix> = self
-                .state(r)
-                .adj_in
-                .keys()
-                .chain(self.state(r).loc_rib.keys())
-                .copied()
-                .collect();
-            self.replay_prefixes += prefixes.len() as u64;
-            for prefix in prefixes {
-                if self.decide(ctx, r, prefix) {
-                    self.propagate(ctx, r, prefix);
+            self.replay_router(ctx, r, true);
+        }
+    }
+
+    /// Re-runs the decision process on every pid `r` currently holds state
+    /// for (Adj-RIB-In or Loc-RIB), in ascending prefix order. A decision
+    /// at one pid never touches another pid's state at `r`, so the lazy
+    /// scan visits exactly the pids an up-front snapshot would.
+    fn replay_router(&mut self, ctx: Ctx<'_>, r: RouterId, count_scoped: bool) {
+        for pid in 0..self.prefixes.len() as Pid {
+            {
+                let state = self.state(r);
+                if state.adj_in[pid as usize].is_empty() && state.loc_rib[pid as usize].is_none() {
+                    continue;
                 }
+            }
+            if count_scoped {
+                self.replay_prefixes += 1;
+            }
+            if self.decide(ctx, r, pid) {
+                self.propagate(ctx, r, pid);
             }
         }
     }
@@ -486,18 +1043,7 @@ impl Bgp {
         // Re-decide everything in the AS: IGP distance changes can flip the
         // best route even when all sessions stay up.
         for &r in &ctx.topology.as_node(as_id).routers {
-            let prefixes: BTreeSet<Prefix> = self
-                .state(r)
-                .adj_in
-                .keys()
-                .chain(self.state(r).loc_rib.keys())
-                .copied()
-                .collect();
-            for prefix in prefixes {
-                if self.decide(ctx, r, prefix) {
-                    self.propagate(ctx, r, prefix);
-                }
-            }
+            self.replay_router(ctx, r, false);
         }
     }
 
@@ -540,9 +1086,10 @@ impl Bgp {
     /// Resyncs every session's Adj-RIB-Out of `r` with its current best
     /// routes (sends updates over sessions that missed them).
     fn readvertise_all(&mut self, ctx: Ctx<'_>, r: RouterId) {
-        let prefixes: Vec<Prefix> = self.state(r).loc_rib.keys().copied().collect();
-        for prefix in prefixes {
-            self.propagate(ctx, r, prefix);
+        for pid in 0..self.prefixes.len() as Pid {
+            if self.state(r).loc_rib[pid as usize].is_some() {
+                self.propagate(ctx, r, pid);
+            }
         }
     }
 
@@ -550,7 +1097,9 @@ impl Bgp {
     /// the resulting withdrawal. Call [`Bgp::run`] afterwards.
     pub fn install_filter(&mut self, ctx: Ctx<'_>, rule: ExportDeny) {
         self.filters.deny(rule);
-        self.propagate(ctx, rule.at, rule.prefix);
+        if let Some(pid) = self.pid_of(&rule.prefix) {
+            self.propagate(ctx, rule.at, pid);
+        }
     }
 
     /// Removes an export deny rule (the operator fixes the
@@ -561,7 +1110,9 @@ impl Bgp {
         if !self.filters.allow(rule) {
             return false;
         }
-        self.propagate(ctx, rule.at, rule.prefix);
+        if let Some(pid) = self.pid_of(&rule.prefix) {
+            self.propagate(ctx, rule.at, pid);
+        }
         true
     }
 
@@ -592,22 +1143,19 @@ impl Bgp {
             }
             let state = self.state_mut(r);
             state.adj_out.remove(&sid);
-            // The replay index hands us exactly the prefixes learned on
-            // this session (prefix-ordered), replacing a full Adj-RIB-In
-            // scan.
-            let affected: Vec<Prefix> = match state.adj_in_by_session.remove(&sid) {
-                Some(set) => set.into_iter().collect(),
+            // The replay index hands us exactly the pids learned on this
+            // session (prefix-ordered), replacing a full Adj-RIB-In scan.
+            let affected: Vec<Pid> = match state.adj_in_by_session.remove(&sid) {
+                Some(set) => set.iter().collect(),
                 None => Vec::new(),
             };
-            for p in &affected {
-                if let Some(by_session) = state.adj_in.get_mut(p) {
-                    by_session.remove(&sid);
-                }
+            for &pid in &affected {
+                state.adj_in[pid as usize].remove(sid.0);
             }
             self.replay_prefixes += affected.len() as u64;
-            for prefix in affected {
-                if self.decide(ctx, r, prefix) {
-                    self.propagate(ctx, r, prefix);
+            for pid in affected {
+                if self.decide(ctx, r, pid) {
+                    self.propagate(ctx, r, pid);
                 }
             }
         }
@@ -618,94 +1166,93 @@ impl Bgp {
         if !self.sess_up(ctx, msg.session) {
             return; // lost with the session
         }
-        let kind = self.sessions.get(msg.session).kind;
+        let meta = self.sess_meta[msg.session.index()];
         // Observer tap: record eBGP messages arriving in the observer AS.
-        if let (Some(obs), SessionKind::Ebgp { .. }) = (self.observer, kind) {
-            if ctx.topology.as_of_router(msg.to) == obs {
-                let prefix = match &msg.payload {
-                    Payload::Update(rm) => rm.prefix,
-                    Payload::Withdraw(p) => *p,
+        if let Some(obs) = self.observer {
+            if meta.ebgp {
+                let s = self.sessions.get(msg.session);
+                let (to_as, from_as) = if msg.to == s.a {
+                    (meta.a_as, meta.b_as)
+                } else {
+                    (meta.b_as, meta.a_as)
                 };
-                self.observed.push(ObservedMsg {
-                    at: msg.to,
-                    from: msg.from,
-                    from_as: ctx.topology.as_of_router(msg.from),
-                    prefix,
-                    kind: match msg.payload {
-                        Payload::Update(_) => ObservedKind::Update,
-                        Payload::Withdraw(_) => ObservedKind::Withdraw,
-                    },
-                    seq: self.seq,
-                });
-                self.seq += 1;
+                if to_as == obs {
+                    let (pid, kind) = match msg.payload {
+                        Payload::Update(rm) => (rm.pid, ObservedKind::Update),
+                        Payload::Withdraw(pid) => (pid, ObservedKind::Withdraw),
+                    };
+                    self.observed.push(ObservedMsg {
+                        at: msg.to,
+                        from: msg.from,
+                        from_as,
+                        prefix: self.prefixes[pid as usize],
+                        kind,
+                        seq: self.seq,
+                    });
+                    self.seq += 1;
+                }
             }
         }
         if self.trace_on {
             self.recorder.event(names::EV_BGP_MESSAGE, || {
-                let (msg_kind, prefix) = match &msg.payload {
-                    Payload::Update(rm) => ("update", rm.prefix),
-                    Payload::Withdraw(p) => ("withdraw", *p),
+                let (msg_kind, pid) = match msg.payload {
+                    Payload::Update(rm) => ("update", rm.pid),
+                    Payload::Withdraw(pid) => ("withdraw", pid),
                 };
                 netdiag_obs::EventPayload::new()
                     .field("kind", msg_kind)
-                    .field("session", session_kind_str(kind))
+                    .field("session", if meta.ebgp { "ebgp" } else { "ibgp" })
                     .field("from", msg.from.index())
                     .field("to", msg.to.index())
-                    .field("prefix", prefix.to_string())
+                    .field("prefix", self.prefixes[pid as usize].to_string())
             });
         }
 
         let Msg {
             session,
-            from,
+            from: _,
             to,
             payload,
         } = msg;
-        let prefix = match payload {
+        let pid = match payload {
             Payload::Update(rm) => {
-                let prefix = rm.prefix;
-                match self.import(ctx, to, from, session, rm, kind) {
-                    Some(route) => {
+                let pid = rm.pid;
+                match self.import(to, session, meta, rm) {
+                    Some(sr) => {
                         let state = self.state_mut(to);
-                        state.adj_in.entry_or_default(prefix).insert(session, route);
+                        state.adj_in[pid as usize].upsert(sr);
                         state
                             .adj_in_by_session
                             .entry_or_default(session)
-                            .insert(prefix);
+                            .insert(pid);
                     }
                     None => {
                         // Loop-rejected update acts as a withdraw of any
                         // previous route on the session.
-                        self.remove_adj_in(to, prefix, session);
+                        self.remove_adj_in(to, pid, session);
                     }
                 }
-                prefix
+                pid
             }
-            Payload::Withdraw(prefix) => {
-                self.remove_adj_in(to, prefix, session);
-                prefix
+            Payload::Withdraw(pid) => {
+                self.remove_adj_in(to, pid, session);
+                pid
             }
         };
-        if self.decide(ctx, to, prefix) {
-            self.propagate(ctx, to, prefix);
+        if self.decide(ctx, to, pid) {
+            self.propagate(ctx, to, pid);
         }
     }
 
-    /// Drops the route learned for `prefix` on `session` at `to`, if any,
+    /// Drops the route learned for `pid` on `session` at `to`, if any,
     /// without breaking copy-on-write when there is nothing to drop.
-    fn remove_adj_in(&mut self, to: RouterId, prefix: Prefix, session: SessionId) {
-        let present = self
-            .state(to)
-            .adj_in
-            .get(&prefix)
-            .is_some_and(|by_session| by_session.contains_key(&session));
+    fn remove_adj_in(&mut self, to: RouterId, pid: Pid, session: SessionId) {
+        let present = self.state(to).adj_in[pid as usize].get(session.0).is_some();
         if present {
             let state = self.state_mut(to);
-            if let Some(by_session) = state.adj_in.get_mut(&prefix) {
-                by_session.remove(&session);
-            }
+            state.adj_in[pid as usize].remove(session.0);
             if let Some(set) = state.adj_in_by_session.get_mut(&session) {
-                set.remove(&prefix);
+                set.remove(pid);
                 if set.is_empty() {
                     state.adj_in_by_session.remove(&session);
                 }
@@ -717,114 +1264,104 @@ impl Bgp {
     /// Returns `None` when the route is loop-rejected.
     fn import(
         &self,
-        ctx: Ctx<'_>,
         to: RouterId,
-        from: RouterId,
         session: SessionId,
+        meta: SessMeta,
         rm: RouteMsg,
-        kind: SessionKind,
-    ) -> Option<Route> {
-        match kind {
+    ) -> Option<StoredRoute> {
+        let s = self.sessions.get(session);
+        match s.kind {
             SessionKind::Ebgp { link } => {
-                let my_as = ctx.topology.as_of_router(to);
-                if rm.as_path.contains(&my_as) {
+                let (my_as, rel) = if to == s.a {
+                    (meta.a_as, meta.rel_at_a)
+                } else {
+                    (meta.b_as, meta.rel_at_b)
+                };
+                if self.paths.get(rm.path).contains(&my_as) {
                     return None;
                 }
-                let from_as = ctx.topology.as_of_router(from);
-                let rel = ctx
-                    .topology
-                    .relationship(my_as, from_as)
-                    .expect("eBGP neighbors must have a relationship");
-                Some(Route {
-                    prefix: rm.prefix,
-                    as_path: rm.as_path,
+                Some(StoredRoute {
+                    path: rm.path,
                     egress: to,
-                    ebgp_link: Some(link),
+                    link: link.0,
+                    session: session.0,
                     local_pref: local_pref_for(rel),
-                    source: RouteSource::External(rel),
-                    learned_from: Some((session, from)),
-                    ebgp_learned: true,
+                    path_len: rm.path_len,
+                    source: pack_source(RouteSource::External(rel)),
+                    ebgp: 1,
                 })
             }
-            SessionKind::Ibgp => Some(Route {
-                prefix: rm.prefix,
-                as_path: rm.as_path,
+            SessionKind::Ibgp => Some(StoredRoute {
+                path: rm.path,
                 egress: rm.egress,
-                ebgp_link: None,
+                link: NO_LINK,
+                session: session.0,
                 local_pref: rm.local_pref,
+                path_len: rm.path_len,
                 source: rm.source,
-                learned_from: Some((session, from)),
-                ebgp_learned: false,
+                ebgp: 0,
             }),
         }
     }
 
-    /// Recomputes the best route of `r` for `prefix`. Returns true when the
+    /// Recomputes the best route of `r` for `pid`. Returns true when the
     /// Loc-RIB entry changed.
-    fn decide(&mut self, ctx: Ctx<'_>, r: RouterId, prefix: Prefix) -> bool {
+    fn decide(&mut self, ctx: Ctx<'_>, r: RouterId, pid: Pid) -> bool {
         self.decisions += 1;
-        let state = self.state(r);
-        let as_id = ctx.topology.as_of_router(r);
-        let best: Option<Cow<'_, Route>> = if state.originated.contains(&prefix) {
-            Some(Cow::Owned(Route::originated(prefix, r)))
+        let state = &self.routers[r.index()];
+        let best: Option<StoredRoute> = if state.originated.contains(&pid) {
+            Some(StoredRoute::originated(r))
         } else {
-            state
-                .adj_in
-                .get(&prefix)
-                .into_iter()
-                .flatten()
-                .filter(|(sid, route)| {
-                    self.sess_up(ctx, **sid)
-                        && (route.ebgp_learned || ctx.igp.of(as_id).reachable(r, route.egress))
+            let as_igp = ctx.igp.of(ctx.topology.as_of_router(r));
+            state.adj_in[pid as usize]
+                .iter()
+                .filter(|sr| {
+                    self.sess_up(ctx, SessionId(sr.session))
+                        && (sr.ebgp != 0 || as_igp.reachable(r, sr.egress))
                 })
-                .max_by_key(|(sid, route)| {
-                    let igp_dist = if route.egress == r {
+                .max_by_key(|sr| {
+                    let igp_dist = if sr.egress == r {
                         0
                     } else {
-                        ctx.igp
-                            .of(as_id)
-                            .dist(r, route.egress)
-                            .expect("filtered reachable")
+                        as_igp.dist(r, sr.egress).expect("filtered reachable")
                     };
-                    let neighbor = route.learned_from.map(|(_, n)| n.0).unwrap_or(0);
+                    let neighbor = self
+                        .sessions
+                        .get(SessionId(sr.session))
+                        .other(r)
+                        .expect("a stored session has the owning router as an endpoint")
+                        .0;
                     (
-                        route.local_pref,
-                        std::cmp::Reverse(route.as_path.len()),
-                        route.ebgp_learned,
+                        sr.local_pref,
+                        std::cmp::Reverse(sr.path_len),
+                        sr.ebgp != 0,
                         std::cmp::Reverse(igp_dist),
                         std::cmp::Reverse(neighbor),
-                        std::cmp::Reverse(sid.0),
+                        std::cmp::Reverse(sr.session),
                     )
                 })
-                .map(|(_, route)| Cow::Borrowed(route))
+                .copied()
         };
 
-        // Only clone the winning route and take write access when the
-        // entry actually changes, so a no-op re-decision (the common case
-        // in `refresh_as` and in withdraw storms that leave the best
-        // route alone) costs no allocation and keeps the router's state
-        // shared.
-        if state.loc_rib.get(&prefix) == best.as_deref() {
+        // Only take write access when the entry actually changes, so a
+        // no-op re-decision (the common case in `refresh_as` and in
+        // withdraw storms that leave the best route alone) keeps the
+        // router's state shared.
+        if self.routers[r.index()].loc_rib[pid as usize] == best {
             return false;
         }
-        let best = best.map(Cow::into_owned);
-        let state = self.state_mut(r);
-        match best {
-            Some(route) => {
-                state.loc_rib.insert(prefix, route);
-            }
-            None => {
-                state.loc_rib.remove(&prefix);
-            }
-        }
+        self.state_mut(r).loc_rib[pid as usize] = best;
         true
     }
 
     /// Synchronizes every session's Adj-RIB-Out with the current best route
-    /// of `r` for `prefix`, queueing updates/withdraws.
-    fn propagate(&mut self, ctx: Ctx<'_>, r: RouterId, prefix: Prefix) {
-        let best = self.state(r).loc_rib.get(&prefix).cloned();
+    /// of `r` for `pid`, queueing updates/withdraws.
+    fn propagate(&mut self, ctx: Ctx<'_>, r: RouterId, pid: Pid) {
+        let best: Option<StoredRoute> = self.state(r).loc_rib[pid as usize];
         let sessions = Arc::clone(&self.sessions);
+        // The eBGP prepend is identical for every peer of `r`; intern it
+        // once, lazily, per propagate.
+        let mut prepended: Option<(u32, u8)> = None;
         for &sid in sessions.of_router(r) {
             if !self.sess_up(ctx, sid) {
                 continue;
@@ -833,21 +1370,19 @@ impl Bgp {
             let peer = session
                 .other(r)
                 .expect("sid comes from r's session table, so r is an endpoint");
-            let advertise: Option<RouteMsg> = best
-                .as_ref()
-                .and_then(|b| self.export(ctx, r, peer, sid, session.kind, b));
+            let advertise: Option<RouteMsg> = match best {
+                Some(b) => self.export(r, peer, session, pid, b, &mut prepended),
+                None => None,
+            };
             let had = self
                 .state(r)
                 .adj_out
                 .get(&sid)
-                .is_some_and(|s| s.contains(&prefix));
+                .is_some_and(|s| s.contains(pid));
             match advertise {
                 Some(rm) => {
                     if !had {
-                        self.state_mut(r)
-                            .adj_out
-                            .entry_or_default(sid)
-                            .insert(prefix);
+                        self.state_mut(r).adj_out.entry_or_default(sid).insert(pid);
                     }
                     self.queue.push_back(Msg {
                         session: sid,
@@ -861,12 +1396,12 @@ impl Bgp {
                         .adj_out
                         .get_mut(&sid)
                         .expect("had implies entry")
-                        .remove(&prefix);
+                        .remove(pid);
                     self.queue.push_back(Msg {
                         session: sid,
                         from: r,
                         to: peer,
-                        payload: Payload::Withdraw(prefix),
+                        payload: Payload::Withdraw(pid),
                     });
                 }
                 None => {}
@@ -875,59 +1410,114 @@ impl Bgp {
     }
 
     /// Export policy: what (if anything) `r` advertises for its best route
-    /// `b` to `peer` over the given session.
+    /// `b` to `peer` over the given session. Takes `&mut self` to intern
+    /// the prepended AS path (cached in `prepended` across one propagate).
     fn export(
-        &self,
-        ctx: Ctx<'_>,
+        &mut self,
         r: RouterId,
         peer: RouterId,
-        sid: SessionId,
-        kind: SessionKind,
-        b: &Route,
+        session: Session,
+        pid: Pid,
+        b: StoredRoute,
+        prepended: &mut Option<(u32, u8)>,
     ) -> Option<RouteMsg> {
-        match kind {
-            SessionKind::Ibgp => {
-                // Standard iBGP: only eBGP-learned and originated routes are
-                // re-advertised internally (no reflection of iBGP routes).
-                if !(b.ebgp_learned || b.source == RouteSource::Originated) {
-                    return None;
-                }
-                Some(RouteMsg {
-                    prefix: b.prefix,
-                    as_path: b.as_path,
-                    local_pref: b.local_pref,
-                    egress: r,
-                    source: b.source,
-                })
+        let meta = self.sess_meta[session.id.index()];
+        if !meta.ebgp {
+            // Standard iBGP: only eBGP-learned and originated routes are
+            // re-advertised internally (no reflection of iBGP routes).
+            if !(b.ebgp != 0 || b.source == SRC_ORIGINATED) {
+                return None;
             }
-            SessionKind::Ebgp { .. } => {
-                let my_as = ctx.topology.as_of_router(r);
-                let peer_as = ctx.topology.as_of_router(peer);
-                let rel = ctx
-                    .topology
-                    .relationship(my_as, peer_as)
-                    .expect("eBGP neighbors must have a relationship");
-                if !b.source.exportable_to(rel) {
-                    return None;
-                }
-                if b.as_path.contains(&peer_as) {
-                    return None; // AS-level split horizon
-                }
-                if b.learned_from.is_some_and(|(s, _)| s == sid) {
-                    return None; // never echo a route back on its session
-                }
-                if self.filters.is_denied(r, peer, b.prefix) {
-                    return None; // misconfiguration
-                }
-                Some(RouteMsg {
-                    prefix: b.prefix,
-                    as_path: b.as_path.prepended(my_as),
-                    local_pref: 0,
-                    egress: r,
-                    source: b.source,
-                })
+            return Some(RouteMsg {
+                pid,
+                path: b.path,
+                path_len: b.path_len,
+                local_pref: b.local_pref,
+                egress: r,
+                source: b.source,
+            });
+        }
+        let (my_as, peer_as, rel) = if r == session.a {
+            (meta.a_as, meta.b_as, meta.rel_at_a)
+        } else {
+            (meta.b_as, meta.a_as, meta.rel_at_b)
+        };
+        if !unpack_source(b.source).exportable_to(rel) {
+            return None;
+        }
+        if self.paths.get(b.path).contains(&peer_as) {
+            return None; // AS-level split horizon
+        }
+        if b.session == session.id.0 {
+            return None; // never echo a route back on its session
+        }
+        if self.filters.is_denied(r, peer, self.prefixes[pid as usize]) {
+            return None; // misconfiguration
+        }
+        let (path, path_len) = match *prepended {
+            Some(v) => v,
+            None => {
+                let new_path = self.paths.get(b.path).prepended(my_as);
+                let v = (self.intern_path(new_path), b.path_len + 1);
+                *prepended = Some(v);
+                v
+            }
+        };
+        Some(RouteMsg {
+            pid,
+            path,
+            path_len,
+            local_pref: 0,
+            egress: r,
+            source: b.source,
+        })
+    }
+}
+
+/// Copies the `[lo, hi)` bit range of every per-session pid set in `src`
+/// over the corresponding range in `dst` (shard merge: the worker only
+/// ever modified bits inside its own range). When `prune_empty`, entries
+/// left empty are removed — matching the sequential engine's maintenance
+/// of `adj_in_by_session`, which never retains an empty entry.
+fn merge_bit_range(
+    dst: &mut VecMap<SessionId, PidSet>,
+    src: &VecMap<SessionId, PidSet>,
+    lo: Pid,
+    hi: Pid,
+    prune_empty: bool,
+) {
+    let mut emptied: Vec<SessionId> = Vec::new();
+    for (&sid, set) in src.iter() {
+        let d = dst.entry_or_default(sid);
+        for pid in lo..hi {
+            if set.contains(pid) {
+                d.insert(pid);
+            } else {
+                d.remove(pid);
             }
         }
+        if prune_empty && d.is_empty() {
+            emptied.push(sid);
+        }
+    }
+    // Sessions the worker dropped entirely (its range emptied out): clear
+    // our copy of that range too.
+    let gone: Vec<SessionId> = dst
+        .keys()
+        .filter(|sid| !src.contains_key(sid))
+        .copied()
+        .collect();
+    for sid in gone {
+        let d = dst.get_mut(&sid).expect("key collected from dst");
+        for pid in lo..hi {
+            d.remove(pid);
+        }
+        if prune_empty && d.is_empty() {
+            emptied.push(sid);
+        }
+    }
+    for sid in emptied {
+        dst.remove(&sid);
     }
 }
 

@@ -31,7 +31,7 @@ mod route;
 mod session;
 mod vecmap;
 
-pub use engine::{Bgp, Ctx, Msg, ObservedKind, ObservedMsg, Payload, RouteMsg, RunStats};
+pub use engine::{Bgp, Ctx, ObservedKind, ObservedMsg, RunStats};
 pub use policy::{ExportDeny, ExportFilters};
 pub use route::{local_pref_for, AsPath, Route, RouteSource, LOCAL_PREF_ORIGINATED};
 pub use session::{Session, SessionId, SessionKind, SessionTable};

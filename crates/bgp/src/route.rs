@@ -74,6 +74,14 @@ impl PartialEq for AsPath {
 
 impl Eq for AsPath {}
 
+impl std::hash::Hash for AsPath {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Must agree with `PartialEq`: only the populated slots hash, the
+        // zero-filled tail stays out.
+        self.as_slice().hash(state);
+    }
+}
+
 impl Default for AsPath {
     fn default() -> Self {
         AsPath::EMPTY

@@ -163,6 +163,7 @@ impl<T: Ord + Copy> VecSet<T> {
     }
 
     /// Removes `t`; returns false when it was absent.
+    #[allow(dead_code)] // part of the set API; engine paths may not need it
     pub fn remove(&mut self, t: &T) -> bool {
         match self.entries.binary_search(t) {
             Ok(i) => {
@@ -174,6 +175,7 @@ impl<T: Ord + Copy> VecSet<T> {
     }
 
     /// True when the set holds no elements.
+    #[allow(dead_code)] // part of the set API; engine paths may not need it
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()

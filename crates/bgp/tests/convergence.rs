@@ -324,16 +324,8 @@ fn deterministic_convergence() {
     let net2 = Net::converge(t);
     for r in 0..net1.topology.router_count() {
         let r = RouterId(r as u32);
-        let rib1: Vec<_> = net1
-            .bgp
-            .loc_rib(r)
-            .map(|(p, rt)| (*p, rt.clone()))
-            .collect();
-        let rib2: Vec<_> = net2
-            .bgp
-            .loc_rib(r)
-            .map(|(p, rt)| (*p, rt.clone()))
-            .collect();
+        let rib1: Vec<_> = net1.bgp.loc_rib(r).map(|(p, rt)| (p, rt.clone())).collect();
+        let rib2: Vec<_> = net2.bgp.loc_rib(r).map(|(p, rt)| (p, rt.clone())).collect();
         assert_eq!(rib1, rib2);
     }
 }
@@ -412,7 +404,7 @@ fn fail_repair_roundtrip_restores_original_ribs() {
         .map(|r| {
             net.bgp
                 .loc_rib(RouterId(r as u32))
-                .map(|(p, rt)| (*p, rt.clone()))
+                .map(|(p, rt)| (p, rt.clone()))
                 .collect()
         })
         .collect();
@@ -430,7 +422,7 @@ fn fail_repair_roundtrip_restores_original_ribs() {
         let now: Vec<_> = net
             .bgp
             .loc_rib(RouterId(r as u32))
-            .map(|(p, rt)| (*p, rt.clone()))
+            .map(|(p, rt)| (p, rt.clone()))
             .collect();
         assert_eq!(&now, pristine_rib, "RIB of r{r} differs after flap");
     }

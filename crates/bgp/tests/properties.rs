@@ -88,7 +88,7 @@ proptest! {
                 );
                 // The origin AS owns the prefix.
                 let origin = route.as_path.last().copied().unwrap_or(router.as_id);
-                prop_assert_eq!(t.as_node(origin).prefix, *prefix);
+                prop_assert_eq!(t.as_node(origin).prefix, prefix);
             }
         }
     }
@@ -120,8 +120,8 @@ proptest! {
         let a = converge_world(seed);
         let b = converge_world(seed);
         for router in a.topology.routers() {
-            let ra: Vec<_> = a.bgp.loc_rib(router.id).map(|(p, r)| (*p, r.clone())).collect();
-            let rb: Vec<_> = b.bgp.loc_rib(router.id).map(|(p, r)| (*p, r.clone())).collect();
+            let ra: Vec<_> = a.bgp.loc_rib(router.id).map(|(p, r)| (p, r.clone())).collect();
+            let rb: Vec<_> = b.bgp.loc_rib(router.id).map(|(p, r)| (p, r.clone())).collect();
             prop_assert_eq!(ra, rb);
         }
     }

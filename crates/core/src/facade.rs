@@ -187,19 +187,6 @@ impl NetDiagnoserBuilder {
         self
     }
 
-    /// Borrowing shim for one release: clones the feed behind the
-    /// reference.
-    #[deprecated(
-        since = "0.2.0",
-        note = "the builder owns its inputs now; pass the feed by value \
-                (`routing_feed(feed)`) or share it (`routing_feed(Arc::new(feed))`). \
-                For a Looking Glass borrow, wrap the owned value instead — a \
-                `&dyn` borrow cannot outlive the request that made it."
-    )]
-    pub fn routing_feed_ref(self, feed: &RoutingFeed) -> Self {
-        self.routing_feed(feed.clone())
-    }
-
     /// Attaches a Looking Glass oracle (consumed by [`Algorithm::NdLg`]),
     /// taking ownership.
     pub fn looking_glass<L>(mut self, lg: L) -> Self
@@ -490,7 +477,7 @@ mod tests {
     }
 
     #[test]
-    fn feed_can_be_shared_or_passed_through_the_deprecated_shim() {
+    fn feed_can_be_shared_or_passed_by_value() {
         let ip2as = ip2as();
         let o = obs();
         let shared = std::sync::Arc::new(RoutingFeed::default());
@@ -500,10 +487,9 @@ mod tests {
             .build()
             .diagnose(&o, &ip2as)
             .unwrap();
-        #[allow(deprecated)]
         let d2 = NetDiagnoser::builder()
             .algorithm(Algorithm::NdBgpIgp)
-            .routing_feed_ref(&shared)
+            .routing_feed(RoutingFeed::clone(&shared))
             .build()
             .diagnose(&o, &ip2as)
             .unwrap();

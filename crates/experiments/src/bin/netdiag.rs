@@ -28,6 +28,16 @@
 //!     Runs the paper's placement x failure experiment loop on the trial
 //!     worker pool and prints per-algorithm accuracy means. `--threads`
 //!     caps the pool (default: available parallelism).
+//!
+//! netdiag gen --ases N [--seed N] [--tier1 N] [--transit-frac F]
+//!             [--multihoming F] [--peering F] [--converge] [--threads N]
+//!             [--json]
+//!     Generates a seeded internet-scale topology (power-law provider
+//!     degrees, tier-1 clique, Gao-Rexford tiering) and prints its shape.
+//!     With `--converge` it builds the simulator, converges the full RIB
+//!     (sharded over `--threads` workers when > 1) and reports wall
+//!     times, message counts and peak RSS — `--json` emits the same as
+//!     one machine-readable line (consumed by scripts/bench.sh).
 //! ```
 //!
 //! `simulate` and `diagnose` accept `--profile FILE` (instrumentation
@@ -70,7 +80,9 @@ fn usage() -> ! {
          [--algo tomo|nd-edge|nd-bgpigp|nd-lg]\n  \
          netdiag trials [--placements N] [--failures N] [--seed N] \
          [--failure links:<x>|router|misconfig|misconfig+link] [--blocked FRAC] [--lg FRAC] \
-         [--threads N]"
+         [--threads N]\n  \
+         netdiag gen --ases N [--seed N] [--tier1 N] [--transit-frac F] [--multihoming F] \
+         [--peering F] [--converge] [--threads N] [--json]"
     );
     std::process::exit(2)
 }
@@ -150,6 +162,7 @@ fn main() -> ExitCode {
         Some("diagnose") => diagnose(args.collect()),
         Some("explain") => explain_cmd(args.collect()),
         Some("trials") => trials(args.collect()),
+        Some("gen") => gen_cmd(args.collect()),
         _ => usage(),
     }
 }
@@ -514,6 +527,114 @@ fn diagnose(args: Vec<String>) -> ExitCode {
     }
     use std::io::Write as _;
     let _ = std::io::stdout().write_all(out.as_bytes());
+    ExitCode::SUCCESS
+}
+
+/// Peak resident-set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux.
+fn peak_rss_kb() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// `netdiag gen`: generate a seeded internet-scale topology and
+/// optionally converge it, reporting shape, wall times and peak RSS.
+fn gen_cmd(args: Vec<String>) -> ExitCode {
+    let n_ases: usize = get_flag(&args, "--ases")
+        .unwrap_or_else(|| usage())
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let seed: u64 = get_flag(&args, "--seed").map_or(1, |v| v.parse().unwrap_or_else(|_| usage()));
+    let parse_f64 = |flag: &str, default: f64| -> f64 {
+        get_flag(&args, flag).map_or(default, |v| v.parse().unwrap_or_else(|_| usage()))
+    };
+    let mut cfg = netdiag_topology::gen::GenConfig::new(n_ases, seed);
+    if let Some(t1) = get_flag(&args, "--tier1") {
+        cfg.n_tier1 = t1.parse().unwrap_or_else(|_| usage());
+    }
+    cfg.transit_frac = parse_f64("--transit-frac", cfg.transit_frac);
+    cfg.multihoming = parse_f64("--multihoming", cfg.multihoming);
+    cfg.peering_density = parse_f64("--peering", cfg.peering_density);
+    let threads: usize =
+        get_flag(&args, "--threads").map_or(1, |v| v.parse().unwrap_or_else(|_| usage()));
+    let converge = args.iter().any(|a| a == "--converge");
+    let as_json = args.iter().any(|a| a == "--json");
+
+    let t0 = std::time::Instant::now();
+    let net = match netdiag_topology::gen::generate(&cfg) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let gen_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t = &net.topology;
+    let (ases, routers, links) = (t.as_count(), t.router_count(), t.link_count());
+    let (n_tier1, n_transit, n_stub) = (net.tier1.len(), net.transits.len(), net.stubs.len());
+
+    let mut converge_stats = None;
+    if converge {
+        let topology = Arc::new(net.topology);
+        let mut sim = if threads > 1 {
+            netdiag_netsim::Sim::new_parallel(topology, threads)
+        } else {
+            netdiag_netsim::Sim::new(topology)
+        };
+        let t1 = std::time::Instant::now();
+        if threads > 1 {
+            sim.converge_all_sharded(threads);
+        } else {
+            sim.converge_all();
+        }
+        let converge_ms = t1.elapsed().as_secs_f64() * 1e3;
+        // Full-RIB check: every router must hold a route to every prefix.
+        let topology = sim.topology();
+        let rib_routes: u64 = topology
+            .routers()
+            .iter()
+            .map(|r| sim.bgp().loc_rib(r.id).count() as u64)
+            .sum();
+        converge_stats = Some((converge_ms, sim.bgp_messages(), rib_routes));
+    }
+    let rss_kb = peak_rss_kb();
+
+    if as_json {
+        let mut line = format!(
+            "{{\"ases\":{ases},\"tier1\":{n_tier1},\"transits\":{n_transit},\
+             \"stubs\":{n_stub},\"routers\":{routers},\"links\":{links},\
+             \"threads\":{threads},\"gen_ms\":{gen_ms:.1}"
+        );
+        if let Some((converge_ms, messages, rib_routes)) = converge_stats {
+            let _ = write!(
+                line,
+                ",\"converge_ms\":{converge_ms:.1},\"messages\":{messages},\
+                 \"rib_routes\":{rib_routes}"
+            );
+        }
+        if let Some(kb) = rss_kb {
+            let _ = write!(line, ",\"rss_peak_kb\":{kb}");
+        }
+        line.push('}');
+        println!("{line}");
+    } else {
+        println!(
+            "generated {ases} ASes ({n_tier1} tier-1, {n_transit} transit, {n_stub} stub), \
+             {routers} routers, {links} links in {gen_ms:.1} ms"
+        );
+        if let Some((converge_ms, messages, rib_routes)) = converge_stats {
+            println!(
+                "converged in {:.2} s ({messages} BGP messages, {rib_routes} Loc-RIB routes, \
+                 {threads} thread{})",
+                converge_ms / 1e3,
+                if threads == 1 { "" } else { "s" }
+            );
+        }
+        if let Some(kb) = rss_kb {
+            println!("peak RSS {:.1} MiB", kb as f64 / 1024.0);
+        }
+    }
     ExitCode::SUCCESS
 }
 

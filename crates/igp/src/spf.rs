@@ -13,6 +13,24 @@ use crate::state::LinkState;
 /// Distance value for "unreachable".
 const INF: u64 = u64::MAX;
 
+/// Sentinel in the flat next-hop matrix for "no hop" (unreachable or
+/// source == destination). Router ids never reach it.
+const NO_HOP: u32 = u32::MAX;
+
+/// One edge of an AS's local intra-domain CSR: the far endpoint as a
+/// *local* index, with weight and link id denormalized. Dijkstra runs
+/// entirely over these contiguous entries — no global id translation,
+/// no `Link` loads, no inter-link filtering in the inner loop.
+#[derive(Clone, Copy, Debug)]
+struct IntraEdge {
+    /// Local index of the far endpoint.
+    peer: u32,
+    /// IGP weight leaving the local router over this edge.
+    weight: u32,
+    /// The underlying link (for the dynamic up/down check).
+    link: LinkId,
+}
+
 /// Router-id → local-index mapping for one AS.
 ///
 /// Generated topologies allocate each AS's routers as one contiguous id
@@ -84,16 +102,25 @@ pub struct SpfDelta {
 
 /// Converged SPF state for one AS: all-pairs distances and first hops over
 /// the AS's *up* intra-domain links.
+///
+/// The tables are flat row-major matrices (stride = router count) and the
+/// AS's static intra-domain adjacency is a local-index CSR, so a full
+/// recompute is contiguous array traffic with no per-node allocation.
 #[derive(Clone, Debug)]
 pub struct AsIgp {
     as_id: AsId,
     routers: Vec<RouterId>,
     local: LocalIndex,
-    /// `dist[i][j]`: shortest-path weight from routers[i] to routers[j].
-    dist: Vec<Vec<u64>>,
-    /// `next_hop[i][j]`: first router on the path from routers[i] to
-    /// routers[j] (None when unreachable or i == j).
-    next_hop: Vec<Vec<Option<RouterId>>>,
+    /// Local intra-domain CSR: edges of local router `i` are
+    /// `intra[intra_off[i] .. intra_off[i + 1]]`.
+    intra_off: Vec<u32>,
+    intra: Vec<IntraEdge>,
+    /// `dist[i * n + j]`: shortest-path weight from routers[i] to
+    /// routers[j] (`INF` when unreachable).
+    dist: Vec<u64>,
+    /// `next_hop[i * n + j]`: raw id of the first router on the path from
+    /// routers[i] to routers[j] (`NO_HOP` when unreachable or `i == j`).
+    next_hop: Vec<u32>,
 }
 
 impl AsIgp {
@@ -113,18 +140,42 @@ impl AsIgp {
         let routers = topology.as_node(as_id).routers.clone();
         let local = LocalIndex::build(&routers);
         let n = routers.len();
-        let mut dist = vec![vec![INF; n]; n];
-        let mut next_hop = vec![vec![None; n]; n];
+
+        // The static local CSR, in the topology's adjacency order.
+        let mut intra_off = Vec::with_capacity(n + 1);
+        let mut intra = Vec::new();
+        intra_off.push(0u32);
+        for &r in &routers {
+            for e in topology.adjacency(r) {
+                if e.kind != LinkKind::Intra {
+                    continue;
+                }
+                let Some(p) = local.get(e.peer) else { continue };
+                intra.push(IntraEdge {
+                    peer: p as u32,
+                    weight: e.weight,
+                    link: e.link,
+                });
+            }
+            intra_off.push(intra.len() as u32);
+        }
+
+        let mut dist = vec![INF; n * n];
+        let mut next_hop = vec![NO_HOP; n * n];
+        let mut done = vec![false; n];
 
         let mut settled: u64 = 0;
-        for (src_local, &src) in routers.iter().enumerate() {
+        for src_local in 0..n {
+            done.fill(false);
             settled += dijkstra(
-                topology,
+                &intra_off,
+                &intra,
                 links,
-                &local,
-                src,
-                &mut dist[src_local],
-                &mut next_hop[src_local],
+                &routers,
+                src_local,
+                &mut dist[src_local * n..(src_local + 1) * n],
+                &mut next_hop[src_local * n..(src_local + 1) * n],
+                &mut done,
             );
         }
         if recorder.enabled() {
@@ -142,6 +193,8 @@ impl AsIgp {
             as_id,
             routers,
             local,
+            intra_off,
+            intra,
             dist,
             next_hop,
         }
@@ -158,7 +211,7 @@ impl AsIgp {
     ///
     /// Panics if either router is not in this AS.
     pub fn dist(&self, from: RouterId, to: RouterId) -> Option<u64> {
-        let d = self.dist[self.local.of(from)][self.local.of(to)];
+        let d = self.dist[self.local.of(from) * self.routers.len() + self.local.of(to)];
         (d != INF).then_some(d)
     }
 
@@ -170,7 +223,8 @@ impl AsIgp {
     ///
     /// Panics if either router is not in this AS.
     pub fn next_hop(&self, from: RouterId, to: RouterId) -> Option<RouterId> {
-        self.next_hop[self.local.of(from)][self.local.of(to)]
+        let h = self.next_hop[self.local.of(from) * self.routers.len() + self.local.of(to)];
+        (h != NO_HOP).then_some(RouterId(h))
     }
 
     /// True if an intra-AS path currently exists between the two routers.
@@ -198,17 +252,17 @@ impl AsIgp {
             return Vec::new();
         };
         let mut hops: Vec<RouterId> = topology
-            .neighbors(from)
-            .filter(|&(link_id, v)| {
-                let link = topology.link(link_id);
-                link.kind == LinkKind::Intra
-                    && links.is_up(link_id)
-                    && self.local.get(v).is_some()
+            .adjacency(from)
+            .iter()
+            .filter(|e| {
+                e.kind == LinkKind::Intra
+                    && links.is_up(e.link)
+                    && self.local.get(e.peer).is_some()
                     && self
-                        .dist(v, to)
-                        .is_some_and(|rest| u64::from(link.weight_from(from)) + rest == total)
+                        .dist(e.peer, to)
+                        .is_some_and(|rest| u64::from(e.weight) + rest == total)
             })
-            .map(|(_, v)| v)
+            .map(|e| e.peer)
             .collect();
         hops.sort_unstable();
         hops.dedup();
@@ -230,7 +284,11 @@ impl AsIgp {
     /// one of their old shortest paths, so their distances, deterministic
     /// first hops and ECMP sets are all provably unchanged.
     fn affected_sources(&self, topology: &Topology, failed: &[LinkId]) -> Vec<usize> {
-        let mut hit = vec![false; self.routers.len()];
+        let n = self.routers.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut hit = vec![false; n];
         for &lid in failed {
             let link = topology.link(lid);
             if link.kind != LinkKind::Intra {
@@ -241,7 +299,7 @@ impl AsIgp {
             };
             let w_uv = u64::from(link.weight_from(link.a));
             let w_vu = u64::from(link.weight_from(link.b));
-            for (i, row) in self.dist.iter().enumerate() {
+            for (i, row) in self.dist.chunks_exact(n).enumerate() {
                 if hit[i] {
                     continue;
                 }
@@ -258,53 +316,60 @@ impl AsIgp {
     }
 }
 
-/// Single-source Dijkstra over up intra-links, writing distances and first
-/// hops into the provided rows. Returns the number of settled nodes.
+/// Single-source Dijkstra over the local intra-domain CSR (up links
+/// only), writing distances and raw first-hop ids into the provided flat
+/// rows. `done` is caller-provided scratch (reset to `false`), so the
+/// per-source loop allocates nothing. Returns the number of settled
+/// nodes.
 ///
 /// Tie-breaking is deterministic: on equal distance the path through the
-/// lower-id predecessor wins (heap pops `(dist, router_id)` in order and
-/// later relaxations require strictly smaller distance).
+/// lower-id predecessor wins (heap pops `(dist, local_index)` in order —
+/// local indices ascend with router id — and later relaxations require
+/// strictly smaller distance).
+#[allow(clippy::too_many_arguments)]
 fn dijkstra(
-    topology: &Topology,
+    intra_off: &[u32],
+    intra: &[IntraEdge],
     links: &LinkState,
-    local: &LocalIndex,
-    src: RouterId,
+    routers: &[RouterId],
+    src_local: usize,
     dist_row: &mut [u64],
-    nh_row: &mut [Option<RouterId>],
+    nh_row: &mut [u32],
+    done: &mut [bool],
 ) -> u64 {
-    let src_local = local.of(src);
     dist_row[src_local] = 0;
-    // (Reverse(dist), router, first_hop)
-    let mut heap: BinaryHeap<(Reverse<u64>, RouterId, Option<RouterId>)> = BinaryHeap::new();
-    heap.push((Reverse(0), src, None));
-    let mut done = vec![false; dist_row.len()];
+    // (Reverse(dist), local index, first hop as a raw router id)
+    let mut heap: BinaryHeap<(Reverse<u64>, u32, u32)> = BinaryHeap::new();
+    heap.push((Reverse(0), src_local as u32, NO_HOP));
     let mut settled: u64 = 0;
 
     while let Some((Reverse(d), u, first)) = heap.pop() {
-        let ul = local.of(u);
+        let ul = u as usize;
         if done[ul] {
             continue;
         }
         done[ul] = true;
         settled += 1;
         nh_row[ul] = first;
-        for (link_id, v) in topology.neighbors(u) {
-            let link = topology.link(link_id);
-            if link.kind != LinkKind::Intra || !links.is_up(link_id) {
+        for e in &intra[intra_off[ul] as usize..intra_off[ul + 1] as usize] {
+            if !links.is_up(e.link) {
                 continue;
             }
-            let w = link.weight_from(u);
-            debug_assert!(w >= 1, "IGP weights must be >= 1");
-            let Some(vl) = local.get(v) else { continue };
-            let nd = d + u64::from(w);
+            debug_assert!(e.weight >= 1, "IGP weights must be >= 1");
+            let vl = e.peer as usize;
+            let nd = d + u64::from(e.weight);
             if nd < dist_row[vl] {
                 dist_row[vl] = nd;
-                let first_hop = if u == src { Some(v) } else { first };
-                heap.push((Reverse(nd), v, first_hop));
+                let first_hop = if ul == src_local {
+                    routers[vl].0
+                } else {
+                    first
+                };
+                heap.push((Reverse(nd), e.peer, first_hop));
             }
         }
     }
-    nh_row[src_local] = None;
+    nh_row[src_local] = NO_HOP;
     settled
 }
 
@@ -335,6 +400,39 @@ impl Igp {
             .iter()
             .map(|a| Arc::new(AsIgp::compute_recorded(topology, a.id, links, recorder)))
             .collect();
+        Igp { per_as }
+    }
+
+    /// [`Igp::compute`] with the independent per-AS SPF runs fanned over
+    /// `threads` scoped workers. Each AS's tables depend only on the
+    /// immutable topology and link state, so the result is byte-identical
+    /// to the sequential path regardless of scheduling: workers own
+    /// disjoint contiguous chunks which are stitched back in AS order.
+    pub fn compute_parallel(topology: &Topology, links: &LinkState, threads: usize) -> Self {
+        let n = topology.as_count();
+        if threads <= 1 || n < 2 {
+            return Self::compute(topology, links);
+        }
+        let threads = threads.min(n);
+        let chunk = n.div_ceil(threads);
+        let ases = topology.ases();
+        let mut per_as = Vec::with_capacity(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = ases
+                .chunks(chunk)
+                .map(|slice| {
+                    s.spawn(move || {
+                        slice
+                            .iter()
+                            .map(|a| Arc::new(AsIgp::compute(topology, a.id, links)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_as.extend(h.join().expect("SPF worker panicked"));
+            }
+        });
         Igp { per_as }
     }
 
@@ -406,23 +504,28 @@ impl Igp {
         };
         let n = a.routers.len();
         let mut old_dist = vec![INF; n];
+        let mut done = vec![false; n];
         let mut settled: u64 = 0;
         for &i in &affected {
             let src = a.routers[i];
-            old_dist.copy_from_slice(&a.dist[i]);
-            a.dist[i].fill(INF);
-            a.next_hop[i].fill(None);
+            let row = i * n..(i + 1) * n;
+            old_dist.copy_from_slice(&a.dist[row.clone()]);
+            a.dist[row.clone()].fill(INF);
+            a.next_hop[row.clone()].fill(NO_HOP);
+            done.fill(false);
             settled += dijkstra(
-                topology,
+                &a.intra_off,
+                &a.intra,
                 links,
-                &a.local,
-                src,
-                &mut a.dist[i],
-                &mut a.next_hop[i],
+                &a.routers,
+                i,
+                &mut a.dist[row.clone()],
+                &mut a.next_hop[row.clone()],
+                &mut done,
             );
-            if a.dist[i] != old_dist {
+            if a.dist[row.clone()] != old_dist[..] {
                 delta.dirty_sources.push(src);
-                for (j, (&new_d, &old_d)) in a.dist[i].iter().zip(old_dist.iter()).enumerate() {
+                for (j, (&new_d, &old_d)) in a.dist[row].iter().zip(old_dist.iter()).enumerate() {
                     if old_d != INF && new_d == INF && src < a.routers[j] {
                         delta.lost_pairs.push((src, a.routers[j]));
                     }
@@ -641,6 +744,23 @@ mod tests {
         // The inter link exists but SPF state only covers AS members.
         assert_eq!(igp.of(a).dist(r0, r1), Some(3));
         assert_eq!(igp.of(c).dist(c0, c0), Some(0));
+    }
+
+    #[test]
+    fn parallel_compute_matches_sequential() {
+        let (t, routers) = diamond();
+        let links = LinkState::all_up(&t);
+        let seq = Igp::compute(&t, &links);
+        let par = Igp::compute_parallel(&t, &links, 4);
+        for &a in &routers {
+            for &b in &routers {
+                assert_eq!(seq.of(AsId(0)).dist(a, b), par.of(AsId(0)).dist(a, b));
+                assert_eq!(
+                    seq.of(AsId(0)).next_hop(a, b),
+                    par.of(AsId(0)).next_hop(a, b)
+                );
+            }
+        }
     }
 
     #[test]

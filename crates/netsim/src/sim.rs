@@ -82,6 +82,33 @@ impl Sim {
         Self::with_recorder(topology, RecorderHandle::noop())
     }
 
+    /// [`Sim::new`] with the initial per-AS SPF runs fanned over `threads`
+    /// scoped workers ([`Igp::compute_parallel`]). Byte-identical to
+    /// [`Sim::new`] — each AS's IGP tables depend only on the immutable
+    /// topology and link state — but without instrumentation: the SPF
+    /// counters are defined by the sequential run order, so a recorder
+    /// cannot be attached to the parallel path.
+    pub fn new_parallel(topology: Arc<Topology>, threads: usize) -> Self {
+        let links = LinkState::all_up(&topology);
+        let igp = Igp::compute_parallel(&topology, &links, threads);
+        let mut bgp = Bgp::new(&topology);
+        bgp.recompute_liveness(Ctx {
+            topology: &topology,
+            igp: &igp,
+            links: &links,
+        });
+        Sim {
+            topology,
+            links,
+            igp,
+            bgp,
+            hosts: HashMap::new(),
+            igp_events: Vec::new(),
+            messages: 0,
+            recorder: RecorderHandle::noop(),
+        }
+    }
+
     /// [`Sim::new`] with an instrumentation sink: all IGP/BGP/probe work of
     /// this simulator (including the initial SPF and every clone taken from
     /// it) reports to `recorder`.
@@ -170,6 +197,30 @@ impl Sim {
     pub fn converge_all(&mut self) {
         let ids: Vec<AsId> = self.topology.ases().iter().map(|a| a.id).collect();
         self.converge_for(&ids);
+    }
+
+    /// [`Sim::converge_all`] with the BGP message plane sharded over a
+    /// worker pool. Routing toward one prefix never reads another
+    /// prefix's state in this model, so partitioning the prefix space
+    /// and converging each shard independently reaches the same fixed
+    /// point as the sequential run — asserted byte-identical by the
+    /// equivalence tests. Falls back to the sequential path when
+    /// `threads <= 1` or when an observer / tracer is attached (their
+    /// event streams are defined by the sequential delivery order).
+    pub fn converge_all_sharded(&mut self, threads: usize) {
+        if threads <= 1 || !self.bgp.can_shard() {
+            self.converge_all();
+            return;
+        }
+        let ctx = Ctx {
+            topology: &self.topology,
+            igp: &self.igp,
+            links: &self.links,
+        };
+        for a in self.topology.ases() {
+            self.bgp.originate_as(ctx, a.id);
+        }
+        self.messages += self.bgp.run_sharded(ctx, threads).messages;
     }
 
     /// Designates the observer AS (AS-X) whose received eBGP messages are
@@ -557,9 +608,9 @@ mod tests {
         sim.converge_all();
         let l = t.link_between(a1, b1).unwrap();
         sim.fail_link(l);
-        let rib_after_first: Vec<_> = sim.bgp().loc_rib(b1).map(|(p, _)| *p).collect();
+        let rib_after_first: Vec<_> = sim.bgp().loc_rib(b1).map(|(p, _)| p).collect();
         sim.fail_link(l);
-        let rib_after_second: Vec<_> = sim.bgp().loc_rib(b1).map(|(p, _)| *p).collect();
+        let rib_after_second: Vec<_> = sim.bgp().loc_rib(b1).map(|(p, _)| p).collect();
         assert_eq!(rib_after_first, rib_after_second);
     }
 }
@@ -605,13 +656,13 @@ mod repair_tests {
         let before: Vec<_> = sim
             .bgp()
             .loc_rib(RouterId(0))
-            .map(|(p, r)| (*p, r.clone()))
+            .map(|(p, r)| (p, r.clone()))
             .collect();
         sim.repair_link(l2);
         let after: Vec<_> = sim
             .bgp()
             .loc_rib(RouterId(0))
-            .map(|(p, r)| (*p, r.clone()))
+            .map(|(p, r)| (p, r.clone()))
             .collect();
         assert_eq!(before, after);
     }

@@ -14,7 +14,8 @@ use netdiag_experiments::runner::{prepare_with, PlacementContext, RunConfig};
 use netdiag_experiments::sampling::{sample_failure, FailureSpec};
 use netdiag_netsim::{apply_failure, looking_glass_query, probe_mesh, Sim};
 use netdiag_obs::RecorderHandle;
-use netdiag_topology::builders::{build_internet, InternetConfig};
+use netdiag_topology::builders::{build_internet, Internet, InternetConfig};
+use netdiag_topology::gen::GenConfig;
 use netdiag_topology::{AsId, Topology};
 use netdiagnoser::text::{write_feed, write_snapshot};
 use netdiagnoser::{IpToAs, LookingGlass, SensorMeta, Snapshot};
@@ -27,6 +28,10 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Number of sensors in the baseline mesh (paper default: 10).
     pub n_sensors: usize,
+    /// When > 0, serve a seeded internet-scale topology of this many
+    /// ASes ([`netdiag_topology::gen`]) instead of the paper's 165-AS
+    /// evaluation internet.
+    pub gen_ases: usize,
     /// Worker threads for the diagnosis pool; `0` means available
     /// parallelism.
     pub workers: usize,
@@ -43,6 +48,7 @@ impl Default for ServeConfig {
         ServeConfig {
             seed: 1,
             n_sensors: 10,
+            gen_ases: 0,
             workers: 0,
             queue: 0,
             recorder: RecorderHandle::noop(),
@@ -89,10 +95,17 @@ impl Baseline {
     /// Generates the topology, converges it and measures the `T-` mesh.
     /// This is the daemon's startup cost; requests only read the result.
     pub fn prepare(config: &ServeConfig) -> Baseline {
-        let net = build_internet(&InternetConfig {
-            seed: config.seed,
-            ..Default::default()
-        });
+        let net = if config.gen_ases > 0 {
+            let generated =
+                netdiag_topology::gen::generate(&GenConfig::new(config.gen_ases, config.seed))
+                    .expect("generated topology must build");
+            Internet::from_topology(generated.topology)
+        } else {
+            build_internet(&InternetConfig {
+                seed: config.seed,
+                ..Default::default()
+            })
+        };
         let run = RunConfig {
             n_sensors: config.n_sensors.min(net.stubs.len()),
             ..Default::default()

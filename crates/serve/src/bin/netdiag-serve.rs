@@ -3,11 +3,13 @@
 //!
 //! ```text
 //! netdiag-serve run [--listen ADDR | --unix PATH] [--seed N]
-//!                   [--sensors N] [--workers N] [--queue N]
-//!                   [--profile FILE]
+//!                   [--sensors N] [--gen-ases N] [--workers N]
+//!                   [--queue N] [--profile FILE]
 //!     Converges a baseline and serves diagnose requests until a
 //!     `shutdown` request arrives. Prints the bound endpoint on the
-//!     first line (`listening <addr>`). `--profile` writes the daemon's
+//!     first line (`listening <addr>`). `--gen-ases N` serves a seeded
+//!     internet-scale generated topology of N ASes instead of the
+//!     paper's 165-AS internet. `--profile` writes the daemon's
 //!     run report (serve.* counters + histograms) on shutdown.
 //!
 //! netdiag-serve request (--connect ADDR | --unix PATH) --dir DIR
@@ -45,7 +47,7 @@ use netdiagnoser::{Algorithm, DiagnosticReport};
 fn usage() -> ! {
     eprintln!(
         "usage:\n  netdiag-serve run [--listen ADDR | --unix PATH] [--seed N] [--sensors N] \
-         [--workers N] [--queue N] [--profile FILE]\n  \
+         [--gen-ases N] [--workers N] [--queue N] [--profile FILE]\n  \
          netdiag-serve request (--connect ADDR | --unix PATH) --dir DIR \
          [--algo tomo|nd-edge|nd-bgpigp|nd-lg] [--json] [--explain]\n  \
          netdiag-serve bench [--clients N] [--requests N] [--seed N] [--workers N] \
@@ -123,6 +125,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let config = ServeConfig {
         seed: num_flag(args, "--seed", 1u64),
         n_sensors: num_flag(args, "--sensors", 10usize),
+        gen_ases: num_flag(args, "--gen-ases", 0usize),
         workers: num_flag(args, "--workers", 0usize),
         queue: num_flag(args, "--queue", 0usize),
         recorder,

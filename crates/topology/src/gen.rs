@@ -1,0 +1,416 @@
+//! Deterministic internet-scale topology generator.
+//!
+//! [`builders`](crate::builders) reproduces the paper's 165-AS evaluation
+//! internet with embedded real-world core maps; this module scales the
+//! *topology axis*: a seeded generator producing Gao-Rexford-valid
+//! internets of thousands of ASes with a power-law customer-degree
+//! distribution, suitable for convergence-scaling experiments well beyond
+//! what the paper's inferred topologies cover.
+//!
+//! The model is a standard three-tier hierarchy grown by preferential
+//! attachment:
+//!
+//! * a clique of **tier-1** ASes, pairwise settlement-free peers, each a
+//!   small multi-router backbone;
+//! * **transit** ASes that buy transit from one or more earlier-created
+//!   providers (tier-1 or transit) and resell it downward;
+//! * **stub** ASes that buy transit and originate a single prefix.
+//!
+//! Provider choice is degree-proportional (each provider's weight is its
+//! current customer count plus a smoothing constant), which yields the
+//! heavy-tailed degree distribution observed in the real AS graph.
+//! Because every customer→provider edge points at an *earlier* AS and the
+//! tier-1 clique is fully peered, every generated internet is valley-free
+//! reachable: each AS's prefix propagates up its provider chain(s) to a
+//! tier-1, across the clique, and back down — a full RIB everywhere.
+//!
+//! Determinism: the only randomness source is an [`StdRng`] seeded from
+//! [`GenConfig::seed`]; the same config is guaranteed to produce a
+//! byte-identical [`Topology`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::{AsId, RouterId};
+use crate::topology::{AsKind, LinkRelationship, Topology, TopologyBuilder, TopologyError};
+
+/// Knobs for [`generate`]. Start from [`GenConfig::new`] and override
+/// fields as needed.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// RNG seed; the sole source of randomness.
+    pub seed: u64,
+    /// Total number of ASes (tier-1 + transit + stubs).
+    pub n_ases: usize,
+    /// Size of the tier-1 clique (clamped to `n_ases`).
+    pub n_tier1: usize,
+    /// Probability that a non-tier-1 AS is a transit provider rather than
+    /// a stub.
+    pub transit_frac: f64,
+    /// Probability that a non-tier-1 AS buys transit from a second,
+    /// distinct provider (multihoming knob).
+    pub multihoming: f64,
+    /// Expected number of extra settlement-free peerings per transit AS
+    /// (peering-density knob; links are placed between transit ASes with
+    /// no existing relationship).
+    pub peering_density: f64,
+    /// Routers per tier-1 AS (ring backbone).
+    pub tier1_routers: usize,
+    /// Routers per transit AS.
+    pub transit_routers: usize,
+    /// Routers per stub AS.
+    pub stub_routers: usize,
+}
+
+impl GenConfig {
+    /// The default shape at a given scale: an 8-wide tier-1 clique, 15%
+    /// transit ASes, 30% multihoming, half an extra peering per transit.
+    pub fn new(n_ases: usize, seed: u64) -> Self {
+        GenConfig {
+            seed,
+            n_ases,
+            n_tier1: 8,
+            transit_frac: 0.15,
+            multihoming: 0.3,
+            peering_density: 0.5,
+            tier1_routers: 3,
+            transit_routers: 2,
+            stub_routers: 1,
+        }
+    }
+}
+
+/// A generated internet: the topology plus the tier classification the
+/// generator assigned (AS ids are dense and creation-ordered: tier-1
+/// first, then transit/stubs interleaved).
+#[derive(Clone, Debug)]
+pub struct GeneratedInternet {
+    /// The built topology.
+    pub topology: Topology,
+    /// The tier-1 clique.
+    pub tier1: Vec<AsId>,
+    /// Transit ASes (customer-degree > 0 possible).
+    pub transits: Vec<AsId>,
+    /// Stub ASes.
+    pub stubs: Vec<AsId>,
+}
+
+/// Per-AS bookkeeping while growing the graph.
+struct GrowAs {
+    as_id: AsId,
+    routers: Vec<RouterId>,
+    /// Current customer count (preferential-attachment weight).
+    customers: usize,
+    /// Round-robin cursor for border-router selection.
+    next_border: usize,
+}
+
+impl GrowAs {
+    /// The next border router, rotating through the AS's routers so
+    /// inter-domain links spread across the backbone.
+    fn border(&mut self) -> RouterId {
+        let r = self.routers[self.next_border % self.routers.len()];
+        self.next_border += 1;
+        r
+    }
+}
+
+/// Picks a provider index from `pool` with probability proportional to
+/// `customers + SMOOTH`, skipping `exclude` (a previously-picked provider
+/// for the same customer).
+fn pick_provider(rng: &mut StdRng, pool: &[usize], grown: &[GrowAs], exclude: usize) -> usize {
+    const SMOOTH: usize = 1;
+    let total: usize = pool
+        .iter()
+        .filter(|&&i| i != exclude)
+        .map(|&i| grown[i].customers + SMOOTH)
+        .sum();
+    debug_assert!(total > 0, "provider pool must not be empty");
+    let mut ticket = rng.gen_range(0..total);
+    for &i in pool {
+        if i == exclude {
+            continue;
+        }
+        let w = grown[i].customers + SMOOTH;
+        if ticket < w {
+            return i;
+        }
+        ticket -= w;
+    }
+    // Unreachable: the ticket is drawn below the total weight.
+    pool[pool.len() - 1]
+}
+
+/// Adds the intra-domain backbone of an AS: a single router for stubs, a
+/// ring with unit-jittered weights otherwise.
+fn add_backbone(b: &mut TopologyBuilder, rng: &mut StdRng, routers: &[RouterId]) {
+    match routers.len() {
+        0 | 1 => {}
+        2 => {
+            b.add_intra_link(routers[0], routers[1], 1 + rng.gen_range(0u32..4));
+        }
+        n => {
+            for i in 0..n {
+                b.add_intra_link(routers[i], routers[(i + 1) % n], 1 + rng.gen_range(0u32..4));
+            }
+        }
+    }
+}
+
+/// Generates a seeded internet-scale topology (see the module docs for
+/// the model). Errors surface the usual [`TopologyBuilder`] validation,
+/// e.g. address-space exhaustion past the plan's AS capacity.
+pub fn generate(cfg: &GenConfig) -> Result<GeneratedInternet, TopologyError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = TopologyBuilder::new();
+    let n_tier1 = cfg.n_tier1.clamp(1, cfg.n_ases);
+
+    let mut grown: Vec<GrowAs> = Vec::with_capacity(cfg.n_ases);
+    // Transit candidates by growth index (tier-1s and transits), the
+    // preferential-attachment pool.
+    let mut providers: Vec<usize> = Vec::new();
+    // Growth indices of transit (non-tier-1) ASes, for peering placement.
+    let mut transit_ix: Vec<usize> = Vec::new();
+    let mut tier1 = Vec::new();
+    let mut transits = Vec::new();
+    let mut stubs = Vec::new();
+
+    // Tier-1 clique.
+    for i in 0..n_tier1 {
+        let as_id = b.add_as(AsKind::Core, format!("T1-{i:02}"));
+        let routers: Vec<RouterId> = (0..cfg.tier1_routers.max(1))
+            .map(|k| b.add_router(as_id, format!("t1-{i:02}-r{k}")))
+            .collect();
+        add_backbone(&mut b, &mut rng, &routers);
+        providers.push(grown.len());
+        tier1.push(as_id);
+        grown.push(GrowAs {
+            as_id,
+            routers,
+            customers: 0,
+            next_border: 0,
+        });
+    }
+    for i in 0..n_tier1 {
+        for j in (i + 1)..n_tier1 {
+            let ra = grown[i].border();
+            let rb = grown[j].border();
+            b.add_inter_link(ra, rb, LinkRelationship::PeerPeer);
+        }
+    }
+
+    // Transit and stub growth by preferential attachment.
+    for i in n_tier1..cfg.n_ases {
+        let is_transit = rng.gen_bool(cfg.transit_frac);
+        let (kind, name, n_routers) = if is_transit {
+            (AsKind::Tier2, format!("TR-{i:04}"), cfg.transit_routers)
+        } else {
+            (AsKind::Stub, format!("ST-{i:04}"), cfg.stub_routers)
+        };
+        let as_id = b.add_as(kind, name);
+        let routers: Vec<RouterId> = (0..n_routers.max(1))
+            .map(|k| b.add_router(as_id, format!("as{i}-r{k}")))
+            .collect();
+        add_backbone(&mut b, &mut rng, &routers);
+        let me = grown.len();
+        grown.push(GrowAs {
+            as_id,
+            routers,
+            customers: 0,
+            next_border: 0,
+        });
+
+        let primary = pick_provider(&mut rng, &providers, &grown, usize::MAX);
+        let pr = grown[primary].border();
+        let cr = grown[me].border();
+        b.add_inter_link(pr, cr, LinkRelationship::ProviderCustomer);
+        grown[primary].customers += 1;
+
+        if providers.len() > 1 && rng.gen_bool(cfg.multihoming) {
+            let second = pick_provider(&mut rng, &providers, &grown, primary);
+            let pr = grown[second].border();
+            let cr = grown[me].border();
+            b.add_inter_link(pr, cr, LinkRelationship::ProviderCustomer);
+            grown[second].customers += 1;
+        }
+
+        if is_transit {
+            providers.push(me);
+            transit_ix.push(me);
+            transits.push(as_id);
+        } else {
+            stubs.push(as_id);
+        }
+    }
+
+    // Settlement-free peerings among transit ASes. A peering is only
+    // placed between ASes with no existing relationship, so provider
+    // chains stay acyclic and relationships stay consistent.
+    if transit_ix.len() >= 2 {
+        let n_peerings = (cfg.peering_density * transit_ix.len() as f64) as usize;
+        let mut placed = 0usize;
+        let mut attempts = 0usize;
+        while placed < n_peerings && attempts < n_peerings * 8 {
+            attempts += 1;
+            let x = transit_ix[rng.gen_range(0..transit_ix.len())];
+            let y = transit_ix[rng.gen_range(0..transit_ix.len())];
+            if x == y {
+                continue;
+            }
+            if b.relationship_between(grown[x].as_id, grown[y].as_id)
+                .is_some()
+            {
+                continue;
+            }
+            let ra = grown[x].border();
+            let rb = grown[y].border();
+            b.add_inter_link(ra, rb, LinkRelationship::PeerPeer);
+            placed += 1;
+        }
+    }
+
+    let topology = b.build()?;
+    Ok(GeneratedInternet {
+        topology,
+        tier1,
+        transits,
+        stubs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{LinkKind, PeerKind};
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let cfg = GenConfig::new(300, 42);
+        let a = generate(&cfg).unwrap();
+        let c = generate(&cfg).unwrap();
+        assert_eq!(a.topology.as_count(), c.topology.as_count());
+        assert_eq!(a.topology.router_count(), c.topology.router_count());
+        assert_eq!(a.topology.link_count(), c.topology.link_count());
+        for (la, lc) in a.topology.links().iter().zip(c.topology.links()) {
+            assert_eq!((la.a, la.b, la.kind), (lc.a, lc.b, lc.kind));
+            assert_eq!((la.weight_ab, la.weight_ba), (lc.weight_ab, lc.weight_ba));
+        }
+        for (na, nc) in a.topology.ases().iter().zip(c.topology.ases()) {
+            assert_eq!(na.prefix, nc.prefix);
+            assert_eq!(na.name, nc.name);
+            assert_eq!(na.kind, nc.kind);
+        }
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = generate(&GenConfig::new(300, 1)).unwrap();
+        let c = generate(&GenConfig::new(300, 2)).unwrap();
+        let links_a: Vec<_> = a.topology.links().iter().map(|l| (l.a, l.b)).collect();
+        let links_c: Vec<_> = c.topology.links().iter().map(|l| (l.a, l.b)).collect();
+        assert_ne!(links_a, links_c);
+    }
+
+    #[test]
+    fn tiering_and_clique_shape() {
+        let net = generate(&GenConfig::new(500, 7)).unwrap();
+        assert_eq!(net.tier1.len(), 8);
+        assert_eq!(
+            net.tier1.len() + net.transits.len() + net.stubs.len(),
+            net.topology.as_count()
+        );
+        // Tier-1s are pairwise peers.
+        for (i, &a) in net.tier1.iter().enumerate() {
+            for &c in &net.tier1[i + 1..] {
+                assert_eq!(
+                    net.topology.relationship(a, c),
+                    Some(PeerKind::Peer),
+                    "tier-1 clique must be fully peered"
+                );
+            }
+        }
+        // Every non-tier-1 AS has at least one provider.
+        for n in &net.topology.ases()[net.tier1.len()..] {
+            let has_provider = net
+                .topology
+                .ases()
+                .iter()
+                .any(|m| net.topology.relationship(n.id, m.id) == Some(PeerKind::Provider));
+            assert!(has_provider, "{} has no provider", n.name);
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let net = generate(&GenConfig::new(2000, 11)).unwrap();
+        let t = &net.topology;
+        // AS-level degree: number of distinct neighbor ASes.
+        let mut degree = vec![0usize; t.as_count()];
+        let mut seen = std::collections::BTreeSet::new();
+        for l in t.inter_links() {
+            let (a, c) = (t.as_of_router(l.a), t.as_of_router(l.b));
+            if seen.insert((a, c)) {
+                degree[a.index()] += 1;
+                degree[c.index()] += 1;
+            }
+        }
+        let mut sorted = degree.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let max = *sorted.last().unwrap();
+        // Heavy tail: the hub's degree dwarfs the median (a uniform
+        // attachment model would put max within a small factor of median).
+        assert!(median <= 3, "median degree {median} too high");
+        assert!(
+            max >= 20 * median.max(1),
+            "no hub: max degree {max}, median {median}"
+        );
+        // And the tail decays: far fewer ASes at >=10x median than at the
+        // median itself.
+        let at_median = degree.iter().filter(|&&d| d == median).count();
+        let in_tail = degree.iter().filter(|&&d| d >= 10 * median.max(1)).count();
+        assert!(
+            in_tail * 10 < at_median,
+            "tail too fat: {in_tail} vs {at_median}"
+        );
+    }
+
+    #[test]
+    fn knobs_move_the_graph() {
+        let base = GenConfig::new(400, 5);
+        let lo = generate(&GenConfig {
+            multihoming: 0.0,
+            peering_density: 0.0,
+            ..base.clone()
+        })
+        .unwrap();
+        let hi = generate(&GenConfig {
+            multihoming: 0.9,
+            peering_density: 2.0,
+            ..base
+        })
+        .unwrap();
+        let inter = |t: &Topology| {
+            t.links()
+                .iter()
+                .filter(|l| l.kind == LinkKind::Inter)
+                .count()
+        };
+        assert!(
+            inter(&hi.topology) > inter(&lo.topology) + 100,
+            "multihoming/peering knobs must add inter-domain links ({} vs {})",
+            inter(&hi.topology),
+            inter(&lo.topology)
+        );
+    }
+
+    #[test]
+    fn scales_past_the_wide_address_tier() {
+        // 1000 ASes crosses the 224 /16 boundary into the /24 tier.
+        let net = generate(&GenConfig::new(1000, 3)).unwrap();
+        assert_eq!(net.topology.as_count(), 1000);
+        let n = net.topology.as_node(AsId(999));
+        assert_eq!(n.prefix.len(), 24);
+        assert!(!net.topology.as_node(AsId(999)).routers.is_empty());
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod builders;
 pub mod export;
+pub mod gen;
 mod ids;
 mod prefix;
 pub mod text;
@@ -35,6 +36,6 @@ mod topology;
 pub use ids::{AsId, LinkId, RouterId, SensorId};
 pub use prefix::{ParsePrefixError, Prefix, PrefixTable};
 pub use topology::{
-    AsKind, AsNode, IpOwner, Link, LinkKind, LinkRelationship, PeerKind, Router, Topology,
-    TopologyBuilder, TopologyError,
+    AdjEntry, AsKind, AsNode, IpOwner, Link, LinkKind, LinkRelationship, PeerKind, Router,
+    Topology, TopologyBuilder, TopologyError,
 };

@@ -226,19 +226,55 @@ pub enum IpOwner {
     Loopback(RouterId),
 }
 
+/// One adjacency entry of the CSR substrate: a link incident to a
+/// router, with the fields the SPF and data-plane hot loops touch on
+/// every visit denormalized so they never chase into the [`Link`] array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdjEntry {
+    /// The link.
+    pub link: LinkId,
+    /// The far endpoint.
+    pub peer: RouterId,
+    /// IGP weight leaving the local router over this link.
+    pub weight: u32,
+    /// Intra- or inter-domain.
+    pub kind: LinkKind,
+}
+
 /// An immutable multi-AS topology.
 ///
 /// Built via [`TopologyBuilder`]; see the crate-level docs for the addressing
 /// plan.
+///
+/// Beyond the entity tables, the topology carries a flat CSR substrate
+/// computed once at build time: contiguous adjacency rows per router
+/// ([`Topology::adjacency`]), a sorted relationship table behind
+/// [`Topology::relationship`], a border-router bitmap, and dense per-AS
+/// router indices ([`Topology::local_router_index`]). The convergence
+/// hot paths (IGP SPF, BGP import/export) iterate these arrays instead
+/// of pointer/map chasing.
 #[derive(Clone, Debug)]
 pub struct Topology {
     ases: Vec<AsNode>,
     routers: Vec<Router>,
     links: Vec<Link>,
-    /// Symmetric relationship map: `(a, b) -> role of b from a's perspective`.
-    relationships: HashMap<(AsId, AsId), PeerKind>,
     /// Ground-truth reverse map from interface/loopback address to owner.
     ip_owner: HashMap<Ipv4Addr, IpOwner>,
+    /// CSR adjacency: the entries of router `r` are
+    /// `adj[adj_off[r] .. adj_off[r + 1]]`, in link-insertion order.
+    adj_off: Vec<u32>,
+    adj: Vec<AdjEntry>,
+    /// `border[r]`: router `r` has at least one inter-domain link.
+    border: Vec<bool>,
+    /// CSR relationships: the neighbors of AS `a`, sorted by [`AsId`],
+    /// are `rel[rel_off[a] .. rel_off[a + 1]]` (role from `a`'s
+    /// perspective). Replaces a `HashMap<(AsId, AsId), PeerKind>` on the
+    /// BGP export hot path.
+    rel_off: Vec<u32>,
+    rel: Vec<(AsId, PeerKind)>,
+    /// Position of each router within its AS's `routers` list (dense
+    /// per-AS indexing for the flat SPF state).
+    local_ix: Vec<u32>,
 }
 
 impl Topology {
@@ -277,26 +313,39 @@ impl Topology {
         self.router(r).as_id
     }
 
+    /// The CSR adjacency row of `r`: one entry per incident link, in
+    /// link-insertion order, with peer / weight / kind denormalized.
+    pub fn adjacency(&self, r: RouterId) -> &[AdjEntry] {
+        &self.adj[self.adj_off[r.index()] as usize..self.adj_off[r.index() + 1] as usize]
+    }
+
     /// Iterates over `(link, neighbor)` pairs incident to `r`.
     pub fn neighbors(&self, r: RouterId) -> impl Iterator<Item = (LinkId, RouterId)> + '_ {
-        self.router(r)
-            .links
-            .iter()
-            .map(move |&l| (l, self.link(l).other(r)))
+        self.adjacency(r).iter().map(|e| (e.link, e.peer))
     }
 
     /// The link between `a` and `b`, if one exists.
     pub fn link_between(&self, a: RouterId, b: RouterId) -> Option<LinkId> {
-        self.router(a)
-            .links
+        self.adjacency(a)
             .iter()
-            .copied()
-            .find(|&l| self.link(l).other(a) == b)
+            .find(|e| e.peer == b)
+            .map(|e| e.link)
     }
 
     /// Relationship of `b` from `a`'s perspective (None if not neighbors).
     pub fn relationship(&self, a: AsId, b: AsId) -> Option<PeerKind> {
-        self.relationships.get(&(a, b)).copied()
+        let lo = *self.rel_off.get(a.index())? as usize;
+        let hi = *self.rel_off.get(a.index() + 1)? as usize;
+        let row = &self.rel[lo..hi];
+        row.binary_search_by_key(&b, |&(n, _)| n)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    /// The position of `r` within its AS's router list (a dense index in
+    /// `0..as_node(as_of_router(r)).routers.len()`).
+    pub fn local_router_index(&self, r: RouterId) -> usize {
+        self.local_ix[r.index()] as usize
     }
 
     /// Ground-truth owner of an address (interface or loopback).
@@ -314,9 +363,16 @@ impl Topology {
             };
             return Some(self.as_of_router(r));
         }
-        self.ases
-            .iter()
-            .find(|n| n.prefix.contains(addr))
+        // AS prefixes are disjoint and monotone in AsId (the addressing
+        // plan guarantees both), so the unique containing prefix — if any —
+        // is the last one whose network address is <= addr.
+        let bits = u32::from(addr);
+        let idx = self
+            .ases
+            .partition_point(|n| u32::from(n.prefix.network()) <= bits);
+        idx.checked_sub(1)
+            .map(|i| &self.ases[i])
+            .filter(|n| n.prefix.contains(addr))
             .map(|n| n.id)
     }
 
@@ -334,10 +390,7 @@ impl Topology {
 
     /// True if `r` has at least one inter-domain link.
     pub fn is_border_router(&self, r: RouterId) -> bool {
-        self.router(r)
-            .links
-            .iter()
-            .any(|&l| self.link(l).kind == LinkKind::Inter)
+        self.border[r.index()]
     }
 
     /// Number of ASes.
@@ -360,12 +413,19 @@ impl Topology {
 ///
 /// The builder assigns the addressing plan:
 ///
-/// * AS `i` originates `10.i.0.0/16` (supports up to 224 ASes; `10.224+`
-///   is reserved for future use).
-/// * Router `k` of AS `i` gets loopback `10.i.(k+1).1`.
+/// * AS `i < 224` originates `10.i.0.0/16`; AS `i >= 224` originates the
+///   `/24` block `11.(j / 256).(j % 256).0/24` with `j = i - 224`. Both
+///   tiers are monotone in `i`, so sorting all AS prefixes reproduces
+///   [`AsId`] order — the dense-prefix interning in the BGP engine relies
+///   on exactly this.
+/// * Router `k` of a `/16` AS gets loopback `10.i.(k+1).1`; in a `/24` AS
+///   it gets host `k + 1` of the block (at most
+///   [`MAX_ROUTERS_PER_SMALL_AS`] routers, keeping `.200+` free for
+///   simulator-assigned sensor hosts).
 /// * Link `j` gets the point-to-point block `172.16.0.0/12 + 4j`, with the
 ///   `a` side at offset 1 and the `b` side at offset 2.
-/// * Host (sensor) addresses are `10.i.0.x`, assigned by the simulator.
+/// * Host (sensor) addresses are `prefix.host(200 + k)`, assigned by the
+///   simulator.
 #[derive(Debug, Default)]
 pub struct TopologyBuilder {
     ases: Vec<AsNode>,
@@ -375,12 +435,32 @@ pub struct TopologyBuilder {
     errors: Vec<TopologyError>,
 }
 
-/// Maximum number of ASes supported by the `10.i.0.0/16` plan.
-const MAX_ASES: usize = 224;
+/// ASes with ids below this originate a `10.i.0.0/16`; from here on they
+/// originate `/24`s out of `11.0.0.0/8`.
+const WIDE_AS_LIMIT: usize = 224;
+/// Maximum number of ASes supported by the two-tier addressing plan
+/// (`224` wide `/16`s plus a `/24` per `11.x.y.0` block).
+const MAX_ASES: usize = WIDE_AS_LIMIT + (1 << 16);
 /// Maximum routers per AS supported by the `10.i.(k+1).1` loopback plan.
 const MAX_ROUTERS_PER_AS: usize = 254;
+/// Maximum routers in a `/24` AS: loopbacks occupy hosts `1..=199` so the
+/// sensor host range (`.200+`) never collides.
+pub const MAX_ROUTERS_PER_SMALL_AS: usize = 199;
 /// Maximum links supported by the `172.16/12` point-to-point pool.
 const MAX_LINKS: usize = (1 << 20) / 4;
+
+/// The prefix AS `i` originates under the addressing plan (monotone in
+/// `i`, so ascending-prefix iteration equals ascending-[`AsId`] order).
+/// Out-of-plan ids fold back into range; [`TopologyBuilder::add_as`]
+/// reports [`TopologyError::AddressSpaceExhausted`] for them instead.
+fn as_plan_prefix(i: usize) -> Prefix {
+    if i < WIDE_AS_LIMIT {
+        Prefix::new(Ipv4Addr::new(10, (i % 256) as u8, 0, 0), 16)
+    } else {
+        let j = (i - WIDE_AS_LIMIT) % (1 << 16);
+        Prefix::new(Ipv4Addr::new(11, (j >> 8) as u8, (j & 0xFF) as u8, 0), 24)
+    }
+}
 
 impl TopologyBuilder {
     /// Creates an empty builder.
@@ -395,7 +475,7 @@ impl TopologyBuilder {
             self.errors
                 .push(TopologyError::AddressSpaceExhausted("ASes"));
         }
-        let prefix = Prefix::new(Ipv4Addr::new(10, (id.0 % 256) as u8, 0, 0), 16);
+        let prefix = as_plan_prefix(id.index());
         self.ases.push(AsNode {
             id,
             name: name.into(),
@@ -410,11 +490,26 @@ impl TopologyBuilder {
     pub fn add_router(&mut self, as_id: AsId, name: impl Into<String>) -> RouterId {
         let id = RouterId(self.routers.len() as u32);
         let local = self.ases[as_id.index()].routers.len();
-        if local >= MAX_ROUTERS_PER_AS {
+        let prefix = self.ases[as_id.index()].prefix;
+        let cap = if prefix.len() == 16 {
+            MAX_ROUTERS_PER_AS
+        } else {
+            MAX_ROUTERS_PER_SMALL_AS
+        };
+        if local >= cap {
             self.errors
                 .push(TopologyError::AddressSpaceExhausted("routers"));
         }
-        let loopback = Ipv4Addr::new(10, (as_id.0 % 256) as u8, ((local + 1) % 256) as u8, 1);
+        let loopback = if prefix.len() == 16 {
+            Ipv4Addr::new(
+                prefix.network().octets()[0],
+                prefix.network().octets()[1],
+                ((local + 1) % 256) as u8,
+                1,
+            )
+        } else {
+            prefix.host(((local % MAX_ROUTERS_PER_SMALL_AS) + 1) as u32)
+        };
         self.ases[as_id.index()].routers.push(id);
         self.routers.push(Router {
             id,
@@ -424,6 +519,13 @@ impl TopologyBuilder {
             links: Vec::new(),
         });
         id
+    }
+
+    /// The relationship recorded so far between two ASes, if any (`b`'s
+    /// role from `a`'s perspective). Generators use this to avoid placing
+    /// conflicting links.
+    pub fn relationship_between(&self, a: AsId, b: AsId) -> Option<PeerKind> {
+        self.relationships.get(&(a, b)).copied()
     }
 
     /// Adds an intra-domain link with the given (symmetric) IGP weight.
@@ -554,12 +656,66 @@ impl TopologyBuilder {
             ip_owner.insert(router.loopback, IpOwner::Loopback(router.id));
         }
 
+        // CSR adjacency + border bitmap, in the routers' link-insertion
+        // order (so `neighbors` keeps its historical iteration order).
+        let mut adj_off = Vec::with_capacity(self.routers.len() + 1);
+        let mut adj = Vec::with_capacity(2 * self.links.len());
+        let mut border = vec![false; self.routers.len()];
+        adj_off.push(0u32);
+        for r in &self.routers {
+            for &l in &r.links {
+                let link = &self.links[l.index()];
+                adj.push(AdjEntry {
+                    link: l,
+                    peer: link.other(r.id),
+                    weight: link.weight_from(r.id),
+                    kind: link.kind,
+                });
+                if link.kind == LinkKind::Inter {
+                    border[r.id.index()] = true;
+                }
+            }
+            adj_off.push(adj.len() as u32);
+        }
+
+        // Relationship rows, sorted by (local AS, neighbor AS).
+        let mut rel_pairs: Vec<((AsId, AsId), PeerKind)> = self
+            .relationships
+            .iter() // lint: allow(hash-iter): sorted right below, order cannot leak
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        rel_pairs.sort_unstable_by_key(|&(key, _)| key);
+        let mut rel_off = Vec::with_capacity(self.ases.len() + 1);
+        let mut rel = Vec::with_capacity(rel_pairs.len());
+        rel_off.push(0u32);
+        let mut next = 0usize;
+        for a in 0..self.ases.len() {
+            while next < rel_pairs.len() && rel_pairs[next].0 .0.index() == a {
+                rel.push((rel_pairs[next].0 .1, rel_pairs[next].1));
+                next += 1;
+            }
+            rel_off.push(rel.len() as u32);
+        }
+
+        // Dense per-AS router indices.
+        let mut local_ix = vec![0u32; self.routers.len()];
+        for asn in &self.ases {
+            for (i, &r) in asn.routers.iter().enumerate() {
+                local_ix[r.index()] = i as u32;
+            }
+        }
+
         Ok(Topology {
             ases: self.ases,
             routers: self.routers,
             links: self.links,
-            relationships: self.relationships,
             ip_owner,
+            adj_off,
+            adj,
+            border,
+            rel_off,
+            rel,
+            local_ix,
         })
     }
 }
@@ -649,6 +805,90 @@ mod tests {
         assert!(n.contains(&(LinkId(1), RouterId(2))));
         assert_eq!(t.link_between(RouterId(0), RouterId(2)), None);
         assert_eq!(t.link_between(RouterId(1), RouterId(2)), Some(LinkId(1)));
+    }
+
+    #[test]
+    fn csr_substrate_matches_entity_tables() {
+        let t = two_as_topology();
+        for r in t.routers() {
+            let row = t.adjacency(r.id);
+            assert_eq!(row.len(), r.links.len());
+            for (entry, &l) in row.iter().zip(&r.links) {
+                let link = t.link(l);
+                assert_eq!(entry.link, l);
+                assert_eq!(entry.peer, link.other(r.id));
+                assert_eq!(entry.weight, link.weight_from(r.id));
+                assert_eq!(entry.kind, link.kind);
+            }
+            assert_eq!(
+                t.is_border_router(r.id),
+                r.links.iter().any(|&l| t.link(l).kind == LinkKind::Inter)
+            );
+        }
+        for asn in t.ases() {
+            for (i, &r) in asn.routers.iter().enumerate() {
+                assert_eq!(t.local_router_index(r), i);
+            }
+        }
+    }
+
+    #[test]
+    fn small_as_tier_addressing_is_monotone() {
+        // Prefixes across the /16 -> /24 boundary sort in AsId order.
+        let mut b = TopologyBuilder::new();
+        for i in 0..(WIDE_AS_LIMIT + 600) {
+            b.add_as(AsKind::Stub, format!("AS{i}"));
+        }
+        let t = b.build().unwrap();
+        assert_eq!(t.as_node(AsId(223)).prefix.to_string(), "10.223.0.0/16");
+        assert_eq!(t.as_node(AsId(224)).prefix.to_string(), "11.0.0.0/24");
+        assert_eq!(t.as_node(AsId(225)).prefix.to_string(), "11.0.1.0/24");
+        assert_eq!(t.as_node(AsId(224 + 256)).prefix.to_string(), "11.1.0.0/24");
+        let mut prev = t.as_node(AsId(0)).prefix;
+        for n in &t.ases()[1..] {
+            assert!(n.prefix > prev, "prefixes must ascend with AsId");
+            prev = n.prefix;
+        }
+        // as_of_ip's binary search agrees with containment on both tiers.
+        assert_eq!(t.as_of_ip(Ipv4Addr::new(10, 100, 7, 7)), Some(AsId(100)));
+        assert_eq!(t.as_of_ip(Ipv4Addr::new(11, 0, 3, 250)), Some(AsId(227)));
+        assert_eq!(t.as_of_ip(Ipv4Addr::new(11, 3, 0, 1)), None);
+        assert_eq!(t.as_of_ip(Ipv4Addr::new(12, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn small_as_loopbacks_avoid_sensor_hosts() {
+        let mut b = TopologyBuilder::new();
+        for i in 0..WIDE_AS_LIMIT {
+            b.add_as(AsKind::Stub, format!("AS{i}"));
+        }
+        let small = b.add_as(AsKind::Stub, "small");
+        let r0 = b.add_router(small, "r0");
+        let r1 = b.add_router(small, "r1");
+        b.add_intra_link(r0, r1, 1);
+        let t = b.build().unwrap();
+        assert_eq!(t.router(r0).loopback, Ipv4Addr::new(11, 0, 0, 1));
+        assert_eq!(t.router(r1).loopback, Ipv4Addr::new(11, 0, 0, 2));
+        // The sensor host range of the /24 stays clear of loopbacks.
+        let sensor = t.as_node(small).prefix.host(200);
+        assert_eq!(t.ip_owner(sensor), None);
+        assert_eq!(t.as_of_ip(sensor), Some(small));
+    }
+
+    #[test]
+    fn small_as_router_cap_enforced() {
+        let mut b = TopologyBuilder::new();
+        for i in 0..=WIDE_AS_LIMIT {
+            b.add_as(AsKind::Stub, format!("AS{i}"));
+        }
+        let small = AsId(WIDE_AS_LIMIT as u32);
+        for k in 0..=MAX_ROUTERS_PER_SMALL_AS {
+            b.add_router(small, format!("r{k}"));
+        }
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::AddressSpaceExhausted("routers")
+        );
     }
 
     #[test]

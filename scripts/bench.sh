@@ -12,7 +12,10 @@
 #     snapshot_fail_restore median by >= 5x;
 #   * pool guard — collect_trials must beat the sequential PR 3 reference
 #     by >= 2x at 2 placements x 100 failures;
-#   * trace-overhead guard — noop-recorder hooks within 1.35x of hook-free.
+#   * trace-overhead guard — noop-recorder hooks within 1.35x of hook-free;
+#   * PR 8 gate — the 1k-AS generated internet converges to a full RIB
+#     within the wall-time/RSS budget pinned in BENCH_PR8.json, with the
+#     exact pinned message count (determinism).
 #
 # Full-budget run (no quick caps): BENCH_QUICK=0 scripts/bench.sh
 # Extra benches (figures/micro/ablations too): BENCH_ALL=1 scripts/bench.sh
@@ -140,4 +143,34 @@ ratio = noop / base
 print(f"trace overhead guard: noop/untraced median ratio = {ratio:.3f}")
 if ratio > 1.35:
     sys.exit(f"noop tracing overhead {ratio:.3f}x exceeds the 1.35x noise budget")
+EOF
+
+# PR 8 gate: the 1k-AS generated internet must converge to a full RIB
+# within the pinned wall-time / peak-RSS budget (BENCH_PR8.json), with
+# the exact message count the deterministic engine is pinned to. Wall
+# time on a contended box swings ~2-3x run to run, so the time budget is
+# generous (it still sits 2x under the pre-refactor baseline's 9.9s);
+# message count and RIB size are scheduler-independent and exact.
+echo "== PR 8 gate: 1k-AS generated internet (converge budget) =="
+cargo build -q --release -p netdiag-experiments
+run_json="$(./target/release/netdiag gen --ases 1000 --seed 1 --converge --json)"
+echo "$run_json"
+python3 - "$run_json" BENCH_PR8.json <<'EOF'
+import json, sys
+
+run = json.loads(sys.argv[1])
+gate = json.load(open(sys.argv[2]))["gate"]
+if run["messages"] != gate["messages"]:
+    sys.exit(f"determinism broken: {run['messages']} messages, pinned {gate['messages']}")
+if run["rib_routes"] != gate["rib_routes"]:
+    sys.exit(f"RIB incomplete: {run['rib_routes']} routes, pinned {gate['rib_routes']}")
+if run["converge_ms"] > gate["max_converge_ms"]:
+    sys.exit(f"1k converge {run['converge_ms']:.0f}ms exceeds the {gate['max_converge_ms']}ms budget")
+if run["rss_peak_kb"] > gate["max_rss_peak_kb"]:
+    sys.exit(f"1k peak RSS {run['rss_peak_kb']}kB exceeds the {gate['max_rss_peak_kb']}kB budget")
+print(
+    f"PR8 gate: 1k-AS converge {run['converge_ms']:.0f}ms "
+    f"(budget {gate['max_converge_ms']}ms), peak RSS {run['rss_peak_kb']}kB "
+    f"(budget {gate['max_rss_peak_kb']}kB), {run['messages']} messages exact"
+)
 EOF

@@ -31,6 +31,19 @@ echo "== trial pool smoke (netdiag trials --threads) =="
 cargo run -q --release -p netdiag-experiments --bin netdiag -- \
     trials --placements 2 --failures 2 --threads 2
 
+echo "== internet-scale smoke (netdiag gen -> parallel converge, 1k ASes) =="
+# Exercises the generator, the parallel-IGP construction and the sharded
+# BGP message plane end to end, and asserts the RIB is full (every
+# router holds a route to every AS's prefix).
+gen_json="$(cargo run -q --release -p netdiag-experiments --bin netdiag -- \
+    gen --ases 1000 --seed 1 --converge --threads 2 --json)"
+python3 - "$gen_json" <<'PY'
+import json, sys
+r = json.loads(sys.argv[1])
+assert r["rib_routes"] == r["routers"] * r["ases"], f"partial RIB: {r}"
+print(f"full RIB: {r['rib_routes']} routes in {r['converge_ms']:.0f}ms")
+PY
+
 echo "== trace smoke (simulate -> diagnose --trace -> explain) =="
 tracedir="$(mktemp -d)"
 trap 'rm -rf "$tracedir"' EXIT
