@@ -1162,6 +1162,7 @@ impl Bgp {
     }
 
     /// Delivers one message.
+    // hot
     fn deliver(&mut self, ctx: Ctx<'_>, msg: Msg) {
         if !self.sess_up(ctx, msg.session) {
             return; // lost with the session
@@ -1306,6 +1307,7 @@ impl Bgp {
 
     /// Recomputes the best route of `r` for `pid`. Returns true when the
     /// Loc-RIB entry changed.
+    // hot
     fn decide(&mut self, ctx: Ctx<'_>, r: RouterId, pid: Pid) -> bool {
         self.decisions += 1;
         let state = &self.routers[r.index()];
@@ -1356,6 +1358,7 @@ impl Bgp {
 
     /// Synchronizes every session's Adj-RIB-Out with the current best route
     /// of `r` for `pid`, queueing updates/withdraws.
+    // hot
     fn propagate(&mut self, ctx: Ctx<'_>, r: RouterId, pid: Pid) {
         let best: Option<StoredRoute> = self.state(r).loc_rib[pid as usize];
         let sessions = Arc::clone(&self.sessions);

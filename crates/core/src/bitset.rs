@@ -59,6 +59,7 @@ impl EdgeBitSet {
     }
 
     /// Membership test: one word load.
+    // hot
     pub fn contains(&self, e: EdgeId) -> bool {
         let (w, b) = (e.index() / WORD_BITS, e.index() % WORD_BITS);
         self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
@@ -80,11 +81,13 @@ impl EdgeBitSet {
     }
 
     /// True when the two sets share at least one member.
+    // hot
     pub fn intersects(&self, other: &EdgeBitSet) -> bool {
         self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Keeps only the members for which `keep` returns true.
+    // hot
     pub fn retain(&mut self, mut keep: impl FnMut(EdgeId) -> bool) {
         for w in 0..self.words.len() {
             let mut word = self.words[w];
@@ -100,6 +103,7 @@ impl EdgeBitSet {
     }
 
     /// Iterates members in ascending edge-id order (the `BTreeSet` order).
+    // hot
     pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
         self.words.iter().enumerate().flat_map(|(w, &word)| {
             let mut word = word;

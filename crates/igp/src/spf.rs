@@ -163,6 +163,7 @@ impl AsIgp {
         let mut dist = vec![INF; n * n];
         let mut next_hop = vec![NO_HOP; n * n];
         let mut done = vec![false; n];
+        let mut heap = BinaryHeap::new();
 
         let mut settled: u64 = 0;
         for src_local in 0..n {
@@ -176,6 +177,7 @@ impl AsIgp {
                 &mut dist[src_local * n..(src_local + 1) * n],
                 &mut next_hop[src_local * n..(src_local + 1) * n],
                 &mut done,
+                &mut heap,
             );
         }
         if recorder.enabled() {
@@ -210,6 +212,7 @@ impl AsIgp {
     /// # Panics
     ///
     /// Panics if either router is not in this AS.
+    // hot
     pub fn dist(&self, from: RouterId, to: RouterId) -> Option<u64> {
         let d = self.dist[self.local.of(from) * self.routers.len() + self.local.of(to)];
         (d != INF).then_some(d)
@@ -318,14 +321,19 @@ impl AsIgp {
 
 /// Single-source Dijkstra over the local intra-domain CSR (up links
 /// only), writing distances and raw first-hop ids into the provided flat
-/// rows. `done` is caller-provided scratch (reset to `false`), so the
-/// per-source loop allocates nothing. Returns the number of settled
-/// nodes.
+/// rows. `done` and `heap` are caller-provided scratch — `done` reset to
+/// `false`, `heap` handed back empty (the main loop drains it) — so the
+/// per-source loop allocates nothing once the heap's backing buffer has
+/// grown to the frontier's high-water mark. Returns the number of
+/// settled nodes.
 ///
 /// Tie-breaking is deterministic: on equal distance the path through the
 /// lower-id predecessor wins (heap pops `(dist, local_index)` in order —
 /// local indices ascend with router id — and later relaxations require
 /// strictly smaller distance).
+///
+/// Heap entries are `(Reverse(dist), local index, first hop raw id)`.
+// hot
 #[allow(clippy::too_many_arguments)]
 fn dijkstra(
     intra_off: &[u32],
@@ -336,10 +344,10 @@ fn dijkstra(
     dist_row: &mut [u64],
     nh_row: &mut [u32],
     done: &mut [bool],
+    heap: &mut BinaryHeap<(Reverse<u64>, u32, u32)>,
 ) -> u64 {
+    debug_assert!(heap.is_empty(), "scratch heap must be handed back drained");
     dist_row[src_local] = 0;
-    // (Reverse(dist), local index, first hop as a raw router id)
-    let mut heap: BinaryHeap<(Reverse<u64>, u32, u32)> = BinaryHeap::new();
     heap.push((Reverse(0), src_local as u32, NO_HOP));
     let mut settled: u64 = 0;
 
@@ -505,6 +513,7 @@ impl Igp {
         let n = a.routers.len();
         let mut old_dist = vec![INF; n];
         let mut done = vec![false; n];
+        let mut heap = BinaryHeap::new();
         let mut settled: u64 = 0;
         for &i in &affected {
             let src = a.routers[i];
@@ -522,6 +531,7 @@ impl Igp {
                 &mut a.dist[row.clone()],
                 &mut a.next_hop[row.clone()],
                 &mut done,
+                &mut heap,
             );
             if a.dist[row.clone()] != old_dist[..] {
                 delta.dirty_sources.push(src);

@@ -72,6 +72,7 @@ impl WorkerPool {
 
     /// Enqueues a job, or reports [`PoolFull`] at capacity. Jobs carry
     /// their own reply channel; the pool never returns results.
+    // hot
     pub fn submit(&self, job: Job) -> Result<(), PoolFull> {
         let depth = {
             let mut state = self
@@ -117,6 +118,7 @@ impl WorkerPool {
     }
 }
 
+// hot
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {

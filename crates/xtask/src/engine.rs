@@ -6,6 +6,7 @@
 //! `// lint: allow(<id>): <justification>` escape hatches — then hands
 //! the prepared file to each lint pass in [`crate::lints`].
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -39,11 +40,24 @@ pub enum Lint {
     ObsDeadName,
     /// `bad-allow`: malformed or unjustified allow directive.
     BadAllow,
+    /// `lock-order`: a lock acquisition that closes a cycle in the
+    /// workspace lock-ordering graph (potential deadlock).
+    LockOrder,
+    /// `lock-across-blocking`: a `Mutex`/`RwLock` guard held across a
+    /// blocking call (`.recv()`, socket/file I/O, `JoinHandle::join`).
+    LockAcrossBlocking,
+    /// `hot-alloc`: an allocation inside a `// hot` function or a
+    /// function it calls directly.
+    HotAlloc,
+    /// `layering`: a `use` that violates the crate DAG.
+    Layering,
+    /// `stale-allow`: an allow directive that suppresses no finding.
+    StaleAllow,
 }
 
 impl Lint {
     /// Every lint, in reporting order.
-    pub const ALL: [Lint; 8] = [
+    pub const ALL: [Lint; 13] = [
         Lint::HashIter,
         Lint::NondetSource,
         Lint::PanicMacro,
@@ -52,6 +66,11 @@ impl Lint {
         Lint::ObsUnknownName,
         Lint::ObsDeadName,
         Lint::BadAllow,
+        Lint::LockOrder,
+        Lint::LockAcrossBlocking,
+        Lint::HotAlloc,
+        Lint::Layering,
+        Lint::StaleAllow,
     ];
 
     /// The stable machine-readable ID (used in diagnostics and in
@@ -66,6 +85,11 @@ impl Lint {
             Lint::ObsUnknownName => "obs-unknown-name",
             Lint::ObsDeadName => "obs-dead-name",
             Lint::BadAllow => "bad-allow",
+            Lint::LockOrder => "lock-order",
+            Lint::LockAcrossBlocking => "lock-across-blocking",
+            Lint::HotAlloc => "hot-alloc",
+            Lint::Layering => "layering",
+            Lint::StaleAllow => "stale-allow",
         }
     }
 
@@ -120,6 +144,30 @@ impl Lint {
             Lint::BadAllow => {
                 "an allow directive without a justification defeats the audit \
                  trail the escape hatch exists for"
+            }
+            Lint::LockOrder => {
+                "two locks taken in opposite orders on different code paths \
+                 deadlock under contention; keep the lock graph acyclic"
+            }
+            Lint::LockAcrossBlocking => {
+                "a guard held across `.recv()`/file/socket I/O or a thread \
+                 join stalls every other acquirer for the blocking duration \
+                 (or deadlocks if the blocked side needs the lock)"
+            }
+            Lint::HotAlloc => {
+                "allocation in a `// hot` function (or a direct callee) is a \
+                 per-iteration cost the benchmarks gate on; preallocate or \
+                 reuse scratch buffers"
+            }
+            Lint::Layering => {
+                "the crate DAG is topology → igp/bgp → netsim → core → \
+                 experiments/serve with obs orthogonal and stubs leaf-only; \
+                 an inverted `use` makes the layers unbuildable apart"
+            }
+            Lint::StaleAllow => {
+                "an allow directive that suppresses nothing documents a \
+                 hazard that no longer exists; delete it so real suppressions \
+                 stay auditable"
             }
         }
     }
@@ -176,6 +224,14 @@ pub struct PreparedFile<'a> {
     pub allows: BTreeMap<usize, BTreeSet<Lint>>,
     /// Malformed allow directives found while parsing comments.
     pub bad_allows: Vec<Finding>,
+    /// Well-formed allow directives as written: `(directive line, lint)`.
+    pub directives: Vec<(usize, Lint)>,
+    /// `(covered line, lint) → directive line` — who gets credit when a
+    /// suppression fires at a covered line.
+    directive_for: BTreeMap<(usize, Lint), usize>,
+    /// Directives that suppressed at least one would-be finding this run
+    /// (interior mutability: passes hold `&PreparedFile`).
+    hits: RefCell<BTreeSet<(usize, Lint)>>,
 }
 
 impl PreparedFile<'_> {
@@ -192,8 +248,16 @@ impl PreparedFile<'_> {
     }
 
     /// Records `finding` unless the line is test-exempt or allowed.
+    /// A suppressing directive is credited so [`Self::stale_allows`] can
+    /// tell live escape hatches from stale ones.
     pub fn push(&self, out: &mut Vec<Finding>, lint: Lint, line: usize, message: String) {
-        if self.in_test(line) || self.allowed(lint, line) {
+        if self.in_test(line) {
+            return;
+        }
+        if self.allowed(lint, line) {
+            if let Some(&directive_line) = self.directive_for.get(&(line, lint)) {
+                self.hits.borrow_mut().insert((directive_line, lint));
+            }
             return;
         }
         out.push(Finding {
@@ -202,6 +266,31 @@ impl PreparedFile<'_> {
             lint,
             message,
         });
+    }
+
+    /// Reports every directive that suppressed nothing. Call after all
+    /// other passes have run over this file.
+    pub fn stale_allows(&self, out: &mut Vec<Finding>) {
+        let stale: Vec<(usize, Lint)> = {
+            let hits = self.hits.borrow();
+            self.directives
+                .iter()
+                .filter(|d| !hits.contains(d))
+                .copied()
+                .collect()
+        };
+        for (line, lint) in stale {
+            self.push(
+                out,
+                Lint::StaleAllow,
+                line,
+                format!(
+                    "`lint: allow({})` suppresses no finding here; the hazard \
+                     is gone — delete the directive",
+                    lint.id()
+                ),
+            );
+        }
     }
 }
 
@@ -223,8 +312,18 @@ pub fn prepare(file: &SrcFile) -> PreparedFile<'_> {
     // A directive covers its own line (trailing-comment form) and the
     // next line carrying code (comment-above form — justification
     // comments may continue over several lines before the code).
+    let mut directives = Vec::new();
+    let mut directive_for: BTreeMap<(usize, Lint), usize> = BTreeMap::new();
     for (directive_line, lints) in allows.clone() {
-        if let Some(code_line) = tokens.iter().map(|t| t.line).find(|&l| l > directive_line) {
+        let code_line = tokens.iter().map(|t| t.line).find(|&l| l > directive_line);
+        for lint in &lints {
+            directives.push((directive_line, *lint));
+            directive_for.insert((directive_line, *lint), directive_line);
+            if let Some(code_line) = code_line {
+                directive_for.insert((code_line, *lint), directive_line);
+            }
+        }
+        if let Some(code_line) = code_line {
             allows.entry(code_line).or_default().extend(lints);
         }
     }
@@ -235,6 +334,9 @@ pub fn prepare(file: &SrcFile) -> PreparedFile<'_> {
         test_ranges,
         allows,
         bad_allows,
+        directives,
+        directive_for,
+        hits: RefCell::new(BTreeSet::new()),
     }
 }
 
@@ -246,10 +348,17 @@ fn parse_allow_directive(
     bad: &mut Vec<Finding>,
 ) {
     const MARKER: &str = "lint: allow(";
-    let Some(start) = comment.text.find(MARKER) else {
+    // Anchored to the comment's start (after doc-comment `/`/`!`/`*`
+    // sigils and whitespace) so prose *mentioning* the directive syntax
+    // — e.g. this linter's own docs — is not parsed as a directive.
+    let body = comment
+        .text
+        .trim_start_matches(['/', '!', '*'])
+        .trim_start();
+    if !body.starts_with(MARKER) {
         return;
-    };
-    let rest = comment.text.get(start + MARKER.len()..).unwrap_or("");
+    }
+    let rest = body.get(MARKER.len()..).unwrap_or("");
     let mut fail = |msg: String| {
         bad.push(Finding {
             file: file.path.clone(),
@@ -342,7 +451,7 @@ fn find_test_ranges(tokens: &[Tok]) -> Vec<(usize, usize)> {
 
 /// Given the index just past `#[`, returns the attribute's inner tokens
 /// and the index just past its closing `]`.
-fn attribute_body(tokens: &[Tok], start: usize) -> (Vec<Tok>, usize) {
+pub(crate) fn attribute_body(tokens: &[Tok], start: usize) -> (Vec<Tok>, usize) {
     let mut depth = 1usize;
     let mut j = start;
     let mut inner = Vec::new();
@@ -364,7 +473,7 @@ fn attribute_body(tokens: &[Tok], start: usize) -> (Vec<Tok>, usize) {
 
 /// Index of the `}` matching the `{` at `open` (or the last token on
 /// unbalanced input).
-fn matching_brace(tokens: &[Tok], open: usize) -> usize {
+pub(crate) fn matching_brace(tokens: &[Tok], open: usize) -> usize {
     let mut depth = 0usize;
     let mut j = open;
     while j < tokens.len() {
@@ -416,6 +525,16 @@ impl Report {
 pub fn run(files: &[SrcFile], overrides: &BTreeMap<String, Level>) -> Report {
     let mut findings = crate::lints::run_all(files);
     findings.sort_by(|a, b| (&a.file, a.line, a.lint.id()).cmp(&(&b.file, b.line, b.lint.id())));
+    // Graph passes can reach one site along several paths (e.g. a lock
+    // edge seen directly and through a callee); identical graph findings
+    // fold. Token lints stay per-site — `m[i][j]` is two findings.
+    findings.dedup_by(|a, b| {
+        a == b
+            && matches!(
+                a.lint,
+                Lint::LockOrder | Lint::LockAcrossBlocking | Lint::HotAlloc
+            )
+    });
     let findings = findings
         .into_iter()
         .map(|f| {

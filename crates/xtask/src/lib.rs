@@ -13,18 +13,30 @@
 //!   `netdiag-obs` recorder exists in `crates/obs/src/names.rs`, and
 //!   every vocabulary entry has a call site (`obs-unknown-name`,
 //!   `obs-dead-name`).
+//! * **Concurrency** — the workspace lock-ordering graph stays acyclic
+//!   and no guard is held across blocking I/O or a thread join
+//!   (`lock-order`, `lock-across-blocking`), via the item-graph model
+//!   in [`parser`] and [`graph`].
+//! * **Hot paths** — functions marked `// hot` and their direct callees
+//!   do not allocate (`hot-alloc`).
+//! * **Layering** — `use` statements respect the crate DAG
+//!   (`layering`), and the vendored stubs stay leaf-only.
 //!
 //! Escape hatch: `// lint: allow(<id>): <justification>` on the flagged
 //! line or the line above; a directive without a justification is itself
-//! a finding (`bad-allow`). Run it with `cargo run -p netdiag-xtask --
-//! lint`; see `DESIGN.md` §10 for the full catalog.
+//! a finding (`bad-allow`), and one that suppresses nothing is too
+//! (`stale-allow`). Run it with `cargo run -p netdiag-xtask -- lint`;
+//! dump the layering and lock graphs with `… -- graph --dot`; see
+//! `DESIGN.md` §10 for the full catalog.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
 pub mod workspace;
 
 pub use engine::{run, Finding, Level, Lint, Report, SrcFile};

@@ -11,6 +11,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::engine::{prepare, Finding, Lint, PreparedFile, SrcFile};
+use crate::graph::Unit;
 use crate::lexer::{Tok, TokKind};
 
 /// Crates whose outputs must be bit-reproducible: simulator, control
@@ -30,24 +31,55 @@ const DETERMINISTIC_CRATES: [&str; 7] = [
 /// Where the metric vocabulary lives, relative to the workspace root.
 pub const NAMES_PATH: &str = "crates/obs/src/names.rs";
 
-/// Runs every pass over every file and the cross-file obs-name check.
+/// Is this crate one of the vendored dependency stubs? Stubs mimic
+/// external APIs we don't control: only the `layering` pass (leaf-only
+/// imports) applies to them.
+pub fn is_stub(crate_name: &str) -> bool {
+    matches!(crate_name, "rand" | "proptest" | "criterion")
+}
+
+/// Prepares and parses every file into a graph [`Unit`] (shared by the
+/// lint run and the `graph --dot` CLI command).
+pub fn units(files: &[SrcFile]) -> Vec<Unit<'_>> {
+    files
+        .iter()
+        .map(|file| Unit {
+            prepared: prepare(file),
+            parsed: crate::parser::parse(&file.src),
+            stub: is_stub(&file.crate_name),
+        })
+        .collect()
+}
+
+/// Runs every pass over every file: the per-file token passes, the
+/// cross-file obs-name check, the graph passes
+/// (lock-order/lock-across-blocking/hot-alloc/layering), and — last, so
+/// every suppression has had its chance to fire — the stale-allow audit.
 pub fn run_all(files: &[SrcFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     let names = NameRegistry::from_files(files);
     let mut used = BTreeSet::new();
-    for file in files {
-        let p = prepare(file);
+    let units = units(files);
+    for unit in &units {
+        let p = &unit.prepared;
         out.extend(p.bad_allows.iter().cloned());
-        if DETERMINISTIC_CRATES.contains(&p.file.crate_name.as_str()) {
-            hash_iter(&p, &mut out);
-            nondet_source(&p, &mut out);
+        if unit.stub {
+            continue;
         }
-        panic_macro(&p, &mut out);
-        unwrap_expect(&p, &mut out);
-        slice_index(&p, &mut out);
-        obs_call_sites(&p, &names, &mut used, &mut out);
+        if DETERMINISTIC_CRATES.contains(&p.file.crate_name.as_str()) {
+            hash_iter(p, &mut out);
+            nondet_source(p, &mut out);
+        }
+        panic_macro(p, &mut out);
+        unwrap_expect(p, &mut out);
+        slice_index(p, &mut out);
+        obs_call_sites(p, &names, &mut used, &mut out);
     }
     names.dead(&used, &mut out);
+    crate::graph::run(&units, &mut out);
+    for unit in &units {
+        unit.prepared.stale_allows(&mut out);
+    }
     out
 }
 

@@ -2,27 +2,30 @@
 //!
 //! ```text
 //! netdiag-xtask lint [--root DIR] [--deny ID]... [--warn ID]...
+//! netdiag-xtask graph [--root DIR] [--dot]
 //! netdiag-xtask list
 //! ```
 //!
 //! `lint` exits 0 when no deny-level finding exists, 1 otherwise, 2 on
 //! usage or I/O errors. Diagnostics are machine-readable, one per line:
-//! `path:line: [lint-id] message`.
+//! `path:line: [lint-id] message`. `graph` dumps the crate-layering and
+//! lock-order graphs (DOT digraphs with `--dot`; a summary otherwise).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use netdiag_xtask::{engine, workspace, Level, Lint};
+use netdiag_xtask::{engine, graph, lints, workspace, Level, Lint};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("graph") => graph_cmd(&args[1..]),
         Some("list") => {
             list();
             ExitCode::SUCCESS
@@ -40,7 +43,67 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: netdiag-xtask <lint [--root DIR] [--deny ID] [--warn ID] | list>");
+    eprintln!(
+        "usage: netdiag-xtask <lint [--root DIR] [--deny ID] [--warn ID] \
+         | graph [--root DIR] [--dot] | list>"
+    );
+}
+
+/// Reads and validates `--root`, returning the collected files.
+fn collect_files(root: &Path) -> Result<Vec<engine::SrcFile>, ExitCode> {
+    if !workspace::is_workspace_root(root) {
+        eprintln!(
+            "netdiag-xtask: {} is not the workspace root (crates/obs/src/names.rs \
+             not found); pass --root",
+            root.display()
+        );
+        return Err(ExitCode::from(2));
+    }
+    workspace::collect(root).map_err(|e| {
+        eprintln!("netdiag-xtask: failed to read sources: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn graph_cmd(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut dot = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("netdiag-xtask: --root needs a directory");
+                    usage();
+                    return ExitCode::from(2);
+                }
+            },
+            "--dot" => dot = true,
+            other => {
+                eprintln!("netdiag-xtask: unknown flag {other:?}");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let files = match collect_files(&root) {
+        Ok(files) => files,
+        Err(code) => return code,
+    };
+    let units = lints::units(&files);
+    let rendered = graph::dot(&units);
+    if dot {
+        print!("{rendered}");
+    } else {
+        // Summary mode: edge counts per digraph.
+        for line in rendered.lines() {
+            if line.starts_with("digraph") || line.contains("->") {
+                println!("{line}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn list() {
@@ -90,20 +153,9 @@ fn lint(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    if !workspace::is_workspace_root(&root) {
-        eprintln!(
-            "netdiag-xtask: {} is not the workspace root (crates/obs/src/names.rs \
-             not found); pass --root",
-            root.display()
-        );
-        return ExitCode::from(2);
-    }
-    let files = match workspace::collect(&root) {
+    let files = match collect_files(&root) {
         Ok(files) => files,
-        Err(e) => {
-            eprintln!("netdiag-xtask: failed to read sources: {e}");
-            return ExitCode::from(2);
-        }
+        Err(code) => return code,
     };
     let report = engine::run(&files, &overrides);
     for (finding, level) in &report.findings {

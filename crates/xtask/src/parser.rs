@@ -1,0 +1,506 @@
+//! Item-level parser over the lexer's token stream.
+//!
+//! A single linear pass that resolves the items the graph passes need:
+//! `fn` declarations (with their enclosing `impl`/`trait` owner, inline
+//! module path, body span and `// hot` marker), `use` declarations (root
+//! segment only — layering works on crate roots), and `mod` declarations.
+//! It is **not** a Rust parser: generics, patterns and expressions are
+//! skipped by bracket matching, and anything it cannot resolve it drops
+//! rather than guesses. Like the lexer it never panics on any input and
+//! resynchronizes at `;`/`}` — a property pinned by
+//! `tests/parser_props.rs`.
+//!
+//! The token stream kept on [`ParsedFile`] **includes comments** (unlike
+//! [`crate::engine::PreparedFile::tokens`]) so `// hot` markers stay in
+//! place; token indices from this module index into that stream only.
+
+use crate::engine::matching_brace;
+use crate::lexer::{lex, Tok, TokKind};
+
+/// A function item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Declared name.
+    pub name: String,
+    /// Self type of the enclosing `impl`/`trait` block, if any.
+    pub owner: Option<String>,
+    /// Names of the enclosing inline modules, outermost first.
+    pub module: Vec<String>,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Marked `// hot` immediately above the item?
+    pub hot: bool,
+    /// Token indices of the body's `{` and `}` (None for a bodiless
+    /// trait method or an unparseable declaration).
+    pub body: Option<(usize, usize)>,
+}
+
+/// A `use` declaration, reduced to its root path segment.
+#[derive(Clone, Debug)]
+pub struct UseDecl {
+    /// First path segment (`netdiag_topology`, `std`, `crate`, …).
+    pub root: String,
+    /// Line of the `use` keyword.
+    pub line: usize,
+}
+
+/// A `mod` declaration (inline or out-of-line).
+#[derive(Clone, Debug)]
+pub struct ModDecl {
+    /// Declared name.
+    pub name: String,
+    /// Names of the enclosing inline modules, outermost first.
+    pub path: Vec<String>,
+    /// Line of the `mod` keyword.
+    pub line: usize,
+}
+
+/// One parsed file: the comment-bearing token stream plus every item
+/// resolved from it.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Full token stream, comments included.
+    pub tokens: Vec<Tok>,
+    /// Every `fn` item, in source order (nested fns included).
+    pub fns: Vec<FnItem>,
+    /// Every `use` declaration, item- or fn-scoped.
+    pub uses: Vec<UseDecl>,
+    /// Every `mod` declaration.
+    pub mods: Vec<ModDecl>,
+}
+
+/// A call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// Callee name (last path segment for `a::b::f(..)`).
+    pub name: String,
+    /// Was it `recv.name(..)` rather than `name(..)`?
+    pub method: bool,
+    /// Line of the callee name.
+    pub idx: usize,
+}
+
+impl Call {
+    /// Line of the call site (requires the stream it was found in).
+    pub fn line(&self, tokens: &[Tok]) -> usize {
+        tokens.get(self.idx).map_or(0, |t| t.line)
+    }
+}
+
+/// Scope kinds tracked while scanning.
+enum Scope {
+    /// An inline `mod name { … }`.
+    Mod(String),
+    /// An `impl`/`trait` block with the given self-type name.
+    Owner(String),
+}
+
+/// Item keywords that invalidate a pending `// hot` marker (the marker
+/// only survives doc comments, attributes and fn-modifier keywords on
+/// its way to a `fn`).
+const HOT_CLEARING_ITEMS: [&str; 6] = ["struct", "enum", "union", "static", "type", "let"];
+
+/// Keywords that look like `name(` but are never calls.
+const CALL_KEYWORDS: [&str; 16] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "move", "in", "as", "let", "ref", "box",
+    "dyn", "await", "where",
+];
+
+/// Is this comment a `// hot` marker?
+fn is_hot_marker(text: &str) -> bool {
+    let body = text.trim_start_matches(['/', '!', '*']).trim();
+    body == "hot" || body.starts_with("hot:")
+}
+
+/// Index of the first non-comment token at or after `from`.
+fn next_code(tokens: &[Tok], from: usize) -> Option<usize> {
+    (from..tokens.len()).find(|&k| tokens[k].kind != TokKind::Comment)
+}
+
+/// Parses `src` into its item model. Total: never panics; malformed
+/// input degrades to fewer resolved items.
+pub fn parse(src: &str) -> ParsedFile {
+    let tokens = lex(src);
+    let mut fns = Vec::new();
+    let mut uses = Vec::new();
+    let mut mods = Vec::new();
+    let mut scopes: Vec<(usize, Scope)> = Vec::new();
+    let mut pending_hot = false;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        while scopes.last().is_some_and(|&(close, _)| close < i) {
+            scopes.pop();
+        }
+        let t = &tokens[i];
+        if t.kind == TokKind::Comment {
+            if is_hot_marker(&t.text) {
+                pending_hot = true;
+            }
+            i += 1;
+            continue;
+        }
+        // Attributes (`#[..]`, `#![..]`) pass a pending hot marker through.
+        if t.is_punct('#') {
+            if tokens.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+                if let Some(next) = skip_attribute(&tokens, i + 2) {
+                    i = next;
+                    continue;
+                }
+            } else if tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                && tokens.get(i + 2).is_some_and(|n| n.is_punct('['))
+            {
+                if let Some(next) = skip_attribute(&tokens, i + 3) {
+                    i = next;
+                    continue;
+                }
+            }
+        }
+        if t.kind != TokKind::Ident {
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                pending_hot = false;
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("fn") {
+            let line = t.line;
+            match next_code(&tokens, i + 1).filter(|&k| tokens[k].kind == TokKind::Ident) {
+                Some(name_idx) => {
+                    let (body, next) = fn_body(&tokens, name_idx + 1);
+                    let owner = scopes.iter().rev().find_map(|(_, s)| match s {
+                        Scope::Owner(n) => Some(n.clone()),
+                        Scope::Mod(_) => None,
+                    });
+                    fns.push(FnItem {
+                        name: tokens[name_idx].text.clone(),
+                        owner,
+                        module: module_path(&scopes),
+                        line,
+                        hot: pending_hot,
+                        body,
+                    });
+                    pending_hot = false;
+                    // Step *into* the body so nested items are seen too.
+                    i = match body {
+                        Some((open, _)) => open + 1,
+                        None => next,
+                    };
+                }
+                None => {
+                    // `fn(..)` pointer type or malformed input.
+                    pending_hot = false;
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if t.is_ident("impl") || t.is_ident("trait") {
+            pending_hot = false;
+            match impl_header(&tokens, i + 1) {
+                Some((owner, open)) => {
+                    let close = matching_brace(&tokens, open);
+                    if let Some(name) = owner {
+                        scopes.push((close, Scope::Owner(name)));
+                    }
+                    i = open + 1;
+                }
+                None => i += 1,
+            }
+            continue;
+        }
+        if t.is_ident("mod") {
+            pending_hot = false;
+            let line = t.line;
+            let name_idx = next_code(&tokens, i + 1).filter(|&k| tokens[k].kind == TokKind::Ident);
+            let Some(name_idx) = name_idx else {
+                i += 1;
+                continue;
+            };
+            mods.push(ModDecl {
+                name: tokens[name_idx].text.clone(),
+                path: module_path(&scopes),
+                line,
+            });
+            match next_code(&tokens, name_idx + 1) {
+                Some(k) if tokens[k].is_punct('{') => {
+                    let close = matching_brace(&tokens, k);
+                    scopes.push((close, Scope::Mod(tokens[name_idx].text.clone())));
+                    i = k + 1;
+                }
+                Some(k) => i = k + 1,
+                None => i = tokens.len(),
+            }
+            continue;
+        }
+        if t.is_ident("use") {
+            pending_hot = false;
+            let line = t.line;
+            // Skip a leading `::` before the root segment.
+            let mut j = i + 1;
+            while next_code(&tokens, j).is_some_and(|k| tokens[k].is_punct(':')) {
+                j = next_code(&tokens, j).map_or(tokens.len(), |k| k + 1);
+            }
+            if let Some(k) = next_code(&tokens, j).filter(|&k| tokens[k].kind == TokKind::Ident) {
+                uses.push(UseDecl {
+                    root: tokens[k].text.clone(),
+                    line,
+                });
+            }
+            // Resynchronize at the terminating `;` (depth-aware: the use
+            // tree may contain `{..}` groups). An unmatched `}` means the
+            // declaration is broken — leave it for the main loop so
+            // enclosing scopes still pop.
+            let mut depth = 0usize;
+            while i < tokens.len() {
+                let t = &tokens[i];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if t.is_punct(';') && depth == 0 {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if HOT_CLEARING_ITEMS.contains(&t.text.as_str()) {
+            pending_hot = false;
+        }
+        i += 1;
+    }
+    ParsedFile {
+        tokens,
+        fns,
+        uses,
+        mods,
+    }
+}
+
+/// From just past `#[`/`#![`: index past the matching `]`. Returns
+/// `None` for an attribute that is never closed — a statement
+/// terminator or unmatched `}` at token-tree depth 0 before the `]` —
+/// so the caller rescans from the `#` and resynchronizes normally.
+fn skip_attribute(tokens: &[Tok], start: usize) -> Option<usize> {
+    let mut square = 1i32;
+    let mut brace = 0i32;
+    let mut paren = 0i32;
+    let mut j = start;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('[') {
+            square += 1;
+        } else if t.is_punct(']') {
+            square -= 1;
+            if square == 0 {
+                return Some(j + 1);
+            }
+        } else if t.is_punct('{') {
+            brace += 1;
+        } else if t.is_punct('}') {
+            if brace == 0 {
+                return None;
+            }
+            brace -= 1;
+        } else if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct(';') && square == 1 && brace == 0 && paren <= 0 {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Inline-module path of the current scope stack, outermost first.
+fn module_path(scopes: &[(usize, Scope)]) -> Vec<String> {
+    scopes
+        .iter()
+        .filter_map(|(_, s)| match s {
+            Scope::Mod(n) => Some(n.clone()),
+            Scope::Owner(_) => None,
+        })
+        .collect()
+}
+
+/// From just past a `fn` name: finds the body's brace span, skipping the
+/// parameter list and return type. Returns `(body, next-index)` — body
+/// is `None` for `fn f(..);` trait methods.
+fn fn_body(tokens: &[Tok], start: usize) -> (Option<(usize, usize)>, usize) {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut j = start;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if t.is_punct(';') && bracket <= 0 {
+            // Outside `[T; N]` a `;` either terminates a bodiless fn or
+            // sits mid-broken-header; resynchronize at it either way.
+            return (None, if paren <= 0 { j + 1 } else { j });
+        } else if t.is_punct('}') && bracket <= 0 {
+            // A close brace before the body opened: broken header. Leave
+            // the `}` for the main loop so enclosing scopes still pop.
+            return (None, j);
+        } else if paren <= 0 && bracket <= 0 && t.is_punct('{') {
+            let close = matching_brace(tokens, j);
+            return (Some((j, close)), close + 1);
+        }
+        j += 1;
+    }
+    (None, j)
+}
+
+/// From just past `impl`/`trait`: resolves the self-type name (the ident
+/// after `for` when present — `impl Trait for Type` — else the first
+/// generics-depth-0 ident) and the index of the block's `{`. `None` when
+/// no block follows (e.g. malformed input).
+fn impl_header(tokens: &[Tok], start: usize) -> Option<(Option<String>, usize)> {
+    let mut angle = 0usize;
+    let mut first: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    let mut j = start;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            // `->` in an `impl Fn(..) -> T for ..` header is not a
+            // generics close.
+            if !(j > 0 && tokens[j - 1].is_punct('-')) {
+                angle = angle.saturating_sub(1);
+            }
+        } else if t.is_punct('{') {
+            let owner = after_for.or(first);
+            return Some((owner, j));
+        } else if t.is_punct(';') || t.is_punct('}') {
+            // A terminator or stray close before the block opened:
+            // broken header, bail so the main loop resynchronizes.
+            return None;
+        } else if t.kind == TokKind::Ident && angle == 0 {
+            if t.is_ident("for") {
+                saw_for = true;
+            } else if t.is_ident("where") {
+                saw_for = false; // idents past `where` are bounds, not the type
+            } else if saw_for && after_for.is_none() {
+                after_for = Some(t.text.clone());
+            } else if first.is_none() && !saw_for {
+                first = Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Extracts every call site between token indices `open` and `close`
+/// (exclusive bounds of a body's braces). Macros (`name!(..)`), nested
+/// `fn` headers and keyword forms (`if (..)`) are excluded.
+pub fn calls_in(tokens: &[Tok], open: usize, close: usize) -> Vec<Call> {
+    let mut out = Vec::new();
+    let hi = close.min(tokens.len());
+    let mut j = open + 1;
+    while j < hi {
+        let t = &tokens[j];
+        if t.kind != TokKind::Ident
+            || !tokens.get(j + 1).is_some_and(|n| n.is_punct('('))
+            || CALL_KEYWORDS.contains(&t.text.as_str())
+        {
+            j += 1;
+            continue;
+        }
+        let prev = &tokens[j - 1];
+        if prev.is_ident("fn") {
+            j += 1;
+            continue;
+        }
+        out.push(Call {
+            name: t.text.clone(),
+            method: prev.is_punct('.'),
+            idx: j,
+        });
+        j += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_free_and_method_fns() {
+        let p = parse("fn a() { b(); }\nimpl Foo {\n  // hot\n  fn go(&self) { self.step(); }\n}");
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "a");
+        assert!(p.fns[0].owner.is_none());
+        assert!(!p.fns[0].hot);
+        assert_eq!(p.fns[1].name, "go");
+        assert_eq!(p.fns[1].owner.as_deref(), Some("Foo"));
+        assert!(p.fns[1].hot);
+    }
+
+    #[test]
+    fn hot_marker_survives_attributes_but_not_other_items() {
+        let p = parse("// hot\n#[inline]\npub fn fast() {}\n// hot\nstruct S;\nfn slow() {}");
+        assert!(p.fns[0].hot);
+        assert!(!p.fns[1].hot);
+    }
+
+    #[test]
+    fn impl_trait_for_type_owner_is_the_type() {
+        let p = parse("impl<T: Clone> Iterator for Wrapper<T> { fn next(&mut self) {} }");
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn use_roots_and_groups() {
+        let p = parse(
+            "use std::sync::{Mutex, Arc};\nuse netdiag_topology::Topo;\nfn f() { use crate::x; }",
+        );
+        let roots: Vec<&str> = p.uses.iter().map(|u| u.root.as_str()).collect();
+        assert_eq!(roots, vec!["std", "netdiag_topology", "crate"]);
+    }
+
+    #[test]
+    fn module_paths_nest() {
+        let p = parse("mod outer { mod inner { fn f() {} } }");
+        assert_eq!(p.fns[0].module, vec!["outer", "inner"]);
+        assert_eq!(p.mods.len(), 2);
+    }
+
+    #[test]
+    fn calls_distinguish_methods_and_skip_macros() {
+        let p = parse("fn f() { g(); x.h(); println!(\"{}\", i); if j() {} }");
+        let body = p.fns[0].body.expect("fn f has a brace-delimited body");
+        let calls = calls_in(&p.tokens, body.0, body.1);
+        let names: Vec<(&str, bool)> = calls.iter().map(|c| (c.name.as_str(), c.method)).collect();
+        assert_eq!(names, vec![("g", false), ("h", true), ("j", false)]);
+    }
+
+    #[test]
+    fn bodiless_trait_methods_have_no_body() {
+        let p = parse("trait T { fn a(&self); fn b(&self) {} }");
+        assert!(p.fns[0].body.is_none());
+        assert!(p.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let p = parse("fn f(cb: fn(u32) -> u32) { cb(1); }");
+        assert_eq!(p.fns.len(), 1);
+    }
+}

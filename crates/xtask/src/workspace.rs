@@ -1,11 +1,12 @@
 //! Maps the on-disk workspace to the engine's file model.
 //!
-//! Scope: the eight library crates plus the root package's `src/`.
-//! Excluded by design: `src/bin/` (CLIs own the process — env args,
-//! wall-clock progress and stdout are their job), integration `tests/`
-//! and `benches/` (test code may unwrap), the vendored dependency stubs
-//! (`rand`/`proptest`/`criterion` mimic external APIs we don't control),
-//! the bench harness crate, and this linter itself.
+//! Scope: the nine library crates (this linter included — panic/unwrap
+//! discipline applies to the tooling too) plus the root package's
+//! `src/`, and the vendored dependency stubs for the `layering` pass
+//! only (stubs must stay leaf-only). Excluded by design: `src/bin/`
+//! (CLIs own the process — env args, wall-clock progress and stdout are
+//! their job), integration `tests/` and `benches/` (test code may
+//! unwrap), and the bench harness crate.
 
 use std::fs;
 use std::io;
@@ -15,7 +16,7 @@ use crate::engine::SrcFile;
 
 /// Library crates under `crates/` that the lints cover, as
 /// `(directory name, crate name used for lint scoping)`.
-pub const LINTED_CRATES: [(&str, &str); 8] = [
+pub const LINTED_CRATES: [(&str, &str); 9] = [
     ("bgp", "bgp"),
     ("core", "core"),
     ("experiments", "experiments"),
@@ -24,6 +25,16 @@ pub const LINTED_CRATES: [(&str, &str); 8] = [
     ("obs", "obs"),
     ("serve", "serve"),
     ("topology", "topology"),
+    ("xtask", "xtask"),
+];
+
+/// Vendored dependency stubs, collected only so the `layering` pass can
+/// verify they stay leaf-only (`crates/proptest` may use the `rand`
+/// stub; nothing else).
+pub const STUB_CRATES: [(&str, &str); 3] = [
+    ("criterion", "criterion"),
+    ("proptest", "proptest"),
+    ("rand", "rand"),
 ];
 
 /// Does `root` look like the netdiagnoser workspace?
@@ -35,7 +46,7 @@ pub fn is_workspace_root(root: &Path) -> bool {
 /// (sorted) order, with workspace-relative paths.
 pub fn collect(root: &Path) -> io::Result<Vec<SrcFile>> {
     let mut files = Vec::new();
-    for (dir, crate_name) in LINTED_CRATES {
+    for &(dir, crate_name) in LINTED_CRATES.iter().chain(STUB_CRATES.iter()) {
         let src_dir = root.join("crates").join(dir).join("src");
         collect_dir(root, &src_dir, crate_name, &mut files)?;
     }

@@ -1,0 +1,17 @@
+// A `// hot` function that allocates four ways — growth ctor, push on
+// that local, format! — plus a direct callee that boxes. All flagged.
+
+// hot
+pub fn deliver_fast(input: &[u32]) -> u32 {
+    let mut scratch = Vec::new();
+    for v in input {
+        scratch.push(*v + 1);
+    }
+    let label = format!("{}", scratch.len());
+    helper(label.len() as u32)
+}
+
+fn helper(n: u32) -> u32 {
+    let boxed = Box::new(n);
+    *boxed
+}

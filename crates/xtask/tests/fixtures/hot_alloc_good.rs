@@ -1,0 +1,22 @@
+// The same hot path written allocation-free: the caller owns the
+// scratch buffer and the hot fn only reuses it. A cold fn may still
+// allocate freely.
+
+// hot
+pub fn deliver_fast(input: &[u32], scratch: &mut Vec<u32>) -> u32 {
+    scratch.clear();
+    for v in input {
+        scratch.push(*v + 1);
+    }
+    let mut acc = 0;
+    for v in scratch.iter() {
+        acc += *v;
+    }
+    acc
+}
+
+pub fn setup() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}

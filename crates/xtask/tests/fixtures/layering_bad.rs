@@ -1,0 +1,8 @@
+// Linted as crate `topology` — the DAG's base layer must not import the
+// control planes or the daemon above it.
+use netdiag_bgp::RouterId;
+use netdiag_serve::Request;
+
+pub fn inverted(r: RouterId) -> Request {
+    Request::from_router(r)
+}

@@ -1,0 +1,13 @@
+// Linted as crate `bgp` — everything imported here sits at or below
+// bgp's layer (topology, igp, the obs spine, the rand stub, std).
+use std::collections::BTreeMap;
+
+use netdiag_igp::AsIgp;
+use netdiag_obs::Recorder;
+use netdiag_topology::Topo;
+use rand::Rng;
+
+pub fn layered(t: &Topo) -> BTreeMap<u32, u32> {
+    let _ = t;
+    BTreeMap::new()
+}

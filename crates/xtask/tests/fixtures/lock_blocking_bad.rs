@@ -1,0 +1,25 @@
+// Guards held across blocking operations: a channel recv and a thread
+// join. Every acquirer of `state`/`workers` stalls for the blocking
+// duration — or deadlocks if the blocked side needs the lock.
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+pub struct Inbox {
+    pub state: Mutex<Vec<u32>>,
+    pub workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+pub fn drain(inbox: &Inbox, rx: &Receiver<u32>) {
+    let mut st = inbox.state.lock().expect("state lock poisoned in drain");
+    while let Ok(v) = rx.recv() {
+        st.push(v);
+    }
+}
+
+pub fn shutdown(inbox: &Inbox) {
+    let mut ws = inbox.workers.lock().expect("workers lock poisoned in shutdown");
+    for w in ws.drain(..) {
+        let _ = w.join();
+    }
+}

@@ -1,0 +1,31 @@
+// The same work with guards scoped correctly: dropped before the recv
+// loop, re-taken per item; handles drained under the lock but joined
+// after the guard's block ends.
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+pub struct Inbox {
+    pub state: Mutex<Vec<u32>>,
+    pub workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+pub fn drain(inbox: &Inbox, rx: &Receiver<u32>) {
+    let mut st = inbox.state.lock().expect("state lock poisoned in drain");
+    st.clear();
+    drop(st);
+    while let Ok(v) = rx.recv() {
+        let mut st = inbox.state.lock().expect("state lock poisoned per item");
+        st.push(v);
+    }
+}
+
+pub fn shutdown(inbox: &Inbox) {
+    let handles: Vec<JoinHandle<()>> = {
+        let mut ws = inbox.workers.lock().expect("workers lock poisoned in shutdown");
+        ws.drain(..).collect()
+    };
+    for w in handles {
+        let _ = w.join();
+    }
+}

@@ -1,0 +1,20 @@
+// Two mutexes taken in opposite orders on different paths: the classic
+// AB-BA deadlock. Both orders must be flagged.
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u32>>,
+    pub done: Mutex<Vec<u32>>,
+}
+
+pub fn forward(s: &Shared) {
+    let q = s.queue.lock().expect("queue lock poisoned in forward");
+    let mut d = s.done.lock().expect("done lock poisoned in forward");
+    d.extend(q.iter().copied());
+}
+
+pub fn requeue(s: &Shared) {
+    let d = s.done.lock().expect("done lock poisoned in requeue");
+    let mut q = s.queue.lock().expect("queue lock poisoned in requeue");
+    q.extend(d.iter().copied());
+}

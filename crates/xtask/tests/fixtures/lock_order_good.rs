@@ -1,0 +1,21 @@
+// Same two mutexes, but every path takes them in the same global order
+// (queue before done) — the lock graph has an edge but no cycle.
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u32>>,
+    pub done: Mutex<Vec<u32>>,
+}
+
+pub fn forward(s: &Shared) {
+    let q = s.queue.lock().expect("queue lock poisoned in forward");
+    let mut d = s.done.lock().expect("done lock poisoned in forward");
+    d.extend(q.iter().copied());
+}
+
+pub fn forward_twice(s: &Shared) {
+    let q = s.queue.lock().expect("queue lock poisoned in forward_twice");
+    let mut d = s.done.lock().expect("done lock poisoned in forward_twice");
+    d.extend(q.iter().copied());
+    d.extend(q.iter().copied());
+}

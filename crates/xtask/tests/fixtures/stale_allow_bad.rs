@@ -1,0 +1,7 @@
+// A justified allow directive whose hazard no longer exists: the line
+// it covers does not unwrap, so the directive itself is the finding.
+
+// lint: allow(unwrap): the value was validated at parse time
+pub fn get(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,6 @@
+// The directive earns its keep: it suppresses a real unwrap finding, so
+// the stale-allow audit stays quiet.
+pub fn get(v: &[u32]) -> u32 {
+    // lint: allow(unwrap): fixture slice is nonempty by construction
+    *v.first().unwrap()
+}

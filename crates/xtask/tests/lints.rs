@@ -23,6 +23,16 @@ fn fixture(name: &str) -> &'static str {
         "slice_index_bad" => include_str!("fixtures/slice_index_bad.rs"),
         "slice_index_good" => include_str!("fixtures/slice_index_good.rs"),
         "allow_bad" => include_str!("fixtures/allow_bad.rs"),
+        "lock_order_bad" => include_str!("fixtures/lock_order_bad.rs"),
+        "lock_order_good" => include_str!("fixtures/lock_order_good.rs"),
+        "lock_blocking_bad" => include_str!("fixtures/lock_blocking_bad.rs"),
+        "lock_blocking_good" => include_str!("fixtures/lock_blocking_good.rs"),
+        "hot_alloc_bad" => include_str!("fixtures/hot_alloc_bad.rs"),
+        "hot_alloc_good" => include_str!("fixtures/hot_alloc_good.rs"),
+        "layering_bad" => include_str!("fixtures/layering_bad.rs"),
+        "layering_good" => include_str!("fixtures/layering_good.rs"),
+        "stale_allow_bad" => include_str!("fixtures/stale_allow_bad.rs"),
+        "stale_allow_good" => include_str!("fixtures/stale_allow_good.rs"),
         "obs_names" => include_str!("fixtures/obs/names.rs"),
         "obs_call_bad" => include_str!("fixtures/obs/call_bad.rs"),
         "obs_call_good" => include_str!("fixtures/obs/call_good.rs"),
@@ -154,6 +164,106 @@ fn allow_bad_flags_unjustified_and_unknown_directives() {
     assert!(found.contains(&Lint::Unwrap));
 }
 
+// --- lock-order --------------------------------------------------------------
+
+#[test]
+fn lock_order_bad_flags_both_sides_of_the_inversion() {
+    let found = lints_of("serve", fixture("lock_order_bad"));
+    assert_eq!(
+        found.iter().filter(|&&l| l == Lint::LockOrder).count(),
+        2,
+        "queue->done and done->queue both sit on the cycle: {found:?}"
+    );
+}
+
+#[test]
+fn lock_order_good_accepts_a_consistent_global_order() {
+    assert!(lints_of("serve", fixture("lock_order_good")).is_empty());
+}
+
+// --- lock-across-blocking ----------------------------------------------------
+
+#[test]
+fn lock_blocking_bad_flags_guards_held_across_recv_and_join() {
+    let found = lints_of("serve", fixture("lock_blocking_bad"));
+    assert_eq!(
+        found
+            .iter()
+            .filter(|&&l| l == Lint::LockAcrossBlocking)
+            .count(),
+        2,
+        "state guard across recv, workers guard across join: {found:?}"
+    );
+}
+
+#[test]
+fn lock_blocking_good_accepts_dropped_and_scoped_guards() {
+    assert!(lints_of("serve", fixture("lock_blocking_good")).is_empty());
+}
+
+// --- hot-alloc ---------------------------------------------------------------
+
+#[test]
+fn hot_alloc_bad_flags_direct_and_callee_allocations() {
+    let found = lints_of("bgp", fixture("hot_alloc_bad"));
+    assert_eq!(
+        found.iter().filter(|&&l| l == Lint::HotAlloc).count(),
+        4,
+        "Vec::new, push on a growth local, format!, Box::new via helper: {found:?}"
+    );
+}
+
+#[test]
+fn hot_alloc_good_accepts_reused_buffers_and_cold_allocations() {
+    assert!(lints_of("bgp", fixture("hot_alloc_good")).is_empty());
+}
+
+// --- layering ----------------------------------------------------------------
+
+#[test]
+fn layering_bad_flags_each_upward_import() {
+    let found = lints_of("topology", fixture("layering_bad"));
+    assert_eq!(
+        found.iter().filter(|&&l| l == Lint::Layering).count(),
+        2,
+        "topology must not import bgp or serve: {found:?}"
+    );
+}
+
+#[test]
+fn layering_good_accepts_imports_at_or_below_the_crate() {
+    assert!(lints_of("bgp", fixture("layering_good")).is_empty());
+}
+
+#[test]
+fn layering_same_imports_gate_from_a_lower_crate() {
+    // The good fixture's imports are fine for bgp but not for topology:
+    // igp sits above it (obs/rand stay legal, self-use is skipped).
+    let found = lints_of("topology", fixture("layering_good"));
+    assert_eq!(
+        found.iter().filter(|&&l| l == Lint::Layering).count(),
+        1,
+        "igp sits above topology: {found:?}"
+    );
+}
+
+// --- stale-allow -------------------------------------------------------------
+
+#[test]
+fn stale_allow_bad_flags_a_directive_that_suppresses_nothing() {
+    let found = lints_of("core", fixture("stale_allow_bad"));
+    assert_eq!(
+        found.iter().filter(|&&l| l == Lint::StaleAllow).count(),
+        1,
+        "{found:?}"
+    );
+}
+
+#[test]
+fn stale_allow_good_credits_a_directive_that_fires() {
+    assert!(lints_of("core", fixture("stale_allow_good")).is_empty());
+}
+
 // --- obs names ---------------------------------------------------------------
 
 fn obs_files(call_fixture: &str) -> Vec<SrcFile> {
@@ -211,6 +321,11 @@ fn every_lint_id_has_a_firing_fixture() {
         ("bgp", "unwrap_bad"),
         ("topology", "slice_index_bad"),
         ("core", "allow_bad"),
+        ("serve", "lock_order_bad"),
+        ("serve", "lock_blocking_bad"),
+        ("bgp", "hot_alloc_bad"),
+        ("topology", "layering_bad"),
+        ("core", "stale_allow_bad"),
     ] {
         fired.extend(lints_of(crate_name, fixture(fixture_name)));
     }
@@ -269,8 +384,28 @@ fn binary_exits_nonzero_on_each_seeded_bad_workspace() {
         ("unwrap", "unwrap_bad"),
         ("allow", "allow_bad"),
         ("obs", "obs_call_bad"),
+        ("stale", "stale_allow_bad"),
     ] {
         let root = seeded_workspace(tag, &[("crates/core/src/lib.rs", fixture(bad))]);
+        let out = run_binary_on(&root);
+        assert!(
+            !out.status.success(),
+            "{tag}: expected a gating exit code; stdout:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn binary_exits_nonzero_on_each_seeded_graph_violation() {
+    // Graph lints are placed in the crate whose rules they break.
+    for (tag, rel, bad) in [
+        ("lockord", "crates/serve/src/lib.rs", "lock_order_bad"),
+        ("lockblk", "crates/serve/src/lib.rs", "lock_blocking_bad"),
+        ("hotalloc", "crates/bgp/src/lib.rs", "hot_alloc_bad"),
+        ("layering", "crates/topology/src/lib.rs", "layering_bad"),
+    ] {
+        let root = seeded_workspace(tag, &[(rel, fixture(bad))]);
         let out = run_binary_on(&root);
         assert!(
             !out.status.success(),
@@ -287,6 +422,9 @@ fn binary_exits_zero_on_a_clean_seeded_workspace() {
         &[
             ("crates/core/src/lib.rs", fixture("hash_iter_good")),
             ("crates/netsim/src/lib.rs", fixture("unwrap_good")),
+            ("crates/serve/src/lib.rs", fixture("lock_blocking_good")),
+            ("crates/bgp/src/lib.rs", fixture("hot_alloc_good")),
+            ("crates/bgp/src/layering.rs", fixture("layering_good")),
         ],
     );
     let out = run_binary_on(&root);

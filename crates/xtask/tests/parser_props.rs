@@ -1,0 +1,107 @@
+//! Property tests for the item parser: the graph passes run over every
+//! workspace file, including ones mid-edit, so `parse` must never panic
+//! on arbitrary or malformed token streams, and a broken item must not
+//! swallow the rest of the file — the parser recovers at `;` and `}`.
+
+use proptest::prelude::*;
+
+use netdiag_xtask::parser::parse;
+
+/// Characters that stress the parser's structural states: item keywords
+/// get built from idents, plus every delimiter and recovery anchor.
+fn structural_char() -> impl Strategy<Value = char> {
+    prop_oneof![
+        Just('f'),
+        Just('n'),
+        Just('i'),
+        Just('m'),
+        Just('p'),
+        Just('l'),
+        Just('u'),
+        Just('s'),
+        Just('e'),
+        Just(' '),
+        Just('\n'),
+        Just('{'),
+        Just('}'),
+        Just('('),
+        Just(')'),
+        Just('<'),
+        Just('>'),
+        Just(':'),
+        Just(';'),
+        Just(','),
+        Just('#'),
+        Just('['),
+        Just(']'),
+        Just('!'),
+        Just('&'),
+        Just('.'),
+        Just('_'),
+    ]
+}
+
+/// Truncated or mangled item heads: each ends mid-declaration, so the
+/// parser must bail out without consuming what follows.
+fn broken_item() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("fn"),
+        Just("fn ;"),
+        Just("fn (x: u32)"),
+        Just("impl"),
+        Just("impl <"),
+        Just("impl for"),
+        Just("mod"),
+        Just("mod {"),
+        Just("use"),
+        Just("use ;"),
+        Just("trait"),
+        Just("#["),
+        Just("fn broken(x: Vec<"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (lossily decoded) never panic the parser.
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = parse(&src);
+    }
+
+    /// Dense streams of keywords and delimiters — unbalanced braces,
+    /// truncated generics, attribute openers — never panic either, and
+    /// every recorded item points at an in-range token.
+    #[test]
+    fn parse_never_panics_on_structural_soup(chars in proptest::collection::vec(structural_char(), 0..192)) {
+        let src: String = chars.into_iter().collect();
+        let parsed = parse(&src);
+        let n = parsed.tokens.len();
+        for f in &parsed.fns {
+            if let Some((open, close)) = f.body {
+                prop_assert!(open < n && close < n && open <= close,
+                    "fn {:?} body ({open}, {close}) out of {n} tokens", f.name);
+            }
+        }
+    }
+
+    /// A broken item followed by a `;` or `}` recovery anchor must not
+    /// swallow the well-formed fn after it: the parser resynchronises
+    /// and still finds `survivor`, including its `// hot` mark.
+    #[test]
+    fn parse_recovers_after_a_broken_item(
+        broken in broken_item(),
+        anchor in prop_oneof![Just(";"), Just("}")],
+    ) {
+        let src = format!("{broken} {anchor}\n// hot\nfn survivor() {{ work(); }}\n");
+        let parsed = parse(&src);
+        let survivor = parsed.fns.iter().find(|f| f.name == "survivor");
+        prop_assert!(
+            survivor.is_some_and(|f| f.hot),
+            "parser lost the fn after {broken:?} {anchor:?}: {:?}",
+            parsed.fns.iter().map(|f| &f.name).collect::<Vec<_>>()
+        );
+    }
+}

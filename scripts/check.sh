@@ -8,7 +8,18 @@ echo "== cargo fmt --check =="
 cargo fmt --all --check
 
 echo "== xtask lint (workspace invariants) =="
-cargo run -q -p netdiag-xtask -- lint
+# Prebuild so the timed run below measures the linter, not the compiler.
+cargo build -q -p netdiag-xtask
+lint_start_ms="$(date +%s%3N)"
+scripts/lint.sh
+lint_elapsed_ms="$(( $(date +%s%3N) - lint_start_ms ))"
+echo "lint wall time: ${lint_elapsed_ms}ms"
+# The full lint — token passes plus the item-graph passes — must stay
+# interactive: under 5 seconds on a warm build.
+if [ "$lint_elapsed_ms" -ge 5000 ]; then
+    echo "xtask lint took ${lint_elapsed_ms}ms (budget: 5000ms)" >&2
+    exit 1
+fi
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -5,8 +5,20 @@
 #   scripts/lint.sh --deny slice-index   # promote the advisory lint
 #   scripts/lint.sh --warn unwrap        # triage mode, never gates
 #
+# The graph passes (lock-order, lock-across-blocking, hot-alloc,
+# layering) and the stale-allow audit are pinned to --deny here so a
+# future default-level change can never silently demote the concurrency
+# and layering gates; forwarded arguments come last and still win for
+# triage runs.
+#
 # `cargo run -p netdiag-xtask -- list` prints the lint catalog.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-exec cargo run -q -p netdiag-xtask -- lint "$@"
+exec cargo run -q -p netdiag-xtask -- lint \
+  --deny lock-order \
+  --deny lock-across-blocking \
+  --deny hot-alloc \
+  --deny layering \
+  --deny stale-allow \
+  "$@"
