@@ -345,6 +345,62 @@ fn bench_trace_overhead(c: &mut Criterion) {
     drop(tracer);
 }
 
+fn bench_live_metrics_overhead(c: &mut Criterion) {
+    // The serve request mix per iteration — a counter bump, a histogram
+    // observation, a span record and a gauge raise/lower — through the
+    // disabled NoopRecorder handle vs the lock-free LiveRecorder. The
+    // bench.sh gate holds the live leg within 2x of the noop dispatch.
+    let noop = RecorderHandle::noop();
+    let (live, registry) = RecorderHandle::live();
+    let mut group = c.benchmark_group("live_metrics_overhead");
+    group
+        .sample_size(50)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
+    for (label, handle) in [("noop", &noop), ("live", &live)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for i in 0..64u64 {
+                    let h = black_box(handle);
+                    h.add(netdiag_obs::names::SERVE_REQUESTS, 1);
+                    h.observe(netdiag_obs::names::SERVE_CLIENT_LATENCY, i * 977);
+                    h.record_span(netdiag_obs::names::SERVE_PHASE_DIAGNOSE, i * 31);
+                    h.gauge_add(netdiag_obs::names::SERVE_QUEUE_DEPTH, 1);
+                    h.gauge_sub(netdiag_obs::names::SERVE_QUEUE_DEPTH, 1);
+                }
+            })
+        });
+    }
+    // The acceptance pair: one LiveRecorder counter bump vs one actual
+    // NoopRecorder virtual dispatch (not the enabled-gated short
+    // circuit, which compiles to a single flag load).
+    let noop_sink: std::sync::Arc<dyn netdiag_obs::Recorder> =
+        std::sync::Arc::new(netdiag_obs::NoopRecorder);
+    group.bench_function("dispatch", |b| {
+        b.iter(|| {
+            for _ in 0..64u64 {
+                black_box(&noop_sink).add(netdiag_obs::names::SERVE_REQUESTS, black_box(1));
+            }
+        })
+    });
+    let live_sink: std::sync::Arc<dyn netdiag_obs::Recorder> = registry.clone();
+    group.bench_function("bump", |b| {
+        b.iter(|| {
+            for _ in 0..64u64 {
+                black_box(&live_sink).add(netdiag_obs::names::SERVE_REQUESTS, black_box(1));
+            }
+        })
+    });
+    group.finish();
+    // The registry really collected: the live leg must not be dead code.
+    assert!(
+        registry
+            .snapshot()
+            .counter(netdiag_obs::names::SERVE_REQUESTS)
+            > 0
+    );
+}
+
 fn bench_trials_parallel(c: &mut Criterion) {
     // Scale where the trial pool, the per-worker scratch sims and the
     // replay memo actually pay off (the quick 3x5 grid of earlier BENCH
@@ -374,6 +430,7 @@ criterion_group!(
     bench_sim_clone,
     bench_hitting_set,
     bench_trace_overhead,
+    bench_live_metrics_overhead,
     bench_trials_parallel
 );
 criterion_main!(benches);

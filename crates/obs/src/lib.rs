@@ -40,10 +40,12 @@ use std::time::Instant;
 
 pub mod event;
 pub mod json;
+pub mod live;
 pub mod names;
 pub mod trace;
 
 pub use event::{Event, EventPayload, Phase, Value};
+pub use live::{LiveRecorder, WindowDelta};
 pub use trace::{phase_scope, trial_scope, TraceRecorder, NO_PLACEMENT, SETUP_TRIAL};
 
 /// Sink for instrumentation events.
@@ -66,6 +68,21 @@ pub trait Recorder: Send + Sync {
 
     /// Records one completed span of `nanos` wall-clock under `name`.
     fn record_span(&self, name: &'static str, nanos: u64);
+
+    /// Sets gauge `name` to `value` (default: dropped).
+    ///
+    /// Gauges are *levels* — queue depth, live connections — with
+    /// set/add/sub semantics and a high-water mark, unlike counters
+    /// (monotone) and histograms (per-observation distributions).
+    /// Defaulted so aggregate-only recorders need not care.
+    fn gauge_set(&self, _name: &'static str, _value: u64) {}
+
+    /// Raises gauge `name` by `delta` (default: dropped).
+    fn gauge_add(&self, _name: &'static str, _delta: u64) {}
+
+    /// Lowers gauge `name` by `delta`, saturating at zero
+    /// (default: dropped).
+    fn gauge_sub(&self, _name: &'static str, _delta: u64) {}
 
     /// Is this recorder collecting structured trace events?
     ///
@@ -143,6 +160,58 @@ impl SeriesStats {
         }
     }
 
+    /// Assembles stats from already-aggregated parts (the
+    /// [`LiveRecorder`] snapshot path, which accumulates in atomics
+    /// rather than through [`record`](Self::record)).
+    pub(crate) fn from_parts(count: u64, sum: u64, min: u64, max: u64, buckets: [u64; 65]) -> Self {
+        SeriesStats {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        }
+    }
+
+    /// The series of observations recorded between `older` and `self`,
+    /// assuming both are cumulative snapshots of the same series
+    /// (`older` taken earlier). `None` when nothing was recorded in
+    /// between.
+    ///
+    /// Buckets are monotone counters, so their difference is the *exact*
+    /// per-window histogram; window min/max are reconstructed from the
+    /// outermost non-empty delta buckets (tight to a factor of two,
+    /// clamped into the cumulative range so they remain plausible
+    /// values).
+    pub(crate) fn bucket_delta(&self, older: &SeriesStats) -> Option<SeriesStats> {
+        let mut buckets = [0u64; 65];
+        let mut count = 0u64;
+        let (mut lo, mut hi) = (None, None);
+        for (b, out) in buckets.iter_mut().enumerate() {
+            let n = self.buckets[b].saturating_sub(older.buckets[b]);
+            *out = n;
+            count += n;
+            if n > 0 {
+                lo.get_or_insert(b);
+                hi = Some(b);
+            }
+        }
+        let (lo, hi) = (lo?, hi?);
+        let bucket_floor = |b: usize| if b == 0 { 0 } else { 1u64 << (b - 1) };
+        let bucket_ceil = |b: usize| match b {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << b) - 1,
+        };
+        Some(SeriesStats {
+            count,
+            sum: self.sum.saturating_sub(older.sum),
+            min: bucket_floor(lo).clamp(self.min, self.max),
+            max: bucket_ceil(hi).clamp(self.min, self.max),
+            buckets,
+        })
+    }
+
     /// Approximate `pct`-th percentile (`0 < pct <= 100`).
     ///
     /// Returns the upper bound of the log2 bucket holding the
@@ -170,11 +239,22 @@ impl SeriesStats {
     }
 }
 
+/// Point-in-time state of one gauge: the level now and the highest
+/// level ever seen.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// The level at snapshot time.
+    pub current: u64,
+    /// The highest level the gauge ever reached.
+    pub high_water: u64,
+}
+
 #[derive(Debug, Default)]
 struct Aggregates {
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, SeriesStats>,
     spans: BTreeMap<&'static str, SeriesStats>,
+    gauges: BTreeMap<&'static str, GaugeSnapshot>,
 }
 
 /// A thread-safe aggregating recorder whose contents serialize to a
@@ -206,6 +286,11 @@ impl InMemoryRecorder {
                 .collect(),
             spans: inner
                 .spans
+                .iter()
+                .map(|(&k, &v)| (k.to_owned(), v))
+                .collect(),
+            gauges: inner
+                .gauges
                 .iter()
                 .map(|(&k, &v)| (k.to_owned(), v))
                 .collect(),
@@ -242,6 +327,26 @@ impl Recorder for InMemoryRecorder {
             }
         }
     }
+
+    fn gauge_set(&self, name: &'static str, value: u64) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        let g = inner.gauges.entry(name).or_default();
+        g.current = value;
+        g.high_water = g.high_water.max(value);
+    }
+
+    fn gauge_add(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        let g = inner.gauges.entry(name).or_default();
+        g.current = g.current.saturating_add(delta);
+        g.high_water = g.high_water.max(g.current);
+    }
+
+    fn gauge_sub(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().expect("recorder poisoned");
+        let g = inner.gauges.entry(name).or_default();
+        g.current = g.current.saturating_sub(delta);
+    }
 }
 
 /// A cheap, clonable handle to a shared recorder.
@@ -276,6 +381,13 @@ impl RecorderHandle {
         (RecorderHandle(recorder.clone()), recorder)
     }
 
+    /// Creates a [`LiveRecorder`] (lock-free record path, snapshottable
+    /// at any instant) and a handle feeding it.
+    pub fn live() -> (Self, Arc<LiveRecorder>) {
+        let recorder = Arc::new(LiveRecorder::new());
+        (RecorderHandle(recorder.clone()), recorder)
+    }
+
     /// Fans one handle out to several sinks (e.g. metrics + trace).
     pub fn fanout(sinks: Vec<Arc<dyn Recorder>>) -> Self {
         RecorderHandle(Arc::new(FanoutRecorder::new(sinks)))
@@ -307,6 +419,42 @@ impl RecorderHandle {
     pub fn observe(&self, name: &'static str, value: u64) {
         if self.0.enabled() {
             self.0.observe(name, value);
+        }
+    }
+
+    /// Sets gauge `name` to `value` (skipped when disabled).
+    #[inline]
+    pub fn gauge_set(&self, name: &'static str, value: u64) {
+        if self.0.enabled() {
+            self.0.gauge_set(name, value);
+        }
+    }
+
+    /// Raises gauge `name` by `delta` (skipped when disabled).
+    #[inline]
+    pub fn gauge_add(&self, name: &'static str, delta: u64) {
+        if self.0.enabled() {
+            self.0.gauge_add(name, delta);
+        }
+    }
+
+    /// Lowers gauge `name` by `delta`, saturating at zero (skipped when
+    /// disabled).
+    #[inline]
+    pub fn gauge_sub(&self, name: &'static str, delta: u64) {
+        if self.0.enabled() {
+            self.0.gauge_sub(name, delta);
+        }
+    }
+
+    /// Records one completed span of `nanos` under `name` (skipped when
+    /// disabled) — for durations measured out-of-scope, e.g. a queue
+    /// wait timed across threads where no [`span`](Self::span) guard can
+    /// live.
+    #[inline]
+    pub fn record_span(&self, name: &'static str, nanos: u64) {
+        if self.0.enabled() {
+            self.0.record_span(name, nanos);
         }
     }
 
@@ -408,6 +556,30 @@ impl Recorder for FanoutRecorder {
         }
     }
 
+    fn gauge_set(&self, name: &'static str, value: u64) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.gauge_set(name, value);
+            }
+        }
+    }
+
+    fn gauge_add(&self, name: &'static str, delta: u64) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.gauge_add(name, delta);
+            }
+        }
+    }
+
+    fn gauge_sub(&self, name: &'static str, delta: u64) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.gauge_sub(name, delta);
+            }
+        }
+    }
+
     fn trace_enabled(&self) -> bool {
         self.sinks.iter().any(|s| s.trace_enabled())
     }
@@ -472,12 +644,15 @@ pub struct RunReport {
     pub histograms: BTreeMap<String, SeriesStats>,
     /// Span series by name (values in nanoseconds).
     pub spans: BTreeMap<String, SeriesStats>,
+    /// Gauge levels by name (current + high-water).
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
 }
 
 /// Version tag written into every report, bumped on shape changes.
 ///
-/// Version 2 added p50/p90/p99 percentiles to every series.
-pub const REPORT_VERSION: u32 = 2;
+/// Version 2 added p50/p90/p99 percentiles to every series; version 3
+/// added the `gauges` section (current + high-water levels).
+pub const REPORT_VERSION: u32 = 3;
 
 impl RunReport {
     /// The value of counter `name`, zero when never incremented.
@@ -493,6 +668,11 @@ impl RunReport {
     /// The stats of histogram `name`, if anything was observed.
     pub fn histogram(&self, name: &str) -> Option<&SeriesStats> {
         self.histograms.get(name)
+    }
+
+    /// The state of gauge `name`, if it was ever touched.
+    pub fn gauge(&self, name: &str) -> Option<GaugeSnapshot> {
+        self.gauges.get(name).copied()
     }
 
     /// Serializes to pretty-printed JSON with a stable key order
@@ -512,6 +692,22 @@ impl RunReport {
             out.push_str("\n    ");
             push_json_string(&mut out, name);
             out.push_str(&format!(": {value}"));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"gauges\": {");
+        let mut first = true;
+        for (name, g) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    ");
+            push_json_string(&mut out, name);
+            out.push_str(&format!(
+                ": {{\"current\": {}, \"high_water\": {}}}",
+                g.current, g.high_water
+            ));
         }
         out.push_str(if first { "},\n" } else { "\n  },\n" });
 
@@ -548,6 +744,53 @@ impl RunReport {
         }
 
         out.push_str("}\n");
+        out
+    }
+
+    /// Serializes to Prometheus-style text exposition.
+    ///
+    /// Names are prefixed `netdiag_` with dots flattened to underscores;
+    /// counters gain `_total`, gauges emit both the level and a
+    /// `_high_water` companion, and series render as summaries
+    /// (quantile-labelled samples plus `_sum`/`_count`, spans suffixed
+    /// `_ns` since values are nanoseconds).
+    pub fn to_prometheus(&self) -> String {
+        fn flat(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::with_capacity(1024);
+        for (name, value) in &self.counters {
+            let n = flat(name);
+            out.push_str(&format!(
+                "# TYPE netdiag_{n}_total counter\nnetdiag_{n}_total {value}\n"
+            ));
+        }
+        for (name, g) in &self.gauges {
+            let n = flat(name);
+            out.push_str(&format!(
+                "# TYPE netdiag_{n} gauge\nnetdiag_{n} {}\n\
+                 # TYPE netdiag_{n}_high_water gauge\nnetdiag_{n}_high_water {}\n",
+                g.current, g.high_water
+            ));
+        }
+        for (series, suffix) in [(&self.histograms, ""), (&self.spans, "_ns")] {
+            for (name, s) in series {
+                let n = format!("{}{suffix}", flat(name));
+                out.push_str(&format!("# TYPE netdiag_{n} summary\n"));
+                for (q, pct) in [("0.5", 50), ("0.9", 90), ("0.99", 99)] {
+                    out.push_str(&format!(
+                        "netdiag_{n}{{quantile=\"{q}\"}} {}\n",
+                        s.percentile(pct)
+                    ));
+                }
+                out.push_str(&format!(
+                    "netdiag_{n}_sum {}\nnetdiag_{n}_count {}\n",
+                    s.sum, s.count
+                ));
+            }
+        }
         out
     }
 }
@@ -671,15 +914,19 @@ mod tests {
         h.add("b.second", 2);
         h.add("a.first", 1);
         h.observe("sizes", 4);
+        h.gauge_add("depth", 3);
+        h.gauge_sub("depth", 1);
         {
             let _g = h.span("phase");
         }
         let json = rec.report().to_json();
-        assert!(json.starts_with("{\n  \"version\": 2,\n"));
+        assert!(json.starts_with("{\n  \"version\": 3,\n"));
         // Counters are in lexicographic order regardless of insertion.
         let a = json.find("\"a.first\": 1").unwrap();
         let b = json.find("\"b.second\": 2").unwrap();
         assert!(a < b);
+        assert!(json.contains("\"gauges\""));
+        assert!(json.contains("\"depth\": {\"current\": 2, \"high_water\": 3}"));
         assert!(json.contains("\"histograms\""));
         assert!(json.contains(
             "\"sizes\": {\"count\": 1, \"sum\": 4, \"min\": 4, \"max\": 4, \
@@ -700,8 +947,57 @@ mod tests {
         let (_h, rec) = RecorderHandle::in_memory();
         let json = rec.report().to_json();
         assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"gauges\": {}"));
         assert!(json.contains("\"histograms\": {}"));
         assert!(json.contains("\"spans\": {}"));
+    }
+
+    #[test]
+    fn in_memory_gauges_track_level_and_high_water() {
+        let (h, rec) = RecorderHandle::in_memory();
+        h.gauge_add("q", 2);
+        h.gauge_add("q", 3);
+        h.gauge_sub("q", 4);
+        let g = rec.report().gauge("q").unwrap();
+        assert_eq!((g.current, g.high_water), (1, 5));
+        h.gauge_sub("q", 10);
+        assert_eq!(rec.report().gauge("q").unwrap().current, 0);
+        h.gauge_set("q", 3);
+        let g = rec.report().gauge("q").unwrap();
+        assert_eq!((g.current, g.high_water), (3, 5));
+        assert!(rec.report().gauge("missing").is_none());
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_all_kinds() {
+        let (h, rec) = RecorderHandle::in_memory();
+        h.add("serve.requests", 7);
+        h.gauge_add("serve.queue_depth", 2);
+        h.observe("serve.latency_us", 100);
+        {
+            let _g = h.span("serve.phase.diagnose");
+        }
+        let prom = rec.report().to_prometheus();
+        assert!(prom.contains("# TYPE netdiag_serve_requests_total counter\n"));
+        assert!(prom.contains("netdiag_serve_requests_total 7\n"));
+        assert!(prom.contains("netdiag_serve_queue_depth 2\n"));
+        assert!(prom.contains("netdiag_serve_queue_depth_high_water 2\n"));
+        assert!(prom.contains("netdiag_serve_latency_us{quantile=\"0.99\"} 100\n"));
+        assert!(prom.contains("netdiag_serve_latency_us_count 1\n"));
+        assert!(prom.contains("netdiag_serve_phase_diagnose_ns_count 1\n"));
+    }
+
+    #[test]
+    fn bucket_delta_isolates_the_window() {
+        let mut cumulative = SeriesStats::new(1);
+        let older = cumulative;
+        cumulative.record(1024);
+        let delta = cumulative.bucket_delta(&older).unwrap();
+        assert_eq!((delta.count, delta.sum), (1, 1024));
+        // Window bounds come from the delta buckets, not the cumulative
+        // min of 1.
+        assert!(delta.min >= 512 && delta.max >= 1024);
+        assert!(older.bucket_delta(&older).is_none());
     }
 
     #[test]

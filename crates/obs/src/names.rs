@@ -87,11 +87,26 @@ pub const SERVE_REQUESTS: &str = "serve.requests";
 pub const SERVE_ERRORS: &str = "serve.errors";
 /// Span: one diagnose request, from dequeue to serialized response.
 pub const SERVE_REQUEST: &str = "serve.request";
-/// Histogram: pool queue depth sampled at each submission.
+/// Gauge: pool queue depth — raised on submit, lowered when a worker
+/// dequeues; current + high-water in stats (a level, not a histogram:
+/// the counter/series API would monotone-aggregate a value that is
+/// supposed to go back down).
 pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
 /// Histogram: client-observed request latency (nanoseconds) from the
 /// load harness (`netdiag-serve bench`).
 pub const SERVE_CLIENT_LATENCY: &str = "serve.client_latency";
+/// Span: time a diagnose request waited in the pool queue (submit to
+/// worker pickup).
+pub const SERVE_PHASE_QUEUE: &str = "serve.phase.queue";
+/// Span: restoring the converged baseline snapshot for one request.
+pub const SERVE_PHASE_RESTORE: &str = "serve.phase.restore";
+/// Span: running the diagnosis algorithm for one request.
+pub const SERVE_PHASE_DIAGNOSE: &str = "serve.phase.diagnose";
+/// Span: rendering the response (report build + serialization).
+pub const SERVE_PHASE_RENDER: &str = "serve.phase.render";
+/// Counter: flight-recorder dumps written (requests that breached the
+/// latency SLO and had their trace tail-sampled to JSONL).
+pub const SERVE_FLIGHT_DUMPS: &str = "serve.flight_dumps";
 
 // --- trial: experiment-runner phases (span names) ---------------------------
 

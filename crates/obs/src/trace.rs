@@ -212,6 +212,17 @@ impl TraceRecorder {
         self.inner.lock().expect("trace ring poisoned").dropped
     }
 
+    /// Empties the ring and resets the dropped counter.
+    ///
+    /// For always-on flight-recorder use: a worker reuses one ring across
+    /// requests, clearing between them so each request's trace stands
+    /// alone (and a dump after an SLO breach contains only that request).
+    pub fn clear(&self) {
+        let mut ring = self.inner.lock().expect("trace ring poisoned");
+        ring.events.clear();
+        ring.dropped = 0;
+    }
+
     /// Snapshots the buffered events in deterministic export order.
     pub fn events(&self) -> Vec<Event> {
         self.sorted().into_iter().map(|(ev, _)| ev).collect()

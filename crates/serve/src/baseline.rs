@@ -41,6 +41,21 @@ pub struct ServeConfig {
     /// Instrumentation sink for `serve.*` metrics and the simulator's
     /// own counters.
     pub recorder: RecorderHandle,
+    /// Mount the live telemetry plane (default): a lock-free
+    /// [`LiveRecorder`](netdiag_obs::LiveRecorder) behind the `stats`
+    /// protocol verb, rolled every second for windowed rates. `false`
+    /// leaves only `recorder` attached (the overhead-comparison leg of
+    /// the bench harness).
+    pub telemetry: bool,
+    /// Request-latency SLO in microseconds for the flight recorder;
+    /// `0` dumps every request (trace-everything mode). Only meaningful
+    /// with [`flight_path`](Self::flight_path).
+    pub slo_micros: u64,
+    /// When set, mount the flight recorder: every worker keeps an
+    /// always-on bounded trace ring, and requests breaching
+    /// [`slo_micros`](Self::slo_micros) dump their causal trace as one
+    /// JSONL line (tail sampling) to this file.
+    pub flight_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +67,9 @@ impl Default for ServeConfig {
             workers: 0,
             queue: 0,
             recorder: RecorderHandle::noop(),
+            telemetry: true,
+            slo_micros: 0,
+            flight_path: None,
         }
     }
 }

@@ -5,14 +5,23 @@
 //! threads each issuing M diagnose requests back-to-back. Every
 //! response is validated (protocol `ok`, parseable
 //! [`DiagnosticReport`](netdiagnoser::DiagnosticReport)); per-request
-//! wall latency lands both in the shared in-memory recorder (as
+//! wall latency lands both in a harness-side [`LiveRecorder`] (as
 //! `serve.client_latency`, nanoseconds) and in an exact sorted sample
 //! for the reported percentiles.
+//!
+//! The harness also reads the *server's* view: after the load phase it
+//! fetches the daemon's `stats` snapshot over the wire and reports the
+//! service-time percentiles (`serve.request`) next to the
+//! client-observed ones — when client p99 diverges far above server
+//! p99, requests are queueing, not slow. [`compare`] runs the whole
+//! harness twice on one shared baseline (telemetry on, then off) to
+//! measure what the live plane costs end to end.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use netdiag_obs::{names, RecorderHandle, RunReport};
+use netdiag_obs::json::Json;
+use netdiag_obs::{names, LiveRecorder, RecorderHandle, RunReport};
 use netdiagnoser::{Algorithm, DiagnosticReport};
 
 use crate::baseline::{Baseline, ServeConfig};
@@ -36,6 +45,9 @@ pub struct BenchConfig {
     pub queue: usize,
     /// Algorithm every request runs.
     pub algo: Algorithm,
+    /// Mount the daemon's live telemetry plane (the production default;
+    /// `false` is the overhead-comparison leg).
+    pub telemetry: bool,
 }
 
 impl Default for BenchConfig {
@@ -47,6 +59,7 @@ impl Default for BenchConfig {
             workers: 0,
             queue: 0,
             algo: Algorithm::default(),
+            telemetry: true,
         }
     }
 }
@@ -62,15 +75,31 @@ pub struct BenchResults {
     pub elapsed_secs: f64,
     /// Completed requests per second.
     pub req_per_sec: f64,
-    /// Median request latency, microseconds.
+    /// Median client-observed request latency, microseconds.
     pub p50_us: f64,
-    /// 90th-percentile request latency, microseconds.
+    /// 90th-percentile client-observed request latency, microseconds.
     pub p90_us: f64,
-    /// 99th-percentile request latency, microseconds.
+    /// 99th-percentile client-observed request latency, microseconds.
     pub p99_us: f64,
-    /// The daemon's full metrics report (serve.* counters, queue-depth
-    /// and latency histograms, diagnosis counters) for the PR 5 sinks.
+    /// Median server-side service time (`serve.request`, dequeue to
+    /// serialized response), microseconds — from the daemon's `stats`
+    /// snapshot fetched over the wire. Zero with telemetry off.
+    pub server_p50_us: f64,
+    /// 99th-percentile server-side service time, microseconds.
+    pub server_p99_us: f64,
+    /// The daemon's live metrics snapshot (serve.* counters, phase
+    /// spans, the queue-depth gauge, diagnosis counters) merged with the
+    /// harness's client-latency series.
     pub report: RunReport,
+}
+
+impl BenchResults {
+    /// Does client-observed p99 run more than 2x above the server's
+    /// service-time p99? If so, the bottleneck is queueing (pool or
+    /// connection FIFO), not diagnosis work.
+    pub fn queueing_divergence(&self) -> bool {
+        self.server_p99_us > 0.0 && self.p99_us > 2.0 * self.server_p99_us
+    }
 }
 
 fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
@@ -84,20 +113,78 @@ fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
 /// Runs the harness to completion. Errors are setup failures (bind,
 /// scenario sampling); request-level failures are counted, not fatal.
 pub fn run(config: &BenchConfig) -> Result<BenchResults, String> {
-    let (recorder, sink) = RecorderHandle::in_memory();
-    let serve = ServeConfig {
+    let baseline = Arc::new(Baseline::prepare(&serve_config(config)));
+    run_with_baseline(config, baseline)
+}
+
+/// Rounds each [`compare`] leg runs. Best-of, not mean: a descheduled
+/// run on a contended box halves one round's throughput, and that noise
+/// would swamp the few-percent effect the telemetry gate measures. The
+/// fastest round of each leg is the one least contaminated.
+const COMPARE_ROUNDS: usize = 3;
+
+/// Runs the harness with telemetry on and off on one shared baseline —
+/// so the two legs differ only in the live plane — alternating the legs
+/// [`COMPARE_ROUNDS`] times and keeping each leg's best round (same
+/// thermal/scheduler conditions for both, noise suppressed by best-of).
+/// Returns `(telemetry_on, telemetry_off)`; the throughput ratio between
+/// them is what the telemetry overhead gate in bench.sh checks.
+pub fn compare(config: &BenchConfig) -> Result<(BenchResults, BenchResults), String> {
+    let baseline = Arc::new(Baseline::prepare(&serve_config(config)));
+    let mut on: Option<BenchResults> = None;
+    let mut off: Option<BenchResults> = None;
+    for _ in 0..COMPARE_ROUNDS {
+        for telemetry in [true, false] {
+            let round = run_with_baseline(
+                &BenchConfig {
+                    telemetry,
+                    ..config.clone()
+                },
+                Arc::clone(&baseline),
+            )?;
+            let best = if telemetry { &mut on } else { &mut off };
+            if best
+                .as_ref()
+                .is_none_or(|b| round.req_per_sec > b.req_per_sec)
+            {
+                *best = Some(round);
+            }
+        }
+    }
+    match (on, off) {
+        (Some(on), Some(off)) => Ok((on, off)),
+        _ => Err("compare ran zero rounds".to_owned()),
+    }
+}
+
+fn serve_config(config: &BenchConfig) -> ServeConfig {
+    ServeConfig {
         seed: config.seed,
         workers: config.workers,
         queue: config.queue,
-        recorder: recorder.clone(),
+        telemetry: config.telemetry,
+        recorder: RecorderHandle::noop(),
         ..Default::default()
-    };
-    let baseline = Arc::new(Baseline::prepare(&serve));
+    }
+}
+
+/// [`run`] against an already-converged baseline (shared across
+/// [`compare`] legs).
+pub fn run_with_baseline(
+    config: &BenchConfig,
+    baseline: Arc<Baseline>,
+) -> Result<BenchResults, String> {
+    // Client latencies aggregate into a harness-side live registry: the
+    // bench is itself off the global-mutex recorder.
+    let (client_recorder, client_live) = RecorderHandle::live();
     let scenario = baseline
         .sample_scenario(config.seed)
         .ok_or("no sampled failure broke a path; try another seed")?;
-    let handle =
-        Server::start_with_baseline(serve, Endpoint::Tcp("127.0.0.1:0".to_owned()), baseline)?;
+    let handle = Server::start_with_baseline(
+        serve_config(config),
+        Endpoint::Tcp("127.0.0.1:0".to_owned()),
+        baseline,
+    )?;
     let addr = handle
         .tcp_addr()
         .ok_or("TCP endpoint did not resolve an address")?
@@ -114,7 +201,7 @@ pub fn run(config: &BenchConfig) -> Result<BenchResults, String> {
     let mut threads = Vec::new();
     for client_idx in 0..config.clients.max(1) {
         let addr = addr.clone();
-        let recorder = recorder.clone();
+        let recorder = client_recorder.clone();
         let requests = config.requests.max(1);
         let line = write_diagnose_request(client_idx as u64, &job);
         threads.push(std::thread::spawn(move || {
@@ -149,6 +236,10 @@ pub fn run(config: &BenchConfig) -> Result<BenchResults, String> {
         errors += errs;
     }
     let elapsed_secs = started.elapsed().as_secs_f64();
+    // The server's own view, over the wire: exercises the stats verb
+    // exactly as an operator would.
+    let (server_p50_us, server_p99_us) = fetch_server_latency(&addr);
+    let report = merged_report(&handle.live_report(), &client_live);
     handle.stop();
 
     latencies_ns.sort_unstable();
@@ -165,8 +256,46 @@ pub fn run(config: &BenchConfig) -> Result<BenchResults, String> {
         p50_us: percentile_us(&latencies_ns, 50.0),
         p90_us: percentile_us(&latencies_ns, 90.0),
         p99_us: percentile_us(&latencies_ns, 99.0),
-        report: sink.report(),
+        server_p50_us,
+        server_p99_us,
+        report,
     })
+}
+
+/// Asks the daemon for its `stats` snapshot and pulls the
+/// `serve.request` span percentiles out of the report (microseconds).
+/// `(0, 0)` when the daemon serves no live report (telemetry off).
+fn fetch_server_latency(addr: &str) -> (f64, f64) {
+    let Ok(mut client) = Client::connect_tcp(addr) else {
+        return (0.0, 0.0);
+    };
+    let Ok(response) = client.request_line(r#"{"op":"stats","id":0}"#) else {
+        return (0.0, 0.0);
+    };
+    let Ok(v) = netdiag_obs::json::parse(&response) else {
+        return (0.0, 0.0);
+    };
+    let span = v
+        .get("report")
+        .and_then(|r| r.get("spans"))
+        .and_then(|s| s.get(names::SERVE_REQUEST));
+    let pct = |key: &str| {
+        span.and_then(|s| s.get(key))
+            .and_then(Json::as_u64)
+            .map_or(0.0, |ns| ns as f64 / 1_000.0)
+    };
+    (pct("p50_ns"), pct("p99_ns"))
+}
+
+/// The daemon's live snapshot with the harness's client-latency series
+/// folded in (with telemetry off, the client series is all there is).
+fn merged_report(server: &Option<RunReport>, client_live: &LiveRecorder) -> RunReport {
+    let mut report = server.clone().unwrap_or_default();
+    let client = client_live.snapshot();
+    for (name, stats) in client.histograms {
+        report.histograms.insert(name, stats);
+    }
+    report
 }
 
 /// A response counts as completed when the protocol says `ok` and the
@@ -205,5 +334,15 @@ mod tests {
             .report
             .histogram(names::SERVE_CLIENT_LATENCY)
             .is_some());
+        // The wire-fetched server-side view arrived, and the merged
+        // report carries the daemon's own metrics (requests counter,
+        // phase spans, the queue-depth gauge).
+        assert!(results.server_p50_us > 0.0);
+        assert!(results.server_p99_us >= results.server_p50_us);
+        assert!(results.report.counter(names::SERVE_REQUESTS) >= 6);
+        assert!(results.report.span(names::SERVE_PHASE_DIAGNOSE).is_some());
+        assert!(results.report.gauge(names::SERVE_QUEUE_DEPTH).is_some());
+        // Client-observed latency includes the server's service time.
+        assert!(results.p50_us >= results.server_p50_us / 2.0);
     }
 }

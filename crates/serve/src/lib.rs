@@ -21,6 +21,13 @@
 //!    plus an optional `explain` narrative replayed from a per-request
 //!    trace stream.
 //!
+//! The daemon is observable while it runs: a lock-free
+//! [`LiveRecorder`](netdiag_obs::LiveRecorder) backs the `stats` and
+//! `health` protocol verbs (counters, gauges, per-phase latency spans,
+//! windowed rates, Prometheus exposition), and an optional
+//! [`FlightRecorder`] tail-samples the full causal trace of every
+//! request that breaches the latency SLO.
+//!
 //! [`bench`] is the closed-loop load harness behind `netdiag-serve
 //! bench`; [`client`] the small blocking client the CLI and tests use.
 
@@ -30,10 +37,12 @@
 pub mod baseline;
 pub mod bench;
 pub mod client;
+pub mod flight;
 pub mod pool;
 pub mod proto;
 pub mod server;
 
 pub use baseline::{Baseline, Scenario, ServeConfig};
 pub use client::Client;
+pub use flight::{FlightRecorder, PhaseNanos};
 pub use server::{Endpoint, Server, ServerHandle};

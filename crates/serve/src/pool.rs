@@ -4,8 +4,10 @@
 //! a mutex-guarded queue, no async runtime — but sized for a daemon:
 //! the queue has a hard capacity and [`WorkerPool::submit`] refuses work
 //! beyond it, so overload surfaces as an immediate error response
-//! (backpressure) instead of unbounded memory growth. Queue depth at
-//! each submission is observed as `serve.queue_depth`.
+//! (backpressure) instead of unbounded memory growth. Queue depth is
+//! tracked as the `serve.queue_depth` *gauge* — raised on submit,
+//! lowered when a worker dequeues — so stats report the level right now
+//! plus its high-water mark, not a monotone aggregate.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -74,7 +76,7 @@ impl WorkerPool {
     /// their own reply channel; the pool never returns results.
     // hot
     pub fn submit(&self, job: Job) -> Result<(), PoolFull> {
-        let depth = {
+        {
             let mut state = self
                 .shared
                 .state
@@ -84,11 +86,8 @@ impl WorkerPool {
                 return Err(PoolFull);
             }
             state.jobs.push_back(job);
-            state.jobs.len()
-        };
-        self.shared
-            .recorder
-            .observe(names::SERVE_QUEUE_DEPTH, depth as u64);
+        }
+        self.shared.recorder.gauge_add(names::SERVE_QUEUE_DEPTH, 1);
         self.shared.work_ready.notify_one();
         Ok(())
     }
@@ -139,6 +138,7 @@ fn worker_loop(shared: &Shared) {
                     .expect("pool queue mutex poisoned: a worker panicked");
             }
         };
+        shared.recorder.gauge_sub(names::SERVE_QUEUE_DEPTH, 1);
         job();
     }
 }
@@ -184,12 +184,31 @@ mod tests {
     }
 
     #[test]
-    fn observes_queue_depth() {
+    fn tracks_queue_depth_as_a_gauge() {
         let (recorder, sink) = RecorderHandle::in_memory();
-        let pool = WorkerPool::new(2, 8, recorder);
-        pool.submit(Box::new(|| {})).expect("queue has room");
+        // One worker blocked on the first job, so two more stack up and
+        // the gauge's high-water mark reflects real queue occupancy.
+        let pool = WorkerPool::new(1, 8, recorder);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(Box::new(move || {
+            let _ = started_tx.send(());
+            let _ = block_rx.recv();
+        }))
+        .expect("first job fits");
+        started_rx.recv().expect("worker picked up the blocker");
+        pool.submit(Box::new(|| {})).expect("queue slot 1");
+        pool.submit(Box::new(|| {})).expect("queue slot 2");
+        block_tx.send(()).expect("unblock the worker");
         pool.shutdown();
         let report = sink.report();
-        assert!(report.histogram(names::SERVE_QUEUE_DEPTH).is_some());
+        let gauge = report
+            .gauge(names::SERVE_QUEUE_DEPTH)
+            .expect("queue depth gauge recorded");
+        // All jobs drained: back to level zero, peak of the two queued
+        // jobs (the blocker was dequeued before they were submitted).
+        assert_eq!(gauge.current, 0);
+        assert!(gauge.high_water >= 2, "high water {}", gauge.high_water);
+        assert!(report.histogram(names::SERVE_QUEUE_DEPTH).is_none());
     }
 }

@@ -8,7 +8,8 @@
 //!  "feed":"withdraw 10.0.0.1 10.2.0.0/16\n","explain":true}
 //! ```
 //!
-//! * `op` — `"diagnose"` (default), `"ping"`, `"stats"` or `"shutdown"`.
+//! * `op` — `"diagnose"` (default), `"ping"`, `"stats"`, `"health"` or
+//!   `"shutdown"`.
 //! * `id` — echoed verbatim in the response (default `0`).
 //! * `algo` — algorithm name (default `"nd-edge"`).
 //! * `after` — the post-failure snapshot in the `after.txt` text format
@@ -50,8 +51,20 @@ pub enum Request {
         /// Echo id.
         id: u64,
     },
-    /// Daemon counters snapshot.
+    /// Daemon telemetry snapshot: legacy counters, plus (when the live
+    /// plane is mounted) the full metrics report, windowed rates and an
+    /// optional Prometheus text exposition.
     Stats {
+        /// Echo id.
+        id: u64,
+        /// Attach the Prometheus-style text exposition.
+        prom: bool,
+        /// Width of the rate/percentile window in seconds (default 10).
+        window_secs: u64,
+    },
+    /// Health/readiness probe (cheaper than `stats`; the load harness
+    /// and check.sh gate on it).
+    Health {
         /// Echo id.
         id: u64,
     },
@@ -104,7 +117,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let op = v.get("op").and_then(Json::as_str).unwrap_or("diagnose");
     match op {
         "ping" => Ok(Request::Ping { id }),
-        "stats" => Ok(Request::Stats { id }),
+        "stats" => Ok(Request::Stats {
+            id,
+            prom: matches!(v.get("prom"), Some(Json::Bool(true))),
+            window_secs: v
+                .get("window")
+                .and_then(Json::as_u64)
+                .filter(|&w| w > 0)
+                .unwrap_or(10),
+        }),
+        "health" => Ok(Request::Health { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         "diagnose" => {
             let text_field = |key: &str| -> Option<String> {
@@ -238,7 +260,23 @@ mod tests {
         ));
         assert!(matches!(
             parse_request(r#"{"op":"stats"}"#),
-            Ok(Request::Stats { id: 0 })
+            Ok(Request::Stats {
+                id: 0,
+                prom: false,
+                window_secs: 10
+            })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats","id":3,"prom":true,"window":30}"#),
+            Ok(Request::Stats {
+                id: 3,
+                prom: true,
+                window_secs: 30
+            })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"health","id":9}"#),
+            Ok(Request::Health { id: 9 })
         ));
         assert!(matches!(
             parse_request(r#"{"op":"shutdown","id":1}"#),

@@ -7,6 +7,14 @@
 //! overload surfaces as an immediate error response instead of latency
 //! collapse. Shutdown (remote `shutdown` op or [`ServerHandle::stop`])
 //! drains in-flight work and joins every thread.
+//!
+//! With telemetry mounted (the default), every `serve.*` metric lands in
+//! a lock-free [`LiveRecorder`] that the `stats` protocol verb snapshots
+//! at any instant; a ticker thread rolls its window ring once a second
+//! so stats can answer rates and percentiles over the last N seconds.
+//! Each diagnose request is timed per phase (queue wait, snapshot
+//! restore, diagnose, render), and when a [`FlightRecorder`] is mounted,
+//! requests breaching the latency SLO dump their full causal trace.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -15,9 +23,12 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use netdiag_experiments::explain::{explain, ExplainFilter};
-use netdiag_obs::{names, Recorder, RecorderHandle, TraceRecorder};
+use netdiag_obs::{
+    names, LiveRecorder, Recorder, RecorderHandle, RunReport, TraceRecorder, WindowDelta,
+};
 use netdiagnoser::text::{
     parse_feed, parse_sensors, parse_snapshot, RecordedIpToAs, RecordedLookingGlass,
 };
@@ -26,8 +37,23 @@ use netdiagnoser::{
 };
 
 use crate::baseline::{Baseline, ServeConfig};
+use crate::flight::{FlightRecorder, PhaseNanos};
 use crate::pool::WorkerPool;
-use crate::proto::{self, diagnose_response, error_response, ok_response, DiagnoseJob, Request};
+use crate::proto::{
+    self, diagnose_response, error_response, ok_response, push_json_string, DiagnoseJob, Request,
+};
+
+/// Events each worker's always-on flight ring retains (ample for one
+/// request's causal trace; overflow is reported in the dump).
+const FLIGHT_RING_CAPACITY: usize = 1 << 14;
+
+thread_local! {
+    /// One bounded trace ring per worker thread, reused (cleared) across
+    /// requests so the always-on flight recorder never allocates a fresh
+    /// ring on the request path.
+    static FLIGHT_RING: Arc<TraceRecorder> =
+        Arc::new(TraceRecorder::with_capacity(FLIGHT_RING_CAPACITY));
+}
 
 /// Where the daemon listens.
 #[derive(Clone, Debug)]
@@ -118,6 +144,12 @@ struct ServerCtx {
     baseline: Arc<Baseline>,
     pool: WorkerPool,
     recorder: RecorderHandle,
+    /// The live telemetry registry behind the `stats` verb (None only
+    /// when the config opts out of telemetry).
+    live: Option<Arc<LiveRecorder>>,
+    /// Tail-sampling trace dumps for SLO-breaching requests.
+    flight: Option<Arc<FlightRecorder>>,
+    started: Instant,
     bound: Bound,
     /// Socket closers for every live connection; drained at shutdown to
     /// unblock threads parked in client reads.
@@ -178,15 +210,39 @@ impl Server {
                 (Listener::Unix(l), Bound::Unix(path.clone()))
             }
         };
+        // The live plane replaces the old global-mutex recorder: all
+        // `serve.*` metrics take the lock-free path, with the caller's
+        // own sink fanned in only when it actually collects something.
+        let live = config.telemetry.then(|| Arc::new(LiveRecorder::new()));
+        let flight = match &config.flight_path {
+            Some(path) => Some(Arc::new(
+                FlightRecorder::create(path, config.slo_micros)
+                    .map_err(|e| format!("flight recorder {}: {e}", path.display()))?,
+            )),
+            None => None,
+        };
+        let recorder = match &live {
+            Some(live) if config.recorder.enabled() || config.recorder.trace_enabled() => {
+                RecorderHandle::fanout(vec![
+                    config.recorder.sink(),
+                    Arc::clone(live) as Arc<dyn Recorder>,
+                ])
+            }
+            Some(live) => RecorderHandle::new(Arc::clone(live) as Arc<dyn Recorder>),
+            None => config.recorder.clone(),
+        };
         let pool = WorkerPool::new(
             config.resolved_workers(),
             config.resolved_queue(),
-            config.recorder.clone(),
+            recorder.clone(),
         );
         let ctx = Arc::new(ServerCtx {
             baseline,
             pool,
-            recorder: config.recorder.clone(),
+            recorder,
+            live,
+            flight,
+            started: Instant::now(),
             bound,
             conns: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
@@ -197,9 +253,27 @@ impl Server {
         });
         let accept_ctx = Arc::clone(&ctx);
         let accept = std::thread::spawn(move || accept_loop(&listener, &accept_ctx));
+        // The window ticker: rolls the live ring once a second so stats
+        // can answer "over the last N seconds" queries. Polls the stop
+        // flag at 100ms so shutdown never waits a full tick.
+        let ticker = ctx.live.as_ref().map(|live| {
+            let live = Arc::clone(live);
+            let tick_ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || {
+                let mut ticks = 0u32;
+                while !tick_ctx.stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(100));
+                    ticks += 1;
+                    if ticks.is_multiple_of(10) {
+                        live.roll();
+                    }
+                }
+            })
+        });
         Ok(ServerHandle {
             ctx,
             accept: Some(accept),
+            ticker,
         })
     }
 }
@@ -307,30 +381,29 @@ fn respond(line: &str, ctx: &Arc<ServerCtx>) -> (String, bool) {
     };
     match request {
         Request::Ping { id } => (ok_response(id, "\"pong\":true"), false),
-        Request::Stats { id } => {
-            let extra = format!(
-                "\"stats\":{{\"connections\":{},\"requests\":{},\"errors\":{},\"diagnoses\":{}}}",
-                ctx.connections.load(Ordering::Relaxed),
-                ctx.requests.load(Ordering::Relaxed),
-                ctx.errors.load(Ordering::Relaxed),
-                ctx.seq.load(Ordering::Relaxed),
-            );
-            (ok_response(id, &extra), false)
-        }
+        Request::Stats {
+            id,
+            prom,
+            window_secs,
+        } => (stats_response(ctx, id, prom, window_secs), false),
+        Request::Health { id } => (
+            ok_response(
+                id,
+                &format!(
+                    "\"health\":\"ready\",\"uptime_secs\":{}",
+                    ctx.started.elapsed().as_secs()
+                ),
+            ),
+            false,
+        ),
         Request::Shutdown { id } => (ok_response(id, "\"stopping\":true"), true),
         Request::Diagnose { id, job } => {
             let (reply_tx, reply_rx) = mpsc::channel();
             let job_ctx = Arc::clone(ctx);
             let seq = ctx.seq.fetch_add(1, Ordering::Relaxed);
+            let enqueued = Instant::now();
             let submitted = ctx.pool.submit(Box::new(move || {
-                let response = match handle_diagnose(&job_ctx, seq, id, &job) {
-                    Ok(response) => response,
-                    Err(e) => {
-                        job_ctx.note_error();
-                        error_response(id, &e)
-                    }
-                };
-                let _ = reply_tx.send(response);
+                let _ = reply_tx.send(serve_diagnose(&job_ctx, seq, id, &job, enqueued));
             }));
             let response = match submitted {
                 Ok(()) => reply_rx
@@ -346,6 +419,125 @@ fn respond(line: &str, ctx: &Arc<ServerCtx>) -> (String, bool) {
     }
 }
 
+/// The `stats` verb: legacy counters plus (with the live plane mounted)
+/// health, the full compacted report, the requested rate/percentile
+/// window and the optional Prometheus exposition — all on one line.
+fn stats_response(ctx: &ServerCtx, id: u64, prom: bool, window_secs: u64) -> String {
+    let flight_dumps = ctx.flight.as_ref().map_or(0, |f| f.dumps());
+    let mut extra = format!(
+        "\"health\":\"ready\",\"uptime_secs\":{},\
+         \"stats\":{{\"connections\":{},\"requests\":{},\"errors\":{},\"diagnoses\":{},\
+         \"flight_dumps\":{flight_dumps}}}",
+        ctx.started.elapsed().as_secs(),
+        ctx.connections.load(Ordering::Relaxed),
+        ctx.requests.load(Ordering::Relaxed),
+        ctx.errors.load(Ordering::Relaxed),
+        ctx.seq.load(Ordering::Relaxed),
+    );
+    if let Some(live) = &ctx.live {
+        let report = live.snapshot();
+        // The report serializer pretty-prints; the line protocol needs
+        // one line. Raw newlines only ever appear as formatting (string
+        // contents are escaped), so stripping them is safe.
+        extra.push_str(",\"report\":");
+        extra.push_str(&report.to_json().replace('\n', ""));
+        if let Some(delta) = live.windowed(Duration::from_secs(window_secs.max(1))) {
+            extra.push_str(",\"window\":");
+            push_window_json(&mut extra, &delta);
+        }
+        if prom {
+            extra.push_str(",\"prom\":");
+            push_json_string(&mut extra, &report.to_prometheus());
+        }
+    }
+    ok_response(id, &extra)
+}
+
+/// Renders a [`WindowDelta`] as a JSON object: per-counter rates in
+/// increments/sec plus per-series percentile summaries over the window.
+fn push_window_json(out: &mut String, delta: &WindowDelta) {
+    out.push_str(&format!("{{\"secs\":{:.3},\"rates\":{{", delta.secs));
+    let mut first = true;
+    for (name, rate) in &delta.rates {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_json_string(out, name);
+        out.push_str(&format!(":{rate:.3}"));
+    }
+    out.push_str("},");
+    for (section, series, unit) in [
+        ("histograms", &delta.histograms, ""),
+        ("spans", &delta.spans, "_ns"),
+    ] {
+        out.push_str(&format!("\"{section}\":{{"));
+        let mut first = true;
+        for (name, s) in series {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            push_json_string(out, name);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"p50{unit}\":{},\"p90{unit}\":{},\"p99{unit}\":{}}}",
+                s.count,
+                s.percentile(50),
+                s.percentile(90),
+                s.percentile(99),
+            ));
+        }
+        out.push_str(if section == "spans" { "}" } else { "}," });
+    }
+    out.push('}');
+}
+
+/// Nanoseconds elapsed since `start`, saturating.
+fn elapsed_nanos(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The worker-side shell around one diagnose request: records the queue
+/// wait, runs the diagnosis with per-phase timing, and hands the result
+/// to the flight recorder for the tail-sampling decision.
+fn serve_diagnose(
+    ctx: &Arc<ServerCtx>,
+    seq: u64,
+    id: u64,
+    job: &DiagnoseJob,
+    enqueued: Instant,
+) -> String {
+    let queue_nanos = elapsed_nanos(enqueued);
+    ctx.recorder
+        .record_span(names::SERVE_PHASE_QUEUE, queue_nanos);
+    let _span = ctx.recorder.span(names::SERVE_REQUEST);
+    // This worker's always-on ring, cleared so a dump holds exactly this
+    // request's causal trace.
+    let ring = ctx.flight.as_ref().map(|_| FLIGHT_RING.with(Arc::clone));
+    if let Some(ring) = &ring {
+        ring.clear();
+    }
+    let mut phases = PhaseNanos {
+        queue: queue_nanos,
+        ..PhaseNanos::default()
+    };
+    let started = Instant::now();
+    let response = match handle_diagnose(ctx, seq, id, job, ring.as_ref(), &mut phases) {
+        Ok(response) => response,
+        Err(e) => {
+            ctx.note_error();
+            error_response(id, &e)
+        }
+    };
+    if let (Some(flight), Some(ring)) = (&ctx.flight, &ring) {
+        let latency = queue_nanos.saturating_add(elapsed_nanos(started));
+        if flight.observe_request(id, seq, latency, &phases, ring) {
+            ctx.recorder.add(names::SERVE_FLIGHT_DUMPS, 1);
+        }
+    }
+    response
+}
+
 /// Runs one diagnosis on a worker thread: resolve inputs against the
 /// baseline, build an owned diagnoser, structure the report, optionally
 /// replay the request's own trace into a narrative.
@@ -354,22 +546,30 @@ fn handle_diagnose(
     seq: u64,
     id: u64,
     job: &DiagnoseJob,
+    ring: Option<&Arc<TraceRecorder>>,
+    phases: &mut PhaseNanos,
 ) -> Result<String, String> {
-    let _span = ctx.recorder.span(names::SERVE_REQUEST);
     let _trial = netdiag_obs::trial_scope(seq as u32, 0);
     let _phase = netdiag_obs::phase_scope(netdiag_obs::Phase::Diagnose);
 
-    // Per-request trace stream for `explain`, fanned out on top of the
-    // daemon's own metrics sink.
+    // Per-request trace streams fanned out on top of the daemon's own
+    // metrics sink: one for `explain` (fresh, becomes the narrative),
+    // one for the flight recorder (the worker's reusable ring).
     let tracer = job.explain.then(|| Arc::new(TraceRecorder::new()));
-    let recorder = match &tracer {
-        Some(t) => RecorderHandle::fanout(vec![
-            ctx.recorder.sink(),
-            Arc::clone(t) as Arc<dyn Recorder>,
-        ]),
-        None => ctx.recorder.clone(),
+    let recorder = if tracer.is_some() || ring.is_some() {
+        let mut sinks: Vec<Arc<dyn Recorder>> = vec![ctx.recorder.sink()];
+        if let Some(t) = &tracer {
+            sinks.push(Arc::clone(t) as Arc<dyn Recorder>);
+        }
+        if let Some(r) = ring {
+            sinks.push(Arc::clone(r) as Arc<dyn Recorder>);
+        }
+        RecorderHandle::fanout(sinks)
+    } else {
+        ctx.recorder.clone()
     };
 
+    let restore_started = Instant::now();
     let baseline = &ctx.baseline;
     let sensors = match &job.sensors {
         Some(text) => parse_sensors(text).map_err(|e| format!("sensors: {e}"))?,
@@ -410,11 +610,20 @@ fn handle_diagnose(
         Some(text) => Box::new(RecordedIpToAs::parse(text).map_err(|e| format!("ip2as: {e}"))?),
         None => Box::new(baseline.ip_to_as()),
     };
+    phases.restore = elapsed_nanos(restore_started);
+    ctx.recorder
+        .record_span(names::SERVE_PHASE_RESTORE, phases.restore);
 
+    let diagnose_started = Instant::now();
     let report = builder
         .build()
         .report(&obs, ip2as.as_ref())
         .map_err(|e| e.to_string())?;
+    phases.diagnose = elapsed_nanos(diagnose_started);
+    ctx.recorder
+        .record_span(names::SERVE_PHASE_DIAGNOSE, phases.diagnose);
+
+    let render_started = Instant::now();
     let narrative = tracer.map(|t| {
         explain(
             &t.to_jsonl(),
@@ -426,12 +635,16 @@ fn handle_diagnose(
         )
         .unwrap_or_else(|e| format!("no narrative: {e}"))
     });
-    Ok(diagnose_response(
+    let response = diagnose_response(
         id,
         &report.to_json(),
         &report.to_string(),
         narrative.as_deref(),
-    ))
+    );
+    phases.render = elapsed_nanos(render_started);
+    ctx.recorder
+        .record_span(names::SERVE_PHASE_RENDER, phases.render);
+    Ok(response)
 }
 
 /// A running daemon.
@@ -442,6 +655,7 @@ fn handle_diagnose(
 pub struct ServerHandle {
     ctx: Arc<ServerCtx>,
     accept: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -460,6 +674,28 @@ impl ServerHandle {
         &self.ctx.baseline
     }
 
+    /// A point-in-time snapshot of the live telemetry registry (`None`
+    /// when the config opted out of telemetry). What `--profile` writes
+    /// and the bench harness reads — the in-process mirror of the
+    /// `stats` verb.
+    pub fn live_report(&self) -> Option<RunReport> {
+        self.ctx.live.as_ref().map(|live| live.snapshot())
+    }
+
+    /// The live telemetry registry itself (`None` when the config opted
+    /// out). Clone the [`Arc`] to snapshot after
+    /// [`join`](Self::join)/[`stop`](Self::stop) consume the handle —
+    /// `--profile` does exactly that.
+    pub fn live(&self) -> Option<Arc<LiveRecorder>> {
+        self.ctx.live.clone()
+    }
+
+    /// Flight-recorder dumps written so far (`None` when no flight
+    /// recorder is mounted).
+    pub fn flight_dumps(&self) -> Option<u64> {
+        self.ctx.flight.as_ref().map(|f| f.dumps())
+    }
+
     /// Requests shutdown and blocks until every thread has drained.
     pub fn stop(mut self) {
         self.stop_inner();
@@ -470,6 +706,9 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        if let Some(ticker) = self.ticker.take() {
+            let _ = ticker.join();
+        }
     }
 
     fn stop_inner(&mut self) {
@@ -477,6 +716,9 @@ impl ServerHandle {
         self.ctx.wake_accept();
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        if let Some(ticker) = self.ticker.take() {
+            let _ = ticker.join();
         }
     }
 }

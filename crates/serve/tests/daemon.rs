@@ -64,7 +64,27 @@ fn ping_stats_and_shutdown_round_trip() {
 
 #[test]
 fn diagnose_reports_match_the_in_process_facade_byte_for_byte() {
-    let (handle, baseline, addr) = start_daemon();
+    // Full telemetry plane mounted (the default) plus a flight recorder
+    // with a comfortable SLO: per-phase timing and tail sampling must
+    // not perturb diagnosis output by a single byte.
+    let dir = std::env::temp_dir().join(format!("netdiag-parity-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir for the flight log");
+    let flight_path = dir.join("flight.jsonl");
+    let baseline = Arc::new(Baseline::prepare(&test_config()));
+    let handle = Server::start_with_baseline(
+        ServeConfig {
+            slo_micros: 60_000_000,
+            flight_path: Some(flight_path.clone()),
+            ..test_config()
+        },
+        Endpoint::Tcp("127.0.0.1:0".to_owned()),
+        Arc::clone(&baseline),
+    )
+    .expect("daemon binds a loopback port");
+    let addr = handle
+        .tcp_addr()
+        .expect("TCP endpoint resolves")
+        .to_string();
     let scenario = baseline.sample_scenario(3).expect("scenario sampled");
 
     // What the daemon says.
@@ -106,7 +126,13 @@ fn diagnose_reports_match_the_in_process_facade_byte_for_byte() {
         .expect("in-process diagnosis runs");
     assert_eq!(daemon_text, local.to_string());
     assert_eq!(report.to_json(), local.to_json());
+    assert_eq!(
+        handle.flight_dumps(),
+        Some(0),
+        "a 60s SLO must not tail-sample a fast request"
+    );
     handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -208,6 +234,134 @@ fn unix_socket_endpoint_serves_and_cleans_up() {
     ));
     handle.stop();
     assert!(!path.exists(), "socket file removed on shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn health_and_stats_expose_the_live_plane() {
+    let (handle, baseline, addr) = start_daemon();
+    let scenario = baseline.sample_scenario(3).expect("scenario sampled");
+    let mut client = Client::connect_tcp(&addr).expect("client connects");
+
+    // Readiness first: cheap, no report attached.
+    let health = client
+        .request_line(r#"{"op":"health","id":1}"#)
+        .expect("health answered");
+    let v = parse(&health).expect("health response is JSON");
+    assert_eq!(v.get("health").and_then(Json::as_str), Some("ready"));
+    assert!(v.get("uptime_secs").and_then(Json::as_u64).is_some());
+
+    // Run one diagnosis so the live report has something to say.
+    let job = DiagnoseJob {
+        after: scenario.after,
+        feed: Some(scenario.feed),
+        ..Default::default()
+    };
+    let response = client
+        .request_line(&write_diagnose_request(2, &job))
+        .expect("diagnose answered");
+    assert!(response.contains("\"ok\":true"), "{response}");
+
+    let stats = client
+        .request_line(r#"{"op":"stats","id":3,"prom":true}"#)
+        .expect("stats answered");
+    let v = parse(&stats).expect("stats response is JSON");
+    assert_eq!(v.get("health").and_then(Json::as_str), Some("ready"));
+    let report = v.get("report").expect("live report attached");
+    let counter = |name: &str| {
+        report
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    assert!(counter("serve.requests") >= 2, "{stats}");
+    assert_eq!(counter("serve.errors"), 0, "{stats}");
+    // Per-phase spans and the queue gauge made it into the report.
+    let spans = report.get("spans").expect("spans section");
+    for phase in [
+        "serve.request",
+        "serve.phase.queue",
+        "serve.phase.restore",
+        "serve.phase.diagnose",
+        "serve.phase.render",
+    ] {
+        assert!(spans.get(phase).is_some(), "span {phase} missing: {stats}");
+    }
+    assert!(
+        report
+            .get("gauges")
+            .and_then(|g| g.get("serve.queue_depth"))
+            .and_then(|g| g.get("high_water"))
+            .and_then(Json::as_u64)
+            .is_some(),
+        "{stats}"
+    );
+    // Prometheus exposition rides along as an escaped string.
+    let prom = v
+        .get("prom")
+        .and_then(Json::as_str)
+        .expect("prom text attached");
+    assert!(prom.contains("netdiag_serve_requests_total"));
+    assert!(prom.contains("netdiag_serve_queue_depth"));
+    handle.stop();
+}
+
+#[test]
+fn slo_zero_flight_dumps_every_request_with_phases() {
+    let dir = std::env::temp_dir().join(format!("netdiag-flight-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir for the flight log");
+    let flight_path = dir.join("flight.jsonl");
+    let baseline = Arc::new(Baseline::prepare(&test_config()));
+    let handle = Server::start_with_baseline(
+        ServeConfig {
+            // SLO of zero: every request breaches, every request dumps.
+            slo_micros: 0,
+            flight_path: Some(flight_path.clone()),
+            ..test_config()
+        },
+        Endpoint::Tcp("127.0.0.1:0".to_owned()),
+        Arc::clone(&baseline),
+    )
+    .expect("daemon binds a loopback port");
+    let addr = handle
+        .tcp_addr()
+        .expect("TCP endpoint resolves")
+        .to_string();
+    let scenario = baseline.sample_scenario(3).expect("scenario sampled");
+    let job = DiagnoseJob {
+        after: scenario.after,
+        feed: Some(scenario.feed),
+        ..Default::default()
+    };
+    let mut client = Client::connect_tcp(&addr).expect("client connects");
+    let response = client
+        .request_line(&write_diagnose_request(77, &job))
+        .expect("diagnose answered");
+    assert!(response.contains("\"ok\":true"), "{response}");
+    assert_eq!(handle.flight_dumps(), Some(1), "exactly one dump");
+    handle.stop();
+
+    let log = std::fs::read_to_string(&flight_path).expect("flight log written");
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 1, "one request, one JSONL line: {log}");
+    let dump = parse(lines[0]).expect("dump line is JSON");
+    assert_eq!(dump.get("request").and_then(Json::as_u64), Some(77));
+    assert!(dump.get("latency_us").and_then(Json::as_u64).is_some());
+    let phases = dump.get("phases").expect("per-phase timings attached");
+    for phase in ["queue_us", "restore_us", "diagnose_us", "render_us"] {
+        assert!(
+            phases.get(phase).and_then(Json::as_u64).is_some(),
+            "phase {phase} missing: {}",
+            lines[0]
+        );
+    }
+    // The dump embeds the request's own causal trace (JSONL, escaped).
+    let trace = dump
+        .get("trace")
+        .and_then(Json::as_str)
+        .expect("trace attached");
+    assert!(trace.contains("\"name\""), "trace events present: {trace}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

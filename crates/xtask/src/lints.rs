@@ -439,9 +439,19 @@ impl NameRegistry {
 }
 
 /// Recorder methods whose first argument is a metric or event name.
-const RECORDER_METHODS: [&str; 4] = ["add", "observe", "span", "event"];
+const RECORDER_METHODS: [&str; 8] = [
+    "add",
+    "observe",
+    "span",
+    "record_span",
+    "gauge_set",
+    "gauge_add",
+    "gauge_sub",
+    "event",
+];
 
-/// Checks `.add(..)` / `.observe(..)` / `.span(..)` / `.event(..)` first
+/// Checks recorder calls (`.add(..)`, `.observe(..)`, `.span(..)`,
+/// `.record_span(..)`, the `gauge_*` family, `.event(..)`) — first
 /// arguments against the vocabulary and collects which names are used.
 fn obs_call_sites(
     p: &PreparedFile<'_>,

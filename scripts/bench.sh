@@ -143,6 +143,18 @@ ratio = noop / base
 print(f"trace overhead guard: noop/untraced median ratio = {ratio:.3f}")
 if ratio > 1.35:
     sys.exit(f"noop tracing overhead {ratio:.3f}x exceeds the 1.35x noise budget")
+
+# Live-metrics guard (PR 10): one LiveRecorder counter bump through the
+# dyn Recorder vtable must stay within 2x of the same virtual dispatch
+# into a NoopRecorder. Both legs are 64-call loops through identical
+# Arc<dyn Recorder> plumbing, so the ratio isolates what the lock-free
+# slot-cache + exclusive-lane record path itself costs.
+disp = median("live_metrics_overhead/dispatch", out, "this run")
+bump = median("live_metrics_overhead/bump", out, "this run")
+ratio = bump / disp
+print(f"live metrics guard: bump/dispatch median ratio = {ratio:.3f}")
+if ratio > 2.0:
+    sys.exit(f"live record path {ratio:.3f}x exceeds the 2x dispatch budget")
 EOF
 
 # PR 8 gate: the 1k-AS generated internet must converge to a full RIB
@@ -173,4 +185,29 @@ print(
     f"(budget {gate['max_converge_ms']}ms), peak RSS {run['rss_peak_kb']}kB "
     f"(budget {gate['max_rss_peak_kb']}kB), {run['messages']} messages exact"
 )
+EOF
+
+# Telemetry throughput gate (PR 10): the daemon with the live telemetry
+# plane on (per-phase spans, gauges, flight-recorder ring) must hold
+# >= 95% of the throughput of the same daemon with telemetry disabled,
+# measured back-to-back on one shared baseline so the legs differ only
+# in recording. A contended box swings absolute req/s, but the on/off
+# ratio is paired and stable.
+echo "== telemetry gate: daemon throughput with live plane on vs off =="
+cargo build -q --release -p netdiag-serve
+# 150 requests/client: legs shorter than ~0.3s make the ratio swing
+# with scheduler noise even under best-of-3.
+compare_out="$(./target/release/netdiag-serve bench --clients 4 --requests 150 --compare)"
+echo "$compare_out"
+ratio="$(printf '%s\n' "$compare_out" | sed -n 's/^telemetry-compare:.*ratio \([0-9.]*\)$/\1/p')"
+if [ -z "$ratio" ]; then
+  echo "telemetry gate: no telemetry-compare line in bench output" >&2
+  exit 1
+fi
+python3 - "$ratio" <<'EOF'
+import sys
+ratio = float(sys.argv[1])
+if ratio < 0.95:
+    sys.exit(f"telemetry-on throughput is {ratio:.3f}x of telemetry-off (< 0.95 budget)")
+print(f"telemetry gate: on/off throughput ratio {ratio:.3f} (budget >= 0.95)")
 EOF

@@ -95,6 +95,14 @@ serve request --connect "$addr" --dir "$tracedir/scn" --algo nd-bgpigp \
 netdiag diagnose --dir "$tracedir/scn" --algo nd-bgpigp \
     | sed '/^--- ground truth/,$d' > "$servedir/batch.txt"
 diff -u "$servedir/batch.txt" "$servedir/daemon.txt"
+# Live telemetry plane: the stats verb reports a ready daemon whose
+# request counter advanced past the diagnoses above, and the Prometheus
+# rendering exposes the same registry.
+serve stats --connect "$addr" > "$servedir/stats.txt"
+cat "$servedir/stats.txt"
+grep -q 'health ready' "$servedir/stats.txt"
+grep -Eq '[1-9][0-9]* total' "$servedir/stats.txt"
+serve stats --connect "$addr" --prom | grep -q '^netdiag_serve_requests_total'
 # Clean remote shutdown.
 serve stop --connect "$addr" | grep -q '"stopping":true'
 wait "$serve_pid"

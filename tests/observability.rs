@@ -61,7 +61,7 @@ fn trial_populates_every_layer_of_the_run_report() {
 
     // The JSON serialization carries the same numbers.
     let json = report.to_json();
-    assert!(json.contains("\"version\": 2"), "{json}");
+    assert!(json.contains("\"version\": 3"), "{json}");
     assert!(json.contains("\"igp.spf_runs\""), "{json}");
     assert!(json.contains("\"trial.diagnose\""), "{json}");
     assert!(
